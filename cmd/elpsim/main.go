@@ -1,0 +1,79 @@
+// Command elpsim regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	elpsim list            list the available experiments
+//	elpsim all             regenerate every table and figure
+//	elpsim <id> [<id>...]  regenerate specific experiments
+//	                       (table1, fig8, fig10, fig11, fig12, fig13,
+//	                        fig14, table2, table3)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "elpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "list":
+		for _, id := range exp.IDs() {
+			r, _ := exp.Lookup(id)
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		fmt.Printf("\nCSV-capable (elpsim -csv <id>): %v\n", exp.CSVIDs())
+		return nil
+	case "all":
+		return exp.RunAll(os.Stdout)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	case "-csv", "--csv":
+		if len(args) < 2 {
+			return fmt.Errorf("-csv needs an experiment id (one of %v)", exp.CSVIDs())
+		}
+		for _, id := range args[1:] {
+			ok, err := exp.CSV(id, os.Stdout)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("experiment %q has no CSV form (one of %v)", id, exp.CSVIDs())
+			}
+		}
+		return nil
+	}
+	for _, id := range args {
+		r, ok := exp.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try: elpsim list)", id)
+		}
+		fmt.Printf("==== %s — %s ====\n", r.ID, r.Title)
+		if err := r.Run(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Println(`elpsim — regenerate the ELP2IM (HPCA 2020) evaluation
+usage:
+  elpsim list            list the available experiments
+  elpsim all             regenerate every table and figure
+  elpsim <id> [<id>...]  regenerate specific experiments`)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-done
+	return out, runErr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig12", "fig13", "fig14", "table2", "table3", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"table1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Activate-Pseudoprecharge-Precharge") {
+		t.Errorf("table1 output wrong:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := captureStdout(t, func() error { return run([]string{"nope"}) }); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-csv", "fig12"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "design,op,latency_ns") {
+		t.Errorf("CSV header missing:\n%.100s", out)
+	}
+	if _, err := captureStdout(t, func() error { return run([]string{"-csv"}) }); err == nil {
+		t.Error("-csv without id accepted")
+	}
+	if _, err := captureStdout(t, func() error { return run([]string{"-csv", "table1"}) }); err == nil {
+		t.Error("-csv for non-CSV experiment accepted")
+	}
+}
+
+func TestRunNoArgsShowsUsage(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "usage") {
+		t.Errorf("usage missing:\n%s", out)
+	}
+	out2, err := captureStdout(t, func() error { return run([]string{"help"}) })
+	if err != nil || !strings.Contains(out2, "usage") {
+		t.Error("help missing usage")
+	}
+}

@@ -1,0 +1,85 @@
+// Command waveform emits the Figure 10 circuit traces — an APP-AP
+// two-cycle operation on one DRAM column — as CSV for plotting, or as an
+// ASCII strip chart.
+//
+// Usage:
+//
+//	waveform [-op or|and] [-a 0|1] [-b 0|1] [-ascii] [-short]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analog"
+	"repro/internal/timing"
+)
+
+func main() {
+	op := flag.String("op", "or", "logic operation: or | and")
+	a := flag.Int("a", 1, "bit read in the first cycle (0 or 1)")
+	b := flag.Int("b", 0, "bit stored in the second cell (0 or 1)")
+	ascii := flag.Bool("ascii", false, "render an ASCII strip chart instead of CSV")
+	pngPath := flag.String("png", "", "write a PNG plot to this file instead of CSV")
+	short := flag.Bool("short", false, "use the short-bitline (Cb < Cc) circuit")
+	strategy := flag.String("strategy", "regular", "pseudo-precharge strategy: regular | complementary (§4.1)")
+	flag.Parse()
+
+	var strat analog.Strategy
+	switch *strategy {
+	case "regular":
+		strat = analog.StrategyRegular
+	case "complementary":
+		strat = analog.StrategyComplementary
+	default:
+		fmt.Fprintln(os.Stderr, "waveform: -strategy must be regular|complementary")
+		os.Exit(2)
+	}
+
+	var tcOp analog.TwoCycleOp
+	switch *op {
+	case "or":
+		tcOp = analog.TwoCycleOR
+	case "and":
+		tcOp = analog.TwoCycleAND
+	default:
+		fmt.Fprintln(os.Stderr, "waveform: -op must be or|and")
+		os.Exit(2)
+	}
+	if (*a != 0 && *a != 1) || (*b != 0 && *b != 1) {
+		fmt.Fprintln(os.Stderr, "waveform: -a and -b must be 0 or 1")
+		os.Exit(2)
+	}
+
+	circuit := analog.Default()
+	if *short {
+		circuit = analog.ShortBitline()
+	}
+	wf := analog.SimulateAPPAPStrategy(circuit, timing.DDR31600(), tcOp, strat, *a == 1, *b == 1)
+	switch {
+	case *pngPath != "":
+		f, err := os.Create(*pngPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "waveform:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := wf.RenderPNG(f, 960, 360); err != nil {
+			fmt.Fprintln(os.Stderr, "waveform:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s(%d,%d) -> %d)\n", *pngPath, *op, *a, *b, boolToInt(wf.Result))
+	case *ascii:
+		fmt.Print(wf.RenderASCII(110))
+	default:
+		fmt.Print(wf.CSV())
+	}
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+package elp2im
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfigFromJSONDefaults(t *testing.T) {
+	cfg, err := ConfigFromJSON(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Design != DesignELP2IM || cfg.Module.Banks != 8 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	acc, err := NewWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Design() != "ELP2IM" {
+		t.Fatal("accelerator from JSON defaults wrong")
+	}
+}
+
+func TestConfigFromJSONDesigns(t *testing.T) {
+	for name, want := range map[string]Design{
+		"elp2im": DesignELP2IM, "ambit": DesignAmbit, "drisa": DesignDrisaNOR,
+	} {
+		cfg, err := ConfigFromJSON(strings.NewReader(`{"design":"` + name + `"}`))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.Design != want {
+			t.Errorf("%s → %v, want %v", name, cfg.Design, want)
+		}
+	}
+	if _, err := ConfigFromJSON(strings.NewReader(`{"design":"gpu"}`)); err == nil {
+		t.Error("unknown design accepted")
+	}
+	if _, err := ConfigFromJSON(strings.NewReader(`{bad`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestNewFromJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "params.json")
+	src := `{
+  "design": "ambit",
+  "reserved_rows": 10,
+  "power_constrained": true,
+  "module": {"Banks": 2, "SubarraysPerBank": 2, "RowsPerSubarray": 32,
+             "Columns": 128, "DualContactRows": 2}
+}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewFromJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Design() != "Ambit_10" {
+		t.Fatalf("design = %q, want Ambit_10", acc.Design())
+	}
+	// And it computes.
+	rng := rand.New(rand.NewSource(1))
+	x := RandomBitVector(rng, 300)
+	y := RandomBitVector(rng, 300)
+	dst := NewBitVector(300)
+	if _, err := acc.Op(OpAnd, dst, x, y); err != nil {
+		t.Fatal(err)
+	}
+	want := NewBitVector(300)
+	golden(OpAnd, want, x, y)
+	if !dst.Equal(want) {
+		t.Fatal("JSON-configured accelerator computed wrong result")
+	}
+	if _, err := NewFromJSONFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,656 @@
+// Package elp2im is a clean-room reproduction of "ELP2IM: Efficient and
+// Low Power Bitwise Operation Processing in DRAM" (Xin, Zhang, Yang;
+// HPCA 2020).
+//
+// It provides a bit-accurate functional model of in-DRAM bulk bitwise
+// computing with cycle-level timing and command-level energy accounting,
+// for three designs:
+//
+//   - ELP2IM — the paper's contribution: pseudo-precharge-state logic,
+//   - Ambit — the triple-row-activation baseline (MICRO'17),
+//   - DRISA-NOR — the in-array-gate baseline (MICRO'17).
+//
+// The top-level API is the Accelerator: it owns a DRAM module, spreads
+// bulk bit-vectors across banks, executes every logic operation through
+// the selected design's real command sequences on the device model, and
+// reports latency (with or without the charge-pump power constraint),
+// energy, and activation statistics.
+//
+//	acc, err := elp2im.New()                     // ELP2IM on DDR3-1600
+//	x := elp2im.NewBitVector(1 << 20)
+//	y := elp2im.NewBitVector(1 << 20)
+//	dst := elp2im.NewBitVector(1 << 20)
+//	stats, err := acc.Op(elp2im.OpAnd, dst, x, y)
+//
+// The internal packages expose the full substrate: internal/dram (device
+// model), internal/analog (charge-sharing circuit model, Monte-Carlo
+// reliability), internal/timing and internal/power (DDR3-1600 models),
+// internal/elpim, internal/ambit, internal/drisa (the engines), and
+// internal/apps/... (the paper's case studies).
+package elp2im
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/ambit"
+	"repro/internal/bitvec"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/drisa"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+	"repro/internal/power"
+	"repro/internal/primitive"
+	"repro/internal/sched"
+	"repro/internal/timing"
+)
+
+// Op is a bulk bitwise operation.
+type Op int
+
+// The supported operations.
+const (
+	OpNot Op = iota
+	OpAnd
+	OpOr
+	OpNand
+	OpNor
+	OpXor
+	OpXnor
+	OpCopy
+)
+
+// String returns the operation mnemonic.
+func (o Op) String() string { return o.internal().String() }
+
+func (o Op) internal() engine.Op {
+	switch o {
+	case OpNot:
+		return engine.OpNOT
+	case OpAnd:
+		return engine.OpAND
+	case OpOr:
+		return engine.OpOR
+	case OpNand:
+		return engine.OpNAND
+	case OpNor:
+		return engine.OpNOR
+	case OpXor:
+		return engine.OpXOR
+	case OpXnor:
+		return engine.OpXNOR
+	case OpCopy:
+		return engine.OpCOPY
+	default:
+		panic(fmt.Sprintf("elp2im: unknown op %d", int(o)))
+	}
+}
+
+// Unary reports whether the operation takes one operand.
+func (o Op) Unary() bool { return o == OpNot || o == OpCopy }
+
+// BitVector is a host-side bulk bit-vector.
+type BitVector struct {
+	v *bitvec.Vector
+}
+
+// NewBitVector returns an all-zero vector of n bits.
+func NewBitVector(n int) *BitVector { return &BitVector{v: bitvec.New(n)} }
+
+// RandomBitVector returns a vector with uniformly random contents.
+func RandomBitVector(rng *rand.Rand, n int) *BitVector {
+	return &BitVector{v: bitvec.Random(rng, n)}
+}
+
+// Len returns the length in bits.
+func (b *BitVector) Len() int { return b.v.Len() }
+
+// Bit returns bit i.
+func (b *BitVector) Bit(i int) bool { return b.v.Bit(i) }
+
+// SetBit sets bit i.
+func (b *BitVector) SetBit(i int, val bool) { b.v.SetBit(i, val) }
+
+// Fill sets every bit.
+func (b *BitVector) Fill(val bool) { b.v.Fill(val) }
+
+// Popcount returns the number of set bits.
+func (b *BitVector) Popcount() int { return b.v.Popcount() }
+
+// Equal reports whether two vectors match in length and contents.
+func (b *BitVector) Equal(o *BitVector) bool { return b.v.Equal(o.v) }
+
+// Words exposes the underlying 64-bit words (shared, LSB-first).
+func (b *BitVector) Words() []uint64 { return b.v.Words() }
+
+// Design selects which in-DRAM computing design the accelerator models.
+type Design int
+
+// The three reproduced designs.
+const (
+	// DesignELP2IM is the paper's pseudo-precharge design.
+	DesignELP2IM Design = iota
+	// DesignAmbit is the TRA baseline.
+	DesignAmbit
+	// DesignDrisaNOR is the in-array NOR-gate baseline.
+	DesignDrisaNOR
+)
+
+// String returns the design name.
+func (d Design) String() string {
+	switch d {
+	case DesignELP2IM:
+		return "ELP2IM"
+	case DesignAmbit:
+		return "Ambit"
+	case DesignDrisaNOR:
+		return "Drisa_nor"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// Config parameterizes an Accelerator. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Design selects the in-DRAM computing design.
+	Design Design
+	// Module is the DRAM geometry.
+	Module dram.Config
+	// Timing is the DRAM timing parameter set.
+	Timing timing.Params
+	// Power is the DRAM energy parameter set.
+	Power power.Params
+	// PowerConstrained enforces the charge-pump/tFAW activation budget
+	// when computing latency (bank-level parallelism shrinks).
+	PowerConstrained bool
+	// Ranks divides the banks into rank groups, each with its own charge
+	// pump and tFAW window. Zero means 1. Only affects the constrained
+	// latency model.
+	Ranks int
+	// ReservedRows configures ELP2IM's reserved dual-contact rows (1 or
+	// 2) and Ambit's B-group size (4/6/8/10). Zero selects the design
+	// default (1 and 8).
+	ReservedRows int
+	// HighThroughputMode selects ELP2IM's AAP-APP-AP sequences
+	// (power-optimal) instead of the overlapped reduced-latency ones.
+	HighThroughputMode bool
+}
+
+// DefaultConfig returns ELP2IM on a DDR3-1600 module with 8 banks.
+func DefaultConfig() Config {
+	return Config{
+		Design: DesignELP2IM,
+		Module: dram.Default(),
+		Timing: timing.DDR31600(),
+		Power:  power.DDR31600(),
+	}
+}
+
+// Stats reports the cost of one accelerator operation (or an accumulated
+// session via Accelerator.Totals).
+type Stats struct {
+	// LatencyNS is the operation latency in ns, including any power-
+	// constraint stalls and bank-level parallelism.
+	LatencyNS float64
+	// EnergyNJ is the total energy in nJ (dynamic + background).
+	EnergyNJ float64
+	// AveragePowerW is EnergyNJ / LatencyNS.
+	AveragePowerW float64
+	// RowOps is the number of row-wide operations executed.
+	RowOps int
+	// Commands is the number of DRAM command primitives issued.
+	Commands int
+	// Wordlines is the total number of wordlines raised.
+	Wordlines int
+}
+
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.LatencyNS += o.LatencyNS
+	s.EnergyNJ += o.EnergyNJ
+	s.RowOps += o.RowOps
+	s.Commands += o.Commands
+	s.Wordlines += o.Wordlines
+	if s.LatencyNS > 0 {
+		s.AveragePowerW = s.EnergyNJ / s.LatencyNS
+	}
+}
+
+// Accelerator executes bulk bitwise operations on a modeled DRAM module.
+type Accelerator struct {
+	cfg    Config
+	module *dram.Module
+	eng    engine.Engine
+	totals Stats
+}
+
+// New returns an accelerator for the configuration (DefaultConfig when
+// no mutators are given).
+func New(mutators ...func(*Config)) (*Accelerator, error) {
+	cfg := DefaultConfig()
+	for _, m := range mutators {
+		m(&cfg)
+	}
+	return NewWithConfig(cfg)
+}
+
+// NewWithConfig returns an accelerator for an explicit configuration.
+func NewWithConfig(cfg Config) (*Accelerator, error) {
+	if err := cfg.Module.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Power.Validate(); err != nil {
+		return nil, err
+	}
+
+	var eng engine.Engine
+	switch cfg.Design {
+	case DesignELP2IM:
+		ecfg := elpim.Config{
+			Timing:               cfg.Timing,
+			Power:                cfg.Power,
+			ReservedRows:         cfg.ReservedRows,
+			UseIsolation:         true,
+			UseRestoreTruncation: true,
+		}
+		if ecfg.ReservedRows == 0 {
+			ecfg.ReservedRows = 1
+		}
+		if cfg.HighThroughputMode {
+			ecfg.Mode = elpim.HighThroughput
+		}
+		e, err := elpim.New(ecfg)
+		if err != nil {
+			return nil, err
+		}
+		eng = e
+		if cfg.Module.DualContactRows < ecfg.ReservedRows {
+			cfg.Module.DualContactRows = ecfg.ReservedRows
+		}
+	case DesignAmbit:
+		acfg := ambit.Config{Timing: cfg.Timing, Power: cfg.Power, ReservedRows: cfg.ReservedRows}
+		if acfg.ReservedRows == 0 {
+			acfg.ReservedRows = 8
+		}
+		a, err := ambit.New(acfg)
+		if err != nil {
+			return nil, err
+		}
+		eng = a
+		if cfg.Module.DualContactRows < 2 {
+			cfg.Module.DualContactRows = 2
+		}
+	case DesignDrisaNOR:
+		d, err := drisa.New(drisa.Config{Timing: cfg.Timing, Power: cfg.Power})
+		if err != nil {
+			return nil, err
+		}
+		eng = d
+	default:
+		return nil, errors.New("elp2im: unknown design")
+	}
+
+	return &Accelerator{
+		cfg:    cfg,
+		module: dram.NewModule(cfg.Module),
+		eng:    eng,
+	}, nil
+}
+
+// Design returns the modeled design's name.
+func (a *Accelerator) Design() string { return a.eng.Name() }
+
+// ReservedRows returns the design's reserved-row count.
+func (a *Accelerator) ReservedRows() int { return a.eng.ReservedRows() }
+
+// AreaOverheadPercent returns the design's array area overhead.
+func (a *Accelerator) AreaOverheadPercent() float64 { return a.eng.AreaOverheadPercent() }
+
+// Totals returns the accumulated statistics of every operation executed
+// on this accelerator.
+func (a *Accelerator) Totals() Stats { return a.totals }
+
+// ResetTotals clears the accumulated statistics.
+func (a *Accelerator) ResetTotals() { a.totals = Stats{} }
+
+// operand rows inside each working subarray.
+const (
+	rowA = 0
+	rowB = 1
+	rowC = 2
+)
+
+// Op executes dst = op(x, y) as a bulk operation: the vectors are split
+// into row-wide stripes, spread round-robin across banks, executed
+// through the design's real command sequences on the device model, and
+// the results read back. For unary ops y may be nil.
+func (a *Accelerator) Op(op Op, dst, x, y *BitVector) (Stats, error) {
+	iop := op.internal()
+	if x == nil || dst == nil {
+		return Stats{}, errors.New("elp2im: nil vector")
+	}
+	if !op.Unary() {
+		if y == nil {
+			return Stats{}, fmt.Errorf("elp2im: %v needs two operands", op)
+		}
+		if y.Len() != x.Len() {
+			return Stats{}, errors.New("elp2im: operand length mismatch")
+		}
+	}
+	if dst.Len() != x.Len() {
+		return Stats{}, errors.New("elp2im: destination length mismatch")
+	}
+
+	cols := a.cfg.Module.Columns
+	n := x.Len()
+	stripes := (n + cols - 1) / cols
+
+	// Functional execution, stripe by stripe, round-robin over banks;
+	// distinct subarrays run concurrently (the simulator's mirror of
+	// bank-level parallelism).
+	err := a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+		loadStripe(buf, x.v, s, cols)
+		sub.LoadRow(rowA, buf)
+		if !op.Unary() {
+			loadStripe(buf, y.v, s, cols)
+			sub.LoadRow(rowB, buf)
+		}
+		if err := a.eng.Execute(sub, iop, rowC, rowA, rowB); err != nil {
+			return err
+		}
+		storeStripe(dst.v, sub.RowData(rowC), s, cols)
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+
+	st, err := a.opCost(iop, stripes)
+	if err != nil {
+		return Stats{}, err
+	}
+	a.totals.add(st)
+	return st, nil
+}
+
+// chainProvider is implemented by engines with a cheaper chained
+// (accumulator-resident) fold: ELP2IM's in-place APP-AP, Ambit's
+// B-group-resident TRA, DRISA's latched accumulator.
+type chainProvider interface {
+	ChainStats(op engine.Op) (engine.Stats, error)
+	ChainSeq(op engine.Op) (primitive.Seq, error)
+}
+
+// inPlaceExecutor is implemented by engines whose chained fold executes
+// literally in place on the device model (ELP2IM).
+type inPlaceExecutor interface {
+	ExecuteInPlace(sub *dram.Subarray, op engine.Op, a, b int) error
+}
+
+// Reduce folds vs[1:] into an accumulator initialized with vs[0] and
+// stores the result in dst: dst = vs[0] op vs[1] op ... Only OpAnd and
+// OpOr have chained forms. The fold uses the design's chained sequences
+// (ELP2IM: the in-place APP-AP of Figure 5(a)), which is what makes
+// reductions the paper's headline workload.
+func (a *Accelerator) Reduce(op Op, dst *BitVector, vs ...*BitVector) (Stats, error) {
+	if op != OpAnd && op != OpOr {
+		return Stats{}, fmt.Errorf("elp2im: no reduction for %v", op)
+	}
+	if len(vs) < 2 {
+		return Stats{}, errors.New("elp2im: reduction needs at least two vectors")
+	}
+	for _, v := range vs {
+		if v == nil || v.Len() != dst.Len() {
+			return Stats{}, errors.New("elp2im: reduction operand nil or length mismatch")
+		}
+	}
+	iop := op.internal()
+
+	var total Stats
+	st, err := a.Op(OpCopy, dst, vs[0], nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	total.add(st)
+
+	cp, chained := a.eng.(chainProvider)
+	ipe, inPlace := a.eng.(inPlaceExecutor)
+
+	cols := a.cfg.Module.Columns
+	stripes := (dst.Len() + cols - 1) / cols
+
+	for _, v := range vs[1:] {
+		// Functional fold, stripe by stripe.
+		err := a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+			loadStripe(buf, v.v, s, cols)
+			sub.LoadRow(rowA, buf)
+			loadStripe(buf, dst.v, s, cols)
+			sub.LoadRow(rowB, buf)
+			var err error
+			if inPlace {
+				err = ipe.ExecuteInPlace(sub, iop, rowA, rowB)
+			} else {
+				err = a.eng.Execute(sub, iop, rowB, rowA, rowB)
+			}
+			if err != nil {
+				return err
+			}
+			storeStripe(dst.v, sub.RowData(rowB), s, cols)
+			return nil
+		})
+		if err != nil {
+			return Stats{}, err
+		}
+		// Cost of this fold: chained stats where available.
+		var st Stats
+		if chained {
+			st, err = a.chainCost(cp, iop, stripes)
+		} else {
+			st, err = a.opCost(iop, stripes)
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+		total.add(st)
+		a.totals.add(st)
+	}
+	return total, nil
+}
+
+// chainCost computes the scheduled cost of `stripes` chained folds.
+func (a *Accelerator) chainCost(cp chainProvider, op engine.Op, stripes int) (Stats, error) {
+	per, err := cp.ChainStats(op)
+	if err != nil {
+		return Stats{}, err
+	}
+	seq, err := cp.ChainSeq(op)
+	if err != nil {
+		return Stats{}, err
+	}
+	profile := sched.ProfileFromSeq(seq, a.cfg.Timing)
+	res, err := sched.Simulate(profile, sched.Config{
+		Banks:            a.module.Banks(),
+		Timing:           a.cfg.Timing,
+		PowerConstrained: a.cfg.PowerConstrained,
+		Ranks:            a.cfg.Ranks,
+	}, 200_000)
+	if err != nil {
+		return Stats{}, err
+	}
+	banks := res.EffectiveBanks
+	if banks <= 0 {
+		banks = 1
+	}
+	latency := float64(stripes) * per.LatencyNS / banks
+	energy := per.EnergyNJ*float64(stripes) +
+		a.cfg.Power.BackgroundPower*a.eng.BackgroundFactor()*latency
+	st := Stats{
+		LatencyNS: latency,
+		EnergyNJ:  energy,
+		RowOps:    stripes,
+		Commands:  per.Commands * stripes,
+		Wordlines: per.Wordlines * stripes,
+	}
+	if latency > 0 {
+		st.AveragePowerW = energy / latency
+	}
+	return st, nil
+}
+
+// subarrayFor returns stripe s's home subarray.
+func (a *Accelerator) subarrayFor(s int) *dram.Subarray {
+	bank := a.module.Bank(s % a.module.Banks())
+	return bank.Subarray((s / a.module.Banks()) % bank.Subarrays())
+}
+
+// forEachStripe runs fn for every stripe. Stripes sharing a subarray are
+// serialized (they share the row buffer); distinct subarrays run in
+// parallel goroutines when the row width is word-aligned, so concurrent
+// stores into the destination vector cannot touch the same word.
+func (a *Accelerator) forEachStripe(stripes int, fn func(s int, sub *dram.Subarray, buf *bitvec.Vector) error) error {
+	cols := a.cfg.Module.Columns
+	if cols%64 != 0 || stripes == 1 {
+		buf := bitvec.New(cols)
+		for s := 0; s < stripes; s++ {
+			if err := fn(s, a.subarrayFor(s), buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Group stripes by home subarray.
+	groups := map[*dram.Subarray][]int{}
+	for s := 0; s < stripes; s++ {
+		sub := a.subarrayFor(s)
+		groups[sub] = append(groups[sub], s)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(groups))
+	for sub, list := range groups {
+		wg.Add(1)
+		go func(sub *dram.Subarray, list []int) {
+			defer wg.Done()
+			buf := bitvec.New(cols)
+			for _, s := range list {
+				if err := fn(s, sub, buf); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(sub, list)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// loadStripe copies stripe s of src into the row buffer vector.
+// Word-aligned stripes (cols%64 == 0) copy whole words.
+func loadStripe(row *bitvec.Vector, src *bitvec.Vector, s, cols int) {
+	base := s * cols
+	if cols%64 == 0 {
+		row.Fill(false)
+		rw := row.Words()
+		sw := src.Words()
+		lo := base / 64
+		for i := range rw {
+			if lo+i >= len(sw) {
+				break
+			}
+			rw[i] = sw[lo+i]
+		}
+		// The source's own tail word is already masked; a full stripe
+		// beyond src.Len() stays zero via Fill.
+		return
+	}
+	row.Fill(false)
+	for i := 0; i < cols && base+i < src.Len(); i++ {
+		row.SetBit(i, src.Bit(base+i))
+	}
+}
+
+// storeStripe copies a result row back into stripe s of dst.
+func storeStripe(dst *bitvec.Vector, row *bitvec.Vector, s, cols int) {
+	base := s * cols
+	if cols%64 == 0 {
+		dw := dst.Words()
+		rw := row.Words()
+		lo := base / 64
+		for i := range rw {
+			if lo+i >= len(dw) {
+				break
+			}
+			if lo+i == len(dw)-1 && dst.Len()%64 != 0 {
+				// Preserve the destination's canonical tail.
+				mask := uint64(1)<<uint(dst.Len()%64) - 1
+				dw[lo+i] = rw[i] & mask
+				continue
+			}
+			dw[lo+i] = rw[i]
+		}
+		return
+	}
+	for i := 0; i < cols && base+i < dst.Len(); i++ {
+		dst.SetBit(base+i, row.Bit(i))
+	}
+}
+
+// seqProvider is implemented by every engine: the canonical command
+// sequence of a three-operand op, for the scheduler profile.
+type seqProvider interface {
+	Seq(op engine.Op) primitive.Seq
+}
+
+// opCost computes the scheduled latency and energy of `stripes` row ops.
+func (a *Accelerator) opCost(op engine.Op, stripes int) (Stats, error) {
+	per := a.eng.OpStats(op)
+
+	// Bank-level parallelism (with or without the power constraint).
+	banks := float64(a.module.Banks())
+	if sp, ok := a.eng.(seqProvider); ok {
+		profile := sched.ProfileFromSeq(sp.Seq(op), a.cfg.Timing)
+		res, err := sched.Simulate(profile, sched.Config{
+			Banks:            a.module.Banks(),
+			Timing:           a.cfg.Timing,
+			PowerConstrained: a.cfg.PowerConstrained,
+			Ranks:            a.cfg.Ranks,
+		}, 200_000)
+		if err != nil {
+			return Stats{}, err
+		}
+		banks = res.EffectiveBanks
+	}
+	if banks <= 0 {
+		banks = 1
+	}
+
+	latency := float64(stripes) * per.LatencyNS / banks
+	// Energy: dynamic per stripe + background over the wall-clock.
+	dynamic := per.EnergyNJ * float64(stripes)
+	background := a.cfg.Power.BackgroundPower * a.eng.BackgroundFactor() * latency
+	energy := dynamic + background
+
+	st := Stats{
+		LatencyNS: latency,
+		EnergyNJ:  energy,
+		RowOps:    stripes,
+		Commands:  per.Commands * stripes,
+		Wordlines: per.Wordlines * stripes,
+	}
+	if latency > 0 {
+		st.AveragePowerW = energy / latency
+	}
+	return st, nil
+}
+
+// CPUBaseline returns the Kaby-Lake-class roofline model used by the
+// paper's case studies, for side-by-side comparisons.
+func CPUBaseline() cpu.Model { return cpu.KabyLake() }

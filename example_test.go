@@ -1,0 +1,105 @@
+package elp2im_test
+
+import (
+	"fmt"
+	"log"
+
+	elp2im "repro"
+)
+
+// The basic flow: build an accelerator, run one bulk operation, read the
+// modeled command count.
+func ExampleAccelerator_Op() {
+	acc, err := elp2im.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := elp2im.NewBitVector(16384)
+	y := elp2im.NewBitVector(16384)
+	x.SetBit(7, true)
+	y.SetBit(7, true)
+	y.SetBit(8, true)
+
+	dst := elp2im.NewBitVector(16384)
+	stats, err := acc.Op(elp2im.OpAnd, dst, x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bit 7:", dst.Bit(7), "bit 8:", dst.Bit(8))
+	fmt.Println("row ops:", stats.RowOps, "commands:", stats.Commands)
+	// Output:
+	// bit 7: true bit 8: false
+	// row ops: 2 commands: 6
+}
+
+// AND-reduce many bitmaps with the in-place APP-AP chain (the paper's
+// Figure 5(a) primitive sequence).
+func ExampleAccelerator_Reduce() {
+	acc, err := elp2im.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	week1 := elp2im.NewBitVector(8192)
+	week2 := elp2im.NewBitVector(8192)
+	week3 := elp2im.NewBitVector(8192)
+	for _, u := range []int{3, 5, 9} {
+		week1.SetBit(u, true)
+		week2.SetBit(u, true)
+	}
+	week3.SetBit(5, true)
+	week3.SetBit(9, true)
+
+	active := elp2im.NewBitVector(8192)
+	if _, err := acc.Reduce(elp2im.OpAnd, active, week1, week2, week3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("always active:", active.Popcount())
+	// Output:
+	// always active: 2
+}
+
+// Evaluate a whole boolean expression in DRAM: the compiler fuses gates
+// and reuses scratch rows, then every stripe executes through the real
+// command sequences.
+func ExampleAccelerator_Eval() {
+	acc, err := elp2im.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dirty := elp2im.NewBitVector(8192)
+	pinned := elp2im.NewBitVector(8192)
+	dirty.SetBit(1, true)
+	dirty.SetBit(2, true)
+	pinned.SetBit(2, true)
+
+	evictable, _, err := acc.Eval("dirty & ~pinned", map[string]*elp2im.BitVector{
+		"dirty": dirty, "pinned": pinned,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("evictable pages:", evictable.Popcount())
+	// Output:
+	// evictable pages: 1
+}
+
+// Compare the three reproduced designs on one operation.
+func ExampleDesign() {
+	x := elp2im.NewBitVector(8192)
+	y := elp2im.NewBitVector(8192)
+	for _, d := range []elp2im.Design{elp2im.DesignELP2IM, elp2im.DesignAmbit, elp2im.DesignDrisaNOR} {
+		acc, err := elp2im.New(func(c *elp2im.Config) { c.Design = d })
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := acc.Op(elp2im.OpXor, elp2im.NewBitVector(8192), x, y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %d commands per row op\n", acc.Design(), st.Commands)
+	}
+	// Output:
+	// ELP2IM     7 commands per row op
+	// Ambit      7 commands per row op
+	// Drisa_nor  6 commands per row op
+}

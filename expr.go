@@ -1,0 +1,96 @@
+package elp2im
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/expr"
+)
+
+// Eval evaluates a boolean expression over named bulk bit-vectors entirely
+// in DRAM and returns the result vector plus the modeled cost.
+//
+// The expression language supports & | ^ ~ and parentheses over
+// identifiers; it is compiled once per call (common-subexpression
+// elimination, NAND/NOR/XNOR gate fusion, liveness-based scratch-row
+// reuse) and executed through the design's real command sequences:
+//
+//	res, stats, err := acc.Eval("(dirty & ~referenced) | evicted", map[string]*BitVector{
+//	    "dirty": d, "referenced": r, "evicted": e,
+//	})
+//
+// All vectors must share one length. The subarray needs enough data rows
+// for the variables plus the compiled temp count.
+func (a *Accelerator) Eval(src string, vars map[string]*BitVector) (*BitVector, Stats, error) {
+	node, err := expr.Parse(src)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	prog, err := expr.Compile(node)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	// Validate bindings and a common length.
+	n := -1
+	for _, name := range prog.Vars {
+		v, ok := vars[name]
+		if !ok || v == nil {
+			return nil, Stats{}, fmt.Errorf("elp2im: expression variable %q not bound", name)
+		}
+		if n == -1 {
+			n = v.Len()
+		} else if v.Len() != n {
+			return nil, Stats{}, errors.New("elp2im: expression vectors must share one length")
+		}
+	}
+	if n == -1 {
+		return nil, Stats{}, errors.New("elp2im: expression has no variables")
+	}
+
+	cols := a.cfg.Module.Columns
+	needRows := len(prog.Vars) + prog.TempSlots
+	if needRows > a.cfg.Module.RowsPerSubarray {
+		return nil, Stats{}, fmt.Errorf("elp2im: expression needs %d rows per subarray, module has %d",
+			needRows, a.cfg.Module.RowsPerSubarray)
+	}
+
+	stripes := (n + cols - 1) / cols
+	out := NewBitVector(n)
+	varRows := make([]int, len(prog.Vars))
+	for i := range varRows {
+		varRows[i] = i
+	}
+	scratchBase := len(prog.Vars)
+
+	err = a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+		for i, name := range prog.Vars {
+			loadStripe(buf, vars[name].v, s, cols)
+			sub.LoadRow(varRows[i], buf)
+		}
+		resRow, err := prog.Execute(sub, a.eng, varRows, scratchBase)
+		if err != nil {
+			return err
+		}
+		storeStripe(out.v, sub.RowData(resRow), s, cols)
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	// Cost: per-stripe program cost, bank parallelism applied per op mix.
+	// The program is a fixed op sequence; reuse opCost per instruction.
+	var total Stats
+	for _, in := range prog.Instrs {
+		st, err := a.opCost(in.Op, stripes)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		total.add(st)
+	}
+	a.totals.add(total)
+	return out, total, nil
+}

@@ -1,0 +1,145 @@
+package elp2im
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalSimple(t *testing.T) {
+	acc := newAcc(t, smallModule)
+	rng := rand.New(rand.NewSource(1))
+	n := 300
+	d := RandomBitVector(rng, n)
+	r := RandomBitVector(rng, n)
+	e := RandomBitVector(rng, n)
+
+	out, st, err := acc.Eval("(dirty & ~referenced) | evicted",
+		map[string]*BitVector{"dirty": d, "referenced": r, "evicted": e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := (d.Bit(i) && !r.Bit(i)) || e.Bit(i)
+		if out.Bit(i) != want {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+	if st.LatencyNS <= 0 || st.RowOps == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+}
+
+func TestEvalAcrossDesigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	vars := map[string]*BitVector{
+		"a": RandomBitVector(rng, n),
+		"b": RandomBitVector(rng, n),
+		"c": RandomBitVector(rng, n),
+	}
+	const src = "(a & b) | (b & c) | (a & c)" // majority
+	var results []*BitVector
+	for _, d := range []Design{DesignELP2IM, DesignAmbit, DesignDrisaNOR} {
+		acc := newAcc(t, smallModule, func(c *Config) { c.Design = d })
+		out, _, err := acc.Eval(src, vars)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		results = append(results, out)
+	}
+	// All designs agree bit for bit.
+	for i := 1; i < len(results); i++ {
+		if !results[i].Equal(results[0]) {
+			t.Fatal("designs disagree on expression result")
+		}
+	}
+	// And agree with the host.
+	for i := 0; i < n; i++ {
+		a, b, c := vars["a"].Bit(i), vars["b"].Bit(i), vars["c"].Bit(i)
+		want := a && b || b && c || a && c
+		if results[0].Bit(i) != want {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	acc := newAcc(t, smallModule)
+	if _, _, err := acc.Eval("a &", nil); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, _, err := acc.Eval("a & b", map[string]*BitVector{"a": NewBitVector(10)}); err == nil {
+		t.Error("unbound variable accepted")
+	}
+	if _, _, err := acc.Eval("a & b", map[string]*BitVector{
+		"a": NewBitVector(10), "b": NewBitVector(11),
+	}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestEvalBareVariable(t *testing.T) {
+	acc := newAcc(t, smallModule)
+	rng := rand.New(rand.NewSource(3))
+	a := RandomBitVector(rng, 200)
+	out, st, err := acc.Eval("a", map[string]*BitVector{"a": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(a) {
+		t.Fatal("bare variable mismatch")
+	}
+	if st.RowOps != 0 {
+		t.Fatal("bare variable should cost nothing")
+	}
+}
+
+// Property: Eval matches host evaluation for random expressions.
+func TestEvalProperty(t *testing.T) {
+	acc := newAcc(t, smallModule)
+	exprs := []string{
+		"a ^ (b | ~c)",
+		"~(a & b) ^ (c | a)",
+		"(a | b) & ~(b ^ c)",
+		"~a & ~b & ~c",
+	}
+	f := func(seed int64, which uint8) bool {
+		src := exprs[int(which)%len(exprs)]
+		rng := rand.New(rand.NewSource(seed))
+		n := int(seed%400+400) % 700
+		if n < 1 {
+			n = 1
+		}
+		vars := map[string]*BitVector{
+			"a": RandomBitVector(rng, n),
+			"b": RandomBitVector(rng, n),
+			"c": RandomBitVector(rng, n),
+		}
+		out, _, err := acc.Eval(src, vars)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			a, b, c := vars["a"].Bit(i), vars["b"].Bit(i), vars["c"].Bit(i)
+			var want bool
+			switch src {
+			case "a ^ (b | ~c)":
+				want = a != (b || !c)
+			case "~(a & b) ^ (c | a)":
+				want = !(a && b) != (c || a)
+			case "(a | b) & ~(b ^ c)":
+				want = (a || b) && !(b != c)
+			case "~a & ~b & ~c":
+				want = !a && !b && !c
+			}
+			if out.Bit(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+package ambit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/engine"
+)
+
+func testSubarray() *dram.Subarray {
+	return dram.NewSubarray(dram.Config{
+		Banks: 1, SubarraysPerBank: 1,
+		RowsPerSubarray: 16, Columns: 256, DualContactRows: 2,
+	})
+}
+
+func newEngine(t *testing.T, reserved int) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.ReservedRows = reserved
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReservedRows = 5
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted 5 reserved rows")
+	}
+	cfg = DefaultConfig()
+	cfg.Timing.Precharge = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted invalid timing")
+	}
+	cfg = DefaultConfig()
+	cfg.Power.ActivateEnergy = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted invalid power")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.ReservedRows = 7
+	MustNew(cfg)
+}
+
+func TestNames(t *testing.T) {
+	if newEngine(t, 8).Name() != "Ambit" {
+		t.Error("default name wrong")
+	}
+	if newEngine(t, 4).Name() != "Ambit_4" {
+		t.Error("variant name wrong")
+	}
+}
+
+func TestAllOpsMatchGolden(t *testing.T) {
+	e := newEngine(t, 8)
+	for _, op := range engine.BasicOps() {
+		sub := testSubarray()
+		rng := rand.New(rand.NewSource(int64(op)))
+		a := bitvec.Random(rng, sub.Columns())
+		b := bitvec.Random(rng, sub.Columns())
+		sub.LoadRow(0, a)
+		sub.LoadRow(1, b)
+		if err := e.Execute(sub, op, 2, 0, 1); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		want := bitvec.New(sub.Columns())
+		op.Golden(want, a, b)
+		if !sub.RowData(2).Equal(want) {
+			t.Errorf("%v: result mismatch", op)
+		}
+		// Operands preserved.
+		if !sub.RowData(0).Equal(a) || !sub.RowData(1).Equal(b) {
+			t.Errorf("%v: operand clobbered", op)
+		}
+	}
+}
+
+func TestCopyOp(t *testing.T) {
+	e := newEngine(t, 8)
+	sub := testSubarray()
+	rng := rand.New(rand.NewSource(9))
+	a := bitvec.Random(rng, sub.Columns())
+	sub.LoadRow(0, a)
+	if err := e.Execute(sub, engine.OpCOPY, 3, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if !sub.RowData(3).Equal(a) {
+		t.Fatal("COPY mismatch")
+	}
+}
+
+func TestSupportsByReservedRows(t *testing.T) {
+	small := newEngine(t, 4)
+	for _, op := range []engine.Op{engine.OpAND, engine.OpOR, engine.OpCOPY} {
+		if !small.Supports(op) {
+			t.Errorf("4-row config must support %v", op)
+		}
+	}
+	for _, op := range []engine.Op{engine.OpNOT, engine.OpXOR, engine.OpNAND} {
+		if small.Supports(op) {
+			t.Errorf("4-row config must not support %v (no DCC rows)", op)
+		}
+	}
+	full := newEngine(t, 8)
+	for _, op := range engine.BasicOps() {
+		if !full.Supports(op) {
+			t.Errorf("8-row config must support %v", op)
+		}
+	}
+}
+
+func TestUnsupportedOpErrors(t *testing.T) {
+	e := newEngine(t, 4)
+	if err := e.Execute(testSubarray(), engine.OpXOR, 2, 0, 1); err == nil {
+		t.Fatal("XOR with 4 reserved rows must error")
+	}
+}
+
+func TestPaperLatencies(t *testing.T) {
+	e := newEngine(t, 8)
+	cases := []struct {
+		op   engine.Op
+		want float64
+	}{
+		{engine.OpNOT, 106}, // 2 AAPs
+		{engine.OpAND, 212}, // 4 commands (§6.2: "Ambit requires 4 primitives")
+		{engine.OpOR, 212},
+		{engine.OpNAND, 265}, // 5 commands
+		{engine.OpXOR, 363},  // §1: "7 commands ... totaling ∼363ns"
+		{engine.OpXNOR, 363},
+	}
+	for _, tc := range cases {
+		if got := e.OpStats(tc.op).LatencyNS; math.Abs(got-tc.want) > 1 {
+			t.Errorf("%v latency = %.1f ns, want %v", tc.op, got, tc.want)
+		}
+	}
+	if got := e.OpStats(engine.OpXOR).Commands; got != 7 {
+		t.Errorf("XOR commands = %d, want 7", got)
+	}
+}
+
+func TestTRAWordlinePressure(t *testing.T) {
+	// Every TRA-bearing op peaks at 3 wordlines per activation — the
+	// charge-pump stress ELP2IM avoids.
+	e := newEngine(t, 8)
+	for _, op := range []engine.Op{engine.OpAND, engine.OpOR, engine.OpXOR} {
+		if got := e.OpStats(op).MaxWordlinesPerEvent; got != 3 {
+			t.Errorf("%v peak wordlines/event = %d, want 3", op, got)
+		}
+	}
+	if got := e.OpStats(engine.OpNOT).MaxWordlinesPerEvent; got != 1 {
+		t.Errorf("NOT peak wordlines/event = %d, want 1", got)
+	}
+}
+
+func TestChainStats(t *testing.T) {
+	// ≥6 reserved rows keep the accumulator resident: 3 commands.
+	for _, reserved := range []int{6, 8, 10} {
+		e := newEngine(t, reserved)
+		st, err := e.ChainStats(engine.OpAND)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Commands != 3 {
+			t.Errorf("%d rows: chain commands = %d, want 3", reserved, st.Commands)
+		}
+	}
+	// 4 rows: full 4-command op per element.
+	e4 := newEngine(t, 4)
+	st, err := e4.ChainStats(engine.OpAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commands != 4 {
+		t.Errorf("4 rows: chain commands = %d, want 4", st.Commands)
+	}
+	if _, err := e4.ChainStats(engine.OpXOR); err == nil {
+		t.Error("chained XOR must be rejected")
+	}
+}
+
+func TestChainImprovesWithReservedRows(t *testing.T) {
+	// Figure 13: more reserved rows → faster chained ops, with
+	// diminishing returns (6 → 10 identical per-op cost).
+	lat := func(reserved int) float64 {
+		st, err := newEngine(t, reserved).ChainStats(engine.OpAND)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.LatencyNS
+	}
+	l4, l6, l10 := lat(4), lat(6), lat(10)
+	if l6 >= l4 {
+		t.Errorf("6-row chain (%v) must beat 4-row (%v)", l6, l4)
+	}
+	if l10 != l6 {
+		t.Errorf("10-row chain per-op cost (%v) should equal 6-row (%v): the gain is residency, not latency", l10, l6)
+	}
+}
+
+func TestNotChainSeq(t *testing.T) {
+	full := newEngine(t, 8)
+	q, err := full.NotChainSeq(engine.OpAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 4 {
+		t.Errorf("complement fold commands = %d, want 4", len(q))
+	}
+	if _, err := newEngine(t, 6).NotChainSeq(engine.OpAND); err == nil {
+		t.Error("complement fold without DCC rows must be rejected")
+	}
+	if _, err := full.NotChainSeq(engine.OpXOR); err == nil {
+		t.Error("complement-fold XOR must be rejected")
+	}
+}
+
+func TestFusedChainSeq(t *testing.T) {
+	ten := newEngine(t, 10)
+	q, err := ten.FusedChainSeq(engine.OpAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 5 {
+		t.Errorf("fused chain commands = %d, want 5", len(q))
+	}
+	if _, err := newEngine(t, 8).FusedChainSeq(engine.OpAND); err == nil {
+		t.Error("fused chain with 8 rows must be rejected")
+	}
+	if _, err := ten.FusedChainSeq(engine.OpNOT); err == nil {
+		t.Error("fused NOT must be rejected")
+	}
+	// Fusing must beat two separate chained folds.
+	tp := ten.Config().Timing
+	chain, err := ten.ChainSeq(engine.OpAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Duration(tp) >= 2*chain.Duration(tp) {
+		t.Error("fused chain must beat two separate chains")
+	}
+}
+
+func TestCanHoldIntermediate(t *testing.T) {
+	if newEngine(t, 8).CanHoldIntermediate() {
+		t.Error("8-row B-group is full; cannot hold cross-expression intermediates")
+	}
+	if !newEngine(t, 10).CanHoldIntermediate() {
+		t.Error("10-row B-group must hold an intermediate")
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	e := newEngine(t, 8)
+	tiny := dram.NewSubarray(dram.Config{
+		Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 4, Columns: 64, DualContactRows: 2,
+	})
+	if _, err := e.Layout(tiny); err == nil {
+		t.Fatal("layout on a 4-row subarray must fail")
+	}
+}
+
+func TestAreaOverheadScalesWithReservedRows(t *testing.T) {
+	if newEngine(t, 4).AreaOverheadPercent() >= newEngine(t, 8).AreaOverheadPercent() {
+		t.Error("area overhead must grow with reserved rows")
+	}
+	if newEngine(t, 8).BackgroundFactor() != 1 {
+		t.Error("Ambit adds no background power")
+	}
+	if newEngine(t, 8).ReservedRows() != 8 {
+		t.Error("ReservedRows accessor wrong")
+	}
+}
+
+// Property: Ambit and the golden model agree on random data and rows.
+func TestExecuteMatchesGoldenProperty(t *testing.T) {
+	e := MustNew(DefaultConfig())
+	f := func(seed int64, opRaw uint8) bool {
+		op := engine.BasicOps()[int(opRaw)%7]
+		sub := testSubarray()
+		rng := rand.New(rand.NewSource(seed))
+		a := bitvec.Random(rng, sub.Columns())
+		b := bitvec.Random(rng, sub.Columns())
+		sub.LoadRow(4, a)
+		sub.LoadRow(7, b)
+		if err := e.Execute(sub, op, 9, 4, 7); err != nil {
+			return false
+		}
+		want := bitvec.New(sub.Columns())
+		op.Golden(want, a, b)
+		return sub.RowData(9).Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqAndCompoundAccessors(t *testing.T) {
+	e := newEngine(t, 8)
+	if got := len(e.Seq(engine.OpXOR)); got != 7 {
+		t.Errorf("Seq(XOR) = %d commands, want 7", got)
+	}
+	if e.CompoundOverheadFactor() != 1 {
+		t.Error("Ambit compound overhead must be 1")
+	}
+	q, err := e.ChainSeq(engine.OpOR)
+	if err != nil || len(q) != 3 {
+		t.Errorf("ChainSeq = %v, %v", q, err)
+	}
+	if _, err := e.ChainSeq(engine.OpXOR); err == nil {
+		t.Error("ChainSeq(XOR) accepted")
+	}
+}

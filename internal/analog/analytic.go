@@ -1,0 +1,79 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// AnalyticErrorRate estimates the worst-case sense failure probability in
+// closed form under random process variation: the Gaussian noise sources
+// (cell-capacitance deviations propagated through charge sharing, the SA
+// input offset, and — for ELP2IM — the Vdd/2 delivery mismatch) are summed
+// in quadrature, and the uniform coupling aggressor is integrated out:
+//
+//	P(fail) = E_c~U(0,K) [ Φ((c − margin)/σ) ]
+//
+// It exists as an independent check of the Monte-Carlo model (Figure 11):
+// the two must agree within sampling error.
+func AnalyticErrorRate(c Circuit, d Device, sigma float64) float64 {
+	half := c.HalfVdd()
+
+	// margin and Gaussian sigma per device, via numeric sensitivities.
+	var margin, gauss float64
+	saSigma := sigma * c.SenseOffsetScale * c.Vdd
+
+	switch d {
+	case DeviceDRAM, DeviceELP2IM, DeviceELP2IMComplementary:
+		v := func(dev float64) float64 { return Share(half, c.Cb, 0, c.Cc*(1+dev)) }
+		margin = half - v(0)
+		sens := (v(sigma) - v(-sigma)) / 2
+		varTotal := sens*sens + saSigma*saSigma
+		if d != DeviceDRAM {
+			mm := sigma * c.HalfVddMismatchScale * c.Vdd
+			// The mismatch shifts the regulated bitline before sharing:
+			// sensitivity ≈ Cb/(Cb+Cc).
+			k := c.Cb / (c.Cb + c.Cc)
+			varTotal += (mm * k) * (mm * k)
+		}
+		gauss = math.Sqrt(varTotal)
+
+	case DeviceAmbit:
+		v := func(d1, d2, d3 float64) float64 {
+			return ShareMulti(half, c.Cb,
+				[]float64{c.Vdd, 0, c.Vdd},
+				[]float64{c.Cc * (1 + d1), c.Cc * (1 + d2), c.Cc * (1 + d3)})
+		}
+		margin = v(0, 0, 0) - half
+		s1 := (v(sigma, 0, 0) - v(-sigma, 0, 0)) / 2
+		s2 := (v(0, sigma, 0) - v(0, -sigma, 0)) / 2
+		s3 := (v(0, 0, sigma) - v(0, 0, -sigma)) / 2
+		gauss = math.Sqrt(s1*s1 + s2*s2 + s3*s3 + saSigma*saSigma)
+
+	default:
+		panic(fmt.Sprintf("analog: no analytic model for %v", d))
+	}
+
+	couplingMax := couplingSwing(d) * c.CouplingFraction * half
+	if gauss == 0 {
+		// Degenerate: deterministic failure only when coupling alone
+		// crosses the margin.
+		if couplingMax <= margin {
+			return 0
+		}
+		return (couplingMax - margin) / couplingMax
+	}
+
+	// Integrate Φ((c − margin)/σ) over c ~ U(0, couplingMax).
+	const steps = 400
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		coup := (float64(i) + 0.5) / steps * couplingMax
+		total += phi((coup - margin) / gauss)
+	}
+	return total / steps
+}
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

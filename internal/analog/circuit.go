@@ -1,0 +1,145 @@
+// Package analog is a first-order circuit model of a DRAM column: bitline
+// and cell capacitances, charge sharing, a differential sense amplifier
+// with shiftable supply rails, the split-EQ precharge unit, bitline
+// coupling, and process variation.
+//
+// The paper evaluates these mechanisms with H-SPICE; this package replaces
+// the transistor-level solver with charge conservation and exponential
+// RC settling, which reproduces the two observables the paper consumes:
+// timing ratios (pseudo-precharge vs precharge vs restore) and sensing
+// margins / Monte-Carlo error rates under process variation and coupling
+// (Figures 10 and 11).
+package analog
+
+import "errors"
+
+// Circuit holds the electrical parameters of one DRAM column.
+// Capacitances are in femtofarads, voltages in volts, times in ns.
+type Circuit struct {
+	// Vdd is the array supply voltage (DDR3: 1.5 V).
+	Vdd float64
+	// Cb is the bitline parasitic capacitance.
+	Cb float64
+	// Cc is the cell storage capacitance. Commodity arrays have
+	// Cb/Cc ≈ 2–4; short-bitline arrays can have Cb ≲ Cc (§4.1).
+	Cc float64
+	// CouplingFraction is the bitline-to-bitline coupling capacitance as a
+	// fraction of Cb (paper: 0.15).
+	CouplingFraction float64
+	// SenseOffsetScale converts a process-variation σ into an SA input
+	// offset σ in volts: offsetσ = σ · SenseOffsetScale · Vdd.
+	SenseOffsetScale float64
+	// HalfVddMismatchScale converts a PV σ into the mismatch σ between the
+	// Vdd/2 delivered through the SA path (pseudo-precharge) and through
+	// the PU path (precharge). This noise source exists only in ELP2IM.
+	HalfVddMismatchScale float64
+	// TauSense is the SA settling time constant during sensing, ns.
+	TauSense float64
+	// TauRestore is the bitline/cell restore time constant, ns.
+	TauRestore float64
+	// TauPrecharge is the PU equalization time constant, ns.
+	TauPrecharge float64
+	// TauPseudo is the pseudo-precharge regulation time constant. The SA
+	// at half supply has 11–23% less drive strength, so TauPseudo is
+	// proportionally longer than TauPrecharge.
+	TauPseudo float64
+}
+
+// Default returns the calibration used throughout the reproduction,
+// matching the Rambus-model-derived parameters the paper cites:
+// Cb/Cc = 3, 15% coupling, DDR3 1.5 V arrays.
+func Default() Circuit {
+	return Circuit{
+		Vdd:                  1.5,
+		Cb:                   85,
+		Cc:                   28,
+		CouplingFraction:     0.15,
+		SenseOffsetScale:     0.28,
+		HalfVddMismatchScale: 0.10,
+		TauSense:             1.8,
+		TauRestore:           4.5,
+		TauPrecharge:         2.8,
+		TauPseudo:            3.6,
+	}
+}
+
+// ShortBitline returns a configuration for a reduced-latency, short-bitline
+// subarray where Cb < Cc — the regime in which ELP2IM's regular strategy
+// fails and the complementary strategy of §4.1 is required.
+func ShortBitline() Circuit {
+	c := Default()
+	c.Cb = 20
+	c.Cc = 28
+	c.TauSense = 1.2
+	c.TauRestore = 3.2
+	c.TauPrecharge = 1.8
+	c.TauPseudo = 2.3
+	return c
+}
+
+// Validate reports whether the circuit parameters are physically meaningful.
+func (c Circuit) Validate() error {
+	switch {
+	case c.Vdd <= 0:
+		return errors.New("analog: Vdd must be positive")
+	case c.Cb <= 0 || c.Cc <= 0:
+		return errors.New("analog: capacitances must be positive")
+	case c.CouplingFraction < 0 || c.CouplingFraction >= 1:
+		return errors.New("analog: CouplingFraction must be in [0,1)")
+	case c.SenseOffsetScale < 0 || c.HalfVddMismatchScale < 0:
+		return errors.New("analog: variation scales must be non-negative")
+	case c.TauSense <= 0 || c.TauRestore <= 0 || c.TauPrecharge <= 0 || c.TauPseudo <= 0:
+		return errors.New("analog: time constants must be positive")
+	case c.TauPseudo < c.TauPrecharge:
+		return errors.New("analog: TauPseudo must be >= TauPrecharge (SA drive weakens at half supply)")
+	}
+	return nil
+}
+
+// HalfVdd returns Vdd/2.
+func (c Circuit) HalfVdd() float64 { return c.Vdd / 2 }
+
+// Share returns the bitline voltage after charge sharing a bitline at vb
+// (capacitance cb) with one cell at vc (capacitance cc): pure charge
+// conservation.
+func Share(vb, cb, vc, cc float64) float64 {
+	return (cb*vb + cc*vc) / (cb + cc)
+}
+
+// ShareMulti returns the bitline voltage after simultaneously sharing the
+// bitline (vb, cb) with several cells — the triple-row-activation case.
+// vcs and ccs must have equal length.
+func ShareMulti(vb, cb float64, vcs, ccs []float64) float64 {
+	if len(vcs) != len(ccs) {
+		panic("analog: ShareMulti length mismatch")
+	}
+	q := cb * vb
+	ct := cb
+	for i, vc := range vcs {
+		q += ccs[i] * vc
+		ct += ccs[i]
+	}
+	return q / ct
+}
+
+// ReadMargin returns the single-cell sensing margin |ΔV| a regular access
+// develops on the bitline: Cc/(Cb+Cc) · Vdd/2.
+func (c Circuit) ReadMargin() float64 {
+	return c.Cc / (c.Cb + c.Cc) * c.HalfVdd()
+}
+
+// TRAMargin returns the sensing margin of an Ambit triple-row activation
+// with `ones` of the three cells storing '1'. The result is signed:
+// positive means the bitline lands above Vdd/2 (sensed as '1').
+func (c Circuit) TRAMargin(ones int) float64 {
+	if ones < 0 || ones > 3 {
+		panic("analog: TRAMargin ones out of range")
+	}
+	vcs := make([]float64, 3)
+	ccs := []float64{c.Cc, c.Cc, c.Cc}
+	for i := 0; i < ones; i++ {
+		vcs[i] = c.Vdd
+	}
+	v := ShareMulti(c.HalfVdd(), c.Cb, vcs, ccs)
+	return v - c.HalfVdd()
+}

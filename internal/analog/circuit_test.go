@@ -1,0 +1,266 @@
+package analog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default circuit invalid: %v", err)
+	}
+	if err := ShortBitline().Validate(); err != nil {
+		t.Fatalf("short-bitline circuit invalid: %v", err)
+	}
+}
+
+func TestDefaultHasCommodityRatio(t *testing.T) {
+	c := Default()
+	ratio := c.Cb / c.Cc
+	if ratio < 2 || ratio > 4 {
+		t.Fatalf("Cb/Cc = %v, want the commodity 2–4 range", ratio)
+	}
+	s := ShortBitline()
+	if s.Cb >= s.Cc {
+		t.Fatalf("short bitline must have Cb < Cc, got %v/%v", s.Cb, s.Cc)
+	}
+}
+
+func TestValidateRejectsBadCircuits(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Circuit)
+	}{
+		{"zero vdd", func(c *Circuit) { c.Vdd = 0 }},
+		{"zero cb", func(c *Circuit) { c.Cb = 0 }},
+		{"zero cc", func(c *Circuit) { c.Cc = 0 }},
+		{"coupling out of range", func(c *Circuit) { c.CouplingFraction = 1 }},
+		{"negative offset scale", func(c *Circuit) { c.SenseOffsetScale = -1 }},
+		{"zero tau", func(c *Circuit) { c.TauSense = 0 }},
+		{"pseudo faster than precharge", func(c *Circuit) { c.TauPseudo = c.TauPrecharge / 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Default()
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate accepted invalid circuit")
+			}
+		})
+	}
+}
+
+func TestShareChargeConservation(t *testing.T) {
+	// Property: total charge before == after.
+	f := func(vbRaw, vcRaw uint8) bool {
+		vb := float64(vbRaw) / 255 * 1.5
+		vc := float64(vcRaw) / 255 * 1.5
+		cb, cc := 85.0, 28.0
+		v := Share(vb, cb, vc, cc)
+		before := cb*vb + cc*vc
+		after := (cb + cc) * v
+		return math.Abs(before-after) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareBetweenInputs(t *testing.T) {
+	v := Share(1.5, 85, 0, 28)
+	if v <= 0 || v >= 1.5 {
+		t.Fatalf("shared voltage %v outside input range", v)
+	}
+	// Bitline dominates: result closer to vb than vc.
+	if math.Abs(v-1.5) > math.Abs(v-0) {
+		t.Fatal("with Cb > Cc the bitline must dominate")
+	}
+}
+
+func TestShareMultiMatchesSingle(t *testing.T) {
+	single := Share(0.75, 85, 1.5, 28)
+	multi := ShareMulti(0.75, 85, []float64{1.5}, []float64{28})
+	if math.Abs(single-multi) > 1e-12 {
+		t.Fatalf("ShareMulti single-cell %v != Share %v", multi, single)
+	}
+}
+
+func TestShareMultiPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ShareMulti length mismatch did not panic")
+		}
+	}()
+	ShareMulti(0.75, 85, []float64{1}, []float64{28, 28})
+}
+
+func TestReadMargin(t *testing.T) {
+	c := Default()
+	want := c.Cc / (c.Cb + c.Cc) * c.Vdd / 2
+	if got := c.ReadMargin(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ReadMargin = %v, want %v", got, want)
+	}
+}
+
+func TestTRAMarginSigns(t *testing.T) {
+	c := Default()
+	for ones := 0; ones <= 3; ones++ {
+		m := c.TRAMargin(ones)
+		if ones >= 2 && m <= 0 {
+			t.Errorf("TRA with %d ones: margin %v, want positive", ones, m)
+		}
+		if ones <= 1 && m >= 0 {
+			t.Errorf("TRA with %d ones: margin %v, want negative", ones, m)
+		}
+	}
+}
+
+func TestTRAMarginSmallerThanRegular(t *testing.T) {
+	// The paper: "TRA approach originally reduces the bitline voltage
+	// sensing margin". Worst TRA case (2-vs-1) vs a regular read.
+	c := Default()
+	tra := math.Abs(c.TRAMargin(2))
+	if tra >= c.ReadMargin() {
+		t.Fatalf("TRA margin %v must be below regular margin %v", tra, c.ReadMargin())
+	}
+}
+
+func TestTRAMarginPanicsOutOfRange(t *testing.T) {
+	for _, ones := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TRAMargin(%d) did not panic", ones)
+				}
+			}()
+			Default().TRAMargin(ones)
+		}()
+	}
+}
+
+func TestTwoCycleExhaustiveCommodity(t *testing.T) {
+	// On a commodity array (Cb/Cc = 3) both strategies compute correct
+	// AND/OR for all four input combinations.
+	c := Default()
+	for _, op := range []TwoCycleOp{TwoCycleOR, TwoCycleAND} {
+		for _, strat := range []Strategy{StrategyRegular, StrategyComplementary} {
+			for _, a := range []bool{false, true} {
+				for _, b := range []bool{false, true} {
+					if !TwoCycleCorrect(c, op, strat, a, b) {
+						t.Errorf("%v %v a=%v b=%v: wrong result", op, strat, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTwoCycleShortBitlineRegularFails(t *testing.T) {
+	// §4.1: with Cb < Cc the regular strategy fails exactly on the cases
+	// where the retained rail must overwrite an opposite-valued cell:
+	// OR '1'+'0' and AND '0'ב1'.
+	c := ShortBitline()
+	if TwoCycleCorrect(c, TwoCycleOR, StrategyRegular, true, false) {
+		t.Error("regular OR '1'+'0' should fail with Cb < Cc")
+	}
+	if TwoCycleCorrect(c, TwoCycleAND, StrategyRegular, false, true) {
+		t.Error("regular AND '0'ב1' should fail with Cb < Cc")
+	}
+	// The non-overwrite cases still work.
+	for _, tc := range []struct {
+		op   TwoCycleOp
+		a, b bool
+	}{
+		{TwoCycleOR, false, false}, {TwoCycleOR, false, true}, {TwoCycleOR, true, true},
+		{TwoCycleAND, true, true}, {TwoCycleAND, true, false}, {TwoCycleAND, false, false},
+	} {
+		if !TwoCycleCorrect(c, tc.op, StrategyRegular, tc.a, tc.b) {
+			t.Errorf("regular %v a=%v b=%v should still work", tc.op, tc.a, tc.b)
+		}
+	}
+}
+
+func TestTwoCycleShortBitlineComplementaryWorks(t *testing.T) {
+	// §4.1: the complementary strategy is correct for any Cb/Cc ratio.
+	c := ShortBitline()
+	for _, op := range []TwoCycleOp{TwoCycleOR, TwoCycleAND} {
+		for _, a := range []bool{false, true} {
+			for _, b := range []bool{false, true} {
+				if !TwoCycleCorrect(c, op, StrategyComplementary, a, b) {
+					t.Errorf("complementary %v a=%v b=%v: wrong result on short bitline", op, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestTwoCycleComplementaryAnyRatioProperty(t *testing.T) {
+	// Sweep the Cb/Cc ratio across two orders of magnitude: the
+	// complementary strategy never errs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Default()
+		c.Cb = c.Cc * (0.1 + rng.Float64()*10)
+		for _, op := range []TwoCycleOp{TwoCycleOR, TwoCycleAND} {
+			for _, a := range []bool{false, true} {
+				for _, b := range []bool{false, true} {
+					if !TwoCycleCorrect(c, op, StrategyComplementary, a, b) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwriteThreshold(t *testing.T) {
+	// Just above threshold the regular strategy works, just below it fails.
+	c := Default()
+	c.Cc = 28
+	c.Cb = 28 * (OverwriteThreshold() + 0.05)
+	if !TwoCycleCorrect(c, TwoCycleOR, StrategyRegular, true, false) {
+		t.Error("regular strategy should work just above the Cb/Cc threshold")
+	}
+	c.Cb = 28 * (OverwriteThreshold() - 0.05)
+	if TwoCycleCorrect(c, TwoCycleOR, StrategyRegular, true, false) {
+		t.Error("regular strategy should fail just below the Cb/Cc threshold")
+	}
+}
+
+func TestTwoCycleStateProgression(t *testing.T) {
+	c := Default()
+	st := TwoCycle(c, TwoCycleOR, StrategyRegular, true, false)
+	// After the first sense the bitline must be at Vdd (read '1').
+	if st.AfterFirstSense[0] != c.Vdd {
+		t.Errorf("after first sense VBL = %v, want Vdd", st.AfterFirstSense[0])
+	}
+	// OR retains '1' through pseudo-precharge.
+	if st.AfterPseudo[0] != c.Vdd {
+		t.Errorf("after pseudo VBL = %v, want Vdd retained", st.AfterPseudo[0])
+	}
+	// Split precharge drives only bitline-bar to Vdd/2.
+	if st.AfterPrecharge[1] != c.HalfVdd() {
+		t.Errorf("after precharge VBLB = %v, want Vdd/2", st.AfterPrecharge[1])
+	}
+	if !st.Result {
+		t.Error("OR(1,0) must be 1")
+	}
+}
+
+func TestStrategyAndOpStrings(t *testing.T) {
+	if StrategyRegular.String() != "regular" || StrategyComplementary.String() != "complementary" {
+		t.Error("strategy names wrong")
+	}
+	if TwoCycleOR.String() != "OR" || TwoCycleAND.String() != "AND" {
+		t.Error("op names wrong")
+	}
+	if Strategy(9).String() == "" || TwoCycleOp(9).String() == "" {
+		t.Error("unknown enums must still render")
+	}
+}

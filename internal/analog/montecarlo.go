@@ -1,0 +1,170 @@
+package analog
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Device selects which sensing mechanism a Monte-Carlo trial models.
+type Device int
+
+// Devices compared in Figure 11 of the paper.
+const (
+	// DeviceDRAM is a regular single-cell DRAM read.
+	DeviceDRAM Device = iota
+	// DeviceAmbit is a triple-row activation with inconsistent values
+	// ('101'/'010' — the weak-1/weak-0 worst case).
+	DeviceAmbit
+	// DeviceELP2IM is the pseudo-precharge scheme with the regular
+	// strategy (§3): worst case is a bitline regulated to Vdd/2 through
+	// the SA path sensed against a reference precharged through the PU.
+	DeviceELP2IM
+	// DeviceELP2IMComplementary is the alternative strategy of §4.1, which
+	// regulates the complementary bitline in the neighbouring subarray and
+	// thereby sidesteps the aggravated same-line coupling.
+	DeviceELP2IMComplementary
+)
+
+// String returns the device name.
+func (d Device) String() string {
+	switch d {
+	case DeviceDRAM:
+		return "DRAM"
+	case DeviceAmbit:
+		return "Ambit"
+	case DeviceELP2IM:
+		return "ELP2IM"
+	case DeviceELP2IMComplementary:
+		return "ELP2IM-complementary"
+	default:
+		return fmt.Sprintf("Device(%d)", int(d))
+	}
+}
+
+// Variation selects how process variation is drawn across the components of
+// one trial. The paper simulates the two extremes; any real device lies
+// between them.
+type Variation int
+
+const (
+	// VariationRandom draws every component (each cell capacitance, the SA
+	// offset, the Vdd/2 delivery mismatch) independently.
+	VariationRandom Variation = iota
+	// VariationSystematic draws a single deviation shared by all cells on
+	// the bitline — spatially correlated variation, under which the three
+	// TRA cells "tend to be identical, and the error rate is suppressed".
+	VariationSystematic
+)
+
+// String returns the variation-kind name.
+func (v Variation) String() string {
+	switch v {
+	case VariationRandom:
+		return "random"
+	case VariationSystematic:
+		return "systematic"
+	default:
+		return fmt.Sprintf("Variation(%d)", int(v))
+	}
+}
+
+// couplingSwing returns the worst-case fraction of Vdd/2 by which
+// neighbouring bitlines swing against the victim during its sense window,
+// per device. Ambit's TRA produces "strong" full-rail neighbours against a
+// weak victim; the complementary ELP2IM strategy moves the regulated line
+// to the other subarray of the open-bitline pair.
+func couplingSwing(d Device) float64 {
+	switch d {
+	case DeviceAmbit:
+		return 1.0
+	case DeviceELP2IM:
+		return 0.75
+	case DeviceELP2IMComplementary:
+		return 0.35
+	default: // regular DRAM
+		return 0.5
+	}
+}
+
+// trial runs one Monte-Carlo draw and reports whether the sense was correct.
+func trial(c Circuit, d Device, vk Variation, sigma float64, rng *rand.Rand) bool {
+	// Component deviations. In systematic mode one Gaussian draw is shared
+	// by all matched components, so mismatch-driven terms cancel.
+	var dev [4]float64 // cell caps (up to 3) + victim-cell deviation slot
+	var saOffset, halfVddMismatch float64
+	if vk == VariationRandom {
+		for i := range dev {
+			dev[i] = rng.NormFloat64() * sigma
+		}
+		saOffset = rng.NormFloat64() * sigma * c.SenseOffsetScale * c.Vdd
+		halfVddMismatch = rng.NormFloat64() * sigma * c.HalfVddMismatchScale * c.Vdd
+	} else {
+		g := rng.NormFloat64() * sigma
+		for i := range dev {
+			dev[i] = g
+		}
+		// Correlated variation shifts SA and its reference together: the
+		// residual offset is second-order. Model it as strongly attenuated.
+		saOffset = g * sigma * c.SenseOffsetScale * c.Vdd
+		halfVddMismatch = g * sigma * c.HalfVddMismatchScale * c.Vdd
+	}
+
+	// Worst-case coupling: the aggressor swing is drawn uniformly up to the
+	// device's worst case and always pushes against the victim's margin.
+	coupling := rng.Float64() * couplingSwing(d) * c.CouplingFraction * c.HalfVdd()
+
+	half := c.HalfVdd()
+	cc := func(i int) float64 { return c.Cc * (1 + dev[i]) }
+
+	switch d {
+	case DeviceDRAM:
+		// Read a '0' cell: bitline must land below the reference.
+		v := Share(half, c.Cb, 0, cc(0))
+		return v+coupling+saOffset < half
+
+	case DeviceAmbit:
+		// Inconsistent TRA '101': majority is '1' but the two 1-cells must
+		// out-pull the 0-cell; mismatched capacitances erode the margin.
+		v := ShareMulti(half, c.Cb,
+			[]float64{c.Vdd, 0, c.Vdd},
+			[]float64{cc(0), cc(1), cc(2)})
+		return v-coupling+saOffset > half
+
+	case DeviceELP2IM, DeviceELP2IMComplementary:
+		// Worst OR case '0'+'0': the bitline was regulated to Vdd/2 through
+		// the SA supply path (mismatch halfVddMismatch), the reference line
+		// precharged through the PU; then the second '0' cell is sensed.
+		v := Share(half+halfVddMismatch, c.Cb, 0, cc(0))
+		return v+coupling+saOffset < half
+
+	default:
+		panic("analog: unknown device")
+	}
+}
+
+// ErrorRate estimates the probability that a worst-case sense fails for the
+// given device under process variation σ (relative, e.g. 0.05 = 5%),
+// using `trials` Monte-Carlo draws from a deterministic seed.
+func ErrorRate(c Circuit, d Device, vk Variation, sigma float64, trials int, seed int64) float64 {
+	if trials <= 0 {
+		panic("analog: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fail := 0
+	for i := 0; i < trials; i++ {
+		if !trial(c, d, vk, sigma, rng) {
+			fail++
+		}
+	}
+	return float64(fail) / float64(trials)
+}
+
+// ErrorCurve evaluates ErrorRate over a slice of σ values, returning one
+// rate per σ. It is the series generator for Figure 11.
+func ErrorCurve(c Circuit, d Device, vk Variation, sigmas []float64, trials int, seed int64) []float64 {
+	out := make([]float64, len(sigmas))
+	for i, s := range sigmas {
+		out[i] = ErrorRate(c, d, vk, s, trials, seed+int64(i)*7919)
+	}
+	return out
+}

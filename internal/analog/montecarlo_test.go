@@ -1,0 +1,185 @@
+package analog
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	mcTrials = 20000
+	mcSeed   = 42
+)
+
+func TestErrorRateZeroSigmaIsZero(t *testing.T) {
+	// With no process variation every device's worst-case margin beats the
+	// worst-case coupling noise; error rates must be exactly zero.
+	c := Default()
+	for _, d := range []Device{DeviceDRAM, DeviceAmbit, DeviceELP2IM, DeviceELP2IMComplementary} {
+		for _, vk := range []Variation{VariationRandom, VariationSystematic} {
+			if got := ErrorRate(c, d, vk, 0, 2000, mcSeed); got != 0 {
+				t.Errorf("%v/%v error rate at sigma=0 is %v, want 0", d, vk, got)
+			}
+		}
+	}
+}
+
+func TestRandomPVOrderingAmbitWorst(t *testing.T) {
+	// Figure 11(a): under random PV, Ambit's error rate exceeds ELP2IM's,
+	// which is at or above regular DRAM's.
+	c := Default()
+	sigma := 0.06
+	ambit := ErrorRate(c, DeviceAmbit, VariationRandom, sigma, mcTrials, mcSeed)
+	elp := ErrorRate(c, DeviceELP2IM, VariationRandom, sigma, mcTrials, mcSeed)
+	dram := ErrorRate(c, DeviceDRAM, VariationRandom, sigma, mcTrials, mcSeed)
+	if ambit <= elp {
+		t.Errorf("Ambit error %v must exceed ELP2IM %v under random PV", ambit, elp)
+	}
+	if elp < dram {
+		t.Errorf("ELP2IM error %v must be >= regular DRAM %v", elp, dram)
+	}
+	if ambit == 0 {
+		t.Error("Ambit error rate should be non-zero at sigma=6%")
+	}
+}
+
+func TestELP2IMAboveDRAMAtHighSigma(t *testing.T) {
+	// The Vdd/2 delivery mismatch and larger coupling exposure make
+	// ELP2IM's error rate strictly higher than regular DRAM at high PV —
+	// "error rate of ELP2IM is still higher than regular DRAM".
+	c := Default()
+	sigma := 0.20
+	elp := ErrorRate(c, DeviceELP2IM, VariationRandom, sigma, mcTrials, mcSeed)
+	dram := ErrorRate(c, DeviceDRAM, VariationRandom, sigma, mcTrials, mcSeed)
+	if elp <= dram {
+		t.Errorf("ELP2IM error %v must strictly exceed DRAM %v at sigma=20%%", elp, dram)
+	}
+}
+
+func TestSystematicPVSuppressesAmbit(t *testing.T) {
+	// Figure 11(b): under systematic PV the triple TRA cells are identical
+	// and Ambit's error rate collapses relative to random PV.
+	c := Default()
+	sigma := 0.06
+	random := ErrorRate(c, DeviceAmbit, VariationRandom, sigma, mcTrials, mcSeed)
+	systematic := ErrorRate(c, DeviceAmbit, VariationSystematic, sigma, mcTrials, mcSeed)
+	if systematic >= random {
+		t.Errorf("systematic Ambit error %v must be below random %v", systematic, random)
+	}
+}
+
+func TestComplementaryStrategyReducesErrors(t *testing.T) {
+	// §4.1/§6.1.2: regulating the complementary bitline in the other
+	// subarray avoids the aggravated coupling; error rate must not exceed
+	// the regular strategy's.
+	c := Default()
+	for _, sigma := range []float64{0.06, 0.12, 0.20} {
+		reg := ErrorRate(c, DeviceELP2IM, VariationRandom, sigma, mcTrials, mcSeed)
+		comp := ErrorRate(c, DeviceELP2IMComplementary, VariationRandom, sigma, mcTrials, mcSeed)
+		if comp > reg {
+			t.Errorf("sigma=%v: complementary error %v exceeds regular %v", sigma, comp, reg)
+		}
+	}
+}
+
+func TestErrorRateMonotoneInSigma(t *testing.T) {
+	// More variation can only hurt (within Monte-Carlo noise; we allow a
+	// small tolerance).
+	c := Default()
+	for _, d := range []Device{DeviceDRAM, DeviceAmbit, DeviceELP2IM} {
+		prev := -1.0
+		for _, sigma := range []float64{0.02, 0.06, 0.10, 0.16} {
+			rate := ErrorRate(c, d, VariationRandom, sigma, mcTrials, mcSeed)
+			if rate < prev-0.005 {
+				t.Errorf("%v: error rate dropped from %v to %v as sigma rose to %v", d, prev, rate, sigma)
+			}
+			prev = rate
+		}
+	}
+}
+
+func TestErrorRateDeterministic(t *testing.T) {
+	c := Default()
+	a := ErrorRate(c, DeviceAmbit, VariationRandom, 0.08, 5000, 7)
+	b := ErrorRate(c, DeviceAmbit, VariationRandom, 0.08, 5000, 7)
+	if a != b {
+		t.Fatalf("same seed gave different rates: %v vs %v", a, b)
+	}
+}
+
+func TestErrorCurveShape(t *testing.T) {
+	c := Default()
+	sigmas := []float64{0.02, 0.06, 0.10}
+	curve := ErrorCurve(c, DeviceAmbit, VariationRandom, sigmas, 5000, mcSeed)
+	if len(curve) != len(sigmas) {
+		t.Fatalf("curve length %d, want %d", len(curve), len(sigmas))
+	}
+	for i, r := range curve {
+		if r < 0 || r > 1 {
+			t.Errorf("curve[%d] = %v outside [0,1]", i, r)
+		}
+	}
+}
+
+func TestErrorRatePanicsOnBadTrials(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ErrorRate with zero trials did not panic")
+		}
+	}()
+	ErrorRate(Default(), DeviceDRAM, VariationRandom, 0.05, 0, 1)
+}
+
+func TestDeviceVariationStrings(t *testing.T) {
+	for d, want := range map[Device]string{
+		DeviceDRAM: "DRAM", DeviceAmbit: "Ambit",
+		DeviceELP2IM: "ELP2IM", DeviceELP2IMComplementary: "ELP2IM-complementary",
+	} {
+		if d.String() != want {
+			t.Errorf("Device string = %q, want %q", d.String(), want)
+		}
+	}
+	if VariationRandom.String() != "random" || VariationSystematic.String() != "systematic" {
+		t.Error("variation names wrong")
+	}
+	if Device(42).String() == "" || Variation(42).String() == "" {
+		t.Error("unknown enums must render")
+	}
+}
+
+// TestAnalyticMatchesMonteCarlo cross-checks the closed-form error model
+// against the Monte-Carlo simulation — two independent implementations of
+// the same physics must agree within sampling error.
+func TestAnalyticMatchesMonteCarlo(t *testing.T) {
+	c := Default()
+	const trials = 40000
+	for _, d := range []Device{DeviceDRAM, DeviceAmbit, DeviceELP2IM, DeviceELP2IMComplementary} {
+		for _, sigma := range []float64{0.04, 0.08, 0.12, 0.16} {
+			mc := ErrorRate(c, d, VariationRandom, sigma, trials, 2024)
+			an := AnalyticErrorRate(c, d, sigma)
+			tol := 0.3*math.Max(mc, an) + 3*math.Sqrt(math.Max(mc, 1e-4)/trials) + 1e-3
+			if math.Abs(mc-an) > tol {
+				t.Errorf("%v sigma=%v: MC %.4g vs analytic %.4g (tol %.4g)", d, sigma, mc, an, tol)
+			}
+		}
+	}
+}
+
+func TestAnalyticPanicsOnUnknownDevice(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown device did not panic")
+		}
+	}()
+	AnalyticErrorRate(Default(), Device(9), 0.05)
+}
+
+func TestAnalyticOrderingMatchesFigure11(t *testing.T) {
+	c := Default()
+	sigma := 0.10
+	dram := AnalyticErrorRate(c, DeviceDRAM, sigma)
+	elp := AnalyticErrorRate(c, DeviceELP2IM, sigma)
+	amb := AnalyticErrorRate(c, DeviceAmbit, sigma)
+	if !(amb > elp && elp >= dram) {
+		t.Fatalf("analytic ordering broken: ambit %v, elp %v, dram %v", amb, elp, dram)
+	}
+}

@@ -1,0 +1,163 @@
+package analog
+
+import "fmt"
+
+// Strategy selects how the pseudo-precharge state is applied.
+type Strategy int
+
+const (
+	// StrategyRegular regulates the accessed bitline itself (§3): the
+	// retained rail value later overwrites the second cell through charge
+	// sharing. It requires Cb to dominate Cc.
+	StrategyRegular Strategy = iota
+	// StrategyComplementary regulates the complementary bitline (§4.1):
+	// the retained information is a full-rail value on the reference line,
+	// so the differential sense is correct for any Cb/Cc ratio.
+	StrategyComplementary
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRegular:
+		return "regular"
+	case StrategyComplementary:
+		return "complementary"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// TwoCycleOp is the logic operation a two-cycle APP-AP sequence performs.
+type TwoCycleOp int
+
+const (
+	// TwoCycleOR retains logic '1' across the pseudo-precharge (the SA's
+	// ground rail shifts to Vdd/2, so a '0' bitline is erased to Vdd/2).
+	TwoCycleOR TwoCycleOp = iota
+	// TwoCycleAND retains logic '0' (the Vdd rail shifts to Vdd/2).
+	TwoCycleAND
+)
+
+// String returns the op name.
+func (o TwoCycleOp) String() string {
+	if o == TwoCycleAND {
+		return "AND"
+	}
+	return "OR"
+}
+
+// TwoCycleState captures the bitline pair voltages after each step of the
+// APP-AP sequence, for tests and waveform rendering.
+type TwoCycleState struct {
+	AfterFirstSense   [2]float64 // VBL, VBLB after first activate+sense
+	AfterPseudo       [2]float64 // after pseudo-precharge
+	AfterPrecharge    [2]float64 // after split-EQ precharge
+	AfterSecondShare  [2]float64 // after charge sharing with the 2nd cell
+	Result            bool       // sensed result, restored into the 2nd cell
+	DifferentialSense float64    // VBL - VBLB at the decision point
+}
+
+// TwoCycle simulates the two-cycle APP-AP sequence of Figure 4 at the
+// charge-conservation level and returns the final state. a is the bit read
+// in the first cycle, b the bit stored in the second cell; the returned
+// Result is what the second cell holds afterwards.
+//
+// With StrategyRegular the result is only guaranteed correct when Cb
+// sufficiently exceeds Cc; with StrategyComplementary it is correct for any
+// ratio (the mechanism of §4.1).
+func TwoCycle(c Circuit, op TwoCycleOp, strat Strategy, a, b bool) TwoCycleState {
+	half := c.HalfVdd()
+	rail := func(bit bool) float64 {
+		if bit {
+			return c.Vdd
+		}
+		return 0
+	}
+
+	var st TwoCycleState
+
+	// Cycle 1: activate the first cell and sense to full rails. In the
+	// open-bitline pair, bitline carries the datum, bitline-bar the
+	// complement.
+	vbl, vblb := rail(a), rail(!a)
+	st.AfterFirstSense = [2]float64{vbl, vblb}
+
+	// Pseudo-precharge: shift one SA supply to Vdd/2. Which node moves
+	// depends on the op and the strategy.
+	switch strat {
+	case StrategyRegular:
+		switch op {
+		case TwoCycleOR: // Gnd → Vdd/2: a '0' bitline is erased.
+			if vbl == 0 {
+				vbl = half
+			}
+			if vblb == 0 {
+				vblb = half
+			}
+		case TwoCycleAND: // Vdd → Vdd/2: a '1' bitline is erased.
+			if vbl == c.Vdd {
+				vbl = half
+			}
+			if vblb == c.Vdd {
+				vblb = half
+			}
+		}
+		st.AfterPseudo = [2]float64{vbl, vblb}
+		// Split-EQ precharge: only bitline-bar is driven to Vdd/2; the
+		// bitline keeps its (possibly full-rail) value.
+		vblb = half
+	case StrategyComplementary:
+		switch op {
+		case TwoCycleOR: // supplies become (Vdd/2, Gnd): the high node drops.
+			if vbl == c.Vdd {
+				vbl = half
+			}
+			if vblb == c.Vdd {
+				vblb = half
+			}
+		case TwoCycleAND: // supplies become (Vdd, Vdd/2): the low node rises.
+			if vbl == 0 {
+				vbl = half
+			}
+			if vblb == 0 {
+				vblb = half
+			}
+		}
+		st.AfterPseudo = [2]float64{vbl, vblb}
+		// Split-EQ precharge: only the bitline is driven to Vdd/2; the
+		// complementary line keeps its retained value.
+		vbl = half
+	default:
+		panic("analog: unknown strategy")
+	}
+	st.AfterPrecharge = [2]float64{vbl, vblb}
+
+	// Cycle 2: access the second cell — charge sharing between the
+	// (possibly regulated) bitline and the cell capacitor.
+	vbl = Share(vbl, c.Cb, rail(b), c.Cc)
+	st.AfterSecondShare = [2]float64{vbl, vblb}
+
+	// Differential sense: the SA resolves toward whichever input is higher
+	// and restores the result into the open second cell.
+	st.DifferentialSense = vbl - vblb
+	st.Result = st.DifferentialSense > 0
+	return st
+}
+
+// TwoCycleCorrect reports whether TwoCycle produces the boolean-correct
+// result for the given inputs.
+func TwoCycleCorrect(c Circuit, op TwoCycleOp, strat Strategy, a, b bool) bool {
+	want := a || b
+	if op == TwoCycleAND {
+		want = a && b
+	}
+	return TwoCycle(c, op, strat, a, b).Result == want
+}
+
+// OverwriteThreshold returns the minimum Cb/Cc ratio at which the regular
+// strategy's overwrite is sound: sharing a full-rail bitline with an
+// opposite-rail cell must keep the line on the correct side of Vdd/2.
+// Sharing Vdd (bitline) with 0 (cell) gives Vdd·Cb/(Cb+Cc) > Vdd/2
+// ⇔ Cb > Cc, so the threshold is exactly 1.
+func OverwriteThreshold() float64 { return 1.0 }

@@ -1,0 +1,120 @@
+package analog
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// RenderPNG draws the waveform (both bitlines plus phase boundaries) into
+// a PNG — the publishable form of Figure 10.
+func (w Waveform) RenderPNG(out io.Writer, width, height int) error {
+	if len(w.Samples) == 0 {
+		return fmt.Errorf("analog: empty waveform")
+	}
+	if width < 64 || height < 48 {
+		return fmt.Errorf("analog: render size %dx%d too small", width, height)
+	}
+
+	const margin = 8
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	bg := color.RGBA{255, 255, 255, 255}
+	grid := color.RGBA{220, 220, 220, 255}
+	blCol := color.RGBA{200, 40, 40, 255} // bitline
+	bbCol := color.RGBA{40, 70, 200, 255} // bitline-bar
+	phCol := color.RGBA{150, 150, 150, 255}
+
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			img.Set(x, y, bg)
+		}
+	}
+
+	tMax := w.Samples[len(w.Samples)-1].T
+	vMax := 0.0
+	for _, s := range w.Samples {
+		if s.VBL > vMax {
+			vMax = s.VBL
+		}
+		if s.VBLB > vMax {
+			vMax = s.VBLB
+		}
+	}
+	if vMax == 0 {
+		vMax = 1
+	}
+	toX := func(t float64) int {
+		return margin + int(t/tMax*float64(width-2*margin-1))
+	}
+	toY := func(v float64) int {
+		return height - margin - 1 - int(v/vMax*float64(height-2*margin-1))
+	}
+
+	// Vdd/2 gridline.
+	yHalf := toY(vMax / 2)
+	for x := margin; x < width-margin; x++ {
+		img.Set(x, yHalf, grid)
+	}
+	// Phase boundaries.
+	prevPhase := w.Samples[0].Phase
+	for _, s := range w.Samples[1:] {
+		if s.Phase != prevPhase {
+			x := toX(s.T)
+			for y := margin; y < height-margin; y += 3 {
+				img.Set(x, y, phCol)
+			}
+			prevPhase = s.Phase
+		}
+	}
+	// Traces, with vertical interpolation so steps stay connected.
+	plot := func(value func(Sample) float64, c color.RGBA) {
+		px, py := toX(w.Samples[0].T), toY(value(w.Samples[0]))
+		for _, s := range w.Samples[1:] {
+			x, y := toX(s.T), toY(value(s))
+			drawLine(img, px, py, x, y, c)
+			px, py = x, y
+		}
+	}
+	plot(func(s Sample) float64 { return s.VBLB }, bbCol)
+	plot(func(s Sample) float64 { return s.VBL }, blCol)
+
+	return png.Encode(out, img)
+}
+
+// drawLine draws a simple Bresenham line.
+func drawLine(img *image.RGBA, x0, y0, x1, y1 int, c color.RGBA) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		img.Set(x0, y0, c)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,197 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/timing"
+)
+
+// Sample is one point of a simulated waveform.
+type Sample struct {
+	T     float64 // ns since sequence start
+	VBL   float64 // bitline voltage
+	VBLB  float64 // complementary bitline voltage
+	Phase string  // phase label active at T
+}
+
+// Waveform is a voltage trace of a primitive sequence on one column,
+// the reproduction of Figure 10.
+type Waveform struct {
+	Op      TwoCycleOp
+	A, B    bool
+	Result  bool
+	Samples []Sample
+}
+
+// waveSim integrates exponential settling toward per-line targets.
+type waveSim struct {
+	c        Circuit
+	dt       float64
+	t        float64
+	vbl, vbb float64
+	out      []Sample
+}
+
+func (w *waveSim) record(phase string) {
+	w.out = append(w.out, Sample{T: w.t, VBL: w.vbl, VBLB: w.vbb, Phase: phase})
+}
+
+// settle advances `dur` ns with both lines settling exponentially toward
+// their targets with time constant tau; a negative target freezes a line.
+func (w *waveSim) settle(dur, tau, targetBL, targetBB float64, phase string) {
+	steps := int(dur/w.dt + 0.5)
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; i < steps; i++ {
+		k := 1 - math.Exp(-w.dt/tau)
+		if targetBL >= 0 {
+			w.vbl += (targetBL - w.vbl) * k
+		}
+		if targetBB >= 0 {
+			w.vbb += (targetBB - w.vbb) * k
+		}
+		w.t += w.dt
+		w.record(phase)
+	}
+}
+
+// SimulateAPPAP traces one APP-AP two-cycle operation with the regular
+// strategy. See SimulateAPPAPStrategy.
+func SimulateAPPAP(c Circuit, tp timing.Params, op TwoCycleOp, a, b bool) Waveform {
+	return SimulateAPPAPStrategy(c, tp, op, StrategyRegular, a, b)
+}
+
+// SimulateAPPAPStrategy traces one APP-AP two-cycle operation: activate
+// the cell holding a → pseudo-precharge (regular: regulate the bitline;
+// complementary: regulate the reference line, §4.1) → split precharge →
+// activate the cell holding b → sense/restore. It returns the full trace
+// plus the functionally sensed result.
+func SimulateAPPAPStrategy(c Circuit, tp timing.Params, op TwoCycleOp, strat Strategy, a, b bool) Waveform {
+	half := c.HalfVdd()
+	rail := func(bit bool) float64 {
+		if bit {
+			return c.Vdd
+		}
+		return 0
+	}
+
+	sim := &waveSim{c: c, dt: 0.25, vbl: half, vbb: half}
+	sim.record("precharged")
+
+	// --- Cycle 1 (APP) ---
+	// Access: wordline on, instantaneous charge sharing with cell a.
+	sim.vbl = Share(sim.vbl, c.Cb, rail(a), c.Cc)
+	sim.settle(tp.Duration(timing.PhaseAccess), c.TauSense*4, -1, -1, "access1")
+	// Sense: SA resolves toward rails.
+	sim.settle(tp.Duration(timing.PhaseSense), c.TauSense, rail(a), rail(!a), "sense1")
+	// Restore: lines pinned at rails.
+	sim.settle(tp.Duration(timing.PhaseRestore), c.TauRestore, rail(a), rail(!a), "restore1")
+
+	// Pseudo-precharge: one SA supply shifts to Vdd/2. Which rail moves
+	// depends on the op and strategy: the regular strategy erases the
+	// non-retained rail so the information stays on the bitline; the
+	// complementary strategy (§4.1) shifts the opposite rail so the
+	// information stays on the reference line.
+	tgtBL, tgtBB := sim.vbl, sim.vbb
+	eraseLow := op == TwoCycleOR // Gnd → Vdd/2 erases '0' lines
+	if strat == StrategyComplementary {
+		eraseLow = !eraseLow
+	}
+	if eraseLow {
+		if sim.vbl < half {
+			tgtBL = half
+		}
+		if sim.vbb < half {
+			tgtBB = half
+		}
+	} else {
+		if sim.vbl > half {
+			tgtBL = half
+		}
+		if sim.vbb > half {
+			tgtBB = half
+		}
+	}
+	sim.settle(tp.PseudoPrecharge(), c.TauPseudo, tgtBL, tgtBB, "pseudo-precharge")
+
+	// Split-EQ precharge: regular drives only bitline-bar to Vdd/2;
+	// complementary drives only the bitline (the access line).
+	if strat == StrategyComplementary {
+		sim.settle(tp.Duration(timing.PhasePrecharge), c.TauPrecharge, half, -1, "precharge1")
+	} else {
+		sim.settle(tp.Duration(timing.PhasePrecharge), c.TauPrecharge, -1, half, "precharge1")
+	}
+
+	// --- Cycle 2 (AP) ---
+	sim.vbl = Share(sim.vbl, c.Cb, rail(b), c.Cc)
+	sim.settle(tp.Duration(timing.PhaseAccess), c.TauSense*4, -1, -1, "access2")
+	result := sim.vbl > sim.vbb
+	sim.settle(tp.Duration(timing.PhaseSense), c.TauSense, rail(result), rail(!result), "sense2")
+	sim.settle(tp.Duration(timing.PhaseRestore), c.TauRestore, rail(result), rail(!result), "restore2")
+	// Final precharge back to idle.
+	sim.settle(tp.Duration(timing.PhasePrecharge), c.TauPrecharge, half, half, "precharge2")
+
+	return Waveform{Op: op, A: a, B: b, Result: result, Samples: sim.out}
+}
+
+// RenderASCII renders the bitline voltage of a waveform as a compact ASCII
+// strip chart (one row per voltage band), for terminal inspection.
+func (w Waveform) RenderASCII(width int) string {
+	if width <= 0 || len(w.Samples) == 0 {
+		return ""
+	}
+	const rows = 9
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	tMax := w.Samples[len(w.Samples)-1].T
+	var vMax float64
+	for _, s := range w.Samples {
+		if s.VBL > vMax {
+			vMax = s.VBL
+		}
+	}
+	if vMax == 0 {
+		vMax = 1
+	}
+	for _, s := range w.Samples {
+		x := int(s.T / tMax * float64(width-1))
+		y := rows - 1 - int(s.VBL/vMax*float64(rows-1)+0.5)
+		if y < 0 {
+			y = 0
+		}
+		if y >= rows {
+			y = rows - 1
+		}
+		grid[y][x] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%v,%v) -> %v   [VBL, 0..%.2fV, %.0fns]\n",
+		w.Op, b01(w.A), b01(w.B), b01(w.Result), vMax, tMax)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func b01(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// CSV renders the waveform as "t,vbl,vblb,phase" lines.
+func (w Waveform) CSV() string {
+	var b strings.Builder
+	b.WriteString("t_ns,v_bitline,v_bitline_bar,phase\n")
+	for _, s := range w.Samples {
+		fmt.Fprintf(&b, "%.2f,%.4f,%.4f,%s\n", s.T, s.VBL, s.VBLB, s.Phase)
+	}
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package analog
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func TestSimulateAPPAPFunctionalResults(t *testing.T) {
+	c := Default()
+	tp := timing.DDR31600()
+	for _, tc := range []struct {
+		op   TwoCycleOp
+		a, b bool
+		want bool
+	}{
+		{TwoCycleOR, true, false, true},   // case 1 of Figure 4
+		{TwoCycleOR, false, false, false}, // case 2 of Figure 4
+		{TwoCycleOR, false, true, true},
+		{TwoCycleOR, true, true, true},
+		{TwoCycleAND, false, true, false},
+		{TwoCycleAND, true, true, true},
+		{TwoCycleAND, true, false, false},
+		{TwoCycleAND, false, false, false},
+	} {
+		w := SimulateAPPAP(c, tp, tc.op, tc.a, tc.b)
+		if w.Result != tc.want {
+			t.Errorf("%v(%v,%v) = %v, want %v", tc.op, tc.a, tc.b, w.Result, tc.want)
+		}
+	}
+}
+
+func TestWaveformVoltagesBounded(t *testing.T) {
+	c := Default()
+	tp := timing.DDR31600()
+	w := SimulateAPPAP(c, tp, TwoCycleOR, true, false)
+	for _, s := range w.Samples {
+		if s.VBL < -1e-9 || s.VBL > c.Vdd+1e-9 {
+			t.Fatalf("VBL %v at t=%v outside [0,Vdd]", s.VBL, s.T)
+		}
+		if s.VBLB < -1e-9 || s.VBLB > c.Vdd+1e-9 {
+			t.Fatalf("VBLB %v at t=%v outside [0,Vdd]", s.VBLB, s.T)
+		}
+	}
+}
+
+func TestWaveformTimeMonotone(t *testing.T) {
+	w := SimulateAPPAP(Default(), timing.DDR31600(), TwoCycleAND, false, true)
+	for i := 1; i < len(w.Samples); i++ {
+		if w.Samples[i].T <= w.Samples[i-1].T {
+			t.Fatalf("time not monotone at sample %d", i)
+		}
+	}
+}
+
+func TestWaveformPhasesPresent(t *testing.T) {
+	w := SimulateAPPAP(Default(), timing.DDR31600(), TwoCycleOR, false, false)
+	seen := map[string]bool{}
+	for _, s := range w.Samples {
+		seen[s.Phase] = true
+	}
+	for _, ph := range []string{"access1", "sense1", "restore1", "pseudo-precharge", "precharge1", "access2", "sense2", "restore2", "precharge2"} {
+		if !seen[ph] {
+			t.Errorf("phase %q missing from waveform", ph)
+		}
+	}
+}
+
+func TestWaveformORRegulation(t *testing.T) {
+	// Reading '0' in an OR sequence: the bitline must be pulled up to Vdd/2
+	// by the end of the pseudo-precharge state (Figure 10's defining
+	// feature), not left at Gnd.
+	c := Default()
+	w := SimulateAPPAP(c, timing.DDR31600(), TwoCycleOR, false, false)
+	var last Sample
+	for _, s := range w.Samples {
+		if s.Phase == "pseudo-precharge" {
+			last = s
+		}
+	}
+	if math.Abs(last.VBL-c.HalfVdd()) > 0.05 {
+		t.Fatalf("bitline after pseudo-precharge = %v, want ~Vdd/2", last.VBL)
+	}
+}
+
+func TestWaveformORRetention(t *testing.T) {
+	// Reading '1' in an OR sequence: the bitline holds Vdd through
+	// pseudo-precharge and precharge.
+	c := Default()
+	w := SimulateAPPAP(c, timing.DDR31600(), TwoCycleOR, true, false)
+	for _, s := range w.Samples {
+		if s.Phase == "pseudo-precharge" || s.Phase == "precharge1" {
+			if s.VBL < c.Vdd*0.95 {
+				t.Fatalf("bitline dropped to %v during %s, want retained at Vdd", s.VBL, s.Phase)
+			}
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	w := SimulateAPPAP(Default(), timing.DDR31600(), TwoCycleOR, true, false)
+	s := w.RenderASCII(80)
+	if !strings.Contains(s, "OR(1,0) -> 1") {
+		t.Fatalf("ASCII header missing: %q", strings.SplitN(s, "\n", 2)[0])
+	}
+	if strings.Count(s, "\n") < 5 {
+		t.Fatal("ASCII render too short")
+	}
+	if w.RenderASCII(0) != "" {
+		t.Fatal("zero width must render empty")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	w := SimulateAPPAP(Default(), timing.DDR31600(), TwoCycleAND, true, true)
+	csv := w.CSV()
+	if !strings.HasPrefix(csv, "t_ns,v_bitline,v_bitline_bar,phase\n") {
+		t.Fatal("CSV header missing")
+	}
+	lines := strings.Count(csv, "\n")
+	if lines != len(w.Samples)+1 {
+		t.Fatalf("CSV has %d lines, want %d", lines, len(w.Samples)+1)
+	}
+}
+
+func TestWaveformDurationMatchesTiming(t *testing.T) {
+	// The trace should span roughly APP + AP = 67 + 49 + final precharge.
+	tp := timing.DDR31600()
+	w := SimulateAPPAP(Default(), tp, TwoCycleOR, false, true)
+	total := w.Samples[len(w.Samples)-1].T
+	want := tp.TRAS() + tp.PseudoPrecharge() + tp.TRP() + // APP
+		tp.TRAS() + tp.TRP() // AP (with trailing precharge)
+	if math.Abs(total-want) > 2 {
+		t.Fatalf("waveform spans %v ns, want ~%v", total, want)
+	}
+}
+
+func TestComplementaryWaveformAllCases(t *testing.T) {
+	tp := timing.DDR31600()
+	for _, c := range []Circuit{Default(), ShortBitline()} {
+		for _, op := range []TwoCycleOp{TwoCycleOR, TwoCycleAND} {
+			for _, a := range []bool{false, true} {
+				for _, b := range []bool{false, true} {
+					w := SimulateAPPAPStrategy(c, tp, op, StrategyComplementary, a, b)
+					want := a || b
+					if op == TwoCycleAND {
+						want = a && b
+					}
+					if w.Result != want {
+						t.Errorf("complementary %v(%v,%v) = %v, want %v (Cb=%v)",
+							op, a, b, w.Result, want, c.Cb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRegularWaveformFailsOnShortBitline(t *testing.T) {
+	// §4.1 at the waveform level: with Cb < Cc the regular strategy's
+	// overwrite case produces the wrong result; the complementary one
+	// does not.
+	c := ShortBitline()
+	tp := timing.DDR31600()
+	reg := SimulateAPPAPStrategy(c, tp, TwoCycleOR, StrategyRegular, true, false)
+	if reg.Result {
+		t.Fatal("regular OR(1,0) on a short bitline should fail (that is the §4.1 motivation)")
+	}
+	comp := SimulateAPPAPStrategy(c, tp, TwoCycleOR, StrategyComplementary, true, false)
+	if !comp.Result {
+		t.Fatal("complementary OR(1,0) must be correct on a short bitline")
+	}
+}
+
+func TestRenderPNG(t *testing.T) {
+	w := SimulateAPPAP(Default(), timing.DDR31600(), TwoCycleOR, true, false)
+	var buf bytes.Buffer
+	if err := w.RenderPNG(&buf, 640, 240); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 640 || b.Dy() != 240 {
+		t.Fatalf("decoded size %dx%d", b.Dx(), b.Dy())
+	}
+	// The trace must have drawn some red (bitline) pixels.
+	red := 0
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g, bb, _ := img.At(x, y).RGBA()
+			if r > 0xB000 && g < 0x5000 && bb < 0x5000 {
+				red++
+			}
+		}
+	}
+	if red < 100 {
+		t.Fatalf("only %d bitline pixels drawn", red)
+	}
+	// Error paths.
+	if err := (Waveform{}).RenderPNG(&buf, 640, 240); err == nil {
+		t.Error("empty waveform accepted")
+	}
+	if err := w.RenderPNG(&buf, 10, 10); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+}

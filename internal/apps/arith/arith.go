@@ -1,0 +1,254 @@
+// Package arith implements bit-serial arithmetic over vertically laid-out
+// integers — the functional substrate underneath the CNN case studies:
+// Dracc executes ternary-weight networks as in-DRAM additions (Table 2)
+// and NID executes binary networks as XOR + population count (Table 3).
+//
+// Integers are stored transposed: bit i of every lane lives in row
+// rows[i], so one row-wide operation advances bit position i of thousands
+// of lanes at once. The ripple-carry adder and the popcount accumulator
+// below are built exclusively from the engines' logic operations and run
+// bit-accurately on the device model.
+package arith
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/engine"
+)
+
+// Executor is the functional engine surface.
+type Executor interface {
+	Execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error
+}
+
+// Verticalize stores the low `width` bits of each value across rows:
+// result[i].Bit(j) = bit i of values[j].
+func Verticalize(values []uint64, width int) []*bitvec.Vector {
+	out := make([]*bitvec.Vector, width)
+	for i := range out {
+		out[i] = bitvec.New(len(values))
+	}
+	for j, v := range values {
+		for i := 0; i < width; i++ {
+			if v>>uint(i)&1 == 1 {
+				out[i].SetBit(j, true)
+			}
+		}
+	}
+	return out
+}
+
+// Horizontalize reads vertical rows back into per-lane values.
+func Horizontalize(rows []*bitvec.Vector) []uint64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	n := rows[0].Len()
+	out := make([]uint64, n)
+	for i, r := range rows {
+		for j := 0; j < n; j++ {
+			if r.Bit(j) {
+				out[j] |= 1 << uint(i)
+			}
+		}
+	}
+	return out
+}
+
+// Adder performs lane-parallel integer arithmetic on a subarray.
+type Adder struct {
+	sub *dram.Subarray
+	ex  Executor
+	// scratch rows: carry, t1, t2, t3.
+	carry, t1, t2, t3 int
+}
+
+// NewAdder wires an adder to a subarray; the four scratch rows must be
+// distinct data rows reserved for the adder.
+func NewAdder(sub *dram.Subarray, ex Executor, scratch [4]int) (*Adder, error) {
+	if sub == nil || ex == nil {
+		return nil, errors.New("arith: nil subarray or executor")
+	}
+	seen := map[int]bool{}
+	for _, r := range scratch {
+		if r < 0 || r >= sub.Rows() {
+			return nil, fmt.Errorf("arith: scratch row %d out of range", r)
+		}
+		if seen[r] {
+			return nil, errors.New("arith: scratch rows must be distinct")
+		}
+		seen[r] = true
+	}
+	return &Adder{sub: sub, ex: ex, carry: scratch[0], t1: scratch[1], t2: scratch[2], t3: scratch[3]}, nil
+}
+
+// zeroRow clears a row through the host path (constant initialization is
+// data preparation, like Ambit's C0 control row).
+func (ad *Adder) zeroRow(r int) {
+	v := ad.sub.RowData(r)
+	v.Fill(false)
+}
+
+// Add computes sum = a + b lane-parallel over width-W vertical integers:
+// sum[i], a[i], b[i] are row indices of bit i. Rows in `sum` must be
+// disjoint from a, b, and the scratch rows. The carry out of the top bit
+// is discarded (modular addition), matching the fixed-width Dracc adder.
+//
+// Per bit: s = a ⊕ b ⊕ c;  c' = a·b + c·(a ⊕ b) — five row ops, the
+// textbook full adder the engines execute natively.
+func (ad *Adder) Add(sum, a, b []int) error {
+	w := len(sum)
+	if len(a) != w || len(b) != w || w == 0 {
+		return errors.New("arith: operand widths must match and be positive")
+	}
+	ad.zeroRow(ad.carry)
+	for i := 0; i < w; i++ {
+		// t1 = a_i ^ b_i
+		if err := ad.ex.Execute(ad.sub, engine.OpXOR, ad.t1, a[i], b[i]); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+		// sum_i = t1 ^ carry
+		if err := ad.ex.Execute(ad.sub, engine.OpXOR, sum[i], ad.t1, ad.carry); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+		if i == w-1 {
+			break // top carry discarded
+		}
+		// t2 = a_i & b_i; t3 = t1 & carry; carry = t2 | t3
+		if err := ad.ex.Execute(ad.sub, engine.OpAND, ad.t2, a[i], b[i]); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+		if err := ad.ex.Execute(ad.sub, engine.OpAND, ad.t3, ad.t1, ad.carry); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+		if err := ad.ex.Execute(ad.sub, engine.OpOR, ad.carry, ad.t2, ad.t3); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Sub computes diff = a - b lane-parallel (two's complement: a + ¬b + 1),
+// discarding the borrow out of the top bit. The final carry (inverted
+// borrow) lands in `borrow`: borrow=0 there means a < b (unsigned) — the
+// vector-vector comparison BitWeaving cannot express against a constant.
+func (ad *Adder) Sub(diff, a, b []int, borrow int) error {
+	w := len(diff)
+	if len(a) != w || len(b) != w || w == 0 {
+		return errors.New("arith: operand widths must match and be positive")
+	}
+	// carry starts at 1 (the +1 of two's complement).
+	cv := ad.sub.RowData(ad.carry)
+	cv.Fill(true)
+	for i := 0; i < w; i++ {
+		// t1 = a_i ^ ¬b_i; diff_i = t1 ^ carry
+		if err := ad.ex.Execute(ad.sub, engine.OpXNOR, ad.t1, a[i], b[i]); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+		if err := ad.ex.Execute(ad.sub, engine.OpXOR, diff[i], ad.t1, ad.carry); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+		// carry' = (a_i & ¬b_i) | (carry & (a_i ^ ¬b_i))
+		if err := ad.ex.Execute(ad.sub, engine.OpNOT, ad.t3, b[i], -1); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+		if err := ad.ex.Execute(ad.sub, engine.OpAND, ad.t2, a[i], ad.t3); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+		if err := ad.ex.Execute(ad.sub, engine.OpAND, ad.t3, ad.t1, ad.carry); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+		if err := ad.ex.Execute(ad.sub, engine.OpOR, ad.carry, ad.t2, ad.t3); err != nil {
+			return fmt.Errorf("arith: bit %d: %w", i, err)
+		}
+	}
+	return ad.ex.Execute(ad.sub, engine.OpCOPY, borrow, ad.carry, -1)
+}
+
+// LessThan computes per lane whether a < b (unsigned) into the `lt` row:
+// the complemented borrow of a - b. Scratch rows diff (width w) hold the
+// discarded difference.
+func (ad *Adder) LessThan(lt int, a, b, diff []int) error {
+	if err := ad.Sub(diff, a, b, lt); err != nil {
+		return err
+	}
+	// borrow==1 means a >= b; invert in place via NOT through the engine.
+	return ad.ex.Execute(ad.sub, engine.OpNOT, lt, lt, -1)
+}
+
+// AccumulateBit adds a single-bit row into a width-W vertical counter:
+// counter += bit, the inner step of NID's popcount ("decomposes the count
+// operation into minimum number of AND and XOR operations"). Per bit
+// position: s = cnt ⊕ c; c' = cnt · c — a half-adder ripple.
+func (ad *Adder) AccumulateBit(counter []int, bit int) error {
+	if len(counter) == 0 {
+		return errors.New("arith: empty counter")
+	}
+	// carry starts as the incoming bit: copy it so `bit` is preserved.
+	if err := ad.ex.Execute(ad.sub, engine.OpCOPY, ad.carry, bit, -1); err != nil {
+		return err
+	}
+	for i, c := range counter {
+		// t1 = cnt_i ^ carry (new digit); t2 = cnt_i & carry (new carry)
+		if err := ad.ex.Execute(ad.sub, engine.OpXOR, ad.t1, c, ad.carry); err != nil {
+			return fmt.Errorf("arith: counter bit %d: %w", i, err)
+		}
+		if i < len(counter)-1 {
+			if err := ad.ex.Execute(ad.sub, engine.OpAND, ad.t2, c, ad.carry); err != nil {
+				return fmt.Errorf("arith: counter bit %d: %w", i, err)
+			}
+			if err := ad.ex.Execute(ad.sub, engine.OpCOPY, ad.carry, ad.t2, -1); err != nil {
+				return err
+			}
+		}
+		if err := ad.ex.Execute(ad.sub, engine.OpCOPY, c, ad.t1, -1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Popcount counts the set bits across `rows` per lane into the vertical
+// counter (width must satisfy 2^W > len(rows)).
+func (ad *Adder) Popcount(counter []int, rows []int) error {
+	if 1<<uint(len(counter)) <= len(rows) {
+		return fmt.Errorf("arith: %d-bit counter overflows on %d rows", len(counter), len(rows))
+	}
+	for _, c := range counter {
+		ad.zeroRow(c)
+	}
+	for _, r := range rows {
+		if err := ad.AccumulateBit(counter, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// XnorPopcount computes NID's binary-MAC kernel per lane: the number of
+// positions where the input rows agree with the weight rows —
+// popcount(XNOR(in_k, w_k)) across k — into the vertical counter.
+// match is a scratch row for the per-position XNOR result.
+func (ad *Adder) XnorPopcount(counter []int, inputs, weights []int, match int) error {
+	if len(inputs) != len(weights) {
+		return errors.New("arith: inputs and weights must align")
+	}
+	if 1<<uint(len(counter)) <= len(inputs) {
+		return fmt.Errorf("arith: %d-bit counter overflows on %d terms", len(counter), len(inputs))
+	}
+	for _, c := range counter {
+		ad.zeroRow(c)
+	}
+	for k := range inputs {
+		if err := ad.ex.Execute(ad.sub, engine.OpXNOR, match, inputs[k], weights[k]); err != nil {
+			return fmt.Errorf("arith: term %d: %w", k, err)
+		}
+		if err := ad.AccumulateBit(counter, match); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,445 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ambit"
+	"repro/internal/dram"
+	"repro/internal/drisa"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+)
+
+const lanes = 256
+
+// testSubarray returns a subarray wide enough for vertical arithmetic:
+// rows 0..15 operand A bits, 16..31 operand B bits, 32..43 sum bits,
+// 44..47 counters, 48..51 scratch, 52 match. The top rows (53..63 plus
+// the dual-contact rows) stay free for Ambit's B-group staging.
+func testSubarray() *dram.Subarray {
+	return dram.NewSubarray(dram.Config{
+		Banks: 1, SubarraysPerBank: 1,
+		RowsPerSubarray: 64, Columns: lanes, DualContactRows: 2,
+	})
+}
+
+func executors(t *testing.T) map[string]Executor {
+	t.Helper()
+	return map[string]Executor{
+		"elpim": elpim.MustNew(elpim.DefaultConfig()),
+		"ambit": ambit.MustNew(ambit.DefaultConfig()),
+		"drisa": drisa.MustNew(drisa.DefaultConfig()),
+	}
+}
+
+func TestVerticalizeHorizontalizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]uint64, 100)
+	for i := range values {
+		values[i] = rng.Uint64() & 0xFFFF
+	}
+	rows := Verticalize(values, 16)
+	back := Horizontalize(rows)
+	for i := range values {
+		if back[i] != values[i] {
+			t.Fatalf("lane %d: %x != %x", i, back[i], values[i])
+		}
+	}
+	if Horizontalize(nil) != nil {
+		t.Fatal("empty horizontalize")
+	}
+}
+
+func TestNewAdderValidation(t *testing.T) {
+	sub := testSubarray()
+	ex := elpim.MustNew(elpim.DefaultConfig())
+	if _, err := NewAdder(nil, ex, [4]int{0, 1, 2, 3}); err == nil {
+		t.Error("nil subarray accepted")
+	}
+	if _, err := NewAdder(sub, nil, [4]int{0, 1, 2, 3}); err == nil {
+		t.Error("nil executor accepted")
+	}
+	if _, err := NewAdder(sub, ex, [4]int{0, 1, 2, 2}); err == nil {
+		t.Error("duplicate scratch accepted")
+	}
+	if _, err := NewAdder(sub, ex, [4]int{0, 1, 2, 99}); err == nil {
+		t.Error("out-of-range scratch accepted")
+	}
+}
+
+// loadVertical loads the low `width` bits of values into rows base..base+width-1.
+func loadVertical(sub *dram.Subarray, values []uint64, width, base int) []int {
+	rows := Verticalize(values, width)
+	idx := make([]int, width)
+	for i, r := range rows {
+		idx[i] = base + i
+		sub.LoadRow(idx[i], r)
+	}
+	return idx
+}
+
+// readVertical reads rows back into per-lane values.
+func readVertical(sub *dram.Subarray, rows []int) []uint64 {
+	out := make([]uint64, sub.Columns())
+	for i, r := range rows {
+		data := sub.RowData(r)
+		for j := 0; j < sub.Columns(); j++ {
+			if data.Bit(j) {
+				out[j] |= 1 << uint(i)
+			}
+		}
+	}
+	return out
+}
+
+func TestLaneParallelAdditionAllEngines(t *testing.T) {
+	const width = 12
+	rng := rand.New(rand.NewSource(2))
+	a := make([]uint64, lanes)
+	b := make([]uint64, lanes)
+	for i := range a {
+		a[i] = rng.Uint64() & (1<<width - 1)
+		b[i] = rng.Uint64() & (1<<width - 1)
+	}
+	for name, ex := range executors(t) {
+		t.Run(name, func(t *testing.T) {
+			sub := testSubarray()
+			aRows := loadVertical(sub, a, width, 0)
+			bRows := loadVertical(sub, b, width, 16)
+			sumRows := make([]int, width)
+			for i := range sumRows {
+				sumRows[i] = 32 + i
+			}
+			ad, err := NewAdder(sub, ex, [4]int{48, 49, 50, 51})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ad.Add(sumRows, aRows, bRows); err != nil {
+				t.Fatal(err)
+			}
+			got := readVertical(sub, sumRows)
+			for i := range a {
+				want := (a[i] + b[i]) & (1<<width - 1)
+				if got[i] != want {
+					t.Fatalf("lane %d: %d + %d = %d, want %d", i, a[i], b[i], got[i], want)
+				}
+			}
+			// Operands preserved.
+			if ga := readVertical(sub, aRows); ga[0] != a[0]&(1<<width-1) {
+				t.Fatal("operand A clobbered")
+			}
+		})
+	}
+}
+
+func TestAddWidthValidation(t *testing.T) {
+	sub := testSubarray()
+	ad, err := NewAdder(sub, elpim.MustNew(elpim.DefaultConfig()), [4]int{48, 49, 50, 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.Add([]int{1}, []int{2, 3}, []int{4}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := ad.Add(nil, nil, nil); err == nil {
+		t.Error("empty add accepted")
+	}
+}
+
+func TestPopcountAllEngines(t *testing.T) {
+	const k, counterWidth = 9, 4
+	rng := rand.New(rand.NewSource(3))
+	for name, ex := range executors(t) {
+		t.Run(name, func(t *testing.T) {
+			sub := testSubarray()
+			// k random bit rows.
+			bitRows := make([]int, k)
+			expected := make([]int, lanes)
+			for i := 0; i < k; i++ {
+				bitRows[i] = i
+				row := sub.RowData(i)
+				for j := 0; j < lanes; j++ {
+					if rng.Intn(2) == 1 {
+						row.SetBit(j, true)
+						expected[j]++
+					}
+				}
+			}
+			counter := []int{44, 45, 46, 47}
+			ad, err := NewAdder(sub, ex, [4]int{48, 49, 50, 51})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ad.Popcount(counter, bitRows); err != nil {
+				t.Fatal(err)
+			}
+			got := readVertical(sub, counter)
+			for j := 0; j < lanes; j++ {
+				if int(got[j]) != expected[j] {
+					t.Fatalf("lane %d popcount = %d, want %d", j, got[j], expected[j])
+				}
+			}
+		})
+	}
+}
+
+func TestPopcountOverflowRejected(t *testing.T) {
+	sub := testSubarray()
+	ad, err := NewAdder(sub, elpim.MustNew(elpim.DefaultConfig()), [4]int{48, 49, 50, 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-bit counter cannot count 4 rows.
+	if err := ad.Popcount([]int{44, 45}, []int{0, 1, 2, 3}); err == nil {
+		t.Error("overflowing popcount accepted")
+	}
+}
+
+func TestXnorPopcountBinaryMAC(t *testing.T) {
+	// The NID kernel: per lane, count agreements between input and weight
+	// bit rows — the binary dot product.
+	const k, counterWidth = 7, 3
+	rng := rand.New(rand.NewSource(4))
+	sub := testSubarray()
+	ex := elpim.MustNew(elpim.DefaultConfig())
+	inRows := make([]int, k)
+	wRows := make([]int, k)
+	agree := make([]int, lanes)
+	for i := 0; i < k; i++ {
+		inRows[i] = i
+		wRows[i] = 16 + i
+		in := sub.RowData(inRows[i])
+		wt := sub.RowData(wRows[i])
+		for j := 0; j < lanes; j++ {
+			a := rng.Intn(2) == 1
+			b := rng.Intn(2) == 1
+			in.SetBit(j, a)
+			wt.SetBit(j, b)
+			if a == b {
+				agree[j]++
+			}
+		}
+	}
+	counter := []int{44, 45, 46}
+	ad, err := NewAdder(sub, ex, [4]int{48, 49, 50, 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.XnorPopcount(counter, inRows, wRows, 52); err != nil {
+		t.Fatal(err)
+	}
+	got := readVertical(sub, counter)
+	for j := 0; j < lanes; j++ {
+		if int(got[j]) != agree[j] {
+			t.Fatalf("lane %d agreements = %d, want %d", j, got[j], agree[j])
+		}
+	}
+	if err := ad.XnorPopcount(counter, inRows, wRows[:2], 52); err == nil {
+		t.Error("misaligned inputs/weights accepted")
+	}
+}
+
+// Property: lane-parallel addition matches host addition for random widths
+// and values on the ELP2IM engine.
+func TestAdditionProperty(t *testing.T) {
+	ex := elpim.MustNew(elpim.DefaultConfig())
+	f := func(seed int64, widthRaw uint8) bool {
+		width := int(widthRaw)%10 + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]uint64, lanes)
+		b := make([]uint64, lanes)
+		for i := range a {
+			a[i] = rng.Uint64() & (1<<uint(width) - 1)
+			b[i] = rng.Uint64() & (1<<uint(width) - 1)
+		}
+		sub := testSubarray()
+		aRows := loadVertical(sub, a, width, 0)
+		bRows := loadVertical(sub, b, width, 16)
+		sumRows := make([]int, width)
+		for i := range sumRows {
+			sumRows[i] = 32 + i
+		}
+		ad, err := NewAdder(sub, ex, [4]int{48, 49, 50, 51})
+		if err != nil {
+			return false
+		}
+		if err := ad.Add(sumRows, aRows, bRows); err != nil {
+			return false
+		}
+		got := readVertical(sub, sumRows)
+		for i := range a {
+			if got[i] != (a[i]+b[i])&(1<<uint(width)-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtractionAllEngines(t *testing.T) {
+	const width = 10
+	rng := rand.New(rand.NewSource(5))
+	a := make([]uint64, lanes)
+	b := make([]uint64, lanes)
+	for i := range a {
+		a[i] = rng.Uint64() & (1<<width - 1)
+		b[i] = rng.Uint64() & (1<<width - 1)
+	}
+	for name, ex := range executors(t) {
+		t.Run(name, func(t *testing.T) {
+			sub := testSubarray()
+			aRows := loadVertical(sub, a, width, 0)
+			bRows := loadVertical(sub, b, width, 16)
+			diffRows := make([]int, width)
+			for i := range diffRows {
+				diffRows[i] = 32 + i
+			}
+			const borrowRow = 53
+			ad, err := NewAdder(sub, ex, [4]int{48, 49, 50, 51})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ad.Sub(diffRows, aRows, bRows, borrowRow); err != nil {
+				t.Fatal(err)
+			}
+			got := readVertical(sub, diffRows)
+			borrow := sub.RowData(borrowRow)
+			for i := range a {
+				want := (a[i] - b[i]) & (1<<width - 1)
+				if got[i] != want {
+					t.Fatalf("lane %d: %d - %d = %d, want %d", i, a[i], b[i], got[i], want)
+				}
+				// borrow bit set means no underflow (a >= b).
+				if borrow.Bit(i) != (a[i] >= b[i]) {
+					t.Fatalf("lane %d: borrow %v for %d - %d", i, borrow.Bit(i), a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLessThanVectorVector(t *testing.T) {
+	const width = 8
+	rng := rand.New(rand.NewSource(6))
+	a := make([]uint64, lanes)
+	b := make([]uint64, lanes)
+	for i := range a {
+		a[i] = rng.Uint64() & (1<<width - 1)
+		b[i] = rng.Uint64() & (1<<width - 1)
+	}
+	sub := testSubarray()
+	ex := elpim.MustNew(elpim.DefaultConfig())
+	aRows := loadVertical(sub, a, width, 0)
+	bRows := loadVertical(sub, b, width, 16)
+	diffRows := make([]int, width)
+	for i := range diffRows {
+		diffRows[i] = 32 + i
+	}
+	const ltRow = 53
+	ad, err := NewAdder(sub, ex, [4]int{48, 49, 50, 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.LessThan(ltRow, aRows, bRows, diffRows); err != nil {
+		t.Fatal(err)
+	}
+	lt := sub.RowData(ltRow)
+	for i := range a {
+		if lt.Bit(i) != (a[i] < b[i]) {
+			t.Fatalf("lane %d: lt=%v for %d < %d", i, lt.Bit(i), a[i], b[i])
+		}
+	}
+}
+
+func TestSubWidthValidation(t *testing.T) {
+	sub := testSubarray()
+	ad, err := NewAdder(sub, elpim.MustNew(elpim.DefaultConfig()), [4]int{48, 49, 50, 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.Sub([]int{1}, []int{2, 3}, []int{4}, 5); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+// TestTernaryDotProduct computes a Dracc-style ternary-weight dot product
+// on the device model: acc = Σ w_i · x_i with w_i ∈ {-1, 0, +1}, realized
+// as lane-parallel adds and subtracts — the functional substrate of
+// Table 2.
+func TestTernaryDotProduct(t *testing.T) {
+	const width = 8 // accumulator width (mod 256 arithmetic)
+	weights := []int{+1, -1, 0, +1, -1, +1}
+	rng := rand.New(rand.NewSource(7))
+
+	// Inputs: one vertical integer per weight, small enough to avoid
+	// overflow ambiguity in the host check (mod 2^width anyway).
+	inputs := make([][]uint64, len(weights))
+	for i := range inputs {
+		inputs[i] = make([]uint64, lanes)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.Uint64() & 0x1F
+		}
+	}
+
+	sub := testSubarray()
+	ex := elpim.MustNew(elpim.DefaultConfig())
+	// Row map: inputs at 0..7 each (one at a time, reloaded per term),
+	// accumulator at 16.., temp sum at 32.., scratch 48..51, borrow 52.
+	accRows := make([]int, width)
+	tmpRows := make([]int, width)
+	for i := 0; i < width; i++ {
+		accRows[i] = 16 + i
+		tmpRows[i] = 32 + i
+	}
+	ad, err := NewAdder(sub, ex, [4]int{48, 49, 50, 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// acc starts at zero.
+	zero := make([]uint64, lanes)
+	loadVertical(sub, zero, width, 16)
+
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		inRows := loadVertical(sub, inputs[i], width, 0)
+		if w > 0 {
+			// acc = acc + x: compute into tmp, then copy back.
+			if err := ad.Add(tmpRows, accRows, inRows); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := ad.Sub(tmpRows, accRows, inRows, 52); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for b := 0; b < width; b++ {
+			if err := ex.Execute(sub, engine.OpCOPY, accRows[b], tmpRows[b], -1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	got := readVertical(sub, accRows)
+	for j := 0; j < lanes; j++ {
+		want := uint64(0)
+		for i, w := range weights {
+			switch {
+			case w > 0:
+				want += inputs[i][j]
+			case w < 0:
+				want -= inputs[i][j]
+			}
+		}
+		want &= 1<<width - 1
+		if got[j] != want {
+			t.Fatalf("lane %d: dot product = %d, want %d", j, got[j], want)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package cnn implements the CNN-accelerator case studies of §6.3.3:
+// Dracc (ternary-weight networks executed as in-DRAM additions, Table 2)
+// and NID (binary networks executed as in-DRAM XOR + count, Table 3),
+// each realized on top of the three bitwise engines.
+package cnn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LayerKind distinguishes the layer cost models.
+type LayerKind int
+
+const (
+	// Conv is a 2D convolution.
+	Conv LayerKind = iota
+	// FC is a fully connected layer.
+	FC
+	// Pool is a pooling layer (handled by the peripheral units in both
+	// accelerators; no in-DRAM arithmetic, but its output feeds the next
+	// layer's data movement).
+	Pool
+)
+
+// Layer is one network layer with enough geometry to derive op counts.
+type Layer struct {
+	Name string
+	Kind LayerKind
+
+	// Convolution / pooling geometry.
+	InC, InH, InW int
+	OutC          int
+	K             int // kernel size (K×K)
+	Stride        int
+	Pad           int
+	// Groups splits a convolution into independent channel groups
+	// (AlexNet's two-tower layers). Zero means 1.
+	Groups int
+
+	// Fully connected geometry.
+	InF, OutF int
+}
+
+// OutH returns the output height of a conv/pool layer.
+func (l Layer) OutH() int { return (l.InH+2*l.Pad-l.K)/l.Stride + 1 }
+
+// OutW returns the output width of a conv/pool layer.
+func (l Layer) OutW() int { return (l.InW+2*l.Pad-l.K)/l.Stride + 1 }
+
+// groups returns the effective group count.
+func (l Layer) groups() float64 {
+	if l.Groups > 1 {
+		return float64(l.Groups)
+	}
+	return 1
+}
+
+// MACs returns the multiply-accumulate count of the layer.
+func (l Layer) MACs() float64 {
+	switch l.Kind {
+	case Conv:
+		return float64(l.OutH()) * float64(l.OutW()) * float64(l.OutC) *
+			float64(l.K) * float64(l.K) * float64(l.InC) / l.groups()
+	case FC:
+		return float64(l.InF) * float64(l.OutF)
+	default:
+		return 0
+	}
+}
+
+// Weights returns the layer's weight count.
+func (l Layer) Weights() float64 {
+	switch l.Kind {
+	case Conv:
+		return float64(l.OutC) * float64(l.K) * float64(l.K) * float64(l.InC) / l.groups()
+	case FC:
+		return float64(l.InF) * float64(l.OutF)
+	default:
+		return 0
+	}
+}
+
+// Outputs returns the layer's output element count.
+func (l Layer) Outputs() float64 {
+	switch l.Kind {
+	case Conv, Pool:
+		return float64(l.OutH()) * float64(l.OutW()) * float64(l.OutC)
+	case FC:
+		return float64(l.OutF)
+	default:
+		return 0
+	}
+}
+
+// Validate reports whether the layer geometry is consistent.
+func (l Layer) Validate() error {
+	switch l.Kind {
+	case Conv, Pool:
+		if l.InC <= 0 || l.InH <= 0 || l.InW <= 0 || l.K <= 0 || l.Stride <= 0 {
+			return fmt.Errorf("cnn: layer %q has non-positive geometry", l.Name)
+		}
+		if l.Kind == Conv && l.OutC <= 0 {
+			return fmt.Errorf("cnn: conv layer %q needs OutC", l.Name)
+		}
+		if l.OutH() <= 0 || l.OutW() <= 0 {
+			return fmt.Errorf("cnn: layer %q has empty output", l.Name)
+		}
+	case FC:
+		if l.InF <= 0 || l.OutF <= 0 {
+			return fmt.Errorf("cnn: fc layer %q needs positive dims", l.Name)
+		}
+	default:
+		return fmt.Errorf("cnn: layer %q has unknown kind", l.Name)
+	}
+	return nil
+}
+
+// Network is a named stack of layers.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// Validate reports whether every layer is consistent.
+func (n Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return errors.New("cnn: network has no layers")
+	}
+	for _, l := range n.Layers {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MACs returns the network's total multiply-accumulates per frame.
+func (n Network) MACs() float64 {
+	total := 0.0
+	for _, l := range n.Layers {
+		total += l.MACs()
+	}
+	return total
+}
+
+// Weights returns the network's total weight count.
+func (n Network) Weights() float64 {
+	total := 0.0
+	for _, l := range n.Layers {
+		total += l.Weights()
+	}
+	return total
+}
+
+// Activations returns the total output element count across layers (the
+// inter-layer data movement volume).
+func (n Network) Activations() float64 {
+	total := 0.0
+	for _, l := range n.Layers {
+		total += l.Outputs()
+	}
+	return total
+}
+
+func conv(name string, inC, inH, inW, outC, k, stride, pad int) Layer {
+	return Layer{Name: name, Kind: Conv, InC: inC, InH: inH, InW: inW,
+		OutC: outC, K: k, Stride: stride, Pad: pad}
+}
+
+func pool(name string, c, inH, inW, k, stride int) Layer {
+	return Layer{Name: name, Kind: Pool, InC: c, InH: inH, InW: inW,
+		OutC: c, K: k, Stride: stride}
+}
+
+func fc(name string, in, out int) Layer {
+	return Layer{Name: name, Kind: FC, InF: in, OutF: out}
+}
+
+// LeNet5 returns the classic 5-layer LeNet (MNIST).
+func LeNet5() Network {
+	return Network{Name: "Lenet5", Layers: []Layer{
+		conv("conv1", 1, 32, 32, 6, 5, 1, 0),
+		pool("pool1", 6, 28, 28, 2, 2),
+		conv("conv2", 6, 14, 14, 16, 5, 1, 0),
+		pool("pool2", 16, 10, 10, 2, 2),
+		fc("fc1", 400, 120),
+		fc("fc2", 120, 84),
+		fc("fc3", 84, 10),
+	}}
+}
+
+// Cifar10 returns the CIFAR-10 "quick" reference network.
+func Cifar10() Network {
+	return Network{Name: "Cifar10", Layers: []Layer{
+		conv("conv1", 3, 32, 32, 32, 5, 1, 2),
+		pool("pool1", 32, 32, 32, 2, 2),
+		conv("conv2", 32, 16, 16, 32, 5, 1, 2),
+		pool("pool2", 32, 16, 16, 2, 2),
+		conv("conv3", 32, 8, 8, 64, 5, 1, 2),
+		pool("pool3", 64, 8, 8, 2, 2),
+		fc("fc1", 1024, 64),
+		fc("fc2", 64, 10),
+	}}
+}
+
+// AlexNet returns AlexNet (ImageNet), with the original two-tower grouped
+// convolutions on conv2/conv4/conv5.
+func AlexNet() Network {
+	grouped := func(name string, inC, inH, inW, outC, k, stride, pad int) Layer {
+		l := conv(name, inC, inH, inW, outC, k, stride, pad)
+		l.Groups = 2
+		return l
+	}
+	return Network{Name: "Alexnet", Layers: []Layer{
+		conv("conv1", 3, 227, 227, 96, 11, 4, 0),
+		pool("pool1", 96, 55, 55, 3, 2),
+		grouped("conv2", 96, 27, 27, 256, 5, 1, 2),
+		pool("pool2", 256, 27, 27, 3, 2),
+		conv("conv3", 256, 13, 13, 384, 3, 1, 1),
+		grouped("conv4", 384, 13, 13, 384, 3, 1, 1),
+		grouped("conv5", 384, 13, 13, 256, 3, 1, 1),
+		pool("pool5", 256, 13, 13, 3, 2),
+		fc("fc6", 9216, 4096),
+		fc("fc7", 4096, 4096),
+		fc("fc8", 4096, 1000),
+	}}
+}
+
+// vggBlock appends n 3×3 convolutions at the given width plus a pool.
+func vggBlock(layers []Layer, stage string, n, inC, outC, hw int) []Layer {
+	c := inC
+	for i := 0; i < n; i++ {
+		layers = append(layers, conv(fmt.Sprintf("conv%s_%d", stage, i+1), c, hw, hw, outC, 3, 1, 1))
+		c = outC
+	}
+	return append(layers, pool("pool"+stage, outC, hw, hw, 2, 2))
+}
+
+func vgg(name string, blocks [5]int) Network {
+	var ls []Layer
+	ls = vggBlock(ls, "1", blocks[0], 3, 64, 224)
+	ls = vggBlock(ls, "2", blocks[1], 64, 128, 112)
+	ls = vggBlock(ls, "3", blocks[2], 128, 256, 56)
+	ls = vggBlock(ls, "4", blocks[3], 256, 512, 28)
+	ls = vggBlock(ls, "5", blocks[4], 512, 512, 14)
+	ls = append(ls,
+		fc("fc6", 512*7*7, 4096),
+		fc("fc7", 4096, 4096),
+		fc("fc8", 4096, 1000),
+	)
+	return Network{Name: name, Layers: ls}
+}
+
+// VGG16 returns the 16-layer VGG configuration D.
+func VGG16() Network { return vgg("VGG16", [5]int{2, 2, 3, 3, 3}) }
+
+// VGG19 returns the 19-layer VGG configuration E.
+func VGG19() Network { return vgg("VGG19", [5]int{2, 2, 4, 4, 4}) }
+
+// basicBlock appends a ResNet basic block (two 3×3 convs); the first conv
+// optionally downsamples, with a projection shortcut.
+func basicBlock(layers []Layer, name string, inC, outC, hw, stride int) ([]Layer, int) {
+	outHW := hw / stride
+	layers = append(layers,
+		conv(name+"_a", inC, hw, hw, outC, 3, stride, 1),
+		conv(name+"_b", outC, outHW, outHW, outC, 3, 1, 1),
+	)
+	if stride != 1 || inC != outC {
+		layers = append(layers, conv(name+"_proj", inC, hw, hw, outC, 1, stride, 0))
+	}
+	return layers, outHW
+}
+
+// bottleneck appends a ResNet bottleneck block (1×1, 3×3, 1×1).
+func bottleneck(layers []Layer, name string, inC, midC, hw, stride int) ([]Layer, int) {
+	outC := midC * 4
+	outHW := hw / stride
+	layers = append(layers,
+		conv(name+"_a", inC, hw, hw, midC, 1, 1, 0),
+		conv(name+"_b", midC, hw, hw, midC, 3, stride, 1),
+		conv(name+"_c", midC, outHW, outHW, outC, 1, 1, 0),
+	)
+	if stride != 1 || inC != outC {
+		layers = append(layers, conv(name+"_proj", inC, hw, hw, outC, 1, stride, 0))
+	}
+	return layers, outHW
+}
+
+func resnetStem() []Layer {
+	return []Layer{
+		conv("conv1", 3, 224, 224, 64, 7, 2, 3),
+		pool("pool1", 64, 112, 112, 2, 2),
+	}
+}
+
+func resnetBasic(name string, blocks [4]int) Network {
+	ls := resnetStem()
+	hw := 56
+	inC := 64
+	for stage, n := range blocks {
+		outC := 64 << uint(stage)
+		for b := 0; b < n; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			ls, hw = basicBlock(ls, fmt.Sprintf("s%d_b%d", stage+2, b), inC, outC, hw, stride)
+			inC = outC
+		}
+	}
+	ls = append(ls, fc("fc", 512, 1000))
+	return Network{Name: name, Layers: ls}
+}
+
+// ResNet18 returns ResNet-18.
+func ResNet18() Network { return resnetBasic("Resnet18", [4]int{2, 2, 2, 2}) }
+
+// ResNet34 returns ResNet-34.
+func ResNet34() Network { return resnetBasic("Resnet34", [4]int{3, 4, 6, 3}) }
+
+// ResNet50 returns ResNet-50 (bottleneck blocks).
+func ResNet50() Network {
+	ls := resnetStem()
+	hw := 56
+	inC := 64
+	for stage, n := range [4]int{3, 4, 6, 3} {
+		midC := 64 << uint(stage)
+		for b := 0; b < n; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			ls, hw = bottleneck(ls, fmt.Sprintf("s%d_b%d", stage+2, b), inC, midC, hw, stride)
+			inC = midC * 4
+		}
+	}
+	ls = append(ls, fc("fc", 2048, 1000))
+	return Network{Name: "Resnet50", Layers: ls}
+}
+
+// DraccNetworks returns the Table 2 suite.
+func DraccNetworks() []Network {
+	return []Network{LeNet5(), Cifar10(), AlexNet(), VGG16(), VGG19()}
+}
+
+// NIDNetworks returns the Table 3 suite.
+func NIDNetworks() []Network {
+	return []Network{LeNet5(), AlexNet(), ResNet18(), ResNet34(), ResNet50()}
+}

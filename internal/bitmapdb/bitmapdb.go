@@ -1,0 +1,205 @@
+// Package bitmapdb is a small DRAM-resident bitmap-index store — the
+// adoption layer the paper's Bitmap case study (§6.3.1) implies: named
+// bitmaps live inside the modeled DRAM module, and analytics queries are
+// boolean expressions over the names, compiled by internal/expr and
+// executed in-array through any engine.
+//
+//	db, _ := bitmapdb.New(module, engine, 16<<20)
+//	db.Set("active_w1", weekOne)
+//	db.Set("male", genders)
+//	matches, stats, _ := db.Query("active_w1 & active_w2 & male")
+package bitmapdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/layout"
+)
+
+// ambitStagingRows is the scratch headroom kept above the expression temps
+// for engines that stage through the top of the subarray (Ambit's B-group
+// spans six data rows; DRISA uses four).
+const ambitStagingRows = 6
+
+// DB is a bitmap-index store over one DRAM module.
+type DB struct {
+	alloc    *layout.Allocator
+	eng      engine.Engine
+	universe int
+	bitmaps  map[string]*layout.Vector
+	// maxTemps is the temp budget available to compiled queries.
+	maxTemps int
+}
+
+// New wraps a module. universe is the bitmap width in bits (one bit per
+// tracked entity). scratchRows subarray rows are reserved for query temps
+// and engine staging; it must cover the engine's needs plus at least one
+// expression temp.
+func New(module *dram.Module, eng engine.Engine, universe, scratchRows int) (*DB, error) {
+	if eng == nil {
+		return nil, errors.New("bitmapdb: nil engine")
+	}
+	if universe <= 0 {
+		return nil, errors.New("bitmapdb: universe must be positive")
+	}
+	maxTemps := scratchRows - ambitStagingRows
+	if maxTemps < 1 {
+		return nil, fmt.Errorf("bitmapdb: scratchRows %d leaves no room for query temps (need > %d)",
+			scratchRows, ambitStagingRows)
+	}
+	alloc, err := layout.NewAllocator(module, scratchRows)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		alloc:    alloc,
+		eng:      eng,
+		universe: universe,
+		bitmaps:  map[string]*layout.Vector{},
+		maxTemps: maxTemps,
+	}, nil
+}
+
+// Universe returns the bitmap width in bits.
+func (db *DB) Universe() int { return db.universe }
+
+// Names returns the stored bitmap names, sorted.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.bitmaps))
+	for n := range db.bitmaps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Set creates or replaces a named bitmap with host data.
+func (db *DB) Set(name string, data *bitvec.Vector) error {
+	if name == "" {
+		return errors.New("bitmapdb: empty name")
+	}
+	if data.Len() != db.universe {
+		return fmt.Errorf("bitmapdb: bitmap %q has %d bits, universe is %d",
+			name, data.Len(), db.universe)
+	}
+	v, ok := db.bitmaps[name]
+	if !ok {
+		var err error
+		v, err = db.alloc.Alloc(name, db.universe)
+		if err != nil {
+			return err
+		}
+		db.bitmaps[name] = v
+	}
+	return db.alloc.Write(v, data)
+}
+
+// Get reads a named bitmap back to the host.
+func (db *DB) Get(name string) (*bitvec.Vector, error) {
+	v, ok := db.bitmaps[name]
+	if !ok {
+		return nil, fmt.Errorf("bitmapdb: unknown bitmap %q", name)
+	}
+	return db.alloc.Read(v)
+}
+
+// Delete removes a named bitmap and frees its rows.
+func (db *DB) Delete(name string) error {
+	v, ok := db.bitmaps[name]
+	if !ok {
+		return fmt.Errorf("bitmapdb: unknown bitmap %q", name)
+	}
+	delete(db.bitmaps, name)
+	return db.alloc.Free(v)
+}
+
+// Count returns the cardinality of a named bitmap (the CPU-side count
+// phase of the case study).
+func (db *DB) Count(name string) (int, error) {
+	v, err := db.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	return v.Popcount(), nil
+}
+
+// Query evaluates a boolean expression over the stored bitmaps entirely
+// in DRAM and returns the match vector plus the per-module operation cost
+// (unscheduled: total row-op work; divide by the deployment's effective
+// bank parallelism for wall-clock).
+func (db *DB) Query(src string) (*bitvec.Vector, engine.Stats, error) {
+	node, err := expr.Parse(src)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	prog, err := expr.Compile(node)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	if prog.TempSlots > db.maxTemps {
+		return nil, engine.Stats{}, fmt.Errorf("bitmapdb: query needs %d temps, store allows %d",
+			prog.TempSlots, db.maxTemps)
+	}
+	vars := make([]*layout.Vector, len(prog.Vars))
+	for i, name := range prog.Vars {
+		v, ok := db.bitmaps[name]
+		if !ok {
+			return nil, engine.Stats{}, fmt.Errorf("bitmapdb: unknown bitmap %q", name)
+		}
+		vars[i] = v
+	}
+
+	module := db.alloc.Module()
+	cols := module.Config().Columns
+	scratchBase := db.alloc.ScratchBase()
+	out := bitvec.New(db.universe)
+
+	stripes := (db.universe + cols - 1) / cols
+	for s := 0; s < stripes; s++ {
+		// All bitmaps are stripe-co-located by the allocator.
+		var home layout.Placement
+		varRows := make([]int, len(vars))
+		for i, v := range vars {
+			p := v.Placement(s)
+			if i == 0 {
+				home = p
+			} else if p.Bank != home.Bank || p.Subarray != home.Subarray {
+				return nil, engine.Stats{}, errors.New("bitmapdb: co-location invariant violated")
+			}
+			varRows[i] = p.Row
+		}
+		sub := module.Bank(home.Bank).Subarray(home.Subarray)
+		resRow, err := prog.Execute(sub, db.eng, varRows, scratchBase)
+		if err != nil {
+			return nil, engine.Stats{}, err
+		}
+		row := sub.RowData(resRow)
+		base := s * cols
+		for i := 0; i < cols && base+i < db.universe; i++ {
+			out.SetBit(base+i, row.Bit(i))
+		}
+	}
+
+	// Bare-variable queries execute nothing; stripes of work otherwise.
+	cost := prog.Cost(db.eng)
+	total := cost
+	if len(prog.Instrs) > 0 {
+		total = cost.Scale(stripes)
+	}
+	return out, total, nil
+}
+
+// QueryCount evaluates a query and returns only the match count.
+func (db *DB) QueryCount(src string) (int, engine.Stats, error) {
+	v, st, err := db.Query(src)
+	if err != nil {
+		return 0, engine.Stats{}, err
+	}
+	return v.Popcount(), st, nil
+}

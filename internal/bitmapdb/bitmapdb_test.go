@@ -1,0 +1,231 @@
+package bitmapdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ambit"
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/drisa"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+)
+
+const universe = 1000
+
+func testModule() *dram.Module {
+	return dram.NewModule(dram.Config{
+		Banks: 2, SubarraysPerBank: 2,
+		RowsPerSubarray: 32, Columns: 128, DualContactRows: 2,
+	})
+}
+
+func newDB(t *testing.T, eng engine.Engine) *DB {
+	t.Helper()
+	db, err := New(testModule(), eng, universe, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNewValidation(t *testing.T) {
+	e := elpim.MustNew(elpim.DefaultConfig())
+	if _, err := New(testModule(), nil, universe, 12); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(testModule(), e, 0, 12); err == nil {
+		t.Error("zero universe accepted")
+	}
+	if _, err := New(testModule(), e, universe, 6); err == nil {
+		t.Error("no-temp scratch budget accepted")
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	db := newDB(t, elpim.MustNew(elpim.DefaultConfig()))
+	rng := rand.New(rand.NewSource(1))
+	data := bitvec.Random(rng, universe)
+	if err := db.Set("users", data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := db.Get("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(data) {
+		t.Fatal("round trip mismatch")
+	}
+	n, err := db.Count("users")
+	if err != nil || n != data.Popcount() {
+		t.Fatalf("count = %d, want %d (err %v)", n, data.Popcount(), err)
+	}
+	// Update in place.
+	data2 := bitvec.Random(rng, universe)
+	if err := db.Set("users", data2); err != nil {
+		t.Fatal(err)
+	}
+	back2, _ := db.Get("users")
+	if !back2.Equal(data2) {
+		t.Fatal("update lost")
+	}
+	if err := db.Delete("users"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("users"); err == nil {
+		t.Fatal("deleted bitmap readable")
+	}
+	if err := db.Delete("users"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestSetValidation(t *testing.T) {
+	db := newDB(t, elpim.MustNew(elpim.DefaultConfig()))
+	if err := db.Set("", bitvec.New(universe)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := db.Set("x", bitvec.New(99)); err == nil {
+		t.Error("wrong width accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	db := newDB(t, elpim.MustNew(elpim.DefaultConfig()))
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := db.Set(n, bitvec.New(universe)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := db.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+	if db.Universe() != universe {
+		t.Fatal("universe accessor wrong")
+	}
+}
+
+// TestQueryAllEngines runs the paper's analytics query on every engine and
+// verifies against the host.
+func TestQueryAllEngines(t *testing.T) {
+	engines := map[string]engine.Engine{
+		"elpim": elpim.MustNew(elpim.DefaultConfig()),
+		"ambit": ambit.MustNew(ambit.DefaultConfig()),
+		"drisa": drisa.MustNew(drisa.DefaultConfig()),
+	}
+	for name, eng := range engines {
+		t.Run(name, func(t *testing.T) {
+			db := newDB(t, eng)
+			rng := rand.New(rand.NewSource(2))
+			w1 := bitvec.Random(rng, universe)
+			w2 := bitvec.Random(rng, universe)
+			male := bitvec.Random(rng, universe)
+			for n, d := range map[string]*bitvec.Vector{"w1": w1, "w2": w2, "male": male} {
+				if err := db.Set(n, d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, st, err := db.Query("w1 & w2 & male")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bitvec.New(universe)
+			want.And(w1, w2)
+			want.And(want, male)
+			if !got.Equal(want) {
+				t.Fatal("query result mismatch")
+			}
+			if st.Commands == 0 || st.LatencyNS <= 0 {
+				t.Fatalf("implausible cost: %+v", st)
+			}
+			// Stored bitmaps untouched by the query.
+			b1, _ := db.Get("w1")
+			if !b1.Equal(w1) {
+				t.Fatal("query corrupted a stored bitmap")
+			}
+			// QueryCount agrees.
+			n, _, err := db.QueryCount("w1 & w2 & male")
+			if err != nil || n != want.Popcount() {
+				t.Fatalf("count = %d, want %d (err %v)", n, want.Popcount(), err)
+			}
+		})
+	}
+}
+
+func TestQueryComplexExpression(t *testing.T) {
+	db := newDB(t, elpim.MustNew(elpim.DefaultConfig()))
+	rng := rand.New(rand.NewSource(3))
+	a := bitvec.Random(rng, universe)
+	b := bitvec.Random(rng, universe)
+	c := bitvec.Random(rng, universe)
+	db.Set("a", a)
+	db.Set("b", b)
+	db.Set("c", c)
+	got, _, err := db.Query("(a ^ b) | ~(b & c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < universe; i++ {
+		want := (a.Bit(i) != b.Bit(i)) || !(b.Bit(i) && c.Bit(i))
+		if got.Bit(i) != want {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+}
+
+func TestQueryBareName(t *testing.T) {
+	db := newDB(t, elpim.MustNew(elpim.DefaultConfig()))
+	rng := rand.New(rand.NewSource(4))
+	a := bitvec.Random(rng, universe)
+	db.Set("a", a)
+	got, st, err := db.Query("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Fatal("bare query mismatch")
+	}
+	if st.Commands != 0 {
+		t.Fatal("bare query should cost nothing")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := newDB(t, elpim.MustNew(elpim.DefaultConfig()))
+	db.Set("a", bitvec.New(universe))
+	if _, _, err := db.Query("a &"); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, _, err := db.Query("a & missing"); err == nil {
+		t.Error("unknown bitmap accepted")
+	}
+	if _, _, err := db.QueryCount("(("); err == nil {
+		t.Error("bad query in QueryCount accepted")
+	}
+}
+
+func TestQueryTempBudget(t *testing.T) {
+	// A store with a minimal temp budget must reject deep expressions.
+	e := elpim.MustNew(elpim.DefaultConfig())
+	db, err := New(testModule(), e, universe, 7) // 1 temp
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if err := db.Set(n, bitvec.Random(rng, universe)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// (a^b) and (c^d) both live when the final op runs: needs >= 2 temps.
+	if _, _, err := db.Query("(a ^ b) & (c ^ d)"); err == nil {
+		t.Error("over-budget query accepted")
+	}
+	// A chain needs only... the conservative allocator uses 2 slots, so
+	// even a simple AND chain may exceed a 1-temp store; a single op fits.
+	if _, _, err := db.Query("a & b"); err != nil {
+		t.Errorf("single-op query rejected: %v", err)
+	}
+}

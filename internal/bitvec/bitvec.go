@@ -1,0 +1,244 @@
+// Package bitvec implements bulk bit-vectors backed by []uint64 words.
+//
+// It serves two roles in the reproduction: it is the host-side golden model
+// against which every in-DRAM engine (ELP2IM, Ambit, DRISA) is differential-
+// tested, and it is the storage representation of DRAM rows in the
+// functional device model.
+//
+// Bit i of a Vector lives at word i/64, bit position i%64 (LSB-first).
+// Vectors have an exact length in bits; bits beyond the length inside the
+// last word are kept zero ("canonical form") so word-wise equality and
+// popcount are exact.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+)
+
+// Vector is a fixed-length bit-vector. The zero value is an empty vector.
+type Vector struct {
+	bits  []uint64
+	nbits int
+}
+
+// New returns an all-zero vector of n bits. n must be non-negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{bits: make([]uint64, (n+63)/64), nbits: n}
+}
+
+// FromWords builds a vector of n bits from the given words. Extra words are
+// ignored, missing words are zero, and tail bits beyond n are masked off.
+func FromWords(words []uint64, n int) *Vector {
+	v := New(n)
+	copy(v.bits, words)
+	v.maskTail()
+	return v
+}
+
+// Random returns a vector of n bits with uniformly random contents drawn
+// from rng.
+func Random(rng *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := range v.bits {
+		v.bits[i] = rng.Uint64()
+	}
+	v.maskTail()
+	return v
+}
+
+// maskTail zeroes the unused bits of the last word.
+func (v *Vector) maskTail() {
+	if v.nbits%64 != 0 && len(v.bits) > 0 {
+		v.bits[len(v.bits)-1] &= (1 << uint(v.nbits%64)) - 1
+	}
+}
+
+// Len returns the length in bits.
+func (v *Vector) Len() int { return v.nbits }
+
+// Words returns the underlying words. The slice is shared, not copied;
+// mutating it directly may break the canonical-form invariant.
+func (v *Vector) Words() []uint64 { return v.bits }
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	c := New(v.nbits)
+	copy(c.bits, v.bits)
+	return c
+}
+
+// Bit returns bit i as a bool. It panics if i is out of range.
+func (v *Vector) Bit(i int) bool {
+	v.check(i)
+	return v.bits[i/64]>>(uint(i)%64)&1 == 1
+}
+
+// SetBit sets bit i to b. It panics if i is out of range.
+func (v *Vector) SetBit(i int, b bool) {
+	v.check(i)
+	if b {
+		v.bits[i/64] |= 1 << (uint(i) % 64)
+	} else {
+		v.bits[i/64] &^= 1 << (uint(i) % 64)
+	}
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.nbits {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.nbits))
+	}
+}
+
+// Fill sets every bit to b.
+func (v *Vector) Fill(b bool) {
+	var w uint64
+	if b {
+		w = ^uint64(0)
+	}
+	for i := range v.bits {
+		v.bits[i] = w
+	}
+	v.maskTail()
+}
+
+// Equal reports whether v and o have the same length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.nbits != o.nbits {
+		return false
+	}
+	for i := range v.bits {
+		if v.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Popcount returns the number of set bits.
+func (v *Vector) Popcount() int {
+	n := 0
+	for _, w := range v.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// sameLen panics unless all vectors share v's length.
+func (v *Vector) sameLen(os ...*Vector) {
+	for _, o := range os {
+		if o.nbits != v.nbits {
+			panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.nbits, o.nbits))
+		}
+	}
+}
+
+// And stores a AND b into v (aliasing allowed) and returns v.
+func (v *Vector) And(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.bits {
+		v.bits[i] = a.bits[i] & b.bits[i]
+	}
+	return v
+}
+
+// Or stores a OR b into v and returns v.
+func (v *Vector) Or(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.bits {
+		v.bits[i] = a.bits[i] | b.bits[i]
+	}
+	return v
+}
+
+// Xor stores a XOR b into v and returns v.
+func (v *Vector) Xor(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.bits {
+		v.bits[i] = a.bits[i] ^ b.bits[i]
+	}
+	return v
+}
+
+// Not stores NOT a into v and returns v.
+func (v *Vector) Not(a *Vector) *Vector {
+	v.sameLen(a)
+	for i := range v.bits {
+		v.bits[i] = ^a.bits[i]
+	}
+	v.maskTail()
+	return v
+}
+
+// Nand stores NOT(a AND b) into v and returns v.
+func (v *Vector) Nand(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.bits {
+		v.bits[i] = ^(a.bits[i] & b.bits[i])
+	}
+	v.maskTail()
+	return v
+}
+
+// Nor stores NOT(a OR b) into v and returns v.
+func (v *Vector) Nor(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.bits {
+		v.bits[i] = ^(a.bits[i] | b.bits[i])
+	}
+	v.maskTail()
+	return v
+}
+
+// Xnor stores NOT(a XOR b) into v and returns v.
+func (v *Vector) Xnor(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.bits {
+		v.bits[i] = ^(a.bits[i] ^ b.bits[i])
+	}
+	v.maskTail()
+	return v
+}
+
+// Majority stores the bitwise majority of a, b, c into v and returns v.
+// This is the function a triple-row activation computes: R = AB + BC + AC.
+func (v *Vector) Majority(a, b, c *Vector) *Vector {
+	v.sameLen(a, b, c)
+	for i := range v.bits {
+		v.bits[i] = a.bits[i]&b.bits[i] | b.bits[i]&c.bits[i] | a.bits[i]&c.bits[i]
+	}
+	return v
+}
+
+// CopyFrom copies a's contents into v and returns v.
+func (v *Vector) CopyFrom(a *Vector) *Vector {
+	v.sameLen(a)
+	copy(v.bits, a.bits)
+	return v
+}
+
+// String renders up to the first 64 bits MSB-last (bit 0 first), with an
+// ellipsis for longer vectors. Intended for debugging and error messages.
+func (v *Vector) String() string {
+	var b strings.Builder
+	n := v.nbits
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		if v.Bit(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	if v.nbits > 64 {
+		fmt.Fprintf(&b, "... (%d bits)", v.nbits)
+	}
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("len = %d, want 130", v.Len())
+	}
+	if v.Popcount() != 0 {
+		t.Fatalf("new vector has %d set bits", v.Popcount())
+	}
+	if len(v.Words()) != 3 {
+		t.Fatalf("words = %d, want 3", len(v.Words()))
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetBit(t *testing.T) {
+	v := New(100)
+	for _, i := range []int{0, 1, 63, 64, 65, 99} {
+		v.SetBit(i, true)
+		if !v.Bit(i) {
+			t.Errorf("bit %d not set", i)
+		}
+		v.SetBit(i, false)
+		if v.Bit(i) {
+			t.Errorf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) did not panic", i)
+				}
+			}()
+			v.Bit(i)
+		}()
+	}
+}
+
+func TestFillRespectsTailMask(t *testing.T) {
+	v := New(70)
+	v.Fill(true)
+	if v.Popcount() != 70 {
+		t.Fatalf("popcount after fill = %d, want 70", v.Popcount())
+	}
+	// The last word must have only 6 bits set.
+	if w := v.Words()[1]; w != (1<<6)-1 {
+		t.Fatalf("tail word = %#x, want %#x", w, uint64(1<<6)-1)
+	}
+	v.Fill(false)
+	if v.Popcount() != 0 {
+		t.Fatal("fill(false) left bits set")
+	}
+}
+
+func TestFromWordsMasksTail(t *testing.T) {
+	v := FromWords([]uint64{^uint64(0), ^uint64(0)}, 65)
+	if v.Popcount() != 65 {
+		t.Fatalf("popcount = %d, want 65", v.Popcount())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.SetBit(3, true)
+	b := a.Clone()
+	b.SetBit(4, true)
+	if a.Bit(4) {
+		t.Fatal("clone shares storage with original")
+	}
+	if !b.Bit(3) {
+		t.Fatal("clone missing original bit")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(65), New(65)
+	if !a.Equal(b) {
+		t.Fatal("zero vectors not equal")
+	}
+	b.SetBit(64, true)
+	if a.Equal(b) {
+		t.Fatal("different vectors reported equal")
+	}
+	if a.Equal(New(64)) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestLogicOpsSmall(t *testing.T) {
+	// Truth-table check on 4 bits covering all input combinations.
+	a := FromWords([]uint64{0b0011}, 4)
+	b := FromWords([]uint64{0b0101}, 4)
+	cases := []struct {
+		name string
+		run  func(dst *Vector) *Vector
+		want uint64
+	}{
+		{"and", func(d *Vector) *Vector { return d.And(a, b) }, 0b0001},
+		{"or", func(d *Vector) *Vector { return d.Or(a, b) }, 0b0111},
+		{"xor", func(d *Vector) *Vector { return d.Xor(a, b) }, 0b0110},
+		{"nand", func(d *Vector) *Vector { return d.Nand(a, b) }, 0b1110},
+		{"nor", func(d *Vector) *Vector { return d.Nor(a, b) }, 0b1000},
+		{"xnor", func(d *Vector) *Vector { return d.Xnor(a, b) }, 0b1001},
+		{"not a", func(d *Vector) *Vector { return d.Not(a) }, 0b1100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.run(New(4)).Words()[0]
+			if got != tc.want {
+				t.Errorf("%s = %04b, want %04b", tc.name, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMajorityTruthTable(t *testing.T) {
+	// All 8 combinations of (a,b,c) in 8 bit positions.
+	a := FromWords([]uint64{0b10101010}, 8)
+	b := FromWords([]uint64{0b11001100}, 8)
+	c := FromWords([]uint64{0b11110000}, 8)
+	want := uint64(0b11101000) // majority per position
+	got := New(8).Majority(a, b, c).Words()[0]
+	if got != want {
+		t.Fatalf("majority = %08b, want %08b", got, want)
+	}
+}
+
+func TestAliasedOperands(t *testing.T) {
+	a := FromWords([]uint64{0b0011}, 4)
+	b := FromWords([]uint64{0b0101}, 4)
+	a.And(a, b) // in-place
+	if a.Words()[0] != 0b0001 {
+		t.Fatalf("in-place and = %04b, want 0001", a.Words()[0])
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched lengths did not panic")
+		}
+	}()
+	New(4).And(New(4), New(5))
+}
+
+func TestCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Random(rng, 200)
+	b := New(200).CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestStringTruncation(t *testing.T) {
+	v := New(3)
+	v.SetBit(1, true)
+	if got := v.String(); got != "010" {
+		t.Fatalf("String() = %q, want 010", got)
+	}
+	long := New(65)
+	if got := long.String(); len(got) <= 64 {
+		t.Fatalf("long String() missing ellipsis: %q", got)
+	}
+}
+
+// Properties via testing/quick.
+
+func randomPair(seed int64, n int) (*Vector, *Vector) {
+	rng := rand.New(rand.NewSource(seed))
+	return Random(rng, n), Random(rng, n)
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%300 + 1
+		a, b := randomPair(seed, n)
+		lhs := New(n).Nand(a, b)
+		rhs := New(n).Or(New(n).Not(a), New(n).Not(b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorSelfInverseProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%300 + 1
+		a, b := randomPair(seed, n)
+		x := New(n).Xor(a, b)
+		back := New(n).Xor(x, b)
+		return back.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleNegationProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(rng, n)
+		return New(n).Not(New(n).Not(a)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMajorityWithConstantIsAndOrProperty(t *testing.T) {
+	// The Ambit identity: MAJ(a,b,0) = a AND b; MAJ(a,b,1) = a OR b.
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%300 + 1
+		a, b := randomPair(seed, n)
+		zero, one := New(n), New(n)
+		one.Fill(true)
+		andWant := New(n).And(a, b)
+		orWant := New(n).Or(a, b)
+		return New(n).Majority(a, b, zero).Equal(andWant) &&
+			New(n).Majority(a, b, one).Equal(orWant)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopcountMatchesBitScanProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(rng, n)
+		count := 0
+		for i := 0; i < n; i++ {
+			if a.Bit(i) {
+				count++
+			}
+		}
+		return count == a.Popcount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalFormPreservedProperty(t *testing.T) {
+	// After any op, bits beyond Len in the last word stay zero.
+	tail := func(v *Vector) uint64 {
+		if v.Len()%64 == 0 {
+			return 0
+		}
+		return v.Words()[len(v.Words())-1] &^ ((1 << uint(v.Len()%64)) - 1)
+	}
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%127 + 1
+		a, b := randomPair(seed, n)
+		ops := []*Vector{
+			New(n).Not(a), New(n).Nand(a, b), New(n).Nor(a, b),
+			New(n).Xnor(a, b), New(n).Xor(a, b),
+		}
+		for _, v := range ops {
+			if tail(v) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,330 @@
+// Package controller models the §5.1 memory-controller integration: the
+// new control modes are exposed as a small command language in the paper's
+// prmt([dst],src) notation, programs are validated against the subarray
+// state machine, buffered per operation (the "configurable memory
+// controller, where specific primitive sequence can be buffered"), and
+// replayed with a per-command timeline against the device model.
+//
+// Command syntax (one command per whitespace-separated token or line;
+// '#' starts a comment):
+//
+//	AP(src)                    activate src, precharge
+//	AAP([dst],src)             copy src → dst (full activate-activate)
+//	oAAP([dst],src)            overlapped copy via the separate decoder
+//	APP(src):zeros|ones        activate src, pseudo-precharge retaining
+//	                           zeros (AND) or ones (OR; default)
+//	oAPP(src):mode             overlapped APP (isolation transistor)
+//	oAPP([dst],src):mode       merged copy + pseudo-precharge
+//	tAPP(src):mode             restore-truncated APP
+//	otAPP(src):mode            trimmed and overlapped APP
+//	TRA(r0,r1,r2)              triple-row activation, precharge
+//	TRA([dst],r0,r1,r2)        TRA with an overlapped copy of the result
+//
+// Row operands are identifiers resolved through a symbol table; a '~'
+// prefix selects the negated wordline of a dual-contact row.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/power"
+	"repro/internal/primitive"
+	"repro/internal/timing"
+)
+
+// Operand is a symbolic row reference.
+type Operand struct {
+	// Name is the symbol ("A", "R0", "week3", ...).
+	Name string
+	// Negated selects the dual-contact complementary wordline.
+	Negated bool
+}
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.Negated {
+		return "~" + o.Name
+	}
+	return o.Name
+}
+
+// Command is one parsed controller command.
+type Command struct {
+	// Kind is the primitive this command issues.
+	Kind primitive.Kind
+	// Dst is the copy target ([dst]); nil when absent.
+	Dst *Operand
+	// Src is the (first) activated row; for TRA the first of the triple.
+	Src Operand
+	// Aux2, Aux3 complete a TRA triple.
+	Aux2, Aux3 Operand
+	// RetainZeros selects the AND retain mode for APP-class commands.
+	RetainZeros bool
+}
+
+// String renders the command in the source notation.
+func (c Command) String() string {
+	mode := ""
+	if c.Kind.IsPseudo() {
+		mode = ":ones"
+		if c.RetainZeros {
+			mode = ":zeros"
+		}
+	}
+	switch c.Kind {
+	case primitive.TRAAP:
+		return fmt.Sprintf("TRA(%s,%s,%s)", c.Src, c.Aux2, c.Aux3)
+	case primitive.TRAAAP:
+		return fmt.Sprintf("TRA([%s],%s,%s,%s)", c.Dst, c.Src, c.Aux2, c.Aux3)
+	}
+	if c.Dst != nil {
+		return fmt.Sprintf("%s([%s],%s)%s", c.Kind, c.Dst, c.Src, mode)
+	}
+	return fmt.Sprintf("%s(%s)%s", c.Kind, c.Src, mode)
+}
+
+// Program is a validated command sequence.
+type Program struct {
+	Commands []Command
+	// Source is the assembled text.
+	Source string
+}
+
+// kindNames maps mnemonic → primitive kind.
+var kindNames = map[string]primitive.Kind{
+	"AP":    primitive.AP,
+	"AAP":   primitive.AAP,
+	"OAAP":  primitive.OAAP,
+	"APP":   primitive.APP,
+	"OAPP":  primitive.OAPP,
+	"TAPP":  primitive.TAPP,
+	"OTAPP": primitive.OTAPP,
+	"TRA":   primitive.TRAAP, // upgraded to TRAAAP when [dst] present
+}
+
+// Assemble parses a command program. Commands are separated by
+// whitespace and/or newlines; '#' comments run to end of line.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Source: src}
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.Fields(line) {
+			cmd, err := parseCommand(tok)
+			if err != nil {
+				return nil, fmt.Errorf("controller: line %d: %w", lineNo+1, err)
+			}
+			p.Commands = append(p.Commands, cmd)
+		}
+	}
+	if len(p.Commands) == 0 {
+		return nil, errors.New("controller: empty program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble assembles and panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parseCommand parses one PRIM(...)[:mode] token.
+func parseCommand(tok string) (Command, error) {
+	open := strings.IndexByte(tok, '(')
+	closeIdx := strings.LastIndexByte(tok, ')')
+	if open < 0 || closeIdx < open {
+		return Command{}, fmt.Errorf("malformed command %q", tok)
+	}
+	name := strings.ToUpper(tok[:open])
+	kind, ok := kindNames[name]
+	if !ok {
+		return Command{}, fmt.Errorf("unknown primitive %q", tok[:open])
+	}
+	args := tok[open+1 : closeIdx]
+	tail := tok[closeIdx+1:]
+
+	cmd := Command{Kind: kind}
+	switch tail {
+	case "":
+	case ":ones":
+	case ":zeros":
+		cmd.RetainZeros = true
+	default:
+		return Command{}, fmt.Errorf("bad mode suffix %q in %q", tail, tok)
+	}
+	if tail != "" && !kind.IsPseudo() {
+		return Command{}, fmt.Errorf("mode suffix on non-pseudo command %q", tok)
+	}
+
+	// Optional [dst] prefix.
+	rest := args
+	if strings.HasPrefix(rest, "[") {
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return Command{}, fmt.Errorf("unterminated [dst] in %q", tok)
+		}
+		dst, err := parseOperand(rest[1:end])
+		if err != nil {
+			return Command{}, err
+		}
+		cmd.Dst = &dst
+		rest = strings.TrimPrefix(rest[end+1:], ",")
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+
+	switch kind {
+	case primitive.TRAAP:
+		if len(parts) != 3 {
+			return Command{}, fmt.Errorf("TRA needs 3 rows in %q", tok)
+		}
+		var err error
+		if cmd.Src, err = parseOperand(parts[0]); err != nil {
+			return Command{}, err
+		}
+		if cmd.Aux2, err = parseOperand(parts[1]); err != nil {
+			return Command{}, err
+		}
+		if cmd.Aux3, err = parseOperand(parts[2]); err != nil {
+			return Command{}, err
+		}
+		if cmd.Dst != nil {
+			cmd.Kind = primitive.TRAAAP
+		}
+		if cmd.Src.Negated || cmd.Aux2.Negated || cmd.Aux3.Negated {
+			return Command{}, fmt.Errorf("TRA rows cannot be negated in %q", tok)
+		}
+		return cmd, nil
+
+	case primitive.AAP, primitive.OAAP:
+		if cmd.Dst == nil {
+			return Command{}, fmt.Errorf("%s needs a [dst] in %q", kind, tok)
+		}
+	case primitive.AP, primitive.TAPP, primitive.OTAPP:
+		if cmd.Dst != nil {
+			return Command{}, fmt.Errorf("%s cannot take [dst] in %q", kind, tok)
+		}
+	case primitive.APP, primitive.OAPP:
+		// [dst] selects the merged-copy form (Figure 8 sequence 6), a
+		// distinct primitive with two activations.
+		if cmd.Dst != nil {
+			if kind == primitive.OAPP {
+				cmd.Kind = primitive.OAPPM
+			} else {
+				cmd.Kind = primitive.APPM
+			}
+		}
+	}
+	if len(parts) != 1 || parts[0] == "" {
+		return Command{}, fmt.Errorf("%s needs exactly one source row in %q", kind, tok)
+	}
+	var err error
+	cmd.Src, err = parseOperand(parts[0])
+	if err != nil {
+		return Command{}, err
+	}
+	return cmd, nil
+}
+
+func parseOperand(s string) (Operand, error) {
+	s = strings.TrimSpace(s)
+	neg := strings.HasPrefix(s, "~")
+	if neg {
+		s = s[1:]
+	}
+	if s == "" {
+		return Operand{}, errors.New("empty row operand")
+	}
+	for _, r := range s {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			return Operand{}, fmt.Errorf("bad row name %q", s)
+		}
+	}
+	return Operand{Name: s, Negated: neg}, nil
+}
+
+// Validate checks the program against the subarray state machine:
+// a TRA needs a precharged array (no pending pseudo-precharge state), and
+// the program must not end with a dangling regulated bitline.
+func (p *Program) Validate() error {
+	pseudo := false
+	for i, c := range p.Commands {
+		switch c.Kind {
+		case primitive.TRAAP, primitive.TRAAAP:
+			if pseudo {
+				return fmt.Errorf("controller: command %d (%s): TRA requires a precharged subarray but a pseudo-precharge is pending", i, c)
+			}
+			pseudo = false
+		case primitive.APP, primitive.OAPP, primitive.TAPP, primitive.OTAPP:
+			// Consumes any pending regulation, then regulates again.
+			pseudo = true
+		default:
+			pseudo = false
+		}
+	}
+	if pseudo {
+		return errors.New("controller: program ends with a pending pseudo-precharge (dangling bitline regulation)")
+	}
+	return nil
+}
+
+// Duration returns the program latency in ns.
+func (p *Program) Duration(tp timing.Params) float64 {
+	total := 0.0
+	for _, c := range p.Commands {
+		total += c.Kind.Duration(tp)
+	}
+	return total
+}
+
+// Energy returns the program's dynamic energy in nJ.
+func (p *Program) Energy(pp power.Params) float64 {
+	total := 0.0
+	for _, c := range p.Commands {
+		total += c.Kind.Energy(pp)
+	}
+	return total
+}
+
+// Symbols returns the distinct row names in first-appearance order.
+func (p *Program) Symbols() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(o Operand) {
+		if o.Name != "" && !seen[o.Name] {
+			seen[o.Name] = true
+			out = append(out, o.Name)
+		}
+	}
+	for _, c := range p.Commands {
+		add(c.Src)
+		if c.Dst != nil {
+			add(*c.Dst)
+		}
+		add(c.Aux2)
+		add(c.Aux3)
+	}
+	return out
+}
+
+// String renders the program one command per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, c := range p.Commands {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package controller
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/power"
+	"repro/internal/primitive"
+	"repro/internal/timing"
+)
+
+// The paper's oAAP-APP-oAAP AND (Figure 5(c)) in controller notation.
+const andProgram = `
+# C = A AND B through the reserved dual-contact row R0
+oAAP([R0],B)
+APP(A):zeros
+oAAP([C],R0)
+`
+
+func TestAssembleANDProgram(t *testing.T) {
+	p, err := Assemble(andProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Commands) != 3 {
+		t.Fatalf("commands = %d, want 3", len(p.Commands))
+	}
+	if p.Commands[0].Kind != primitive.OAAP || p.Commands[1].Kind != primitive.APP {
+		t.Fatalf("kinds wrong: %v", p.Commands)
+	}
+	if !p.Commands[1].RetainZeros {
+		t.Fatal("APP mode :zeros not parsed")
+	}
+	syms := p.Symbols()
+	want := []string{"B", "R0", "A", "C"} // source before copy target
+
+	if len(syms) != len(want) {
+		t.Fatalf("symbols = %v", syms)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("symbols = %v, want %v", syms, want)
+		}
+	}
+}
+
+func TestAssembleTRA(t *testing.T) {
+	p, err := Assemble("TRA(T0,T1,T2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Commands[0].Kind != primitive.TRAAP {
+		t.Fatal("plain TRA kind wrong")
+	}
+	p, err = Assemble("TRA([C],T0,T1,T2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Commands[0].Kind != primitive.TRAAAP {
+		t.Fatal("TRA with [dst] must upgrade to TRA-AAP")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"FOO(A)",
+		"AP(A",
+		"AP([C],A)",                  // AP cannot copy
+		"AAP(A)",                     // AAP needs [dst]
+		"AP(A):zeros",                // mode on non-pseudo
+		"APP(A):sideways",            // bad mode
+		"TRA(T0,T1)",                 // TRA arity
+		"TRA(~T0,T1,T2)",             // negated TRA row
+		"AAP([C,A)",                  // unterminated dst
+		"APP()",                      // empty operand
+		"AP(a-b)",                    // bad row name
+		"APP(A):zeros",               // dangling pseudo at end
+		"APP(A):zeros TRA(T0,T1,T2)", // TRA with pending pseudo
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) accepted", src)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("nope(")
+}
+
+func TestCommandString(t *testing.T) {
+	p := MustAssemble("oAPP([R1],B):zeros oAAP([C],~R0) AP(X)")
+	rendered := p.String()
+	// The merged-copy form renders as the distinct oAPPm primitive.
+	for _, want := range []string{"oAPPm([R1],B):zeros", "oAAP([C],~R0)", "AP(X)"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestDurationAndEnergy(t *testing.T) {
+	tp := timing.DDR31600()
+	pp := power.DDR31600()
+	p := MustAssemble(andProgram)
+	wantDur := primitive.OAAP.Duration(tp) + primitive.APP.Duration(tp) + primitive.OAAP.Duration(tp)
+	if got := p.Duration(tp); math.Abs(got-wantDur) > 1e-9 {
+		t.Fatalf("duration = %v, want %v", got, wantDur)
+	}
+	wantE := 2*primitive.OAAP.Energy(pp) + primitive.APP.Energy(pp)
+	if got := p.Energy(pp); math.Abs(got-wantE) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", got, wantE)
+	}
+}
+
+func testSubarray() *dram.Subarray {
+	return dram.NewSubarray(dram.Config{
+		Banks: 1, SubarraysPerBank: 1,
+		RowsPerSubarray: 16, Columns: 128, DualContactRows: 1,
+	})
+}
+
+func TestRunANDProgram(t *testing.T) {
+	sub := testSubarray()
+	rng := rand.New(rand.NewSource(1))
+	a := bitvec.Random(rng, 128)
+	b := bitvec.Random(rng, 128)
+	sub.LoadRow(0, a)
+	sub.LoadRow(1, b)
+	rows := map[string]int{"A": 0, "B": 1, "C": 2, "R0": sub.DCCRow(0)}
+
+	p := MustAssemble(andProgram)
+	tr, err := p.Run(sub, rows, timing.DDR31600(), power.DDR31600())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bitvec.New(128).And(a, b)
+	if !sub.RowData(2).Equal(want) {
+		t.Fatal("controller-program AND mismatch")
+	}
+	// Trace timeline: contiguous, monotone, correct total.
+	if len(tr.Entries) != 3 {
+		t.Fatalf("trace entries = %d", len(tr.Entries))
+	}
+	for i, e := range tr.Entries {
+		if e.EndNS <= e.StartNS {
+			t.Fatalf("entry %d not positive-length", i)
+		}
+		if i > 0 && math.Abs(e.StartNS-tr.Entries[i-1].EndNS) > 1e-9 {
+			t.Fatalf("entry %d not contiguous", i)
+		}
+	}
+	if math.Abs(tr.Duration()-p.Duration(timing.DDR31600())) > 1e-9 {
+		t.Fatal("trace duration != program duration")
+	}
+	if math.Abs(tr.Energy()-p.Energy(power.DDR31600())) > 1e-9 {
+		t.Fatal("trace energy != program energy")
+	}
+	if !strings.Contains(tr.String(), "APP(A):zeros") {
+		t.Fatal("trace render missing command")
+	}
+}
+
+func TestRunXORSequence5(t *testing.T) {
+	// Figure 8 sequence 5, hand-written in controller notation, must
+	// compute XOR on the device model.
+	src := `
+oAAP([R0],B)  oAPP(A):zeros       oAAP([C],~R0)
+oAAP([R0],A)  oAPP(B):zeros       otAPP(~R0):ones
+AP(C)
+`
+	sub := testSubarray()
+	rng := rand.New(rand.NewSource(2))
+	a := bitvec.Random(rng, 128)
+	b := bitvec.Random(rng, 128)
+	sub.LoadRow(0, a)
+	sub.LoadRow(1, b)
+	rows := map[string]int{"A": 0, "B": 1, "C": 2, "R0": sub.DCCRow(0)}
+
+	p := MustAssemble(src)
+	if _, err := p.Run(sub, rows, timing.DDR31600(), power.DDR31600()); err != nil {
+		t.Fatal(err)
+	}
+	want := bitvec.New(128).Xor(a, b)
+	if !sub.RowData(2).Equal(want) {
+		t.Fatal("sequence-5 XOR mismatch")
+	}
+	if d := p.Duration(timing.DDR31600()); math.Abs(d-346.6) > 1 {
+		t.Fatalf("sequence-5 duration = %v, want ~346", d)
+	}
+}
+
+func TestRunTRAProgram(t *testing.T) {
+	// Ambit-style AND: copies + TRA with result copy-out.
+	src := "oAAP([T0],A) oAAP([T1],B) oAAP([T2],Z) TRA([C],T0,T1,T2)"
+	sub := testSubarray()
+	rng := rand.New(rand.NewSource(3))
+	a := bitvec.Random(rng, 128)
+	b := bitvec.Random(rng, 128)
+	sub.LoadRow(0, a)
+	sub.LoadRow(1, b)
+	// Z stays all-zero: TRA majority with 0 = AND.
+	rows := map[string]int{"A": 0, "B": 1, "Z": 2, "T0": 3, "T1": 4, "T2": 5, "C": 6}
+	p := MustAssemble(src)
+	if _, err := p.Run(sub, rows, timing.DDR31600(), power.DDR31600()); err != nil {
+		t.Fatal(err)
+	}
+	want := bitvec.New(128).And(a, b)
+	if !sub.RowData(6).Equal(want) {
+		t.Fatal("TRA program AND mismatch")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := MustAssemble("AP(A)")
+	sub := testSubarray()
+	if _, err := p.Run(sub, map[string]int{}, timing.DDR31600(), power.DDR31600()); err == nil {
+		t.Fatal("unbound symbol accepted")
+	}
+	// Negated activate of a non-DCC row must surface the device error.
+	p2 := MustAssemble("AP(~A)")
+	if _, err := p2.Run(sub, map[string]int{"A": 0}, timing.DDR31600(), power.DDR31600()); err == nil {
+		t.Fatal("negated non-DCC activate accepted")
+	}
+}
+
+func TestSequenceBuffer(t *testing.T) {
+	buf := NewSequenceBuffer()
+	if err := buf.Store("and", andProgram); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Store("bad", "AP("); err == nil {
+		t.Fatal("invalid program stored")
+	}
+	p, ok := buf.Lookup("and")
+	if !ok || len(p.Commands) != 3 {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := buf.Lookup("bad"); ok {
+		t.Fatal("invalid program present")
+	}
+	if names := buf.Names(); len(names) != 1 || names[0] != "and" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestMergedCopyAPP(t *testing.T) {
+	// oAPP([R1],B):zeros — the sequence-6 merged copy — must copy B and
+	// leave the retain-zeros regulation pending for the next activate.
+	sub := dram.NewSubarray(dram.Config{
+		Banks: 1, SubarraysPerBank: 1,
+		RowsPerSubarray: 16, Columns: 128, DualContactRows: 2,
+	})
+	rng := rand.New(rand.NewSource(4))
+	a := bitvec.Random(rng, 128)
+	b := bitvec.Random(rng, 128)
+	sub.LoadRow(0, a)
+	sub.LoadRow(1, b)
+	rows := map[string]int{"A": 0, "B": 1, "C": 2, "R1": sub.DCCRow(1)}
+	p := MustAssemble("oAPP([R1],B):zeros AP(A)") // A becomes A AND B in place
+	if _, err := p.Run(sub, rows, timing.DDR31600(), power.DDR31600()); err != nil {
+		t.Fatal(err)
+	}
+	if !sub.RowData(sub.DCCRow(1)).Equal(b) {
+		t.Fatal("merged copy did not stage B")
+	}
+	want := bitvec.New(128).And(a, b)
+	if !sub.RowData(0).Equal(want) {
+		t.Fatal("pending regulation did not fold into the next activate")
+	}
+}

@@ -1,0 +1,196 @@
+package controller
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/power"
+	"repro/internal/primitive"
+	"repro/internal/timing"
+)
+
+// TraceEntry is one command's execution record.
+type TraceEntry struct {
+	// Command is the executed command.
+	Command Command
+	// StartNS and EndNS delimit the command on the timeline.
+	StartNS, EndNS float64
+	// EnergyNJ is the command's dynamic energy.
+	EnergyNJ float64
+	// Wordlines raised by the command.
+	Wordlines int
+}
+
+// Trace is a timed replay of a program.
+type Trace struct {
+	Entries []TraceEntry
+}
+
+// Duration returns the trace end time.
+func (t Trace) Duration() float64 {
+	if len(t.Entries) == 0 {
+		return 0
+	}
+	return t.Entries[len(t.Entries)-1].EndNS
+}
+
+// Energy returns the summed dynamic energy.
+func (t Trace) Energy() float64 {
+	total := 0.0
+	for _, e := range t.Entries {
+		total += e.EnergyNJ
+	}
+	return total
+}
+
+// String renders the trace as a table.
+func (t Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %8s %4s  %s\n", "start(ns)", "end(ns)", "nJ", "WL", "command")
+	for _, e := range t.Entries {
+		fmt.Fprintf(&b, "%10.1f %10.1f %8.2f %4d  %s\n",
+			e.StartNS, e.EndNS, e.EnergyNJ, e.Wordlines, e.Command)
+	}
+	return b.String()
+}
+
+// Run replays the program on a subarray with rows resolved through the
+// symbol table, producing the functional state change and a timed trace.
+func (p *Program) Run(sub *dram.Subarray, rows map[string]int, tp timing.Params, pp power.Params) (Trace, error) {
+	resolve := func(o Operand) (int, error) {
+		r, ok := rows[o.Name]
+		if !ok {
+			return 0, fmt.Errorf("controller: unbound row symbol %q", o.Name)
+		}
+		return r, nil
+	}
+
+	var tr Trace
+	now := 0.0
+	for i, c := range p.Commands {
+		src, err := resolve(c.Src)
+		if err != nil {
+			return tr, err
+		}
+		switch c.Kind {
+		case primitive.AP:
+			if err := sub.Activate(src, c.Src.Negated); err != nil {
+				return tr, cmdErr(i, c, err)
+			}
+			sub.Precharge()
+
+		case primitive.AAP, primitive.OAAP:
+			dst, err := resolve(*c.Dst)
+			if err != nil {
+				return tr, err
+			}
+			if err := sub.Activate(src, c.Src.Negated); err != nil {
+				return tr, cmdErr(i, c, err)
+			}
+			if err := sub.Activate(dst, c.Dst.Negated); err != nil {
+				return tr, cmdErr(i, c, err)
+			}
+			sub.Precharge()
+
+		case primitive.APP, primitive.OAPP, primitive.TAPP, primitive.OTAPP,
+			primitive.APPM, primitive.OAPPM:
+			if err := sub.Activate(src, c.Src.Negated); err != nil {
+				return tr, cmdErr(i, c, err)
+			}
+			if c.Dst != nil {
+				dst, err := resolve(*c.Dst)
+				if err != nil {
+					return tr, err
+				}
+				if err := sub.Activate(dst, c.Dst.Negated); err != nil {
+					return tr, cmdErr(i, c, err)
+				}
+			}
+			mode := dram.RetainOnes
+			if c.RetainZeros {
+				mode = dram.RetainZeros
+			}
+			if err := sub.PseudoPrecharge(mode); err != nil {
+				return tr, cmdErr(i, c, err)
+			}
+
+		case primitive.TRAAP, primitive.TRAAAP:
+			r2, err := resolve(c.Aux2)
+			if err != nil {
+				return tr, err
+			}
+			r3, err := resolve(c.Aux3)
+			if err != nil {
+				return tr, err
+			}
+			if err := sub.ActivateTRA(src, r2, r3); err != nil {
+				return tr, cmdErr(i, c, err)
+			}
+			if c.Kind == primitive.TRAAAP {
+				dst, err := resolve(*c.Dst)
+				if err != nil {
+					return tr, err
+				}
+				if err := sub.Activate(dst, c.Dst.Negated); err != nil {
+					return tr, cmdErr(i, c, err)
+				}
+			}
+			sub.Precharge()
+
+		default:
+			return tr, fmt.Errorf("controller: command %d (%s): unsupported primitive", i, c)
+		}
+
+		d := c.Kind.Duration(tp)
+		tr.Entries = append(tr.Entries, TraceEntry{
+			Command:   c,
+			StartNS:   now,
+			EndNS:     now + d,
+			EnergyNJ:  c.Kind.Energy(pp),
+			Wordlines: c.Kind.Wordlines(),
+		})
+		now += d
+	}
+	return tr, nil
+}
+
+func cmdErr(i int, c Command, err error) error {
+	return fmt.Errorf("controller: command %d (%s): %w", i, c, err)
+}
+
+// SequenceBuffer is the configurable controller's per-operation program
+// store (§5.1): named, pre-validated command programs.
+type SequenceBuffer struct {
+	programs map[string]*Program
+}
+
+// NewSequenceBuffer returns an empty buffer.
+func NewSequenceBuffer() *SequenceBuffer {
+	return &SequenceBuffer{programs: map[string]*Program{}}
+}
+
+// Store assembles and registers a program under a name.
+func (s *SequenceBuffer) Store(name, src string) error {
+	p, err := Assemble(src)
+	if err != nil {
+		return err
+	}
+	s.programs[name] = p
+	return nil
+}
+
+// Lookup returns a stored program.
+func (s *SequenceBuffer) Lookup(name string) (*Program, bool) {
+	p, ok := s.programs[name]
+	return p, ok
+}
+
+// Names returns the stored program names (unordered).
+func (s *SequenceBuffer) Names() []string {
+	out := make([]string, 0, len(s.programs))
+	for n := range s.programs {
+		out = append(out, n)
+	}
+	return out
+}

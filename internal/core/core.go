@@ -1,0 +1,47 @@
+// Package core is the canonical entry point to the paper's primary
+// contribution — the ELP2IM engine. The implementation lives in
+// repro/internal/elpim; this package re-exports its API under the
+// repository's prescribed layout so that "the paper's contribution" has a
+// stable import path independent of the engine's name.
+package core
+
+import "repro/internal/elpim"
+
+// Engine is the ELP2IM engine (see repro/internal/elpim).
+type Engine = elpim.Engine
+
+// Config parameterizes the engine.
+type Config = elpim.Config
+
+// Mode selects the execution strategy (reduced-latency / high-throughput).
+type Mode = elpim.Mode
+
+// Binding maps compiled-sequence slots to concrete subarray rows.
+type Binding = elpim.Binding
+
+// Execution-strategy modes (§3.3).
+const (
+	ReducedLatency = elpim.ReducedLatency
+	HighThroughput = elpim.HighThroughput
+)
+
+// Symbolic sequence slots.
+const (
+	SlotA  = elpim.SlotA
+	SlotB  = elpim.SlotB
+	SlotC  = elpim.SlotC
+	SlotR0 = elpim.SlotR0
+	SlotR1 = elpim.SlotR1
+)
+
+// DefaultConfig returns the paper's standard configuration.
+func DefaultConfig() Config { return elpim.DefaultConfig() }
+
+// New returns an engine for cfg.
+func New(cfg Config) (*Engine, error) { return elpim.New(cfg) }
+
+// MustNew returns New's engine and panics on configuration errors.
+func MustNew(cfg Config) *Engine { return elpim.MustNew(cfg) }
+
+// BindDefault binds the reserved slots to a subarray's dual-contact rows.
+var BindDefault = elpim.BindDefault

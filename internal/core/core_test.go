@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/engine"
+)
+
+// TestAliasPackageIsTheRealEngine exercises the re-exported API end to end.
+func TestAliasPackageIsTheRealEngine(t *testing.T) {
+	e := MustNew(DefaultConfig())
+	if e.Name() != "ELP2IM" {
+		t.Fatalf("name = %q", e.Name())
+	}
+	sub := dram.NewSubarray(dram.Config{
+		Banks: 1, SubarraysPerBank: 1,
+		RowsPerSubarray: 8, Columns: 128, DualContactRows: 1,
+	})
+	rng := rand.New(rand.NewSource(1))
+	a := bitvec.Random(rng, 128)
+	b := bitvec.Random(rng, 128)
+	sub.LoadRow(0, a)
+	sub.LoadRow(1, b)
+	if err := e.Execute(sub, engine.OpXOR, 2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := bitvec.New(128).Xor(a, b)
+	if !sub.RowData(2).Equal(want) {
+		t.Fatal("XOR through the core alias mismatched")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if ReducedLatency.String() != "reduced-latency" || HighThroughput.String() != "high-throughput" {
+		t.Fatal("mode aliases wrong")
+	}
+	if SlotA == SlotB || SlotR0 == SlotR1 {
+		t.Fatal("slot aliases collide")
+	}
+	if _, err := BindDefault(sub, 1, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}

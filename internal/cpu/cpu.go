@@ -1,0 +1,98 @@
+// Package cpu models the Kaby-Lake-class CPU baseline of the case studies
+// (§6.3): bulk bitwise operations and population counts executed with
+// SIMD over DRAM-resident vectors are bandwidth-bound, so the model is a
+// simple roofline over memory traffic with a compute ceiling.
+package cpu
+
+import "errors"
+
+// Model holds the CPU parameters.
+type Model struct {
+	// BandwidthGBps is the sustained memory bandwidth in GB/s
+	// (Kaby Lake dual-channel DDR4-2400: ~34 GB/s peak, ~80% sustained).
+	BandwidthGBps float64
+	// FreqGHz is the core clock.
+	FreqGHz float64
+	// SIMDBytesPerCycle is the per-core SIMD bitwise throughput
+	// (AVX2: one 32-byte op per cycle sustained).
+	SIMDBytesPerCycle float64
+	// PopcountBytesPerCycle is the per-core POPCNT throughput
+	// (scalar popcnt: 8 bytes/cycle; Harley-Seal AVX2 ≈ 16).
+	PopcountBytesPerCycle float64
+	// Cores is the number of cores participating.
+	Cores int
+}
+
+// KabyLake returns the 7th-generation Intel Core parameters used as the
+// baseline in Figures 13 and 14.
+func KabyLake() Model {
+	return Model{
+		BandwidthGBps:         27,
+		FreqGHz:               3.6,
+		SIMDBytesPerCycle:     32,
+		PopcountBytesPerCycle: 16,
+		Cores:                 4,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.BandwidthGBps <= 0 || m.FreqGHz <= 0 || m.SIMDBytesPerCycle <= 0 ||
+		m.PopcountBytesPerCycle <= 0 || m.Cores <= 0 {
+		return errors.New("cpu: all model parameters must be positive")
+	}
+	return nil
+}
+
+// bytesNS returns the time to stream n bytes at the memory bandwidth, ns.
+func (m Model) bytesNS(n float64) float64 {
+	return n / m.BandwidthGBps // bytes / (GB/s) = ns
+}
+
+// BulkOpNS returns the time for one bulk bitwise operation over vectors of
+// nbits bits with the given number of input operands (output write-back
+// included): the max of the memory-traffic time and the SIMD compute time.
+func (m Model) BulkOpNS(nbits int, operands int) float64 {
+	if nbits <= 0 {
+		return 0
+	}
+	bytes := float64(nbits) / 8
+	traffic := m.bytesNS(bytes * float64(operands+1))
+	compute := bytes / (m.SIMDBytesPerCycle * m.FreqGHz * float64(m.Cores))
+	if compute > traffic {
+		return compute
+	}
+	return traffic
+}
+
+// PopcountNS returns the time to population-count an nbits vector.
+func (m Model) PopcountNS(nbits int) float64 {
+	if nbits <= 0 {
+		return 0
+	}
+	bytes := float64(nbits) / 8
+	traffic := m.bytesNS(bytes)
+	compute := bytes / (m.PopcountBytesPerCycle * m.FreqGHz * float64(m.Cores))
+	if compute > traffic {
+		return compute
+	}
+	return traffic
+}
+
+// ReduceAndNS returns the time to AND-reduce k nbits vectors and leave the
+// result in memory: (k-1) chained bulk ANDs with the accumulator kept in
+// cache, so each step streams one fresh operand and the final step writes
+// the result.
+func (m Model) ReduceAndNS(nbits, k int) float64 {
+	if k < 2 || nbits <= 0 {
+		return 0
+	}
+	bytes := float64(nbits) / 8
+	// Read each operand once; accumulator stays resident; one write-out.
+	traffic := m.bytesNS(bytes * float64(k+1))
+	compute := bytes * float64(k-1) / (m.SIMDBytesPerCycle * m.FreqGHz * float64(m.Cores))
+	if compute > traffic {
+		return compute
+	}
+	return traffic
+}

@@ -1,0 +1,93 @@
+package cpu
+
+import "testing"
+
+func TestKabyLakeValidates(t *testing.T) {
+	if err := KabyLake().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModel(t *testing.T) {
+	m := KabyLake()
+	m.Cores = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted zero cores")
+	}
+	m = KabyLake()
+	m.BandwidthGBps = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted negative bandwidth")
+	}
+}
+
+func TestBulkOpBandwidthBound(t *testing.T) {
+	m := KabyLake()
+	// 16 Mbit AND: 2 inputs + 1 output = 6 MB of traffic at 27 GB/s
+	// ≈ 222 µs; compute is far cheaper, so traffic dominates.
+	nbits := 16 << 20
+	got := m.BulkOpNS(nbits, 2)
+	want := float64(nbits) / 8 * 3 / m.BandwidthGBps
+	if got != want {
+		t.Fatalf("BulkOpNS = %v, want traffic-bound %v", got, want)
+	}
+}
+
+func TestBulkOpScalesWithOperands(t *testing.T) {
+	m := KabyLake()
+	if m.BulkOpNS(1<<20, 3) <= m.BulkOpNS(1<<20, 2) {
+		t.Fatal("more operands must cost more traffic")
+	}
+}
+
+func TestBulkOpZeroBits(t *testing.T) {
+	if KabyLake().BulkOpNS(0, 2) != 0 {
+		t.Fatal("zero bits must cost zero")
+	}
+	if KabyLake().PopcountNS(-5) != 0 {
+		t.Fatal("negative bits must cost zero")
+	}
+}
+
+func TestComputeBoundRegime(t *testing.T) {
+	// With an absurdly high bandwidth the SIMD ceiling binds.
+	m := KabyLake()
+	m.BandwidthGBps = 1e6
+	nbits := 1 << 20
+	got := m.BulkOpNS(nbits, 2)
+	want := float64(nbits) / 8 / (m.SIMDBytesPerCycle * m.FreqGHz * float64(m.Cores))
+	if got != want {
+		t.Fatalf("BulkOpNS = %v, want compute-bound %v", got, want)
+	}
+	gotPC := m.PopcountNS(nbits)
+	wantPC := float64(nbits) / 8 / (m.PopcountBytesPerCycle * m.FreqGHz * float64(m.Cores))
+	if gotPC != wantPC {
+		t.Fatalf("PopcountNS = %v, want compute-bound %v", gotPC, wantPC)
+	}
+}
+
+func TestPopcountCheaperThanBulkOp(t *testing.T) {
+	// Popcount reads one stream; a binary op reads two and writes one.
+	m := KabyLake()
+	if m.PopcountNS(1<<20) >= m.BulkOpNS(1<<20, 2) {
+		t.Fatal("popcount must be cheaper than a 2-operand bulk op")
+	}
+}
+
+func TestReduceAnd(t *testing.T) {
+	m := KabyLake()
+	if m.ReduceAndNS(1<<20, 1) != 0 || m.ReduceAndNS(0, 4) != 0 {
+		t.Fatal("degenerate reduce must cost zero")
+	}
+	// Reducing k vectors with a cached accumulator is cheaper than k-1
+	// independent bulk ops.
+	k := 8
+	reduce := m.ReduceAndNS(1<<20, k)
+	naive := m.BulkOpNS(1<<20, 2) * float64(k-1)
+	if reduce >= naive {
+		t.Fatalf("reduce %v must beat naive chaining %v", reduce, naive)
+	}
+	if m.ReduceAndNS(1<<20, 9) <= reduce {
+		t.Fatal("more operands must cost more")
+	}
+}

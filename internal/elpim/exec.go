@@ -1,0 +1,164 @@
+package elpim
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/primitive"
+)
+
+// Binding maps the symbolic slots of a compiled sequence to concrete
+// subarray rows.
+type Binding struct {
+	A, B, C int
+	R0, R1  int
+}
+
+// BindDefault returns a binding using the subarray's dual-contact rows as
+// the reserved rows.
+func BindDefault(sub *dram.Subarray, reserved int, a, b, c int) (Binding, error) {
+	bind := Binding{A: a, B: b, C: c, R0: -1, R1: -1}
+	if reserved >= 1 {
+		bind.R0 = sub.DCCRow(0)
+	}
+	if reserved >= 2 {
+		bind.R1 = sub.DCCRow(1)
+	}
+	return bind, nil
+}
+
+// resolve maps a slot (or concrete row) to a subarray row index.
+func (b Binding) resolve(slot int) (int, error) {
+	switch slot {
+	case SlotA:
+		return b.A, nil
+	case SlotB:
+		return b.B, nil
+	case SlotC:
+		return b.C, nil
+	case SlotR0:
+		if b.R0 < 0 {
+			return 0, fmt.Errorf("elpim: sequence uses R0 but binding has none")
+		}
+		return b.R0, nil
+	case SlotR1:
+		if b.R1 < 0 {
+			return 0, fmt.Errorf("elpim: sequence uses R1 but binding has none")
+		}
+		return b.R1, nil
+	default:
+		if slot < 0 {
+			return 0, fmt.Errorf("elpim: unresolved slot %d", slot)
+		}
+		return slot, nil
+	}
+}
+
+// ExecuteSeq interprets a compiled primitive sequence on a subarray,
+// bit-accurately reproducing the command-level dataflow: every activate,
+// pseudo-precharge, and precharge is issued to the device model.
+func (e *Engine) ExecuteSeq(sub *dram.Subarray, q primitive.Seq, bind Binding) error {
+	for i, step := range q {
+		src, err := bind.resolve(step.Src)
+		if err != nil {
+			return fmt.Errorf("step %d (%v): %w", i, step, err)
+		}
+		mode := dram.RetainOnes
+		if step.RetainZeros {
+			mode = dram.RetainZeros
+		}
+
+		switch step.Kind {
+		case primitive.AP:
+			if err := sub.Activate(src, step.SrcNegated); err != nil {
+				return fmt.Errorf("step %d (%v): %w", i, step, err)
+			}
+			sub.Precharge()
+
+		case primitive.AAP, primitive.OAAP:
+			dst, err := bind.resolve(step.Dst)
+			if err != nil {
+				return fmt.Errorf("step %d (%v): %w", i, step, err)
+			}
+			if err := sub.Activate(src, step.SrcNegated); err != nil {
+				return fmt.Errorf("step %d (%v): %w", i, step, err)
+			}
+			if err := sub.Activate(dst, step.DstNegated); err != nil {
+				return fmt.Errorf("step %d (%v): %w", i, step, err)
+			}
+			sub.Precharge()
+
+		case primitive.APP, primitive.OAPP, primitive.TAPP, primitive.OTAPP,
+			primitive.APPM, primitive.OAPPM:
+			if err := sub.Activate(src, step.SrcNegated); err != nil {
+				return fmt.Errorf("step %d (%v): %w", i, step, err)
+			}
+			// Compiled sequences mark a merged copy with a (negative)
+			// slot in Dst; the zero value and the unused sentinel both
+			// mean "no copy".
+			if step.Dst != unused && step.Dst != 0 {
+				// Merged copy: the second (overlapped) activate clones the
+				// sensed value into a reserved row before the supply shift.
+				dst, err := bind.resolve(step.Dst)
+				if err != nil {
+					return fmt.Errorf("step %d (%v): %w", i, step, err)
+				}
+				if err := sub.Activate(dst, step.DstNegated); err != nil {
+					return fmt.Errorf("step %d (%v): %w", i, step, err)
+				}
+			}
+			if err := sub.PseudoPrecharge(mode); err != nil {
+				return fmt.Errorf("step %d (%v): %w", i, step, err)
+			}
+
+		default:
+			return fmt.Errorf("step %d: primitive %v is not an ELP2IM primitive", i, step.Kind)
+		}
+	}
+	return nil
+}
+
+// Execute implements engine.Engine: dst = op(a, b) on one subarray.
+// For unary ops b is ignored. The two-buffer XOR/XNOR sequences consume
+// operand a's row (documented in Compile); all other sequences preserve
+// both operands. XOR and XNOR read their operands twice around an
+// intermediate write to dst, so dst must not alias an operand.
+func (e *Engine) Execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error {
+	if (op == engine.OpXOR || op == engine.OpXNOR) && (dst == a || dst == b) {
+		return fmt.Errorf("elpim: %v destination must not alias an operand (dst=%d a=%d b=%d)", op, dst, a, b)
+	}
+	bind, err := BindDefault(sub, e.cfg.ReservedRows, a, b, dst)
+	if err != nil {
+		return err
+	}
+	return e.ExecuteSeq(sub, e.Compile(op), bind)
+}
+
+// ExecuteNotChain performs the complement fold functionally: row b becomes
+// op(¬a, b), with the complement read through the dual-contact row.
+func (e *Engine) ExecuteNotChain(sub *dram.Subarray, op engine.Op, a, b int) error {
+	q, err := e.NotChainSeq(op)
+	if err != nil {
+		return err
+	}
+	bind, err := BindDefault(sub, e.cfg.ReservedRows, a, b, -1)
+	if err != nil {
+		return err
+	}
+	return e.ExecuteSeq(sub, q, bind)
+}
+
+// ExecuteInPlace performs the Figure 5(a) in-place form: row b becomes
+// op(a, b).
+func (e *Engine) ExecuteInPlace(sub *dram.Subarray, op engine.Op, a, b int) error {
+	q, err := e.InPlaceSeq(op)
+	if err != nil {
+		return err
+	}
+	bind, err := BindDefault(sub, e.cfg.ReservedRows, a, b, -1)
+	if err != nil {
+		return err
+	}
+	return e.ExecuteSeq(sub, q, bind)
+}

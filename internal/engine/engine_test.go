@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestBasicOpsList(t *testing.T) {
+	ops := BasicOps()
+	if len(ops) != 7 {
+		t.Fatalf("basic ops = %d, want 7 (Figure 12)", len(ops))
+	}
+	seen := map[Op]bool{}
+	for _, op := range ops {
+		if seen[op] {
+			t.Fatalf("duplicate op %v", op)
+		}
+		seen[op] = true
+		if op == OpCOPY {
+			t.Fatal("COPY is not a basic logic op")
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	want := map[Op]string{
+		OpNOT: "NOT", OpAND: "AND", OpOR: "OR", OpNAND: "NAND",
+		OpNOR: "NOR", OpXOR: "XOR", OpXNOR: "XNOR", OpCOPY: "COPY",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("op string = %q, want %q", op.String(), s)
+		}
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op must render")
+	}
+}
+
+func TestUnary(t *testing.T) {
+	if !OpNOT.Unary() || !OpCOPY.Unary() {
+		t.Error("NOT and COPY are unary")
+	}
+	if OpAND.Unary() || OpXOR.Unary() {
+		t.Error("AND/XOR are binary")
+	}
+}
+
+func TestGoldenTruthTables(t *testing.T) {
+	a := bitvec.FromWords([]uint64{0b0011}, 4)
+	b := bitvec.FromWords([]uint64{0b0101}, 4)
+	want := map[Op]uint64{
+		OpNOT: 0b1100, OpCOPY: 0b0011,
+		OpAND: 0b0001, OpOR: 0b0111, OpNAND: 0b1110,
+		OpNOR: 0b1000, OpXOR: 0b0110, OpXNOR: 0b1001,
+	}
+	for op, w := range want {
+		dst := bitvec.New(4)
+		op.Golden(dst, a, b)
+		if dst.Words()[0] != w {
+			t.Errorf("%v golden = %04b, want %04b", op, dst.Words()[0], w)
+		}
+	}
+}
+
+func TestGoldenPanicsOnUnknownOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op did not panic")
+		}
+	}()
+	Op(99).Golden(bitvec.New(4), bitvec.New(4), bitvec.New(4))
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{LatencyNS: 10, EnergyNJ: 1, Commands: 2, ActivateEvents: 3, Wordlines: 4, MaxWordlinesPerEvent: 1}
+	b := Stats{LatencyNS: 5, EnergyNJ: 2, Commands: 1, ActivateEvents: 1, Wordlines: 3, MaxWordlinesPerEvent: 3}
+	a.Add(b)
+	if a.LatencyNS != 15 || a.EnergyNJ != 3 || a.Commands != 3 ||
+		a.ActivateEvents != 4 || a.Wordlines != 7 || a.MaxWordlinesPerEvent != 3 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestStatsScale(t *testing.T) {
+	s := Stats{LatencyNS: 10, EnergyNJ: 1, Commands: 2, ActivateEvents: 3, Wordlines: 4, MaxWordlinesPerEvent: 3}
+	g := s.Scale(5)
+	if g.LatencyNS != 50 || g.EnergyNJ != 5 || g.Commands != 10 ||
+		g.ActivateEvents != 15 || g.Wordlines != 20 || g.MaxWordlinesPerEvent != 3 {
+		t.Fatalf("Scale wrong: %+v", g)
+	}
+}
+
+// Property: Golden agrees with the direct bitvec operations.
+func TestGoldenMatchesBitvecProperty(t *testing.T) {
+	f := func(seed int64, opRaw uint8) bool {
+		op := BasicOps()[int(opRaw)%7]
+		rng := rand.New(rand.NewSource(seed))
+		n := 200
+		a := bitvec.Random(rng, n)
+		b := bitvec.Random(rng, n)
+		got := bitvec.New(n)
+		op.Golden(got, a, b)
+		want := bitvec.New(n)
+		switch op {
+		case OpNOT:
+			want.Not(a)
+		case OpAND:
+			want.And(a, b)
+		case OpOR:
+			want.Or(a, b)
+		case OpNAND:
+			want.Nand(a, b)
+		case OpNOR:
+			want.Nor(a, b)
+		case OpXOR:
+			want.Xor(a, b)
+		case OpXNOR:
+			want.Xnor(a, b)
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analog"
+	"repro/internal/apps/bitmap"
+	"repro/internal/apps/tablescan"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/power"
+	"repro/internal/timing"
+)
+
+// csvEmitters produce machine-readable series for the plottable figures,
+// one row per data point, ready for any plotting tool.
+var csvEmitters = map[string]func(io.Writer) error{
+	"fig11": csvFig11,
+	"fig12": csvFig12,
+	"fig13": csvFig13,
+	"fig14": csvFig14,
+}
+
+// CSV emits the machine-readable form of a figure. It reports whether the
+// experiment has one.
+func CSV(id string, w io.Writer) (bool, error) {
+	f, ok := csvEmitters[id]
+	if !ok {
+		return false, nil
+	}
+	return true, f(w)
+}
+
+// CSVIDs returns the experiments with CSV emitters.
+func CSVIDs() []string {
+	out := make([]string, 0, len(csvEmitters))
+	for _, id := range IDs() {
+		if _, ok := csvEmitters[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func csvFig11(w io.Writer) error {
+	c := analog.Default()
+	fmt.Fprintln(w, "variation,device,sigma,error_rate")
+	sigmas := []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12}
+	for _, vk := range []analog.Variation{analog.VariationRandom, analog.VariationSystematic} {
+		for _, d := range []analog.Device{
+			analog.DeviceDRAM, analog.DeviceAmbit,
+			analog.DeviceELP2IM, analog.DeviceELP2IMComplementary,
+		} {
+			curve := analog.ErrorCurve(c, d, vk, sigmas, 20000, 42)
+			for i, s := range sigmas {
+				fmt.Fprintf(w, "%s,%s,%.2f,%.6e\n", vk, d, s, curve[i])
+			}
+		}
+	}
+	return nil
+}
+
+func csvFig12(w io.Writer) error {
+	pp := power.DDR31600()
+	fmt.Fprintln(w, "design,op,latency_ns,power_w,commands,wordlines")
+	for _, e := range fig12Engines() {
+		for _, op := range engine.BasicOps() {
+			st := e.OpStats(op)
+			fmt.Fprintf(w, "%s,%s,%.1f,%.4f,%d,%d\n",
+				e.Name(), op, st.LatencyNS, opPower(e, op, pp), st.Commands, st.Wordlines)
+		}
+	}
+	return nil
+}
+
+func csvFig13(w io.Writer) error {
+	pp := power.DDR31600()
+	wl := bitmap.Default()
+	mod := dram.Default()
+	tp := timing.DDR31600()
+	m := cpu.KabyLake()
+	base, err := bitmap.RunCPU(wl, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "design,reserved_rows,power_constrained,system_speedup,device_ms,effective_banks,device_energy_uj")
+	for _, constrained := range []bool{false, true} {
+		for _, d := range bitmapDesigns() {
+			r, err := bitmap.Run(wl, d, mod, tp, pp, m, constrained)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s,%d,%t,%.3f,%.4f,%.2f,%.1f\n",
+				r.Name, r.ReservedRows, constrained, r.SpeedupOver(base),
+				r.DeviceNS/1e6, r.EffectiveBanks, r.DeviceEnergyNJ/1e3)
+		}
+	}
+	return nil
+}
+
+func csvFig14(w io.Writer) error {
+	mod := dram.Default()
+	tp := timing.DDR31600()
+	m := cpu.KabyLake()
+	fmt.Fprintln(w, "design,width,system_speedup,device_ms,predicate_ns,tuples_per_sec")
+	for _, width := range []int{4, 8, 12, 16} {
+		wl := tablescan.Default(width)
+		base, err := tablescan.RunCPU(wl, m)
+		if err != nil {
+			return err
+		}
+		for _, d := range fig14Designs() {
+			r, err := tablescan.Run(wl, d, mod, tp, m)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s,%d,%.3f,%.4f,%.1f,%.4g\n",
+				r.Name, width, r.SpeedupOver(base), r.DeviceNS/1e6,
+				r.PredicateLatencyNS, r.TuplesPerSec)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation section (§6). Each runner prints the same rows/series the
+// paper reports, annotated with the paper's expected values where the
+// text states them, so paper-vs-measured comparisons can be recorded.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner regenerates one experiment, writing its rows to w.
+type Runner struct {
+	// ID is the experiment identifier ("table1", "fig12", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run regenerates the experiment.
+	Run func(w io.Writer) error
+}
+
+// registry holds all experiments, keyed by ID.
+var registry = map[string]Runner{}
+
+func register(r Runner) {
+	if _, dup := registry[r.ID]; dup {
+		panic("exp: duplicate experiment " + r.ID)
+	}
+	registry[r.ID] = r
+}
+
+// Lookup returns the runner for an experiment ID.
+func Lookup(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// IDs returns all experiment IDs in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll regenerates every experiment in ID order.
+func RunAll(w io.Writer) error {
+	for _, id := range IDs() {
+		r := registry[id]
+		fmt.Fprintf(w, "==== %s — %s ====\n", r.ID, r.Title)
+		if err := r.Run(w); err != nil {
+			return fmt.Errorf("exp: %s: %w", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

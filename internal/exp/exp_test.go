@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of §6 (plus Figure 8 and the ablations).
+	want := []string{"ablation", "fig10", "fig11", "fig12", "fig13", "fig14", "fig8", "fig9", "table1", "table2", "table3"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiments = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	r, ok := Lookup("table1")
+	if !ok || r.ID != "table1" || r.Run == nil {
+		t.Fatal("Lookup(table1) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup accepted unknown id")
+	}
+}
+
+func TestEveryRunnerProducesOutput(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, _ := Lookup(id)
+			var buf bytes.Buffer
+			if err := r.Run(&buf); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if buf.Len() < 80 {
+				t.Fatalf("%s produced only %d bytes", id, buf.Len())
+			}
+		})
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	r, _ := Lookup("table1")
+	if err := r.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"AP", "AAP", "oAAP", "APP", "oAPP", "tAPP", "49", "84", "53", "67", "46"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestFig12Output(t *testing.T) {
+	var buf bytes.Buffer
+	r, _ := Lookup("fig12")
+	if err := r.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Drisa_nor", "Ambit", "ELP2IM", "XOR", "avg ELP2IM speedup", "power"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig12 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	var buf bytes.Buffer
+	r, _ := Lookup("table2")
+	if err := r.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Lenet5", "Cifar10", "Alexnet", "VGG16", "VGG19"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	var buf bytes.Buffer
+	r, _ := Lookup("table3")
+	if err := r.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Lenet5", "Alexnet", "Resnet18", "Resnet34", "Resnet50"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full regeneration is slow")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "==== table3") {
+		t.Fatal("RunAll missing experiments")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	want := []string{"fig11", "fig12", "fig13", "fig14"}
+	got := CSVIDs()
+	if len(got) != len(want) {
+		t.Fatalf("CSV ids = %v, want %v", got, want)
+	}
+	for _, id := range want {
+		var buf bytes.Buffer
+		ok, err := CSV(id, &buf)
+		if err != nil || !ok {
+			t.Fatalf("CSV(%s): ok=%v err=%v", id, ok, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) < 5 {
+			t.Fatalf("CSV(%s) has only %d lines", id, len(lines))
+		}
+		header := strings.Count(lines[0], ",")
+		for i, line := range lines {
+			if strings.Count(line, ",") != header {
+				t.Fatalf("CSV(%s) line %d has inconsistent columns: %q", id, i, line)
+			}
+		}
+	}
+	if ok, _ := CSV("table1", &bytes.Buffer{}); ok {
+		t.Fatal("table1 should have no CSV form")
+	}
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analog"
+	"repro/internal/timing"
+)
+
+func init() {
+	register(Runner{
+		ID:    "fig10",
+		Title: "Figure 10: waveforms of APP-AP sequences (OR, AND)",
+		Run:   runFig10,
+	})
+	register(Runner{
+		ID:    "fig11",
+		Title: "Figure 11: error rate under process variation (random / systematic)",
+		Run:   runFig11,
+	})
+}
+
+func runFig10(w io.Writer) error {
+	c := analog.Default()
+	tp := timing.DDR31600()
+	cases := []struct {
+		op   analog.TwoCycleOp
+		a, b bool
+	}{
+		{analog.TwoCycleOR, true, false},  // Figure 4 case 1
+		{analog.TwoCycleOR, false, false}, // Figure 4 case 2
+		{analog.TwoCycleAND, false, true},
+		{analog.TwoCycleAND, true, true},
+	}
+	for _, tc := range cases {
+		wf := analog.SimulateAPPAP(c, tp, tc.op, tc.a, tc.b)
+		fmt.Fprint(w, wf.RenderASCII(100))
+	}
+	fmt.Fprintln(w, "full traces: cmd/waveform emits CSV for plotting")
+	return nil
+}
+
+func runFig11(w io.Writer) error {
+	c := analog.Default()
+	sigmas := []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12}
+	const trials = 20000
+	devices := []analog.Device{
+		analog.DeviceDRAM, analog.DeviceAmbit,
+		analog.DeviceELP2IM, analog.DeviceELP2IMComplementary,
+	}
+	for _, vk := range []analog.Variation{analog.VariationRandom, analog.VariationSystematic} {
+		fmt.Fprintf(w, "(%s process variation, coupling = %.0f%% of Cb)\n",
+			vk, c.CouplingFraction*100)
+		fmt.Fprintf(w, "%-22s", "sigma")
+		for _, s := range sigmas {
+			fmt.Fprintf(w, " %8.0f%%", s*100)
+		}
+		fmt.Fprintln(w)
+		for _, d := range devices {
+			curve := analog.ErrorCurve(c, d, vk, sigmas, trials, 42)
+			fmt.Fprintf(w, "%-22s", d)
+			for _, r := range curve {
+				fmt.Fprintf(w, " %9.2e", r)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "paper shape: Ambit worst (esp. under random PV), ELP2IM between Ambit and DRAM")
+	return nil
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ambit"
+	"repro/internal/drisa"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+	"repro/internal/power"
+)
+
+func init() {
+	register(Runner{
+		ID:    "fig12",
+		Title: "Figure 12: latency and power of basic logic operations",
+		Run:   runFig12,
+	})
+}
+
+// fig12Engines returns the three designs in the figure's order.
+func fig12Engines() []engine.Engine {
+	return []engine.Engine{
+		drisa.MustNew(drisa.DefaultConfig()),
+		ambit.MustNew(ambit.DefaultConfig()),
+		elpim.MustNew(elpim.DefaultConfig()),
+	}
+}
+
+// opPower returns the average power of one op: dynamic energy plus
+// background energy over the op latency.
+func opPower(e engine.Engine, op engine.Op, pp power.Params) float64 {
+	st := e.OpStats(op)
+	bg := pp.BackgroundPower * e.BackgroundFactor() * st.LatencyNS
+	return (st.EnergyNJ + bg) / st.LatencyNS
+}
+
+func runFig12(w io.Writer) error {
+	engines := fig12Engines()
+	pp := power.DDR31600()
+	ops := engine.BasicOps()
+
+	fmt.Fprintln(w, "(a) latency, ns")
+	fmt.Fprintf(w, "%-10s", "op")
+	for _, e := range engines {
+		fmt.Fprintf(w, " %10s", e.Name())
+	}
+	fmt.Fprintln(w)
+	for _, op := range ops {
+		fmt.Fprintf(w, "%-10s", op)
+		for _, e := range engines {
+			fmt.Fprintf(w, " %10.1f", e.OpStats(op).LatencyNS)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Average speedups the paper reports: 1.17× vs Ambit, 1.12× vs Drisa.
+	elp := engines[2]
+	avg := func(base engine.Engine) float64 {
+		total := 0.0
+		for _, op := range ops {
+			total += base.OpStats(op).LatencyNS / elp.OpStats(op).LatencyNS
+		}
+		return total / float64(len(ops))
+	}
+	fmt.Fprintf(w, "avg ELP2IM speedup: %.2fx vs Ambit (paper 1.17x), %.2fx vs Drisa_nor (paper 1.12x)\n",
+		avg(engines[1]), avg(engines[0]))
+
+	// With the second reserved row (XOR/XNOR drop to sequence 6).
+	cfg2 := elpim.DefaultConfig()
+	cfg2.ReservedRows = 2
+	elp2 := elpim.MustNew(cfg2)
+	avg2 := func(base engine.Engine) float64 {
+		total := 0.0
+		for _, op := range ops {
+			total += base.OpStats(op).LatencyNS / elp2.OpStats(op).LatencyNS
+		}
+		return total / float64(len(ops))
+	}
+	fmt.Fprintf(w, "with one more buffer:  %.2fx vs Ambit (paper 1.23x), %.2fx vs Drisa_nor (paper 1.16x)\n",
+		avg2(engines[1]), avg2(engines[0]))
+
+	fmt.Fprintln(w, "\n(b) average power, W")
+	fmt.Fprintf(w, "%-10s", "op")
+	for _, e := range engines {
+		fmt.Fprintf(w, " %10s", e.Name())
+	}
+	fmt.Fprintln(w)
+	for _, op := range ops {
+		fmt.Fprintf(w, "%-10s", op)
+		for _, e := range engines {
+			fmt.Fprintf(w, " %10.3f", opPower(e, op, pp))
+		}
+		fmt.Fprintln(w)
+	}
+	avgP := func(e engine.Engine) float64 {
+		total := 0.0
+		for _, op := range ops {
+			total += opPower(e, op, pp)
+		}
+		return total / float64(len(ops))
+	}
+	fmt.Fprintf(w, "avg power: Drisa %.3f W, Ambit %.3f W, ELP2IM %.3f W (paper: ELP2IM ~3%% below Ambit, Drisa highest)\n",
+		avgP(engines[0]), avgP(engines[1]), avgP(engines[2]))
+	return nil
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ambit"
+	"repro/internal/drisa"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+)
+
+func init() {
+	register(Runner{
+		ID:    "fig9",
+		Title: "Figure 9: hardware cost of regular DRAM, Ambit, and ELP2IM",
+		Run:   runFig9,
+	})
+}
+
+func runFig9(w io.Writer) error {
+	type rowEntry struct {
+		eng   engine.Engine
+		notes string
+	}
+	rows := []rowEntry{
+		{ambit.MustNew(ambit.DefaultConfig()),
+			"B-group: T0–T3 + 2 dual-contact rows (4 physical) + C0/C1; special triple-row decoder; half-density region"},
+		{elpim.MustNew(elpim.DefaultConfig()),
+			"1 dual-contact row with separate driver; split-EQ metal change; ~0.8% isolation transistor"},
+		{func() engine.Engine {
+			cfg := elpim.DefaultConfig()
+			cfg.ReservedRows = 2
+			return elpim.MustNew(cfg)
+		}(), "accelerator configuration (+1 reserved row for sequence-6 XOR)"},
+		{drisa.MustNew(drisa.DefaultConfig()),
+			"NOR gate + latch per sense amplifier; no reserved rows"},
+	}
+
+	fmt.Fprintf(w, "%-12s %9s %10s  %s\n", "design", "reserved", "area(%)", "modifications")
+	fmt.Fprintf(w, "%-12s %9d %10.2f  %s\n", "DRAM", 0, 0.0, "(baseline)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %9d %10.2f  %s\n",
+			r.eng.Name(), r.eng.ReservedRows(), r.eng.AreaOverheadPercent(), r.notes)
+	}
+
+	a := rows[0].eng
+	e := rows[1].eng
+	saving := 1 - e.AreaOverheadPercent()/a.AreaOverheadPercent()
+	fmt.Fprintf(w, "\nELP2IM array overhead is %.0f%% below Ambit's (paper §5.2: 22%% less)\n", saving*100)
+	fmt.Fprintln(w, "Drisa_nor: \"even for the simplest NOR based design, it still increases 24% area\"")
+	return nil
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/primitive"
+	"repro/internal/timing"
+)
+
+func init() {
+	register(Runner{
+		ID:    "table1",
+		Title: "Table 1: primitives of ELP2IM (DDR3-1600)",
+		Run:   runTable1,
+	})
+	register(Runner{
+		ID:    "fig8",
+		Title: "Figure 8: XOR primitive-sequence optimization (519 → 297 ns)",
+		Run:   runFig8,
+	})
+}
+
+func runTable1(w io.Writer) error {
+	tp := timing.DDR31600()
+	rows := []struct {
+		kind  primitive.Kind
+		mean  string
+		paper float64
+	}{
+		{primitive.AP, "Activate-Precharge", 49},
+		{primitive.AAP, "Activate-Activate-Precharge", 84},
+		{primitive.OAAP, "overlapped Activate-Activate-Precharge", 53},
+		{primitive.APP, "Activate-Pseudoprecharge-Precharge", 67},
+		{primitive.OAPP, "overlapped Activate-Pseudoprecharge-Precharge", 53},
+		{primitive.TAPP, "trimmed Activate-Pseudoprecharge-Precharge", 46},
+	}
+	fmt.Fprintf(w, "%-8s %-48s %10s %10s\n", "Prim", "Meaning", "model(ns)", "paper(ns)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-48s %10.1f %10.0f\n",
+			r.kind, r.mean, r.kind.Duration(tp), r.paper)
+	}
+	fmt.Fprintf(w, "%-8s %-48s %10.1f %10s\n",
+		primitive.OTAPP, "trimmed+overlapped (used inside XOR seq 5/6)",
+		primitive.OTAPP.Duration(tp), "-")
+	return nil
+}
+
+// The Figure 8 sequence compositions, expressed in primitives. Sequence 1
+// is three oAAP-APP-oAAP triples; each later sequence applies one of the
+// §4.2/§4.3 optimizations.
+func fig8Sequences(tp timing.Params) []struct {
+	name  string
+	prims []primitive.Kind
+	paper float64
+} {
+	k := func(ks ...primitive.Kind) []primitive.Kind { return ks }
+	return []struct {
+		name  string
+		prims []primitive.Kind
+		paper float64
+	}{
+		{"seq1: 3×(oAAP APP oAAP)", k(
+			primitive.OAAP, primitive.APP, primitive.OAAP,
+			primitive.OAAP, primitive.APP, primitive.OAAP,
+			primitive.OAAP, primitive.APP, primitive.OAAP), 519},
+		{"seq2: merge the two R accesses", k(
+			primitive.OAAP, primitive.APP, primitive.OAAP,
+			primitive.OAAP, primitive.APP, primitive.APP, primitive.AP), 409},
+		{"seq3: trim the dead restore (tAPP)", k(
+			primitive.OAAP, primitive.APP, primitive.OAAP,
+			primitive.OAAP, primitive.APP, primitive.TAPP, primitive.AP), 388},
+		{"seq5: overlap pseudo-precharge (oAPP)", k(
+			primitive.OAAP, primitive.OAPP, primitive.OAAP,
+			primitive.OAAP, primitive.OAPP, primitive.OTAPP, primitive.AP), 346},
+		{"seq6: second reserved row merges the B copy", k(
+			primitive.OAAP, primitive.OAPPM, primitive.OAAP,
+			primitive.OAPP, primitive.OTAPP, primitive.AP), 297},
+	}
+}
+
+func runFig8(w io.Writer) error {
+	tp := timing.DDR31600()
+	fmt.Fprintf(w, "%-44s %5s %11s %10s\n", "sequence", "prims", "model(ns)", "paper(ns)")
+	for _, s := range fig8Sequences(tp) {
+		total := 0.0
+		for _, k := range s.prims {
+			total += k.Duration(tp)
+		}
+		fmt.Fprintf(w, "%-44s %5d %11.1f %10.0f\n", s.name, len(s.prims), total, s.paper)
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/engine"
+)
+
+// Ref names an operand of a compiled instruction.
+type Ref struct {
+	// Temp is true for scratch values, false for input variables.
+	Temp bool
+	// Index is the variable index (into Program.Vars) or the temp slot.
+	Index int
+}
+
+func varRef(i int) Ref  { return Ref{Temp: false, Index: i} }
+func tempRef(i int) Ref { return Ref{Temp: true, Index: i} }
+
+// String renders the reference.
+func (r Ref) String() string {
+	if r.Temp {
+		return fmt.Sprintf("t%d", r.Index)
+	}
+	return fmt.Sprintf("v%d", r.Index)
+}
+
+// Instr is one three-address operation: Dst = Op(A, B) (B unused for
+// unary ops). Dst is always a temp.
+type Instr struct {
+	Op   engine.Op
+	Dst  Ref
+	A, B Ref
+}
+
+// String renders the instruction.
+func (in Instr) String() string {
+	if in.Op.Unary() {
+		return fmt.Sprintf("%s = %s %s", in.Dst, in.Op, in.A)
+	}
+	return fmt.Sprintf("%s = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+}
+
+// Program is a compiled expression: an instruction list over input
+// variables and scratch temps, with the result in the last instruction's
+// destination.
+type Program struct {
+	// Vars are the input variable names, in first-appearance order.
+	Vars []string
+	// Instrs is the instruction list in execution order.
+	Instrs []Instr
+	// TempSlots is the number of scratch rows needed after allocation.
+	TempSlots int
+	// Source is the original expression.
+	Source string
+}
+
+// Result returns the reference holding the final value.
+func (p *Program) Result() Ref {
+	if len(p.Instrs) == 0 {
+		return varRef(0) // expression was a bare variable
+	}
+	return p.Instrs[len(p.Instrs)-1].Dst
+}
+
+// String renders the program.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s  (vars: %s, temps: %d)\n",
+		p.Source, strings.Join(p.Vars, ","), p.TempSlots)
+	for _, in := range p.Instrs {
+		fmt.Fprintf(&b, "%s\n", in)
+	}
+	return b.String()
+}
+
+// value is a DAG node during compilation.
+type value struct {
+	op   engine.Op
+	a, b *value
+	vidx int // NodeVar leaf: variable index
+	leaf bool
+
+	// results of scheduling
+	ref     Ref
+	emitted bool
+	uses    int
+	lastUse int // instruction index of final use (for row reuse)
+}
+
+// Compile lowers an expression to a Program: builds the CSE'd DAG, fuses
+// NOT into following/preceding gates (NAND/NOR/XNOR/NOT collapses), and
+// allocates scratch rows by liveness so temps are reused.
+func Compile(n *Node) (*Program, error) {
+	if n == nil {
+		return nil, errors.New("expr: nil expression")
+	}
+	vars := n.Vars()
+	vidx := map[string]int{}
+	for i, v := range vars {
+		vidx[v] = i
+	}
+
+	// Build the DAG with structural sharing.
+	memo := map[string]*value{}
+	var build func(*Node) *value
+	build = func(x *Node) *value {
+		k := x.key()
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		var v *value
+		switch x.Kind {
+		case NodeVar:
+			v = &value{leaf: true, vidx: vidx[x.Name]}
+		case NodeNot:
+			a := build(x.Left)
+			// Double negation: ~~e = e.
+			if !a.leaf && a.op == engine.OpNOT {
+				v = a.a
+			} else {
+				v = &value{op: engine.OpNOT, a: a}
+			}
+		default:
+			a, b := build(x.Left), build(x.Right)
+			var op engine.Op
+			switch x.Kind {
+			case NodeAnd:
+				op = engine.OpAND
+			case NodeOr:
+				op = engine.OpOR
+			case NodeXor:
+				op = engine.OpXOR
+			}
+			v = fuse(op, a, b)
+		}
+		memo[k] = v
+		return v
+	}
+	root := build(n)
+
+	// Count uses for liveness (roots count as one use).
+	var countUses func(*value)
+	seen := map[*value]bool{}
+	var order []*value
+	countUses = func(v *value) {
+		if v.leaf {
+			return
+		}
+		if !seen[v] {
+			seen[v] = true
+			countUses(v.a)
+			if v.b != nil {
+				countUses(v.b)
+			}
+			order = append(order, v) // post-order: operands first
+		}
+	}
+	countUses(root)
+	for _, v := range order {
+		v.a.uses++
+		if v.b != nil {
+			v.b.uses++
+		}
+	}
+	root.uses++
+
+	p := &Program{Vars: vars, Source: n.String()}
+
+	if root.leaf {
+		// Bare variable: no instructions; Result refers to the variable.
+		return p, nil
+	}
+
+	// Emit in post-order with liveness-based temp-slot reuse.
+	type slot struct{ free bool }
+	var slots []slot
+	alloc := func() int {
+		for i := range slots {
+			if slots[i].free {
+				slots[i].free = false
+				return i
+			}
+		}
+		slots = append(slots, slot{})
+		return len(slots) - 1
+	}
+	release := func(r Ref) {
+		if r.Temp {
+			slots[r.Index].free = true
+		}
+	}
+	refOf := func(v *value) Ref {
+		if v.leaf {
+			return varRef(v.vidx)
+		}
+		return v.ref
+	}
+
+	for _, v := range order {
+		a := refOf(v.a)
+		var b Ref
+		if v.b != nil {
+			b = refOf(v.b)
+		}
+		// Allocate the destination BEFORE releasing dying operands: some
+		// engine sequences (ELP2IM's XOR/XNOR) read their operand rows
+		// again after writing an intermediate into the destination, so the
+		// destination must never alias an operand of the same instruction.
+		dst := tempRef(alloc())
+		if !v.a.leaf {
+			v.a.uses--
+			if v.a.uses == 0 {
+				release(a)
+			}
+		}
+		if v.b != nil && !v.b.leaf {
+			v.b.uses--
+			if v.b.uses == 0 {
+				release(b)
+			}
+		}
+		v.ref = dst
+		v.emitted = true
+		p.Instrs = append(p.Instrs, Instr{Op: v.op, Dst: dst, A: a, B: b})
+	}
+	p.TempSlots = len(slots)
+	return p, nil
+}
+
+// fuse applies gate fusion: a NOT on the output or inputs of a binary
+// gate collapses into the engine-native complement gate, saving a full
+// DCC round-trip per fused NOT.
+//
+//	AND(¬x, ¬y) = NOR(x, y)      OR(¬x, ¬y) = NAND(x, y)
+//	XOR(¬x, y) = XOR(x, ¬y) = XNOR(x, y)
+//	XOR(¬x, ¬y) = XOR(x, y)
+func fuse(op engine.Op, a, b *value) *value {
+	na := !a.leaf && a.op == engine.OpNOT
+	nb := !b.leaf && b.op == engine.OpNOT
+	switch op {
+	case engine.OpAND:
+		if na && nb {
+			return &value{op: engine.OpNOR, a: a.a, b: b.a}
+		}
+	case engine.OpOR:
+		if na && nb {
+			return &value{op: engine.OpNAND, a: a.a, b: b.a}
+		}
+	case engine.OpXOR:
+		if na && nb {
+			return &value{op: engine.OpXOR, a: a.a, b: b.a}
+		}
+		if na {
+			return &value{op: engine.OpXNOR, a: a.a, b: b}
+		}
+		if nb {
+			return &value{op: engine.OpXNOR, a: a, b: b.a}
+		}
+	}
+	return &value{op: op, a: a, b: b}
+}
+
+// CostEstimator prices one three-operand operation (every engine does).
+type CostEstimator interface {
+	OpStats(op engine.Op) engine.Stats
+}
+
+// Cost returns the program's total modeled cost on a design (per stripe of
+// row width).
+func (p *Program) Cost(d CostEstimator) engine.Stats {
+	var total engine.Stats
+	for _, in := range p.Instrs {
+		total.Add(d.OpStats(in.Op))
+	}
+	return total
+}
+
+// Executor is the functional engine surface programs run on.
+type Executor interface {
+	Execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error
+}
+
+// Execute runs the program on a subarray: varRows[i] is the row holding
+// Vars[i]; scratch rows scratchBase, scratchBase+1, ... hold the temps.
+// It returns the row holding the result. Input rows are preserved.
+func (p *Program) Execute(sub *dram.Subarray, ex Executor, varRows []int, scratchBase int) (int, error) {
+	if len(varRows) != len(p.Vars) {
+		return 0, fmt.Errorf("expr: %d var rows for %d variables", len(varRows), len(p.Vars))
+	}
+	if scratchBase+p.TempSlots > sub.Rows() {
+		return 0, fmt.Errorf("expr: program needs %d scratch rows at %d but subarray has %d rows",
+			p.TempSlots, scratchBase, sub.Rows())
+	}
+	rowOf := func(r Ref) int {
+		if r.Temp {
+			return scratchBase + r.Index
+		}
+		return varRows[r.Index]
+	}
+	for _, in := range p.Instrs {
+		b := -1
+		if !in.Op.Unary() {
+			b = rowOf(in.B)
+		}
+		if err := ex.Execute(sub, in.Op, rowOf(in.Dst), rowOf(in.A), b); err != nil {
+			return 0, fmt.Errorf("expr: %s: %w", in, err)
+		}
+	}
+	return rowOf(p.Result()), nil
+}

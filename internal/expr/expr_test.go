@@ -1,0 +1,379 @@
+package expr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ambit"
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/drisa"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := map[string]string{
+		"a":             "a",
+		"~a":            "~a",
+		"a & b":         "(a & b)",
+		"a | b & c":     "(a | (b & c))",
+		"a ^ b | c":     "((a ^ b) | c)",
+		"~(a | b)":      "~(a | b)",
+		"(a&b)|(~a&~b)": "((a & b) | (~a & ~b))",
+		"_x1 & y2":      "(_x1 & y2)",
+		"a & b & c":     "((a & b) & c)",
+		" a\t^ b ":      "(a ^ b)",
+	}
+	for src, want := range cases {
+		n, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if n.String() != want {
+			t.Errorf("Parse(%q) = %s, want %s", src, n, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "&a", "a &", "(a", "a)", "a @ b", "~", "a b"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestEval(t *testing.T) {
+	n := MustParse("(a & ~b) | (c ^ d)")
+	env := map[string]bool{"a": true, "b": false, "c": true, "d": true}
+	if !n.Eval(env) { // (1 & 1) | 0 = 1
+		t.Fatal("eval wrong")
+	}
+	env["b"] = true
+	env["d"] = false
+	if !n.Eval(env) { // 0 | (1^0) = 1
+		t.Fatal("eval wrong")
+	}
+	env["c"] = false
+	env["d"] = false
+	if n.Eval(env) { // 0 | 0
+		t.Fatal("eval wrong")
+	}
+}
+
+func TestEvalPanicsOnUnbound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbound variable did not panic")
+		}
+	}()
+	MustParse("a & b").Eval(map[string]bool{"a": true})
+}
+
+func TestVarsOrder(t *testing.T) {
+	n := MustParse("b & (a | b) & c")
+	got := n.Vars()
+	want := []string{"b", "a", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCompileCSE(t *testing.T) {
+	// (a&b) appears twice: CSE must emit it once.
+	p, err := Compile(MustParse("(a & b) ^ ((a & b) | c)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ands := 0
+	for _, in := range p.Instrs {
+		if in.Op == engine.OpAND {
+			ands++
+		}
+	}
+	if ands != 1 {
+		t.Errorf("CSE failed: %d ANDs\n%s", ands, p)
+	}
+	// Commutative CSE: (b & a) matches (a & b).
+	p2, err := Compile(MustParse("(a & b) | (b & a)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Instrs) != 2 { // one AND + one OR(x,x)
+		t.Errorf("commutative CSE failed:\n%s", p2)
+	}
+}
+
+func TestCompileFusion(t *testing.T) {
+	cases := map[string]engine.Op{
+		"~a & ~b": engine.OpNOR,
+		"~a | ~b": engine.OpNAND,
+		"~a ^ b":  engine.OpXNOR,
+		"a ^ ~b":  engine.OpXNOR,
+	}
+	for src, want := range cases {
+		p, err := Compile(MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Instrs) != 1 || p.Instrs[0].Op != want {
+			t.Errorf("%q compiled to\n%s, want single %v", src, p, want)
+		}
+	}
+	// ~a ^ ~b = a ^ b.
+	p, err := Compile(MustParse("~a ^ ~b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 1 || p.Instrs[0].Op != engine.OpXOR {
+		t.Errorf("~a^~b compiled to\n%s, want single XOR", p)
+	}
+}
+
+func TestCompileDoubleNegation(t *testing.T) {
+	p, err := Compile(MustParse("~~a & b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 1 || p.Instrs[0].Op != engine.OpAND {
+		t.Errorf("~~a & b compiled to\n%s", p)
+	}
+}
+
+func TestCompileBareVariable(t *testing.T) {
+	p, err := Compile(MustParse("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 0 || p.TempSlots != 0 {
+		t.Fatalf("bare variable program:\n%s", p)
+	}
+	if r := p.Result(); r.Temp || r.Index != 0 {
+		t.Fatalf("bare variable result = %v", r)
+	}
+}
+
+func TestCompileNilExpression(t *testing.T) {
+	if _, err := Compile(nil); err == nil {
+		t.Fatal("nil expression accepted")
+	}
+}
+
+func TestTempSlotReuse(t *testing.T) {
+	// A long chain needs O(1) temps, not O(n): liveness must reuse slots.
+	p, err := Compile(MustParse("((((a & b) | c) & d) | e) & f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TempSlots > 2 {
+		t.Errorf("chain uses %d temp slots, want <= 2\n%s", p.TempSlots, p)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p, err := Compile(MustParse("a & ~b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.Contains(s, "NOT") || !strings.Contains(s, "AND") {
+		t.Errorf("program render missing ops:\n%s", s)
+	}
+}
+
+func TestCostComparesDesigns(t *testing.T) {
+	p, err := Compile(MustParse("(a & b) | (~a & c)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := elpim.MustNew(elpim.DefaultConfig())
+	a := ambit.MustNew(ambit.DefaultConfig())
+	if p.Cost(e).LatencyNS >= p.Cost(a).LatencyNS {
+		t.Errorf("ELP2IM program cost %v must beat Ambit %v",
+			p.Cost(e).LatencyNS, p.Cost(a).LatencyNS)
+	}
+	if p.Cost(e).Commands == 0 {
+		t.Error("cost must count commands")
+	}
+}
+
+// executeOn runs a program on a fresh subarray with random inputs and
+// checks every bit against Node.Eval.
+func executeOn(t *testing.T, ex Executor, n *Node, seed int64) {
+	t.Helper()
+	p, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cols = 192
+	cfg := dram.Config{
+		Banks: 1, SubarraysPerBank: 1,
+		RowsPerSubarray: 24, Columns: cols, DualContactRows: 2,
+	}
+	sub := dram.NewSubarray(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	varRows := make([]int, len(p.Vars))
+	data := make([]*bitvec.Vector, len(p.Vars))
+	for i := range p.Vars {
+		varRows[i] = i
+		data[i] = bitvec.Random(rng, cols)
+		sub.LoadRow(i, data[i])
+	}
+	resRow, err := p.Execute(sub, ex, varRows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sub.RowData(resRow)
+	env := map[string]bool{}
+	for bit := 0; bit < cols; bit++ {
+		for i, v := range p.Vars {
+			env[v] = data[i].Bit(bit)
+		}
+		if got.Bit(bit) != n.Eval(env) {
+			t.Fatalf("bit %d: got %v, want %v for %s", bit, got.Bit(bit), n.Eval(env), n)
+		}
+	}
+	// Inputs preserved.
+	for i := range p.Vars {
+		if !sub.RowData(varRows[i]).Equal(data[i]) {
+			t.Fatalf("input %s clobbered", p.Vars[i])
+		}
+	}
+}
+
+func TestExecuteOnAllEngines(t *testing.T) {
+	exprs := []string{
+		"a & b",
+		"~(a | b) ^ c",
+		"(a & ~b) | (~a & b)",         // XOR the long way
+		"(a & b) | (b & c) | (a & c)", // majority
+		"((a ^ b) ^ c) & ~(d | e)",    // five variables
+		"~a & ~b & ~c",                // NOR chain
+		"(a | b) & (a | c) & (b | c)", // majority, OR form
+	}
+	engines := map[string]Executor{
+		"elpim": elpim.MustNew(elpim.DefaultConfig()),
+		"ambit": ambit.MustNew(ambit.DefaultConfig()),
+		"drisa": drisa.MustNew(drisa.DefaultConfig()),
+	}
+	for name, ex := range engines {
+		for i, src := range exprs {
+			t.Run(name+"/"+src, func(t *testing.T) {
+				executeOn(t, ex, MustParse(src), int64(i)*17+1)
+			})
+		}
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	p, err := Compile(MustParse("a & b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := elpim.MustNew(elpim.DefaultConfig())
+	sub := dram.NewSubarray(dram.Config{
+		Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 8, Columns: 64, DualContactRows: 1,
+	})
+	if _, err := p.Execute(sub, ex, []int{0}, 4); err == nil {
+		t.Error("wrong var-row count accepted")
+	}
+	if _, err := p.Execute(sub, ex, []int{0, 1}, 8); err == nil {
+		t.Error("out-of-range scratch base accepted")
+	}
+}
+
+// randomExpr builds a random expression tree over k variables.
+func randomExpr(rng *rand.Rand, depth, k int) *Node {
+	if depth == 0 || rng.Intn(4) == 0 {
+		return Var(string(rune('a' + rng.Intn(k))))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Not(randomExpr(rng, depth-1, k))
+	case 1:
+		return And(randomExpr(rng, depth-1, k), randomExpr(rng, depth-1, k))
+	case 2:
+		return Or(randomExpr(rng, depth-1, k), randomExpr(rng, depth-1, k))
+	default:
+		return Xor(randomExpr(rng, depth-1, k), randomExpr(rng, depth-1, k))
+	}
+}
+
+// Property: compiled programs match Eval on random expressions, executed
+// through the real ELP2IM command interpreter.
+func TestRandomExpressionsProperty(t *testing.T) {
+	ex := elpim.MustNew(elpim.DefaultConfig())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomExpr(rng, 4, 4)
+		p, err := Compile(n)
+		if err != nil {
+			return false
+		}
+		const cols = 64
+		cfg := dram.Config{
+			Banks: 1, SubarraysPerBank: 1,
+			RowsPerSubarray: 8 + p.TempSlots + len(p.Vars), Columns: cols, DualContactRows: 1,
+		}
+		sub := dram.NewSubarray(cfg)
+		varRows := make([]int, len(p.Vars))
+		data := make([]*bitvec.Vector, len(p.Vars))
+		for i := range p.Vars {
+			varRows[i] = i
+			data[i] = bitvec.Random(rng, cols)
+			sub.LoadRow(i, data[i])
+		}
+		resRow, err := p.Execute(sub, ex, varRows, len(p.Vars))
+		if err != nil {
+			return false
+		}
+		got := sub.RowData(resRow)
+		env := map[string]bool{}
+		for bit := 0; bit < cols; bit++ {
+			for i, v := range p.Vars {
+				env[v] = data[i].Bit(bit)
+			}
+			if got.Bit(bit) != n.Eval(env) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round-trip Parse(String()) is identity on structure.
+func TestParseStringRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomExpr(rng, 5, 3)
+		back, err := Parse(n.String())
+		if err != nil {
+			return false
+		}
+		return back.String() == n.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

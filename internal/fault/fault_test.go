@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/apps/tablescan"
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+)
+
+func testSubarray() *dram.Subarray {
+	return dram.NewSubarray(dram.Config{
+		Banks: 1, SubarraysPerBank: 1,
+		RowsPerSubarray: 24, Columns: 4096, DualContactRows: 1,
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	e := elpim.MustNew(elpim.DefaultConfig())
+	if _, err := New(nil, 0.1, 1); err == nil {
+		t.Error("nil executor accepted")
+	}
+	if _, err := New(e, -0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := New(e, 1.1, 1); err == nil {
+		t.Error("rate above 1 accepted")
+	}
+}
+
+func TestZeroRateIsExact(t *testing.T) {
+	e := elpim.MustNew(elpim.DefaultConfig())
+	in, err := New(e, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := testSubarray()
+	rng := rand.New(rand.NewSource(1))
+	a := bitvec.Random(rng, sub.Columns())
+	b := bitvec.Random(rng, sub.Columns())
+	sub.LoadRow(0, a)
+	sub.LoadRow(1, b)
+	if err := in.Execute(sub, engine.OpAND, 2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := bitvec.New(sub.Columns()).And(a, b)
+	if !sub.RowData(2).Equal(want) {
+		t.Fatal("zero-rate injector corrupted the result")
+	}
+	if in.Injected != 0 || in.Ops != 1 {
+		t.Fatalf("counters wrong: %d injected, %d ops", in.Injected, in.Ops)
+	}
+}
+
+func TestInjectionRateStatistics(t *testing.T) {
+	e := elpim.MustNew(elpim.DefaultConfig())
+	const rate = 0.01
+	in, err := New(e, rate, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := testSubarray()
+	rng := rand.New(rand.NewSource(2))
+	sub.LoadRow(0, bitvec.Random(rng, sub.Columns()))
+	sub.LoadRow(1, bitvec.Random(rng, sub.Columns()))
+	const ops = 20
+	for i := 0; i < ops; i++ {
+		if err := in.Execute(sub, engine.OpOR, 2, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantMean := rate * float64(sub.Columns()) * ops
+	got := float64(in.Injected)
+	if math.Abs(got-wantMean) > 4*math.Sqrt(wantMean) {
+		t.Fatalf("injected %v bits, want ~%v", got, wantMean)
+	}
+	if in.Rate() != rate {
+		t.Fatal("Rate accessor wrong")
+	}
+}
+
+func TestFromCircuitRates(t *testing.T) {
+	e := elpim.MustNew(elpim.DefaultConfig())
+	c := analog.Default()
+	// ELP2IM at moderate PV: near-zero error rate.
+	low, err := FromCircuit(e, c, analog.DeviceELP2IM, analog.VariationRandom, 0.04, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ambit's mechanism at the same corner: substantially worse.
+	high, err := FromCircuit(e, c, analog.DeviceAmbit, analog.VariationRandom, 0.08, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Rate() > high.Rate() {
+		t.Fatalf("ELP2IM rate %v must not exceed Ambit rate %v", low.Rate(), high.Rate())
+	}
+	if high.Rate() == 0 {
+		t.Fatal("Ambit at sigma=8% should have a non-zero error rate")
+	}
+}
+
+// TestFaultPropagationInTableScan runs the BitWeaving predicate through a
+// faulty executor and checks that output corruption scales with the
+// injected rate — the paper's "error tolerant scenarios" quantified.
+func TestFaultPropagationInTableScan(t *testing.T) {
+	const tuples, width = 4096, 6
+	rng := rand.New(rand.NewSource(4))
+	values := make([]uint64, tuples)
+	for i := range values {
+		values[i] = rng.Uint64() & (1<<width - 1)
+	}
+	w := tablescan.Workload{Tuples: tuples, Width: width, Constant: 0b011010}
+	golden := w.GoldenPredicate(values)
+
+	mismatches := func(rate float64) int {
+		e := elpim.MustNew(elpim.DefaultConfig())
+		in, err := New(e, rate, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := testSubarray()
+		cols := tablescan.Verticalize(values, width)
+		rows := tablescan.PredicateRows{Bits: make([]int, width), LT: 15, EQ: 16, T1: 17, T2: 18}
+		for b := 0; b < width; b++ {
+			rows.Bits[b] = b
+			sub.LoadRow(b, cols[b])
+		}
+		if err := tablescan.ExecutePredicate(sub, in, w, rows); err != nil {
+			t.Fatal(err)
+		}
+		got := sub.RowData(rows.LT)
+		diff := 0
+		for i := 0; i < tuples; i++ {
+			if got.Bit(i) != golden.Bit(i) {
+				diff++
+			}
+		}
+		return diff
+	}
+
+	if d := mismatches(0); d != 0 {
+		t.Fatalf("fault-free predicate has %d mismatches", d)
+	}
+	low := mismatches(1e-4)
+	high := mismatches(1e-2)
+	if high <= low {
+		t.Fatalf("corruption must grow with rate: low=%d high=%d", low, high)
+	}
+	if high == 0 {
+		t.Fatal("1% per-bit error rate must corrupt some predicate outputs")
+	}
+	// Even at 1%, most tuples still evaluate correctly (error tolerance).
+	if high > tuples/3 {
+		t.Fatalf("corruption %d/%d implausibly high", high, tuples)
+	}
+}
+
+func TestDetectingExecutorCleanPath(t *testing.T) {
+	e := elpim.MustNew(elpim.DefaultConfig())
+	det, err := NewDetecting(e, 20, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := testSubarray()
+	rng := rand.New(rand.NewSource(5))
+	a := bitvec.Random(rng, sub.Columns())
+	b := bitvec.Random(rng, sub.Columns())
+	sub.LoadRow(0, a)
+	sub.LoadRow(1, b)
+	for i := 0; i < 5; i++ {
+		if err := det.Execute(sub, engine.OpAND, 2, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if det.Detected != 0 {
+		t.Fatalf("fault-free run flagged %d detections", det.Detected)
+	}
+	if det.DetectionRate() != 0 || det.Ops != 5 {
+		t.Fatal("counters wrong")
+	}
+	want := bitvec.New(sub.Columns()).And(a, b)
+	if !sub.RowData(2).Equal(want) {
+		t.Fatal("detector corrupted the result")
+	}
+}
+
+func TestDetectingExecutorCatchesFaults(t *testing.T) {
+	e := elpim.MustNew(elpim.DefaultConfig())
+	// Inject a high per-bit rate so each 4096-bit execution almost surely
+	// diverges from its redundant copy.
+	inj, err := New(e, 1e-3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetecting(inj, 20, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := testSubarray()
+	rng := rand.New(rand.NewSource(6))
+	sub.LoadRow(0, bitvec.Random(rng, sub.Columns()))
+	sub.LoadRow(1, bitvec.Random(rng, sub.Columns()))
+	const ops = 20
+	for i := 0; i < ops; i++ {
+		if err := det.Execute(sub, engine.OpOR, 2, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if det.DetectionRate() < 0.9 {
+		t.Fatalf("detection rate %v, want near 1 at this fault rate", det.DetectionRate())
+	}
+}
+
+func TestDetectingExecutorValidation(t *testing.T) {
+	e := elpim.MustNew(elpim.DefaultConfig())
+	if _, err := NewDetecting(nil, 1, 2); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewDetecting(e, 3, 3); err == nil {
+		t.Error("colliding scratch rows accepted")
+	}
+	det, err := NewDetecting(e, 20, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := testSubarray()
+	if err := det.Execute(sub, engine.OpAND, 20, 0, 1); err == nil {
+		t.Error("dst colliding with shadow accepted")
+	}
+	if det.CommandOverhead <= 1 {
+		t.Error("detection must report its overhead")
+	}
+}
+
+func TestZeroOpsDetectionRate(t *testing.T) {
+	e := elpim.MustNew(elpim.DefaultConfig())
+	det, err := NewDetecting(e, 20, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.DetectionRate() != 0 {
+		t.Fatal("empty detector rate must be 0")
+	}
+}

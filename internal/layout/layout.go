@@ -1,0 +1,249 @@
+// Package layout places bulk bit-vectors into a DRAM module for in-memory
+// computing: each vector is striped row-by-row across banks and subarrays,
+// and stripes with the same index always land in the same subarray, so any
+// two allocated vectors are automatically co-located operand-by-operand —
+// the placement invariant every intra-subarray PIM design needs.
+//
+// The allocator manages per-subarray row occupancy (keeping the engines'
+// scratch and reserved rows free), supports allocation, freeing, host
+// read/write, and row-accurate in-DRAM operations between resident
+// vectors without any per-op re-staging.
+package layout
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/engine"
+)
+
+// Placement locates one stripe of a vector.
+type Placement struct {
+	Bank, Subarray, Row int
+}
+
+// Vector is a DRAM-resident bulk bit-vector.
+type Vector struct {
+	name    string
+	bits    int
+	stripes []Placement
+	alloc   *Allocator
+	freed   bool
+}
+
+// Name returns the allocation name.
+func (v *Vector) Name() string { return v.name }
+
+// Len returns the length in bits.
+func (v *Vector) Len() int { return v.bits }
+
+// Stripes returns the number of row stripes.
+func (v *Vector) Stripes() int { return len(v.stripes) }
+
+// Placement returns stripe s's location.
+func (v *Vector) Placement(s int) Placement { return v.stripes[s] }
+
+// Allocator manages row occupancy across a module.
+type Allocator struct {
+	module *dram.Module
+	// free[bank][subarray] is the stack of free data-row indices.
+	free [][][]int
+	// scratch rows per subarray are excluded from allocation.
+	scratchRows int
+}
+
+// NewAllocator wraps a module. scratchRows data rows at the top of every
+// subarray (plus all dual-contact rows) are kept free for the engines'
+// staging (Ambit's B-group, DRISA's scratch, expression temps).
+func NewAllocator(module *dram.Module, scratchRows int) (*Allocator, error) {
+	if module == nil {
+		return nil, errors.New("layout: nil module")
+	}
+	cfg := module.Config()
+	if scratchRows < 0 || scratchRows >= cfg.RowsPerSubarray {
+		return nil, fmt.Errorf("layout: scratchRows %d out of range [0,%d)", scratchRows, cfg.RowsPerSubarray)
+	}
+	a := &Allocator{module: module, scratchRows: scratchRows}
+	a.free = make([][][]int, module.Banks())
+	usable := cfg.RowsPerSubarray - scratchRows
+	for b := range a.free {
+		a.free[b] = make([][]int, cfg.SubarraysPerBank)
+		for s := range a.free[b] {
+			rows := make([]int, usable)
+			// Allocate low rows first (stack holds them reversed).
+			for i := range rows {
+				rows[i] = usable - 1 - i
+			}
+			a.free[b][s] = rows
+		}
+	}
+	return a, nil
+}
+
+// Module returns the underlying module.
+func (a *Allocator) Module() *dram.Module { return a.module }
+
+// ScratchBase returns the first scratch row index in every subarray.
+func (a *Allocator) ScratchBase() int {
+	return a.module.Config().RowsPerSubarray - a.scratchRows
+}
+
+// stripeHome returns the (bank, subarray) of stripe s — a pure function of
+// the stripe index, which is what co-locates all vectors stripe-by-stripe.
+func (a *Allocator) stripeHome(s int) (int, int) {
+	banks := a.module.Banks()
+	return s % banks, (s / banks) % a.module.Config().SubarraysPerBank
+}
+
+// FreeRows returns the total number of free data rows.
+func (a *Allocator) FreeRows() int {
+	n := 0
+	for b := range a.free {
+		for s := range a.free[b] {
+			n += len(a.free[b][s])
+		}
+	}
+	return n
+}
+
+// Alloc reserves rows for an nbits vector.
+func (a *Allocator) Alloc(name string, nbits int) (*Vector, error) {
+	if nbits <= 0 {
+		return nil, errors.New("layout: vector length must be positive")
+	}
+	cols := a.module.Config().Columns
+	stripes := (nbits + cols - 1) / cols
+	v := &Vector{name: name, bits: nbits, alloc: a, stripes: make([]Placement, stripes)}
+	for s := 0; s < stripes; s++ {
+		b, sa := a.stripeHome(s)
+		fl := &a.free[b][sa]
+		if len(*fl) == 0 {
+			// Roll back partial allocation.
+			v.stripes = v.stripes[:s]
+			a.release(v)
+			return nil, fmt.Errorf("layout: subarray (%d,%d) exhausted allocating %q", b, sa, name)
+		}
+		row := (*fl)[len(*fl)-1]
+		*fl = (*fl)[:len(*fl)-1]
+		v.stripes[s] = Placement{Bank: b, Subarray: sa, Row: row}
+	}
+	return v, nil
+}
+
+// release returns a vector's rows to the free lists.
+func (a *Allocator) release(v *Vector) {
+	for _, p := range v.stripes {
+		a.free[p.Bank][p.Subarray] = append(a.free[p.Bank][p.Subarray], p.Row)
+	}
+}
+
+// Free releases the vector's rows. Double-free is an error.
+func (a *Allocator) Free(v *Vector) error {
+	if v == nil || v.alloc != a {
+		return errors.New("layout: vector not owned by this allocator")
+	}
+	if v.freed {
+		return fmt.Errorf("layout: double free of %q", v.name)
+	}
+	v.freed = true
+	a.release(v)
+	return nil
+}
+
+// Write stores host data into the resident vector.
+func (a *Allocator) Write(v *Vector, data *bitvec.Vector) error {
+	if err := a.check(v); err != nil {
+		return err
+	}
+	if data.Len() != v.bits {
+		return fmt.Errorf("layout: data length %d != vector length %d", data.Len(), v.bits)
+	}
+	cols := a.module.Config().Columns
+	stripe := bitvec.New(cols)
+	for s, p := range v.stripes {
+		copyStripe(stripe, data, s, cols)
+		a.module.Bank(p.Bank).Subarray(p.Subarray).LoadRow(p.Row, stripe)
+	}
+	return nil
+}
+
+// Read copies the resident vector back to the host.
+func (a *Allocator) Read(v *Vector) (*bitvec.Vector, error) {
+	if err := a.check(v); err != nil {
+		return nil, err
+	}
+	cols := a.module.Config().Columns
+	out := bitvec.New(v.bits)
+	for s, p := range v.stripes {
+		row := a.module.Bank(p.Bank).Subarray(p.Subarray).RowData(p.Row)
+		base := s * cols
+		for i := 0; i < cols && base+i < v.bits; i++ {
+			out.SetBit(base+i, row.Bit(i))
+		}
+	}
+	return out, nil
+}
+
+func (a *Allocator) check(v *Vector) error {
+	if v == nil || v.alloc != a {
+		return errors.New("layout: vector not owned by this allocator")
+	}
+	if v.freed {
+		return fmt.Errorf("layout: use after free of %q", v.name)
+	}
+	return nil
+}
+
+// copyStripe extracts stripe s of src into row.
+func copyStripe(row *bitvec.Vector, src *bitvec.Vector, s, cols int) {
+	row.Fill(false)
+	base := s * cols
+	for i := 0; i < cols && base+i < src.Len(); i++ {
+		row.SetBit(i, src.Bit(base+i))
+	}
+}
+
+// Execute performs dst = op(x, y) between resident vectors through an
+// engine, stripe by stripe, with no host staging: the co-location
+// invariant guarantees each stripe triple shares a subarray. y may be nil
+// for unary ops. It returns the per-module operation count.
+func (a *Allocator) Execute(eng engine.Engine, op engine.Op, dst, x, y *Vector) (int, error) {
+	if err := a.check(dst); err != nil {
+		return 0, err
+	}
+	if err := a.check(x); err != nil {
+		return 0, err
+	}
+	if !op.Unary() {
+		if err := a.check(y); err != nil {
+			return 0, err
+		}
+		if y.bits != x.bits {
+			return 0, errors.New("layout: operand length mismatch")
+		}
+	}
+	if dst.bits != x.bits {
+		return 0, errors.New("layout: destination length mismatch")
+	}
+	for s := range dst.stripes {
+		pd, px := dst.stripes[s], x.stripes[s]
+		if pd.Bank != px.Bank || pd.Subarray != px.Subarray {
+			return 0, fmt.Errorf("layout: co-location invariant violated at stripe %d", s)
+		}
+		sub := a.module.Bank(pd.Bank).Subarray(pd.Subarray)
+		yRow := -1
+		if !op.Unary() {
+			py := y.stripes[s]
+			if py.Bank != pd.Bank || py.Subarray != pd.Subarray {
+				return 0, fmt.Errorf("layout: co-location invariant violated at stripe %d", s)
+			}
+			yRow = py.Row
+		}
+		if err := eng.Execute(sub, op, pd.Row, px.Row, yRow); err != nil {
+			return 0, fmt.Errorf("layout: stripe %d: %w", s, err)
+		}
+	}
+	return len(dst.stripes), nil
+}

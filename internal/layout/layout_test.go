@@ -1,0 +1,290 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ambit"
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/drisa"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+)
+
+func smallModule() *dram.Module {
+	return dram.NewModule(dram.Config{
+		Banks: 2, SubarraysPerBank: 2,
+		RowsPerSubarray: 16, Columns: 128, DualContactRows: 2,
+	})
+}
+
+func newAlloc(t *testing.T, scratch int) *Allocator {
+	t.Helper()
+	a, err := NewAllocator(smallModule(), scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAllocatorErrors(t *testing.T) {
+	if _, err := NewAllocator(nil, 0); err == nil {
+		t.Error("nil module accepted")
+	}
+	if _, err := NewAllocator(smallModule(), -1); err == nil {
+		t.Error("negative scratch accepted")
+	}
+	if _, err := NewAllocator(smallModule(), 16); err == nil {
+		t.Error("scratch >= rows accepted")
+	}
+}
+
+func TestAllocPlacement(t *testing.T) {
+	a := newAlloc(t, 6)
+	// 5 stripes across 2 banks × 2 subarrays.
+	v, err := a.Alloc("v", 128*4+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Stripes() != 5 {
+		t.Fatalf("stripes = %d, want 5", v.Stripes())
+	}
+	// Stripe homes must be a pure function of the stripe index.
+	wantHomes := [][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0, 0}}
+	for s, want := range wantHomes {
+		p := v.Placement(s)
+		if p.Bank != want[0] || p.Subarray != want[1] {
+			t.Errorf("stripe %d at (%d,%d), want (%d,%d)", s, p.Bank, p.Subarray, want[0], want[1])
+		}
+		if p.Row >= a.ScratchBase() {
+			t.Errorf("stripe %d allocated into scratch region (row %d)", s, p.Row)
+		}
+	}
+	if v.Len() != 128*4+10 || v.Name() != "v" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestCoLocationAcrossVectors(t *testing.T) {
+	a := newAlloc(t, 6)
+	x, err := a.Alloc("x", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := a.Alloc("y", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < x.Stripes(); s++ {
+		px, py := x.Placement(s), y.Placement(s)
+		if px.Bank != py.Bank || px.Subarray != py.Subarray {
+			t.Fatalf("stripe %d not co-located: %+v vs %+v", s, px, py)
+		}
+		if px.Row == py.Row {
+			t.Fatalf("stripe %d: two vectors share row %d", s, px.Row)
+		}
+	}
+}
+
+func TestExhaustionAndRollback(t *testing.T) {
+	a := newAlloc(t, 14) // only 2 usable rows per subarray
+	free := a.FreeRows()
+	// Each 128-bit vector takes one row in subarray (0,0).
+	if _, err := a.Alloc("a", 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc("b", 128); err != nil {
+		t.Fatal(err)
+	}
+	// Third must fail (subarray (0,0) has 2 rows), and roll back cleanly.
+	if _, err := a.Alloc("c", 128); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if got := a.FreeRows(); got != free-2 {
+		t.Fatalf("free rows = %d after failed alloc, want %d", got, free-2)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	a := newAlloc(t, 6)
+	v, err := a.Alloc("v", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.FreeRows()
+	if err := a.Free(v); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeRows() != before+1 {
+		t.Fatal("free did not return the row")
+	}
+	if err := a.Free(v); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if _, err := a.Read(v); err == nil {
+		t.Fatal("use after free accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	a := newAlloc(t, 6)
+	rng := rand.New(rand.NewSource(1))
+	data := bitvec.Random(rng, 500)
+	v, err := a.Alloc("v", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Write(v, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := a.Read(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := a.Write(v, bitvec.New(99)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestExecuteResidentVectors(t *testing.T) {
+	engines := map[string]engine.Engine{
+		"elpim": elpim.MustNew(elpim.DefaultConfig()),
+		"ambit": ambit.MustNew(ambit.DefaultConfig()),
+		"drisa": drisa.MustNew(drisa.DefaultConfig()),
+	}
+	for name, eng := range engines {
+		t.Run(name, func(t *testing.T) {
+			a := newAlloc(t, 8) // leave the top 8 rows for engine staging
+			rng := rand.New(rand.NewSource(2))
+			const n = 700
+			xd := bitvec.Random(rng, n)
+			yd := bitvec.Random(rng, n)
+			x, err := a.Alloc("x", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			y, err := a.Alloc("y", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst, err := a.Alloc("dst", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Write(x, xd); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Write(y, yd); err != nil {
+				t.Fatal(err)
+			}
+			ops, err := a.Execute(eng, engine.OpXOR, dst, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ops != dst.Stripes() {
+				t.Fatalf("ops = %d, want %d", ops, dst.Stripes())
+			}
+			got, err := a.Read(dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bitvec.New(n).Xor(xd, yd)
+			if !got.Equal(want) {
+				t.Fatal("resident XOR mismatch")
+			}
+			// Operands still intact in DRAM.
+			gx, err := a.Read(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gx.Equal(xd) {
+				t.Fatal("operand clobbered")
+			}
+		})
+	}
+}
+
+func TestExecuteUnary(t *testing.T) {
+	a := newAlloc(t, 8)
+	eng := elpim.MustNew(elpim.DefaultConfig())
+	rng := rand.New(rand.NewSource(3))
+	const n = 300
+	xd := bitvec.Random(rng, n)
+	x, _ := a.Alloc("x", n)
+	dst, _ := a.Alloc("dst", n)
+	if err := a.Write(x, xd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Execute(eng, engine.OpNOT, dst, x, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Read(dst)
+	if !got.Equal(bitvec.New(n).Not(xd)) {
+		t.Fatal("resident NOT mismatch")
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	a := newAlloc(t, 8)
+	eng := elpim.MustNew(elpim.DefaultConfig())
+	x, _ := a.Alloc("x", 128)
+	y, _ := a.Alloc("y", 256)
+	dst, _ := a.Alloc("dst", 128)
+	if _, err := a.Execute(eng, engine.OpAND, dst, x, y); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := a.Execute(eng, engine.OpAND, dst, x, nil); err == nil {
+		t.Error("nil second operand accepted")
+	}
+	other := newAlloc(t, 8)
+	ox, _ := other.Alloc("ox", 128)
+	if _, err := a.Execute(eng, engine.OpNOT, dst, ox, nil); err == nil {
+		t.Error("foreign vector accepted")
+	}
+}
+
+// Property: alloc/free cycles conserve rows and round trips hold.
+func TestAllocFreeConservationProperty(t *testing.T) {
+	f := func(seed int64, sizes []uint16) bool {
+		if len(sizes) > 6 {
+			sizes = sizes[:6]
+		}
+		a, err := NewAllocator(smallModule(), 8)
+		if err != nil {
+			return false
+		}
+		start := a.FreeRows()
+		rng := rand.New(rand.NewSource(seed))
+		var live []*Vector
+		for _, sz := range sizes {
+			n := int(sz)%900 + 1
+			v, err := a.Alloc("v", n)
+			if err != nil {
+				continue // exhaustion is fine; rollback checked below
+			}
+			data := bitvec.Random(rng, n)
+			if err := a.Write(v, data); err != nil {
+				return false
+			}
+			back, err := a.Read(v)
+			if err != nil || !back.Equal(data) {
+				return false
+			}
+			live = append(live, v)
+		}
+		for _, v := range live {
+			if err := a.Free(v); err != nil {
+				return false
+			}
+		}
+		return a.FreeRows() == start
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

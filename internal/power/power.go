@@ -1,0 +1,172 @@
+// Package power models DRAM energy and power at the command level, in the
+// style of the Micron DDR3 power datasheet and the Rambus power model the
+// paper's H-SPICE simulation is parameterized from.
+//
+// The model splits consumption into
+//
+//   - activation energy: raising a wordline, charge sharing, and the SA
+//     restoring the row (per raised wordline; Ambit's TRA raises three
+//     wordlines and the charge pump supplies each at low efficiency, which
+//     the paper measures as +22% activate power per extra wordline),
+//   - pseudo-precharge surcharge: an APP primitive keeps the SA enabled
+//     longer at shifted supplies; the paper measures +31% activate power
+//     for APP versus a regular AP,
+//   - precharge energy per precharge (or pseudo-precharge) event,
+//   - background power: the rank-level standby power (IDD3N-class) that
+//     accrues for the whole duration of an operation; DRISA's in-array
+//     gates and latches inflate it,
+//   - gate energy: DRISA's NOR gate switching energy per compute cycle.
+//
+// Energies are in nanojoules, powers in watts, durations in nanoseconds.
+package power
+
+import "errors"
+
+// Params is a calibrated set of DRAM energy parameters.
+type Params struct {
+	// ActivateEnergy is the energy of activating (and restoring) one row
+	// through one wordline, in nJ.
+	ActivateEnergy float64
+	// PrechargeEnergy is the energy of one precharge event, in nJ.
+	PrechargeEnergy float64
+	// PseudoPrechargeEnergy is the energy of one pseudo-precharge event
+	// (SA held enabled at shifted supplies), in nJ.
+	PseudoPrechargeEnergy float64
+	// BackgroundPower is the rank-level standby power in W that accrues
+	// over an operation's full latency.
+	BackgroundPower float64
+	// ExtraWordlineFactor is the activate-energy surcharge per wordline
+	// beyond the first in a multi-row activation (paper: 0.22, from the
+	// charge pump's low efficiency when driving several wordlines).
+	ExtraWordlineFactor float64
+	// PseudoActivateFactor is the activate-energy surcharge of an APP-class
+	// primitive relative to AP (paper: 0.31).
+	PseudoActivateFactor float64
+	// DrisaBackgroundFactor scales BackgroundPower for DRISA-style arrays
+	// whose embedded gates and latches "greatly increase background power".
+	DrisaBackgroundFactor float64
+	// DrisaGateEnergy is DRISA's NOR-gate switching energy per compute
+	// cycle across a row, in nJ.
+	DrisaGateEnergy float64
+}
+
+// DDR31600 returns the calibration used throughout the reproduction.
+// ActivateEnergy is per subarray row (one mat row through one wordline);
+// BackgroundPower is a rank of eight x8 chips at IDD3N-class standby.
+func DDR31600() Params {
+	return Params{
+		ActivateEnergy:        0.90,
+		PrechargeEnergy:       0.30,
+		PseudoPrechargeEnergy: 0.36,
+		BackgroundPower:       0.41,
+		ExtraWordlineFactor:   0.22,
+		PseudoActivateFactor:  0.31,
+		DrisaBackgroundFactor: 1.50,
+		DrisaGateEnergy:       0.25,
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.ActivateEnergy <= 0:
+		return errors.New("power: ActivateEnergy must be positive")
+	case p.PrechargeEnergy < 0:
+		return errors.New("power: PrechargeEnergy must be non-negative")
+	case p.PseudoPrechargeEnergy < 0:
+		return errors.New("power: PseudoPrechargeEnergy must be non-negative")
+	case p.BackgroundPower < 0:
+		return errors.New("power: BackgroundPower must be non-negative")
+	case p.ExtraWordlineFactor < 0:
+		return errors.New("power: ExtraWordlineFactor must be non-negative")
+	case p.PseudoActivateFactor < 0:
+		return errors.New("power: PseudoActivateFactor must be non-negative")
+	case p.DrisaBackgroundFactor < 1:
+		return errors.New("power: DrisaBackgroundFactor must be >= 1")
+	case p.DrisaGateEnergy < 0:
+		return errors.New("power: DrisaGateEnergy must be non-negative")
+	}
+	return nil
+}
+
+// MultiRowActivateEnergy returns the energy of one activation event that
+// raises `wordlines` wordlines simultaneously (TRA: 3).
+func (p Params) MultiRowActivateEnergy(wordlines int) float64 {
+	if wordlines <= 0 {
+		return 0
+	}
+	// First wordline at nominal cost, each extra at (1 + factor) because
+	// the pump supplies it at degraded efficiency.
+	return p.ActivateEnergy * (1 + float64(wordlines-1)*(1+p.ExtraWordlineFactor))
+}
+
+// PseudoActivateEnergy returns the activate energy of an APP-class primitive
+// (single wordline, SA held at shifted supplies afterwards).
+func (p Params) PseudoActivateEnergy() float64 {
+	return p.ActivateEnergy * (1 + p.PseudoActivateFactor)
+}
+
+// Tally accumulates the energy of a command stream. The zero value is ready
+// to use.
+type Tally struct {
+	activate  float64 // nJ
+	precharge float64 // nJ
+	gate      float64 // nJ
+	duration  float64 // ns
+}
+
+// AddActivate records one activation event raising `wordlines` wordlines,
+// pseudo marks APP-class activates (restore extended at shifted supply).
+func (t *Tally) AddActivate(p Params, wordlines int, pseudo bool) {
+	e := p.MultiRowActivateEnergy(wordlines)
+	if pseudo {
+		e = p.PseudoActivateEnergy() * float64(max(wordlines, 1))
+	}
+	t.activate += e
+}
+
+// AddPrecharge records a precharge event; pseudo marks pseudo-precharge.
+func (t *Tally) AddPrecharge(p Params, pseudo bool) {
+	if pseudo {
+		t.precharge += p.PseudoPrechargeEnergy
+	} else {
+		t.precharge += p.PrechargeEnergy
+	}
+}
+
+// AddGate records DRISA NOR-gate switching energy for n compute cycles.
+func (t *Tally) AddGate(p Params, n int) {
+	if n > 0 {
+		t.gate += p.DrisaGateEnergy * float64(n)
+	}
+}
+
+// AddDuration extends the operation duration over which background power
+// accrues, in ns.
+func (t *Tally) AddDuration(ns float64) { t.duration += ns }
+
+// Duration returns the accumulated duration in ns.
+func (t *Tally) Duration() float64 { return t.duration }
+
+// Energy returns the total energy in nJ, including background energy for
+// the accumulated duration. backgroundFactor scales BackgroundPower (1 for
+// plain DRAM/Ambit/ELP2IM, Params.DrisaBackgroundFactor for DRISA).
+func (t *Tally) Energy(p Params, backgroundFactor float64) float64 {
+	bg := p.BackgroundPower * backgroundFactor * t.duration // W * ns = nJ
+	return t.activate + t.precharge + t.gate + bg
+}
+
+// DynamicEnergy returns the energy excluding background, in nJ.
+func (t *Tally) DynamicEnergy() float64 { return t.activate + t.precharge + t.gate }
+
+// AveragePower returns the average power in W over the accumulated
+// duration. It returns 0 for a zero-duration tally.
+func (t *Tally) AveragePower(p Params, backgroundFactor float64) float64 {
+	if t.duration <= 0 {
+		return 0
+	}
+	return t.Energy(p, backgroundFactor) / t.duration // nJ / ns = W
+}
+
+// Reset clears the tally.
+func (t *Tally) Reset() { *t = Tally{} }

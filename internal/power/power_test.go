@@ -1,0 +1,160 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := DDR31600().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := DDR31600()
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero activate", func(p *Params) { p.ActivateEnergy = 0 }},
+		{"negative precharge", func(p *Params) { p.PrechargeEnergy = -1 }},
+		{"negative pseudo precharge", func(p *Params) { p.PseudoPrechargeEnergy = -1 }},
+		{"negative background", func(p *Params) { p.BackgroundPower = -1 }},
+		{"negative extra wordline", func(p *Params) { p.ExtraWordlineFactor = -0.1 }},
+		{"negative pseudo factor", func(p *Params) { p.PseudoActivateFactor = -0.1 }},
+		{"drisa background below 1", func(p *Params) { p.DrisaBackgroundFactor = 0.5 }},
+		{"negative gate energy", func(p *Params) { p.DrisaGateEnergy = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate accepted invalid params")
+			}
+		})
+	}
+}
+
+func TestTripleRowActivationSurcharge(t *testing.T) {
+	p := DDR31600()
+	single := p.MultiRowActivateEnergy(1)
+	if single != p.ActivateEnergy {
+		t.Fatalf("single activation = %v, want %v", single, p.ActivateEnergy)
+	}
+	triple := p.MultiRowActivateEnergy(3)
+	// Paper: each extra wordline costs +22% over nominal.
+	want := p.ActivateEnergy * (1 + 2*1.22)
+	if math.Abs(triple-want) > 1e-12 {
+		t.Fatalf("TRA energy = %v, want %v", triple, want)
+	}
+	if p.MultiRowActivateEnergy(0) != 0 {
+		t.Fatal("zero wordlines must consume no energy")
+	}
+}
+
+func TestPseudoActivateSurcharge(t *testing.T) {
+	p := DDR31600()
+	got := p.PseudoActivateEnergy() / p.ActivateEnergy
+	if math.Abs(got-1.31) > 1e-12 {
+		t.Fatalf("APP activate surcharge = %v, want 1.31", got)
+	}
+}
+
+func TestTallyAccumulation(t *testing.T) {
+	p := DDR31600()
+	var tl Tally
+	tl.AddActivate(p, 1, false)
+	tl.AddActivate(p, 3, false)
+	tl.AddActivate(p, 1, true)
+	tl.AddPrecharge(p, false)
+	tl.AddPrecharge(p, true)
+	tl.AddGate(p, 2)
+	tl.AddDuration(100)
+
+	wantDyn := p.ActivateEnergy + p.MultiRowActivateEnergy(3) + p.PseudoActivateEnergy() +
+		p.PrechargeEnergy + p.PseudoPrechargeEnergy + 2*p.DrisaGateEnergy
+	if got := tl.DynamicEnergy(); math.Abs(got-wantDyn) > 1e-12 {
+		t.Fatalf("dynamic energy = %v, want %v", got, wantDyn)
+	}
+	wantTotal := wantDyn + p.BackgroundPower*100
+	if got := tl.Energy(p, 1); math.Abs(got-wantTotal) > 1e-12 {
+		t.Fatalf("total energy = %v, want %v", got, wantTotal)
+	}
+	if got := tl.AveragePower(p, 1); math.Abs(got-wantTotal/100) > 1e-12 {
+		t.Fatalf("average power = %v, want %v", got, wantTotal/100)
+	}
+	if tl.Duration() != 100 {
+		t.Fatalf("duration = %v, want 100", tl.Duration())
+	}
+}
+
+func TestTallyZeroDurationPower(t *testing.T) {
+	var tl Tally
+	if got := tl.AveragePower(DDR31600(), 1); got != 0 {
+		t.Fatalf("zero-duration power = %v, want 0", got)
+	}
+}
+
+func TestTallyReset(t *testing.T) {
+	p := DDR31600()
+	var tl Tally
+	tl.AddActivate(p, 1, false)
+	tl.AddDuration(10)
+	tl.Reset()
+	if tl.DynamicEnergy() != 0 || tl.Duration() != 0 {
+		t.Fatal("reset did not clear tally")
+	}
+}
+
+func TestDrisaBackgroundInflation(t *testing.T) {
+	p := DDR31600()
+	var tl Tally
+	tl.AddDuration(50)
+	plain := tl.Energy(p, 1)
+	drisa := tl.Energy(p, p.DrisaBackgroundFactor)
+	if drisa <= plain {
+		t.Fatalf("DRISA background %v must exceed plain %v", drisa, plain)
+	}
+	if math.Abs(drisa/plain-p.DrisaBackgroundFactor) > 1e-12 {
+		t.Fatalf("background ratio = %v, want %v", drisa/plain, p.DrisaBackgroundFactor)
+	}
+}
+
+func TestGateEnergyIgnoresNonPositiveCounts(t *testing.T) {
+	p := DDR31600()
+	var tl Tally
+	tl.AddGate(p, 0)
+	tl.AddGate(p, -3)
+	if tl.DynamicEnergy() != 0 {
+		t.Fatal("non-positive gate counts must add no energy")
+	}
+}
+
+// Property: activation energy is monotone in wordline count.
+func TestMultiRowEnergyMonotoneProperty(t *testing.T) {
+	p := DDR31600()
+	f := func(n uint8) bool {
+		k := int(n%8) + 1
+		return p.MultiRowActivateEnergy(k+1) > p.MultiRowActivateEnergy(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total energy is monotone in duration for any non-negative span.
+func TestEnergyMonotoneInDurationProperty(t *testing.T) {
+	p := DDR31600()
+	f := func(a, b uint16) bool {
+		var t1, t2 Tally
+		t1.AddDuration(float64(a))
+		t2.AddDuration(float64(a) + float64(b) + 1)
+		return t2.Energy(p, 1) > t1.Energy(p, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package sched models bank-level parallelism under the DRAM module's
+// activation power constraint (tFAW / charge-pump budget).
+//
+// Every in-DRAM bitwise operation is a primitive sequence whose activation
+// events draw wordline charge from a shared pump. Without the constraint,
+// all banks compute concurrently; with it, the module can only sustain a
+// bounded number of wordline activations per rolling window, so designs
+// that raise more wordlines per operation (Ambit's TRA) lose bank-level
+// parallelism first — the mechanism behind Figures 13(b) and 14(b).
+package sched
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/primitive"
+	"repro/internal/timing"
+)
+
+// Event is one activation event inside an operation.
+type Event struct {
+	// OffsetNS is the event's start offset from the operation start.
+	OffsetNS float64
+	// Wordlines is the number of wordlines this event raises (TRA: 3).
+	Wordlines int
+}
+
+// OpProfile describes one row-wide operation for scheduling purposes.
+type OpProfile struct {
+	// LatencyNS is the total operation latency.
+	LatencyNS float64
+	// Events are the activation events in offset order.
+	Events []Event
+}
+
+// Validate reports whether the profile is well-formed.
+func (p OpProfile) Validate() error {
+	if p.LatencyNS <= 0 {
+		return errors.New("sched: profile latency must be positive")
+	}
+	prev := -1.0
+	for _, e := range p.Events {
+		if e.OffsetNS < prev {
+			return errors.New("sched: events must be in offset order")
+		}
+		if e.OffsetNS > p.LatencyNS {
+			return errors.New("sched: event offset beyond op latency")
+		}
+		if e.Wordlines <= 0 {
+			return errors.New("sched: event wordlines must be positive")
+		}
+		prev = e.OffsetNS
+	}
+	return nil
+}
+
+// WordlinesPerOp returns the total wordlines per operation.
+func (p OpProfile) WordlinesPerOp() int {
+	n := 0
+	for _, e := range p.Events {
+		n += e.Wordlines
+	}
+	return n
+}
+
+// ProfileFromSeq derives an operation profile from a primitive sequence:
+// each primitive contributes its activation events at the appropriate
+// offsets inside the sequence.
+func ProfileFromSeq(q primitive.Seq, tp timing.Params) OpProfile {
+	var events []Event
+	offset := 0.0
+	for _, s := range q {
+		switch s.Kind {
+		case primitive.AP, primitive.APP, primitive.OAPP, primitive.TAPP, primitive.OTAPP:
+			events = append(events, Event{OffsetNS: offset, Wordlines: 1})
+		case primitive.TRAAP:
+			events = append(events, Event{OffsetNS: offset, Wordlines: 3})
+		case primitive.AAP:
+			events = append(events,
+				Event{OffsetNS: offset, Wordlines: 1},
+				Event{OffsetNS: offset + tp.TRAS(), Wordlines: 1})
+		case primitive.OAAP, primitive.APPM, primitive.OAPPM, primitive.NORCYCLE:
+			events = append(events,
+				Event{OffsetNS: offset, Wordlines: 1},
+				Event{OffsetNS: offset + tp.OverlapActivate, Wordlines: 1})
+		case primitive.TRAAAP:
+			events = append(events,
+				Event{OffsetNS: offset, Wordlines: 3},
+				Event{OffsetNS: offset + tp.OverlapActivate, Wordlines: 1})
+		}
+		offset += s.Kind.Duration(tp)
+	}
+	return OpProfile{LatencyNS: offset, Events: events}
+}
+
+// Config parameterizes a scheduling run.
+type Config struct {
+	// Banks is the number of banks executing the operation concurrently.
+	Banks int
+	// Ranks divides the banks into groups, each with its OWN charge pump
+	// and tFAW window (the JEDEC constraint is per rank). Zero means 1.
+	// Banks must divide evenly into ranks.
+	Ranks int
+	// Timing supplies the tFAW window width and activation budget.
+	Timing timing.Params
+	// PowerConstrained toggles the charge-pump constraint. Without it all
+	// banks run back-to-back operations.
+	PowerConstrained bool
+	// ModelRefresh stalls all banks for TRFC at every TREFI boundary —
+	// the refresh tax a deployed module pays on top of everything else.
+	ModelRefresh bool
+}
+
+// ranks returns the effective rank count.
+func (c Config) ranks() int {
+	if c.Ranks <= 0 {
+		return 1
+	}
+	return c.Ranks
+}
+
+// Result summarizes steady-state throughput.
+type Result struct {
+	// OpsPerSecond is the module-wide row-operation rate.
+	OpsPerSecond float64
+	// EffectiveBanks is the average number of concurrently active banks
+	// (module rate × op latency).
+	EffectiveBanks float64
+	// StallFraction is the fraction of wall-clock each bank spends stalled
+	// waiting for activation budget.
+	StallFraction float64
+}
+
+// Simulate runs banks executing the operation back-to-back over the
+// horizon and returns the achieved throughput. The simulation is an
+// event-accurate replay against the rolling activation window.
+func Simulate(p OpProfile, cfg Config, horizonNS float64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Banks <= 0 {
+		return Result{}, errors.New("sched: Banks must be positive")
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return Result{}, err
+	}
+	if horizonNS <= 0 {
+		return Result{}, errors.New("sched: horizon must be positive")
+	}
+
+	if cfg.Banks%cfg.ranks() != 0 {
+		return Result{}, errors.New("sched: Banks must divide evenly into Ranks")
+	}
+
+	// One activation window (charge pump) per rank; bank i belongs to
+	// rank i % ranks.
+	var windows []*timing.ActivationWindow
+	if cfg.PowerConstrained {
+		windows = make([]*timing.ActivationWindow, cfg.ranks())
+		for i := range windows {
+			windows[i] = timing.NewActivationWindow(cfg.Timing.TFAW, cfg.Timing.ActivatesPerTFAW)
+		}
+	}
+
+	type bankState struct {
+		cursor float64 // current time inside the command stream
+		event  int     // next event index within the running op
+		ops    int
+	}
+	banks := make([]bankState, cfg.Banks)
+	totalStall := 0.0
+
+	// gaps[i] is the time from the previous event's issue to event i's
+	// earliest possible issue; tail is latency after the last event.
+	gaps := make([]float64, len(p.Events))
+	prev := 0.0
+	for i, e := range p.Events {
+		gaps[i] = e.OffsetNS - prev
+		prev = e.OffsetNS
+	}
+	tail := p.LatencyNS - prev
+
+	for {
+		// Pick the bank whose next action is earliest.
+		best := -1
+		bestT := horizonNS
+		for i := range banks {
+			if banks[i].cursor < bestT {
+				bestT = banks[i].cursor
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if windows != nil {
+			// No future query can be earlier than the minimum cursor;
+			// older events can be discarded.
+			for _, w := range windows {
+				w.DiscardBefore(bestT)
+			}
+		}
+		b := &banks[best]
+		if len(p.Events) == 0 {
+			b.cursor += p.LatencyNS
+			b.ops++
+			continue
+		}
+		desired := b.cursor + gaps[b.event]
+		if cfg.ModelRefresh && cfg.Timing.TREFI > 0 {
+			// Defer any command that would start inside a refresh blackout
+			// to the blackout's end.
+			phase := math.Mod(desired, cfg.Timing.TREFI)
+			if phase < cfg.Timing.TRFC {
+				d := desired + (cfg.Timing.TRFC - phase)
+				totalStall += d - desired
+				desired = d
+			}
+		}
+		issue := desired
+		if windows != nil {
+			w := windows[best%cfg.ranks()]
+			issue = w.EarliestIssue(desired, p.Events[b.event].Wordlines)
+			w.Issue(issue, p.Events[b.event].Wordlines)
+		}
+		totalStall += issue - desired
+		b.cursor = issue
+		b.event++
+		if b.event == len(p.Events) {
+			b.event = 0
+			b.cursor += tail
+			b.ops++
+		}
+	}
+
+	ops := 0
+	for _, b := range banks {
+		ops += b.ops
+	}
+	rate := float64(ops) / horizonNS // ops per ns
+	return Result{
+		OpsPerSecond:   rate * 1e9,
+		EffectiveBanks: rate * p.LatencyNS,
+		StallFraction:  totalStall / (float64(cfg.Banks) * horizonNS),
+	}, nil
+}
+
+// AnalyticBanks returns the closed-form effective-bank count: the module
+// sustains Budget/Window wordlines per ns; an operation demands
+// WordlinesPerOp over LatencyNS per bank. The achievable concurrency is
+// the smaller of the bank count and the supply/demand ratio.
+func AnalyticBanks(p OpProfile, cfg Config) float64 {
+	if !cfg.PowerConstrained {
+		return float64(cfg.Banks)
+	}
+	// Each rank has its own pump, so supply scales with the rank count.
+	supply := float64(cfg.ranks()) * float64(cfg.Timing.ActivatesPerTFAW) / cfg.Timing.TFAW
+	demand := float64(p.WordlinesPerOp()) / p.LatencyNS
+	limit := supply / demand
+	if limit > float64(cfg.Banks) {
+		return float64(cfg.Banks)
+	}
+	return limit
+}

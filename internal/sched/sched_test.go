@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ambit"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+	"repro/internal/primitive"
+	"repro/internal/timing"
+)
+
+const horizon = 200_000 // ns
+
+func mustSimulate(t *testing.T, p OpProfile, cfg Config) Result {
+	t.Helper()
+	r, err := Simulate(p, cfg, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := OpProfile{LatencyNS: 100, Events: []Event{{0, 1}, {50, 3}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []OpProfile{
+		{LatencyNS: 0},
+		{LatencyNS: 100, Events: []Event{{50, 1}, {10, 1}}},
+		{LatencyNS: 100, Events: []Event{{150, 1}}},
+		{LatencyNS: 100, Events: []Event{{10, 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestProfileFromSeqELP2IMChain(t *testing.T) {
+	// The in-place APP-AP chain: 2 events, 1 wordline each, ~116 ns.
+	e := elpim.MustNew(elpim.DefaultConfig())
+	q, err := e.ChainSeq(engine.OpAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ProfileFromSeq(q, timing.DDR31600())
+	if len(p.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(p.Events))
+	}
+	if p.WordlinesPerOp() != 2 {
+		t.Fatalf("wordlines/op = %d, want 2", p.WordlinesPerOp())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileFromSeqAmbitChain(t *testing.T) {
+	// Ambit chained AND (≥6 rows): oAAP + oAAP + TRA = events with a
+	// 3-wordline peak, 7 wordlines total.
+	a := ambit.MustNew(ambit.DefaultConfig())
+	q, err := a.ChainSeq(engine.OpAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ProfileFromSeq(q, timing.DDR31600())
+	if p.WordlinesPerOp() != 7 {
+		t.Fatalf("wordlines/op = %d, want 7", p.WordlinesPerOp())
+	}
+	peak := 0
+	for _, e := range p.Events {
+		if e.Wordlines > peak {
+			peak = e.Wordlines
+		}
+	}
+	if peak != 3 {
+		t.Fatalf("peak wordlines = %d, want 3", peak)
+	}
+}
+
+func TestProfileDurationMatchesSeq(t *testing.T) {
+	tp := timing.DDR31600()
+	q := primitive.Seq{{Kind: primitive.OAAP}, {Kind: primitive.APP}, {Kind: primitive.OAAP}}
+	p := ProfileFromSeq(q, tp)
+	if math.Abs(p.LatencyNS-q.Duration(tp)) > 1e-9 {
+		t.Fatalf("profile latency %v != seq duration %v", p.LatencyNS, q.Duration(tp))
+	}
+}
+
+func TestUnconstrainedUsesAllBanks(t *testing.T) {
+	p := OpProfile{LatencyNS: 116, Events: []Event{{0, 1}, {67, 1}}}
+	r := mustSimulate(t, p, Config{Banks: 8, Timing: timing.DDR31600(), PowerConstrained: false})
+	if math.Abs(r.EffectiveBanks-8) > 0.1 {
+		t.Fatalf("effective banks = %v, want 8 without constraint", r.EffectiveBanks)
+	}
+	if r.StallFraction != 0 {
+		t.Fatalf("stall fraction = %v, want 0", r.StallFraction)
+	}
+}
+
+func TestConstraintHalvesELP2IMBanks(t *testing.T) {
+	// The paper (§6.3.1): under the power constraint ELP2IM's active banks
+	// drop "to the half, from 8 to 4".
+	e := elpim.MustNew(elpim.DefaultConfig())
+	q := e.Compile(engine.OpAND) // oAAP-APP-oAAP: 5 wordlines / 173 ns
+	p := ProfileFromSeq(q, timing.DDR31600())
+	r := mustSimulate(t, p, Config{Banks: 8, Timing: timing.DDR31600(), PowerConstrained: true})
+	if r.EffectiveBanks < 3 || r.EffectiveBanks > 5 {
+		t.Fatalf("ELP2IM effective banks = %v, want ~4 (paper: 8 → 4)", r.EffectiveBanks)
+	}
+}
+
+func TestConstraintCrushesAmbit(t *testing.T) {
+	// Figure 13(b): Ambit's device throughput drops up to ~83% — TRA's
+	// triple wordlines exhaust the pump budget at ~2 banks.
+	a := ambit.MustNew(ambit.DefaultConfig())
+	q := a.Seq(engine.OpAND) // 4 commands, 10 wordlines / 212 ns
+	p := ProfileFromSeq(q, timing.DDR31600())
+	cfg := Config{Banks: 8, Timing: timing.DDR31600(), PowerConstrained: true}
+	r := mustSimulate(t, p, cfg)
+	if r.EffectiveBanks > 2.6 {
+		t.Fatalf("Ambit effective banks = %v, want ≲2.5", r.EffectiveBanks)
+	}
+	drop := 1 - r.EffectiveBanks/8
+	if drop < 0.65 {
+		t.Fatalf("Ambit throughput drop = %.0f%%, want ≳65%%", drop*100)
+	}
+}
+
+func TestELP2IMKeepsMoreBanksThanAmbit(t *testing.T) {
+	tp := timing.DDR31600()
+	cfg := Config{Banks: 8, Timing: tp, PowerConstrained: true}
+	e := elpim.MustNew(elpim.DefaultConfig())
+	a := ambit.MustNew(ambit.DefaultConfig())
+	re := mustSimulate(t, ProfileFromSeq(e.Compile(engine.OpAND), tp), cfg)
+	ra := mustSimulate(t, ProfileFromSeq(a.Seq(engine.OpAND), tp), cfg)
+	if re.EffectiveBanks <= ra.EffectiveBanks {
+		t.Fatalf("ELP2IM banks %v must exceed Ambit %v under constraint",
+			re.EffectiveBanks, ra.EffectiveBanks)
+	}
+	// §1: "we save up to 2.45× row activations, thereby expanding bank
+	// level parallelism by 2.45×" — check the parallelism ratio band.
+	ratio := re.EffectiveBanks / ra.EffectiveBanks
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Fatalf("bank-parallelism ratio = %v, want within [1.5, 3.0] (~2.45 in the paper)", ratio)
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	tp := timing.DDR31600()
+	for _, banks := range []int{2, 4, 8} {
+		for _, constrained := range []bool{false, true} {
+			cfg := Config{Banks: banks, Timing: tp, PowerConstrained: constrained}
+			e := elpim.MustNew(elpim.DefaultConfig())
+			p := ProfileFromSeq(e.Compile(engine.OpOR), tp)
+			r := mustSimulate(t, p, cfg)
+			want := AnalyticBanks(p, cfg)
+			if math.Abs(r.EffectiveBanks-want) > 0.15*want+0.1 {
+				t.Errorf("banks=%d constrained=%v: simulated %v vs analytic %v",
+					banks, constrained, r.EffectiveBanks, want)
+			}
+		}
+	}
+}
+
+func TestSimulateNeverExceedsBudget(t *testing.T) {
+	// Invariant: the achieved wordline rate never exceeds the pump supply.
+	tp := timing.DDR31600()
+	a := ambit.MustNew(ambit.DefaultConfig())
+	p := ProfileFromSeq(a.Seq(engine.OpXOR), tp)
+	r := mustSimulate(t, p, Config{Banks: 8, Timing: tp, PowerConstrained: true})
+	wlRate := r.OpsPerSecond / 1e9 * float64(p.WordlinesPerOp()) // wordlines per ns
+	supply := float64(tp.ActivatesPerTFAW) / tp.TFAW
+	if wlRate > supply*1.01 {
+		t.Fatalf("wordline rate %v exceeds pump supply %v", wlRate, supply)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	good := OpProfile{LatencyNS: 100, Events: []Event{{0, 1}}}
+	tp := timing.DDR31600()
+	if _, err := Simulate(OpProfile{}, Config{Banks: 1, Timing: tp}, 100); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if _, err := Simulate(good, Config{Banks: 0, Timing: tp}, 100); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := Simulate(good, Config{Banks: 1, Timing: timing.Params{}}, 100); err == nil {
+		t.Error("invalid timing accepted")
+	}
+	if _, err := Simulate(good, Config{Banks: 1, Timing: tp}, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestEventlessProfile(t *testing.T) {
+	p := OpProfile{LatencyNS: 50}
+	r := mustSimulate(t, p, Config{Banks: 2, Timing: timing.DDR31600(), PowerConstrained: true})
+	if math.Abs(r.EffectiveBanks-2) > 0.1 {
+		t.Fatalf("eventless ops are unconstrained; banks = %v, want 2", r.EffectiveBanks)
+	}
+}
+
+func TestRefreshTax(t *testing.T) {
+	// Refresh blackouts cost roughly TRFC/TREFI of throughput.
+	tp := timing.DDR31600()
+	p := OpProfile{LatencyNS: 116, Events: []Event{{0, 1}, {67, 1}}}
+	base := mustSimulate(t, p, Config{Banks: 8, Timing: tp})
+	withRefresh := mustSimulate(t, p, Config{Banks: 8, Timing: tp, ModelRefresh: true})
+	loss := 1 - withRefresh.OpsPerSecond/base.OpsPerSecond
+	want := tp.RefreshOverhead()
+	if loss < want*0.5 || loss > want*2.5 {
+		t.Fatalf("refresh loss = %.3f, want near %.3f", loss, want)
+	}
+	if withRefresh.OpsPerSecond >= base.OpsPerSecond {
+		t.Fatal("refresh must cost throughput")
+	}
+}
+
+func TestRefreshDisabledWhenTREFIZero(t *testing.T) {
+	tp := timing.DDR31600()
+	tp.TREFI = 0
+	tp.TRFC = 0
+	p := OpProfile{LatencyNS: 116, Events: []Event{{0, 1}}}
+	r := mustSimulate(t, p, Config{Banks: 2, Timing: tp, ModelRefresh: true})
+	if r.StallFraction != 0 {
+		t.Fatalf("stalls with refresh disabled: %v", r.StallFraction)
+	}
+}
+
+func TestStallFractionPositiveUnderConstraint(t *testing.T) {
+	tp := timing.DDR31600()
+	a := ambit.MustNew(ambit.DefaultConfig())
+	p := ProfileFromSeq(a.Seq(engine.OpAND), tp)
+	r := mustSimulate(t, p, Config{Banks: 8, Timing: tp, PowerConstrained: true})
+	if r.StallFraction <= 0 {
+		t.Fatal("Ambit at 8 banks must stall under the power constraint")
+	}
+}
+
+func TestRanksScaleTheBudget(t *testing.T) {
+	// The tFAW constraint is per rank: a two-rank module has two charge
+	// pumps and roughly doubles the constrained parallelism.
+	tp := timing.DDR31600()
+	a := ambit.MustNew(ambit.DefaultConfig())
+	p := ProfileFromSeq(a.Seq(engine.OpAND), tp)
+	one := mustSimulate(t, p, Config{Banks: 8, Ranks: 1, Timing: tp, PowerConstrained: true})
+	two := mustSimulate(t, p, Config{Banks: 8, Ranks: 2, Timing: tp, PowerConstrained: true})
+	ratio := two.EffectiveBanks / one.EffectiveBanks
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("two ranks scaled banks by %v, want ~2", ratio)
+	}
+	// Unconstrained, ranks change nothing.
+	freeOne := mustSimulate(t, p, Config{Banks: 8, Ranks: 1, Timing: tp})
+	freeTwo := mustSimulate(t, p, Config{Banks: 8, Ranks: 2, Timing: tp})
+	if math.Abs(freeOne.EffectiveBanks-freeTwo.EffectiveBanks) > 0.01 {
+		t.Fatal("ranks must not matter without the constraint")
+	}
+}
+
+func TestRanksValidation(t *testing.T) {
+	p := OpProfile{LatencyNS: 100, Events: []Event{{0, 1}}}
+	if _, err := Simulate(p, Config{Banks: 8, Ranks: 3, Timing: timing.DDR31600()}, 1000); err == nil {
+		t.Fatal("banks not divisible by ranks accepted")
+	}
+}
+
+func TestAnalyticBanksWithRanks(t *testing.T) {
+	tp := timing.DDR31600()
+	e := elpim.MustNew(elpim.DefaultConfig())
+	p := ProfileFromSeq(e.Compile(engine.OpAND), tp)
+	one := AnalyticBanks(p, Config{Banks: 8, Ranks: 1, Timing: tp, PowerConstrained: true})
+	two := AnalyticBanks(p, Config{Banks: 8, Ranks: 2, Timing: tp, PowerConstrained: true})
+	if two <= one {
+		t.Fatal("analytic banks must grow with ranks")
+	}
+	if two > 8 {
+		t.Fatal("analytic banks capped at the bank count")
+	}
+}

@@ -1,0 +1,199 @@
+// Package timing models DRAM timing at the granularity the ELP2IM paper
+// (HPCA 2020) works at: the phase level of a subarray access. A regular
+// access is precharge → access → sense → restore; ELP2IM inserts a
+// pseudo-precharge phase in which the sense amplifier, with one supply rail
+// shifted to Vdd/2, regulates the bitline before the precharge unit runs.
+//
+// All durations are expressed in nanoseconds as float64. The default
+// parameter set is calibrated to DDR3-1600 so that the primitive latencies
+// of Table 1 of the paper fall out of the phase model exactly (AP 49 ns,
+// AAP 84 ns, oAAP 53 ns, APP 67 ns, oAPP 53 ns, tAPP 46 ns).
+package timing
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params holds the phase-level timing parameters of a DRAM device.
+// The derived quantities of a JEDEC datasheet relate to the phases as
+//
+//	tRAS = AccessSense + Restore
+//	tRP  = Precharge
+//	tRC  = tRAS + tRP
+//
+// PseudoPrechargeFactor scales Precharge to obtain the pseudo-precharge
+// duration; the paper measures 20–30% longer than precharge and adopts the
+// conservative 30%.
+type Params struct {
+	// AccessSense is the access + sense portion of an activate (wordline
+	// rise, charge sharing, SA latching), in ns.
+	AccessSense float64
+	// Restore is the restore portion of an activate (SA drives bitline and
+	// cell back to full rail), in ns.
+	Restore float64
+	// Precharge is the regular precharge duration (tRP), in ns.
+	Precharge float64
+	// OverlapActivate is the extra time a second, overlapped activation
+	// adds when a separate row decoder allows two activates to overlap
+	// (the oAAP primitive of RowClone/Ambit), in ns.
+	OverlapActivate float64
+	// PseudoPrechargeFactor scales Precharge to the pseudo-precharge
+	// duration. The SA drive strength drops when its supply difference is
+	// halved, so the factor is > 1 (paper: 1.2–1.3; we use 1.3).
+	PseudoPrechargeFactor float64
+
+	// TFAW is the four-activate-window constraint, in ns. At most
+	// ActivatesPerTFAW wordline activations may be issued module-wide in
+	// any rolling window of this length (charge-pump limit).
+	TFAW float64
+	// ActivatesPerTFAW is the number of single-wordline activations the
+	// power delivery network sustains per TFAW window.
+	ActivatesPerTFAW int
+
+	// Clock is the bus clock period, in ns (DDR3-1600: 1.25 ns).
+	Clock float64
+
+	// TREFI is the average refresh interval, in ns (DDR3: 7.8 µs). The
+	// module is unavailable for TRFC at every refresh. Zero disables
+	// refresh modeling.
+	TREFI float64
+	// TRFC is the refresh cycle time, in ns (DDR3 4Gb: ~300 ns).
+	TRFC float64
+}
+
+// DDR31600 returns the DDR3-1600 calibration used throughout the paper.
+func DDR31600() Params {
+	return Params{
+		AccessSense:           14.0,
+		Restore:               21.0,
+		Precharge:             14.0,
+		OverlapActivate:       4.0,
+		PseudoPrechargeFactor: 1.3,
+		TFAW:                  40.0,
+		ActivatesPerTFAW:      4,
+		Clock:                 1.25,
+		TREFI:                 7800,
+		TRFC:                  300,
+	}
+}
+
+// RefreshOverhead returns the fraction of time the module spends
+// refreshing (TRFC/TREFI), or 0 when refresh modeling is disabled.
+func (p Params) RefreshOverhead() float64 {
+	if p.TREFI <= 0 {
+		return 0
+	}
+	return p.TRFC / p.TREFI
+}
+
+// DDR42400 returns a DDR4-2400 calibration — §6.2: "DDR3-1600 is just an
+// example, other type of DRAM is also compatible with the aforementioned
+// designs". DDR4 shortens the precharge and keeps tRAS similar; the
+// pseudo-precharge factor is a device property and carries over.
+func DDR42400() Params {
+	return Params{
+		AccessSense:           13.0,
+		Restore:               19.0,
+		Precharge:             12.5,
+		OverlapActivate:       3.5,
+		PseudoPrechargeFactor: 1.3,
+		TFAW:                  30.0,
+		ActivatesPerTFAW:      4,
+		Clock:                 0.833,
+		TREFI:                 7800,
+		TRFC:                  350,
+	}
+}
+
+// Validate reports whether the parameter set is physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.AccessSense <= 0:
+		return errors.New("timing: AccessSense must be positive")
+	case p.Restore < 0:
+		return errors.New("timing: Restore must be non-negative")
+	case p.Precharge <= 0:
+		return errors.New("timing: Precharge must be positive")
+	case p.OverlapActivate < 0:
+		return errors.New("timing: OverlapActivate must be non-negative")
+	case p.PseudoPrechargeFactor < 1:
+		return errors.New("timing: PseudoPrechargeFactor must be >= 1 (SA drive weakens at half supply)")
+	case p.TFAW <= 0:
+		return errors.New("timing: TFAW must be positive")
+	case p.ActivatesPerTFAW <= 0:
+		return errors.New("timing: ActivatesPerTFAW must be positive")
+	case p.Clock <= 0:
+		return errors.New("timing: Clock must be positive")
+	case p.TREFI < 0 || p.TRFC < 0:
+		return errors.New("timing: refresh parameters must be non-negative")
+	case p.TREFI > 0 && p.TRFC >= p.TREFI:
+		return errors.New("timing: TRFC must be below TREFI")
+	}
+	return nil
+}
+
+// TRAS returns the activate duration tRAS = AccessSense + Restore.
+func (p Params) TRAS() float64 { return p.AccessSense + p.Restore }
+
+// TRP returns the precharge duration tRP.
+func (p Params) TRP() float64 { return p.Precharge }
+
+// TRC returns the row-cycle time tRC = tRAS + tRP.
+func (p Params) TRC() float64 { return p.TRAS() + p.TRP() }
+
+// PseudoPrecharge returns the duration of the pseudo-precharge phase.
+func (p Params) PseudoPrecharge() float64 {
+	return p.Precharge * p.PseudoPrechargeFactor
+}
+
+// Phase identifies one phase of a subarray access sequence.
+type Phase int
+
+// Phases of a DRAM access, including the non-traditional pseudo-precharge
+// state introduced by ELP2IM.
+const (
+	PhaseAccess Phase = iota
+	PhaseSense
+	PhaseRestore
+	PhasePseudoPrecharge
+	PhasePrecharge
+)
+
+// String returns the phase name.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseAccess:
+		return "access"
+	case PhaseSense:
+		return "sense"
+	case PhaseRestore:
+		return "restore"
+	case PhasePseudoPrecharge:
+		return "pseudo-precharge"
+	case PhasePrecharge:
+		return "precharge"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(ph))
+	}
+}
+
+// Duration returns the duration of a phase under the parameter set.
+// Access and sense together take AccessSense; we attribute the wordline
+// rise + charge sharing ~40% and sensing ~60% of that budget.
+func (p Params) Duration(ph Phase) float64 {
+	switch ph {
+	case PhaseAccess:
+		return p.AccessSense * 0.4
+	case PhaseSense:
+		return p.AccessSense * 0.6
+	case PhaseRestore:
+		return p.Restore
+	case PhasePseudoPrecharge:
+		return p.PseudoPrecharge()
+	case PhasePrecharge:
+		return p.Precharge
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,265 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDDR31600Validates(t *testing.T) {
+	if err := DDR31600().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestDerivedJEDECQuantities(t *testing.T) {
+	p := DDR31600()
+	if got := p.TRAS(); !almostEqual(got, 35, 1e-9) {
+		t.Errorf("tRAS = %v, want 35", got)
+	}
+	if got := p.TRP(); !almostEqual(got, 14, 1e-9) {
+		t.Errorf("tRP = %v, want 14", got)
+	}
+	if got := p.TRC(); !almostEqual(got, 49, 1e-9) {
+		t.Errorf("tRC = %v, want 49", got)
+	}
+}
+
+func TestPseudoPrechargeLongerThanPrecharge(t *testing.T) {
+	p := DDR31600()
+	pp, pre := p.PseudoPrecharge(), p.Precharge
+	if pp <= pre {
+		t.Fatalf("pseudo-precharge %v must exceed precharge %v", pp, pre)
+	}
+	// Paper: 20–30% longer than precharge.
+	ratio := pp / pre
+	if ratio < 1.2 || ratio > 1.3+1e-9 {
+		t.Errorf("pseudo-precharge/precharge = %v, want within [1.2, 1.3]", ratio)
+	}
+	// Paper: 13–20% shorter than the restore time of activate... the restore
+	// phase is 21 ns, pseudo-precharge 18.2 ns → 13.3% shorter. Check band.
+	short := 1 - pp/p.Restore
+	if short < 0.13-1e-9 || short > 0.20+1e-9 {
+		t.Errorf("pseudo-precharge is %.1f%% shorter than restore, want 13–20%%", short*100)
+	}
+}
+
+func TestPhaseDurationsSumToActivate(t *testing.T) {
+	p := DDR31600()
+	sum := p.Duration(PhaseAccess) + p.Duration(PhaseSense) + p.Duration(PhaseRestore)
+	if !almostEqual(sum, p.TRAS(), 1e-9) {
+		t.Errorf("phase sum %v != tRAS %v", sum, p.TRAS())
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhaseAccess:          "access",
+		PhaseSense:           "sense",
+		PhaseRestore:         "restore",
+		PhasePseudoPrecharge: "pseudo-precharge",
+		PhasePrecharge:       "precharge",
+	}
+	for ph, s := range want {
+		if ph.String() != s {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(ph), ph.String(), s)
+		}
+	}
+	if got := Phase(99).String(); got != "Phase(99)" {
+		t.Errorf("unknown phase = %q", got)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := DDR31600()
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero access", func(p *Params) { p.AccessSense = 0 }},
+		{"negative restore", func(p *Params) { p.Restore = -1 }},
+		{"zero precharge", func(p *Params) { p.Precharge = 0 }},
+		{"negative overlap", func(p *Params) { p.OverlapActivate = -1 }},
+		{"sub-unity pseudo factor", func(p *Params) { p.PseudoPrechargeFactor = 0.9 }},
+		{"zero tFAW", func(p *Params) { p.TFAW = 0 }},
+		{"zero budget", func(p *Params) { p.ActivatesPerTFAW = 0 }},
+		{"zero clock", func(p *Params) { p.Clock = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate accepted invalid params")
+			}
+		})
+	}
+}
+
+func TestActivationWindowBasic(t *testing.T) {
+	w := NewActivationWindow(40, 4)
+	if w.Width() != 40 || w.Budget() != 4 {
+		t.Fatalf("accessors wrong: width=%v budget=%v", w.Width(), w.Budget())
+	}
+	// Four single activations at t=0 fit.
+	for i := 0; i < 4; i++ {
+		at := w.EarliestIssue(0, 1)
+		if at != 0 {
+			t.Fatalf("activation %d delayed to %v, want 0", i, at)
+		}
+		w.Issue(at, 1)
+	}
+	// Fifth must wait until the first expires (t=40).
+	at := w.EarliestIssue(0, 1)
+	if !almostEqual(at, 40, 1e-9) {
+		t.Fatalf("fifth activation at %v, want 40", at)
+	}
+}
+
+func TestActivationWindowTripleRow(t *testing.T) {
+	w := NewActivationWindow(40, 4)
+	// A TRA consumes 3 units; a second TRA in the same window must wait.
+	w.Issue(0, 3)
+	at := w.EarliestIssue(0, 3)
+	if !almostEqual(at, 40, 1e-9) {
+		t.Fatalf("second TRA at %v, want 40", at)
+	}
+	// But a single activation still fits alongside the first TRA.
+	if got := w.EarliestIssue(0, 1); got != 0 {
+		t.Fatalf("single activation delayed to %v, want 0", got)
+	}
+}
+
+func TestActivationWindowOversizedRequestDoesNotDeadlock(t *testing.T) {
+	w := NewActivationWindow(40, 2)
+	w.Issue(0, 2)
+	at := w.EarliestIssue(0, 5) // larger than budget; clamped
+	if math.IsInf(at, 1) || at < 0 {
+		t.Fatalf("oversized request produced %v", at)
+	}
+	if !almostEqual(at, 40, 1e-9) {
+		t.Fatalf("oversized request at %v, want 40", at)
+	}
+}
+
+func TestActivationWindowRollingExpiry(t *testing.T) {
+	w := NewActivationWindow(10, 2)
+	w.Issue(0, 1)
+	w.Issue(5, 1)
+	// At t=10.1 the t=0 event has expired: one slot free.
+	if got := w.EarliestIssue(10.1, 1); got != 10.1 {
+		t.Fatalf("issue at %v, want 10.1", got)
+	}
+	w.Issue(10.1, 1)
+	// Now events at 5 and 10.1 occupy the window: next single activation
+	// must wait until 5+10=15.
+	if got := w.EarliestIssue(10.2, 1); !almostEqual(got, 15, 1e-9) {
+		t.Fatalf("issue at %v, want 15", got)
+	}
+}
+
+func TestActivationWindowOutOfOrderIssue(t *testing.T) {
+	w := NewActivationWindow(10, 2)
+	w.Issue(5, 1)
+	w.Issue(3, 1) // out of order: must still be accounted
+	if got := w.EarliestIssue(5, 1); !almostEqual(got, 13, 1e-9) {
+		t.Fatalf("issue at %v, want 13 (3+10)", got)
+	}
+}
+
+func TestActivationWindowReset(t *testing.T) {
+	w := NewActivationWindow(10, 1)
+	w.Issue(0, 1)
+	w.Reset()
+	if got := w.EarliestIssue(0, 1); got != 0 {
+		t.Fatalf("after reset issue at %v, want 0", got)
+	}
+}
+
+func TestActivationWindowZeroWordlines(t *testing.T) {
+	w := NewActivationWindow(10, 1)
+	w.Issue(0, 1)
+	if got := w.EarliestIssue(0, 0); got != 0 {
+		t.Fatalf("zero-wordline request delayed to %v", got)
+	}
+	w.Issue(0, 0) // no-op
+	if got := w.EarliestIssue(0, 1); !almostEqual(got, 10, 1e-9) {
+		t.Fatalf("issue at %v, want 10", got)
+	}
+}
+
+func TestNewActivationWindowPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		w float64
+		b int
+	}{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewActivationWindow(%v,%d) did not panic", tc.w, tc.b)
+				}
+			}()
+			NewActivationWindow(tc.w, tc.b)
+		}()
+	}
+}
+
+func TestRefreshOverhead(t *testing.T) {
+	p := DDR31600()
+	want := p.TRFC / p.TREFI
+	if got := p.RefreshOverhead(); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("refresh overhead = %v, want %v", got, want)
+	}
+	p.TREFI = 0
+	if p.RefreshOverhead() != 0 {
+		t.Fatal("disabled refresh must report zero overhead")
+	}
+}
+
+func TestValidateRejectsBadRefresh(t *testing.T) {
+	p := DDR31600()
+	p.TRFC = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative TRFC accepted")
+	}
+	p = DDR31600()
+	p.TRFC = p.TREFI
+	if err := p.Validate(); err == nil {
+		t.Error("TRFC >= TREFI accepted")
+	}
+}
+
+func TestDiscardBefore(t *testing.T) {
+	w := NewActivationWindow(10, 2)
+	w.Issue(0, 1)
+	w.Issue(5, 1)
+	// Watermark 14: the event at 0 (expired for any window ending >= 14)
+	// is dropped, the one at 5 retained (a window ending at 14 sees it).
+	w.DiscardBefore(14)
+	if got := w.EarliestIssue(14, 2); !almostEqual(got, 15, 1e-9) {
+		t.Fatalf("issue at %v, want 15 (event at 5 must still count)", got)
+	}
+}
+
+func TestPhaseDurationUnknown(t *testing.T) {
+	if DDR31600().Duration(Phase(99)) != 0 {
+		t.Fatal("unknown phase must have zero duration")
+	}
+}
+
+func TestDDR42400Validates(t *testing.T) {
+	p := DDR42400()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// DDR4 must be at least as fast as DDR3-1600 on the row cycle.
+	if p.TRC() > DDR31600().TRC() {
+		t.Fatal("DDR4 tRC must not exceed DDR3-1600")
+	}
+	// Pseudo-precharge remains 20–30% longer than precharge.
+	ratio := p.PseudoPrecharge() / p.Precharge
+	if ratio < 1.2 || ratio > 1.3+1e-9 {
+		t.Fatalf("DDR4 pseudo-precharge ratio %v outside [1.2,1.3]", ratio)
+	}
+}

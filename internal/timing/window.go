@@ -1,0 +1,136 @@
+package timing
+
+import (
+	"math"
+	"sort"
+)
+
+// ActivationWindow enforces the tFAW-style charge-pump constraint: at most
+// Budget wordline activations inside any rolling window of Width ns. One
+// DRAM ACTIVATE that raises k wordlines (Ambit's TRA raises 3) consumes k
+// units of budget, because each raised wordline draws from the same pump.
+//
+// The zero value is not usable; construct with NewActivationWindow.
+type ActivationWindow struct {
+	width   float64
+	budget  int
+	pending []event // sorted by time
+}
+
+type event struct {
+	at    float64
+	count int
+}
+
+// NewActivationWindow returns a window of the given width (ns) and
+// activation budget. Width and budget must be positive.
+func NewActivationWindow(width float64, budget int) *ActivationWindow {
+	if width <= 0 || budget <= 0 {
+		panic("timing: activation window width and budget must be positive")
+	}
+	return &ActivationWindow{width: width, budget: budget}
+}
+
+// Width returns the rolling window width in ns.
+func (w *ActivationWindow) Width() float64 { return w.width }
+
+// Budget returns the per-window activation budget.
+func (w *ActivationWindow) Budget() int { return w.budget }
+
+// DiscardBefore drops events that can no longer affect any query at or
+// after the watermark: events with at <= watermark - width. Callers that
+// replay activations out of order (a multi-bank scheduler) must only
+// advance the watermark to the minimum time any future query can use.
+func (w *ActivationWindow) DiscardBefore(watermark float64) {
+	cut := watermark - w.width
+	i := sort.Search(len(w.pending), func(i int) bool {
+		return w.pending[i].at > cut
+	})
+	if i > 0 {
+		w.pending = append(w.pending[:0], w.pending[i:]...)
+	}
+}
+
+// countWindow returns the wordline activations inside the window (τ-W, τ].
+func (w *ActivationWindow) countWindow(tau float64) int {
+	total := 0
+	for _, e := range w.pending {
+		if e.at > tau-w.width && e.at <= tau {
+			total += e.count
+		}
+	}
+	return total
+}
+
+// violates reports whether adding an event of `wordlines` at time t would
+// push ANY width-W window over budget. It checks every window that would
+// contain the new event: the one ending at t, and the ones ending at each
+// already-recorded event inside [t, t+W).
+func (w *ActivationWindow) violates(t float64, wordlines int) bool {
+	if w.countWindow(t)+wordlines > w.budget {
+		return true
+	}
+	for _, e := range w.pending {
+		if e.at >= t && e.at < t+w.width {
+			if w.countWindow(e.at)+wordlines > w.budget {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EarliestIssue returns the earliest time >= ready at which an activation of
+// `wordlines` wordlines can be issued without exceeding the budget in any
+// rolling window.
+func (w *ActivationWindow) EarliestIssue(ready float64, wordlines int) float64 {
+	if wordlines <= 0 {
+		return ready
+	}
+	if wordlines > w.budget {
+		// An activation larger than the whole budget can never be legal;
+		// model it as serialized full-window stalls (the pump cannot supply
+		// it — callers should avoid this, but do not deadlock).
+		wordlines = w.budget
+	}
+	t := ready
+	for w.violates(t, wordlines) {
+		// Advance past the next event expiry. Strict progress is forced so
+		// floating-point rounding (e.at + width collapsing onto t) cannot
+		// stall the loop.
+		next := math.Inf(1)
+		for _, e := range w.pending {
+			if cand := e.at + w.width; cand > t && cand < next {
+				next = cand
+			}
+		}
+		if math.IsInf(next, 1) {
+			// Only sub-ULP conflicts remain; nudge once and accept.
+			return math.Nextafter(t, math.Inf(1))
+		}
+		t = next
+	}
+	return t
+}
+
+// Issue records an activation of `wordlines` wordlines at time `at`.
+// Callers should have obtained `at` from EarliestIssue. Events are retained
+// until DiscardBefore advances past them, so out-of-order queries from
+// other agents stay correct.
+func (w *ActivationWindow) Issue(at float64, wordlines int) {
+	if wordlines <= 0 {
+		return
+	}
+	// Keep pending sorted: appends are typically monotone in time.
+	if n := len(w.pending); n > 0 && w.pending[n-1].at > at {
+		w.pending = append(w.pending, event{})
+		i := sort.Search(n, func(i int) bool { return w.pending[i].at > at })
+		copy(w.pending[i+1:], w.pending[i:])
+		w.pending[i] = event{at: at, count: wordlines}
+		return
+	}
+	w.pending = append(w.pending, event{at: at, count: wordlines})
+}
+
+// Reset clears all recorded activations.
+func (w *ActivationWindow) Reset() { w.pending = w.pending[:0] }
