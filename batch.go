@@ -1,0 +1,269 @@
+package elp2im
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/engine"
+	"repro/internal/pipeline"
+)
+
+// Future is the handle of one asynchronously submitted operation.
+type Future struct {
+	pf *pipeline.Future
+	// components are the operation's cost terms in the order the
+	// synchronous path would account them (one for an Op, copy + one per
+	// fold for a Reduce); Batch.Wait folds them into the session totals in
+	// this order so batched and per-call totals are bit-identical.
+	components []Stats
+	stats      Stats
+	err        error // submission-time validation error
+	accounted  bool  // guarded by the owning batch's mutex
+}
+
+// Wait blocks until the operation completes and returns its modeled cost.
+// Session totals are folded in by Batch.Wait, not here.
+func (f *Future) Wait() (Stats, error) {
+	if f.err != nil {
+		return Stats{}, f.err
+	}
+	if err := f.pf.Err(); err != nil {
+		return Stats{}, err
+	}
+	return f.stats, nil
+}
+
+// Batch is an asynchronous submission context over an Accelerator: Submit
+// and SubmitReduce enqueue operations and return immediately, a worker pool
+// sized from the scheduler's effective-bank count executes them. Requests
+// touching distinct subarrays run concurrently; requests landing on the
+// same subarray are serialized in submission order, which is exactly the
+// order data dependencies between submitted operations need (a vector's
+// stripe always lives in the same subarray), so chains like
+// Submit(And, t, a, b); Submit(Or, dst, t, c) are safe without explicit
+// synchronization.
+//
+// A Batch may be used from multiple goroutines; operations submitted
+// concurrently have no defined order relative to each other. Call Wait to
+// drain outstanding work and fold the batch's statistics into the
+// accelerator totals; call Close when done with the batch.
+type Batch struct {
+	acc  *Accelerator
+	pool *pipeline.Pool
+
+	mu     sync.Mutex
+	leased []*Future // submission order
+}
+
+// Batch returns a new asynchronous submission context. The worker pool is
+// sized from the scheduler's effective-bank count under the current power
+// constraint — the modeled hardware's own concurrency budget.
+func (a *Accelerator) Batch() *Batch {
+	workers := a.module.Banks()
+	if u, err := a.opUnit(engine.OpAND); err == nil {
+		eff := int(math.Ceil(u.banks))
+		if eff >= 1 && eff < workers {
+			workers = eff
+		}
+	}
+	return &Batch{
+		acc:  a,
+		pool: pipeline.NewPool(workers),
+	}
+}
+
+// Workers returns the batch's worker-pool size.
+func (b *Batch) Workers() int { return b.pool.Workers() }
+
+// failed records and returns an already-failed future.
+func (b *Batch) failed(err error) *Future {
+	f := &Future{err: err}
+	b.mu.Lock()
+	b.leased = append(b.leased, f)
+	b.mu.Unlock()
+	return f
+}
+
+// groupStripes partitions stripes [0, n) into per-serialization-group
+// ascending lists.
+func (a *Accelerator) groupStripes(n int) map[int][]int {
+	groups := make(map[int][]int)
+	for s := 0; s < n; s++ {
+		g := a.stripeGroup(s)
+		groups[g] = append(groups[g], s)
+	}
+	return groups
+}
+
+// Submit enqueues dst = op(x, y) (y nil for unary ops) and returns its
+// future. Validation errors surface on the returned future and on Wait.
+func (b *Batch) Submit(op Op, dst, x, y *BitVector) *Future {
+	a := b.acc
+	iop := op.internal()
+	if x == nil || dst == nil {
+		return b.failed(errors.New("elp2im: nil vector"))
+	}
+	if !op.Unary() {
+		if y == nil {
+			return b.failed(fmt.Errorf("elp2im: %v needs two operands", op))
+		}
+		if y.Len() != x.Len() {
+			return b.failed(errors.New("elp2im: operand length mismatch"))
+		}
+	}
+	if dst.Len() != x.Len() {
+		return b.failed(errors.New("elp2im: destination length mismatch"))
+	}
+
+	cols := a.cfg.Module.Columns
+	stripes := (x.Len() + cols - 1) / cols
+	st, err := a.opCost(iop, stripes)
+	if err != nil {
+		return b.failed(err)
+	}
+
+	var yv *bitvec.Vector
+	if y != nil {
+		yv = y.v
+	}
+	groups := a.groupStripes(stripes)
+	tasks := make([]pipeline.Task, 0, len(groups))
+	for g, list := range groups {
+		list := list
+		tasks = append(tasks, pipeline.Task{Group: g, Run: func() error {
+			buf := bitvec.New(cols)
+			for _, s := range list {
+				if err := a.opStripe(iop, dst.v, x.v, yv, s, a.subarrayFor(s), buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	return b.enqueue(tasks, []Stats{st}, st)
+}
+
+// SubmitReduce enqueues the asynchronous variant of Reduce:
+// dst = vs[0] op vs[1] op ... (OpAnd / OpOr only).
+func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
+	a := b.acc
+	if op != OpAnd && op != OpOr {
+		return b.failed(fmt.Errorf("elp2im: no reduction for %v", op))
+	}
+	if len(vs) < 2 {
+		return b.failed(errors.New("elp2im: reduction needs at least two vectors"))
+	}
+	for _, v := range vs {
+		if v == nil || v.Len() != dst.Len() {
+			return b.failed(errors.New("elp2im: reduction operand nil or length mismatch"))
+		}
+	}
+	iop := op.internal()
+	cols := a.cfg.Module.Columns
+	stripes := (dst.Len() + cols - 1) / cols
+
+	// Cost components in the synchronous Reduce's accounting order: the
+	// staging copy, then one term per fold.
+	components := make([]Stats, 0, len(vs))
+	copySt, err := a.opCost(engine.OpCOPY, stripes)
+	if err != nil {
+		return b.failed(err)
+	}
+	components = append(components, copySt)
+	cp, chained := a.eng.(chainProvider)
+	for range vs[1:] {
+		var st Stats
+		if chained {
+			st, err = a.chainCost(cp, iop, stripes)
+		} else {
+			st, err = a.opCost(iop, stripes)
+		}
+		if err != nil {
+			return b.failed(err)
+		}
+		components = append(components, st)
+	}
+	var total Stats
+	for _, c := range components {
+		total.add(c)
+	}
+
+	ipe, inPlace := a.eng.(inPlaceExecutor)
+	groups := a.groupStripes(stripes)
+	tasks := make([]pipeline.Task, 0, len(groups))
+	for g, list := range groups {
+		list := list
+		tasks = append(tasks, pipeline.Task{Group: g, Run: func() error {
+			buf := bitvec.New(cols)
+			for _, s := range list {
+				sub := a.subarrayFor(s)
+				if err := a.opStripe(engine.OpCOPY, dst.v, vs[0].v, nil, s, sub, buf); err != nil {
+					return err
+				}
+				for _, v := range vs[1:] {
+					if err := a.foldStripe(iop, ipe, inPlace, dst.v, v.v, s, sub, buf); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}})
+	}
+	return b.enqueue(tasks, components, total)
+}
+
+// enqueue hands tasks to the pool and registers the future.
+func (b *Batch) enqueue(tasks []pipeline.Task, components []Stats, total Stats) *Future {
+	pf, err := b.pool.Submit(tasks)
+	if err != nil {
+		return b.failed(err)
+	}
+	f := &Future{pf: pf, components: components, stats: total}
+	b.mu.Lock()
+	b.leased = append(b.leased, f)
+	b.mu.Unlock()
+	return f
+}
+
+// Wait drains every submitted operation, folds the cost of each successful
+// one into the accelerator's session totals (in submission order, exactly
+// as the synchronous path would), and returns the batch's accumulated
+// stats plus the first error in submission order. Wait may be called
+// repeatedly; operations are accounted once. Submissions racing with Wait
+// from other goroutines are not guaranteed to be included.
+func (b *Batch) Wait() (Stats, error) {
+	b.pool.Drain()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var total Stats
+	var firstErr error
+	for _, f := range b.leased {
+		err := f.err
+		if err == nil {
+			err = f.pf.Err()
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if f.accounted {
+			continue
+		}
+		f.accounted = true
+		for _, c := range f.components {
+			b.acc.addTotals(c)
+			total.add(c)
+		}
+	}
+	return total, firstErr
+}
+
+// Close drains and shuts down the batch's worker pool. Further Submit
+// calls return a failed future. Close does not fold unaccounted statistics
+// into the totals — call Wait first.
+func (b *Batch) Close() { b.pool.Close() }

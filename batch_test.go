@@ -1,0 +1,411 @@
+package elp2im
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ambit"
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/drisa"
+	"repro/internal/elpim"
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// TestBatchMatchesOp: a batch of ops produces the same vectors and the
+// same accumulated Stats as the per-call path, on every design.
+func TestBatchMatchesOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []Design{DesignELP2IM, DesignAmbit, DesignDrisaNOR} {
+		acc := newAcc(t, smallModule, func(c *Config) { c.Design = d })
+		n := 3 * acc.cfg.Module.Columns
+		x := RandomBitVector(rng, n)
+		y := RandomBitVector(rng, n)
+
+		const ops = 20
+		serialDst := make([]*BitVector, ops)
+		acc.ResetTotals()
+		for i := range serialDst {
+			serialDst[i] = NewBitVector(n)
+			if _, err := acc.Op(OpAnd, serialDst[i], x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		serialTotals := acc.Totals()
+
+		acc.ResetTotals()
+		b := acc.Batch()
+		batchDst := make([]*BitVector, ops)
+		futs := make([]*Future, ops)
+		for i := range batchDst {
+			batchDst[i] = NewBitVector(n)
+			futs[i] = b.Submit(OpAnd, batchDst[i], x, y)
+		}
+		batchTotals, err := b.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Close()
+		if got := acc.Totals(); got != serialTotals {
+			t.Fatalf("%v: batch session totals %+v != serial %+v", d, got, serialTotals)
+		}
+		if batchTotals != serialTotals {
+			t.Fatalf("%v: Wait totals %+v != serial %+v", d, batchTotals, serialTotals)
+		}
+		for i := range batchDst {
+			st, err := futs[i].Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.RowOps == 0 {
+				t.Fatalf("%v: future %d reports zero row ops", d, i)
+			}
+			if !batchDst[i].Equal(serialDst[i]) {
+				t.Fatalf("%v: batch dst %d != serial dst", d, i)
+			}
+		}
+	}
+}
+
+// TestBatchDependencyChain: a submitted op may consume the output of an
+// earlier submission without explicit synchronization — stripe s of every
+// vector maps to the same subarray group, so per-group FIFO order is
+// exactly submission order.
+func TestBatchDependencyChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	acc := newAcc(t, smallModule)
+	n := 5*acc.cfg.Module.Columns + 17
+	a := RandomBitVector(rng, n)
+	c := RandomBitVector(rng, n)
+	tmp := NewBitVector(n)
+	dst := NewBitVector(n)
+
+	b := acc.Batch()
+	defer b.Close()
+	b.Submit(OpNot, tmp, a, nil)
+	b.Submit(OpAnd, tmp, tmp, c) // in-place on the async path
+	b.Submit(OpOr, dst, tmp, a)
+	if _, err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	t1 := NewBitVector(n)
+	golden(OpNot, t1, a, nil)
+	t2 := NewBitVector(n)
+	golden(OpAnd, t2, t1, c)
+	want := NewBitVector(n)
+	golden(OpOr, want, t2, a)
+	if !dst.Equal(want) {
+		t.Fatal("dependency chain through the batch diverges from the oracle")
+	}
+}
+
+// TestBatchConcurrentSubmit: many goroutines submitting into one batch
+// (run under -race), with results and totals checked against the serial
+// path.
+func TestBatchConcurrentSubmit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	acc := newAcc(t, smallModule)
+	n := 2 * acc.cfg.Module.Columns
+	x := RandomBitVector(rng, n)
+	y := RandomBitVector(rng, n)
+	want := NewBitVector(n)
+	golden(OpXor, want, x, y)
+
+	b := acc.Batch()
+	defer b.Close()
+	const workers = 8
+	const each = 10
+	dsts := make([]*BitVector, workers*each)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				dst := NewBitVector(n)
+				dsts[w*each+i] = dst
+				f := b.Submit(OpXor, dst, x, y)
+				if _, err := f.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, dst := range dsts {
+		if !dst.Equal(want) {
+			t.Fatalf("dst %d wrong", i)
+		}
+	}
+
+	// Totals: workers*each identical ops accumulate to the same value the
+	// serial path produces (every addend is identical, so submission order
+	// cannot matter).
+	ref := newAcc(t, smallModule)
+	for i := 0; i < workers*each; i++ {
+		if _, err := ref.Op(OpXor, NewBitVector(n), x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := acc.Totals(), ref.Totals(); got != want {
+		t.Fatalf("concurrent-submit totals %+v != serial %+v", got, want)
+	}
+}
+
+// TestTotalsDuringBatch: Totals/ResetTotals racing a running batch is safe
+// (the race detector is the assertion).
+func TestTotalsDuringBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	acc := newAcc(t, smallModule)
+	n := 4 * acc.cfg.Module.Columns
+	x := RandomBitVector(rng, n)
+	y := RandomBitVector(rng, n)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = acc.Totals()
+				acc.ResetTotals()
+			}
+		}
+	}()
+
+	b := acc.Batch()
+	for i := 0; i < 30; i++ {
+		b.Submit(OpOr, NewBitVector(n), x, y)
+	}
+	if _, err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	close(stop)
+	wg.Wait()
+}
+
+// TestBatchValidationErrors: submission-time errors surface on the future
+// and on Wait, and a closed batch rejects new work.
+func TestBatchValidationErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	acc := newAcc(t, smallModule)
+	b := acc.Batch()
+	n := acc.cfg.Module.Columns
+
+	good := b.Submit(OpAnd, NewBitVector(n), RandomBitVector(rng, n), RandomBitVector(rng, n))
+	bad1 := b.Submit(OpAnd, NewBitVector(n), nil, nil)
+	bad2 := b.Submit(OpAnd, NewBitVector(n), NewBitVector(n), NewBitVector(n+1))
+	badR := b.SubmitReduce(OpXor, NewBitVector(n), NewBitVector(n), NewBitVector(n))
+	if _, err := good.Wait(); err != nil {
+		t.Fatalf("good future errored: %v", err)
+	}
+	if _, err := bad1.Wait(); err == nil {
+		t.Fatal("nil-vector submit did not error")
+	}
+	if _, err := bad2.Wait(); err == nil {
+		t.Fatal("length-mismatch submit did not error")
+	}
+	if _, err := badR.Wait(); err == nil {
+		t.Fatal("SubmitReduce accepted XOR")
+	}
+	if _, err := b.Wait(); err == nil {
+		t.Fatal("Wait did not surface the submission errors")
+	}
+	b.Close()
+	if _, err := b.Submit(OpAnd, NewBitVector(n), NewBitVector(n), NewBitVector(n)).Wait(); err == nil {
+		t.Fatal("submit on closed batch did not error")
+	}
+}
+
+// TestBatchReduceMatchesReduce: the async Reduce variant matches the
+// synchronous one in result, per-call stats, and totals.
+func TestBatchReduceMatchesReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, d := range []Design{DesignELP2IM, DesignAmbit, DesignDrisaNOR} {
+		acc := newAcc(t, smallModule, func(c *Config) { c.Design = d })
+		n := 3*acc.cfg.Module.Columns + 5
+		vs := make([]*BitVector, 4)
+		for i := range vs {
+			vs[i] = RandomBitVector(rng, n)
+		}
+
+		acc.ResetTotals()
+		serial := NewBitVector(n)
+		serialSt, err := acc.Reduce(OpAnd, serial, vs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialTotals := acc.Totals()
+
+		acc.ResetTotals()
+		batchDst := NewBitVector(n)
+		b := acc.Batch()
+		f := b.SubmitReduce(OpAnd, batchDst, vs...)
+		if _, err := b.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		b.Close()
+		batchSt, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !batchDst.Equal(serial) {
+			t.Fatalf("%v: async reduce result differs", d)
+		}
+		if batchSt != serialSt {
+			t.Fatalf("%v: async reduce stats %+v != %+v", d, batchSt, serialSt)
+		}
+		if got := acc.Totals(); got != serialTotals {
+			t.Fatalf("%v: async reduce totals %+v != %+v", d, got, serialTotals)
+		}
+	}
+}
+
+// TestCachedCostEqualsFreshAllDesigns compares the memoized cost path
+// against a cache-disabled accelerator for every (design, op) pair, and
+// the process-wide scheduler memo against fresh simulations of every
+// engine's compiled profile, constrained and unconstrained.
+func TestCachedCostEqualsFreshAllDesigns(t *testing.T) {
+	allOps := []Op{OpNot, OpAnd, OpOr, OpNand, OpNor, OpXor, OpXnor, OpCopy}
+	for _, d := range []Design{DesignELP2IM, DesignAmbit, DesignDrisaNOR} {
+		cached := newAcc(t, smallModule, func(c *Config) { c.Design = d })
+		fresh := newAcc(t, smallModule, func(c *Config) {
+			c.Design = d
+			c.DisableSchedCache = true
+		})
+		for _, op := range allOps {
+			iop := op.internal()
+			for pass := 0; pass < 2; pass++ { // first fills the memo, second hits it
+				cs, err := cached.opCost(iop, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs, err := fresh.opCost(iop, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cs != fs {
+					t.Fatalf("%v %v pass %d: cached cost %+v != fresh %+v", d, op, pass, cs, fs)
+				}
+			}
+		}
+	}
+
+	// The raw scheduler memo over every engine's compiled sequences.
+	tp := DefaultConfig().Timing
+	profiles := map[string]func(engine.Op) sched.OpProfile{
+		"elpim": func(op engine.Op) sched.OpProfile {
+			return sched.ProfileFromSeq(elpim.MustNew(elpim.DefaultConfig()).Seq(op), tp)
+		},
+		"ambit": func(op engine.Op) sched.OpProfile {
+			return sched.ProfileFromSeq(ambit.MustNew(ambit.DefaultConfig()).Seq(op), tp)
+		},
+		"drisa": func(op engine.Op) sched.OpProfile {
+			return sched.ProfileFromSeq(drisa.MustNew(drisa.DefaultConfig()).Seq(op), tp)
+		},
+	}
+	for name, mk := range profiles {
+		for op := engine.OpNOT; op <= engine.OpCOPY; op++ {
+			p := mk(op)
+			for _, constrained := range []bool{false, true} {
+				cfg := sched.Config{Banks: 8, Timing: tp, PowerConstrained: constrained}
+				want, err := sched.Simulate(p, cfg, 200_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sched.CachedSimulate(p, cfg, 200_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s %v constrained=%v: cached %+v != fresh %+v",
+						name, op, constrained, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSetPowerConstrainedInvalidates: toggling the constraint invalidates
+// the per-accelerator cost memo and matches an accelerator built with the
+// flag from the start.
+func TestSetPowerConstrainedInvalidates(t *testing.T) {
+	acc := newAcc(t)
+	un, err := acc.opCost(engine.OpAND, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.SetPowerConstrained(true)
+	con, err := acc.opCost(engine.OpAND, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if con.LatencyNS <= un.LatencyNS {
+		t.Fatalf("constrained latency %v not above unconstrained %v (stale cache?)",
+			con.LatencyNS, un.LatencyNS)
+	}
+	ref := newAcc(t, func(c *Config) { c.PowerConstrained = true })
+	want, err := ref.opCost(engine.OpAND, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if con != want {
+		t.Fatalf("post-toggle cost %+v != fresh constrained cost %+v", con, want)
+	}
+}
+
+// TestForEachStripeFirstErrorDeterministic injects failures into two
+// distinct subarray groups and checks the lowest-stripe error wins every
+// time, regardless of goroutine scheduling.
+func TestForEachStripeFirstErrorDeterministic(t *testing.T) {
+	acc := newAcc(t, smallModule) // 2 banks × 2 subarrays, word-aligned
+	const stripes = 8
+	// Stripes 2 and 5 live in different groups (different bank and
+	// subarray), so their goroutines genuinely race.
+	if acc.subarrayFor(2) == acc.subarrayFor(5) {
+		t.Fatal("test geometry invalid: stripes 2 and 5 share a subarray")
+	}
+	errLow := errors.New("low stripe failure")
+	errHigh := errors.New("high stripe failure")
+	for round := 0; round < 100; round++ {
+		err := acc.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+			switch s {
+			case 2:
+				return errLow
+			case 5:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("round %d: got %v, want %v", round, err, errLow)
+		}
+	}
+	// A single failure in a later group still surfaces.
+	err := acc.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+		if s == 5 {
+			return errHigh
+		}
+		return nil
+	})
+	if err != errHigh {
+		t.Fatalf("got %v, want %v", err, errHigh)
+	}
+	// No failure: nil.
+	if err := acc.forEachStripe(stripes, func(int, *dram.Subarray, *bitvec.Vector) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

@@ -437,3 +437,72 @@ func BenchmarkEngineSimulation(b *testing.B) {
 		})
 	}
 }
+
+// benchAcc builds a full-size accelerator for the pipeline benchmarks.
+func benchAcc(b *testing.B, mutators ...func(*Config)) *Accelerator {
+	b.Helper()
+	acc, err := New(mutators...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return acc
+}
+
+// BenchmarkPipelinePerCallUncached is the seed-equivalent baseline: every
+// Op re-simulates its scheduling profile (DisableSchedCache bypasses both
+// the process-wide scheduler memo and the per-accelerator cost memo).
+func BenchmarkPipelinePerCallUncached(b *testing.B) {
+	acc := benchAcc(b, func(c *Config) { c.DisableSchedCache = true })
+	n := acc.cfg.Module.Columns
+	rng := rand.New(rand.NewSource(1))
+	x := RandomBitVector(rng, n)
+	y := RandomBitVector(rng, n)
+	dst := NewBitVector(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.Op(OpAnd, dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinePerCallCached: the synchronous path with the scheduler
+// and cost memos on (the default).
+func BenchmarkPipelinePerCallCached(b *testing.B) {
+	acc := benchAcc(b)
+	n := acc.cfg.Module.Columns
+	rng := rand.New(rand.NewSource(1))
+	x := RandomBitVector(rng, n)
+	y := RandomBitVector(rng, n)
+	dst := NewBitVector(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.Op(OpAnd, dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineBatchCached: b.N ops submitted through one batch and
+// drained once. Distinct destinations keep the stripe groups independent.
+func BenchmarkPipelineBatchCached(b *testing.B) {
+	acc := benchAcc(b)
+	n := acc.cfg.Module.Columns
+	rng := rand.New(rand.NewSource(1))
+	x := RandomBitVector(rng, n)
+	y := RandomBitVector(rng, n)
+	dsts := make([]*BitVector, 64)
+	for i := range dsts {
+		dsts[i] = NewBitVector(n)
+	}
+	b.ResetTimer()
+	bt := acc.Batch()
+	for i := 0; i < b.N; i++ {
+		bt.Submit(OpAnd, dsts[i%len(dsts)], x, y)
+	}
+	if _, err := bt.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	bt.Close()
+}

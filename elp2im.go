@@ -178,6 +178,12 @@ type Config struct {
 	// HighThroughputMode selects ELP2IM's AAP-APP-AP sequences
 	// (power-optimal) instead of the overlapped reduced-latency ones.
 	HighThroughputMode bool
+	// DisableSchedCache turns off the scheduler memoization layer, forcing
+	// every operation to re-run the full 200k-ns scheduling simulation the
+	// way the pre-pipeline code did. Only useful for benchmarking the
+	// memoization win (scripts/bench.sh); cached results are bit-identical
+	// to fresh ones.
+	DisableSchedCache bool
 }
 
 // DefaultConfig returns ELP2IM on a DDR3-1600 module with 8 banks.
@@ -221,11 +227,36 @@ func (s *Stats) add(o Stats) {
 }
 
 // Accelerator executes bulk bitwise operations on a modeled DRAM module.
+// It is safe for concurrent use through the Batch API; the synchronous Op,
+// Reduce and Eval entry points may also be called concurrently as long as
+// their vector arguments do not overlap.
 type Accelerator struct {
 	cfg    Config
 	module *dram.Module
 	eng    engine.Engine
-	totals Stats
+
+	totalsMu sync.Mutex
+	totals   Stats
+
+	// costMu guards the memoized per-row cost units. The cache is keyed by
+	// (op, chained) only because everything else it depends on — design,
+	// timing, power, geometry, constraint flags — is fixed per accelerator;
+	// SetPowerConstrained invalidates it when the one mutable knob changes.
+	costMu    sync.Mutex
+	costUnits map[costKey]costUnit
+}
+
+// costKey identifies one memoized cost unit.
+type costKey struct {
+	op      engine.Op
+	chained bool
+}
+
+// costUnit is the stripe-independent part of an operation's cost: the
+// per-row engine stats and the scheduler's effective-bank count.
+type costUnit struct {
+	per   engine.Stats
+	banks float64
 }
 
 // New returns an accelerator for the configuration (DefaultConfig when
@@ -298,9 +329,10 @@ func NewWithConfig(cfg Config) (*Accelerator, error) {
 	}
 
 	return &Accelerator{
-		cfg:    cfg,
-		module: dram.NewModule(cfg.Module),
-		eng:    eng,
+		cfg:       cfg,
+		module:    dram.NewModule(cfg.Module),
+		eng:       eng,
+		costUnits: make(map[costKey]costUnit),
 	}, nil
 }
 
@@ -314,11 +346,40 @@ func (a *Accelerator) ReservedRows() int { return a.eng.ReservedRows() }
 func (a *Accelerator) AreaOverheadPercent() float64 { return a.eng.AreaOverheadPercent() }
 
 // Totals returns the accumulated statistics of every operation executed
-// on this accelerator.
-func (a *Accelerator) Totals() Stats { return a.totals }
+// on this accelerator. It is safe to call while a batch is running;
+// batched operations fold into the totals at Batch.Wait.
+func (a *Accelerator) Totals() Stats {
+	a.totalsMu.Lock()
+	defer a.totalsMu.Unlock()
+	return a.totals
+}
 
 // ResetTotals clears the accumulated statistics.
-func (a *Accelerator) ResetTotals() { a.totals = Stats{} }
+func (a *Accelerator) ResetTotals() {
+	a.totalsMu.Lock()
+	a.totals = Stats{}
+	a.totalsMu.Unlock()
+}
+
+// addTotals accumulates st into the session totals.
+func (a *Accelerator) addTotals(st Stats) {
+	a.totalsMu.Lock()
+	a.totals.add(st)
+	a.totalsMu.Unlock()
+}
+
+// SetPowerConstrained toggles the charge-pump/tFAW latency constraint and
+// invalidates the memoized cost units (the one configuration knob that can
+// change after construction). The process-wide scheduler memo needs no
+// invalidation — its keys embed the full configuration.
+func (a *Accelerator) SetPowerConstrained(v bool) {
+	a.costMu.Lock()
+	defer a.costMu.Unlock()
+	if a.cfg.PowerConstrained != v {
+		a.cfg.PowerConstrained = v
+		a.costUnits = make(map[costKey]costUnit)
+	}
+}
 
 // operand rows inside each working subarray.
 const (
@@ -355,18 +416,12 @@ func (a *Accelerator) Op(op Op, dst, x, y *BitVector) (Stats, error) {
 	// Functional execution, stripe by stripe, round-robin over banks;
 	// distinct subarrays run concurrently (the simulator's mirror of
 	// bank-level parallelism).
+	var yv *bitvec.Vector
+	if y != nil {
+		yv = y.v
+	}
 	err := a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-		loadStripe(buf, x.v, s, cols)
-		sub.LoadRow(rowA, buf)
-		if !op.Unary() {
-			loadStripe(buf, y.v, s, cols)
-			sub.LoadRow(rowB, buf)
-		}
-		if err := a.eng.Execute(sub, iop, rowC, rowA, rowB); err != nil {
-			return err
-		}
-		storeStripe(dst.v, sub.RowData(rowC), s, cols)
-		return nil
+		return a.opStripe(iop, dst.v, x.v, yv, s, sub, buf)
 	})
 	if err != nil {
 		return Stats{}, err
@@ -376,7 +431,7 @@ func (a *Accelerator) Op(op Op, dst, x, y *BitVector) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	a.totals.add(st)
+	a.addTotals(st)
 	return st, nil
 }
 
@@ -429,21 +484,7 @@ func (a *Accelerator) Reduce(op Op, dst *BitVector, vs ...*BitVector) (Stats, er
 	for _, v := range vs[1:] {
 		// Functional fold, stripe by stripe.
 		err := a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-			loadStripe(buf, v.v, s, cols)
-			sub.LoadRow(rowA, buf)
-			loadStripe(buf, dst.v, s, cols)
-			sub.LoadRow(rowB, buf)
-			var err error
-			if inPlace {
-				err = ipe.ExecuteInPlace(sub, iop, rowA, rowB)
-			} else {
-				err = a.eng.Execute(sub, iop, rowB, rowA, rowB)
-			}
-			if err != nil {
-				return err
-			}
-			storeStripe(dst.v, sub.RowData(rowB), s, cols)
-			return nil
+			return a.foldStripe(iop, ipe, inPlace, dst.v, v.v, s, sub, buf)
 		})
 		if err != nil {
 			return Stats{}, err
@@ -459,55 +500,145 @@ func (a *Accelerator) Reduce(op Op, dst *BitVector, vs ...*BitVector) (Stats, er
 			return Stats{}, err
 		}
 		total.add(st)
-		a.totals.add(st)
+		a.addTotals(st)
 	}
 	return total, nil
 }
 
-// chainCost computes the scheduled cost of `stripes` chained folds.
-func (a *Accelerator) chainCost(cp chainProvider, op engine.Op, stripes int) (Stats, error) {
-	per, err := cp.ChainStats(op)
-	if err != nil {
-		return Stats{}, err
-	}
-	seq, err := cp.ChainSeq(op)
-	if err != nil {
-		return Stats{}, err
-	}
+// schedHorizonNS is the steady-state horizon of the bank-parallelism
+// simulation behind every op-cost query.
+const schedHorizonNS = 200_000
+
+// simulate runs the scheduler for seq's profile, through the process-wide
+// memo unless the configuration disables it.
+func (a *Accelerator) simulate(seq primitive.Seq) (sched.Result, error) {
 	profile := sched.ProfileFromSeq(seq, a.cfg.Timing)
-	res, err := sched.Simulate(profile, sched.Config{
+	cfg := sched.Config{
 		Banks:            a.module.Banks(),
 		Timing:           a.cfg.Timing,
 		PowerConstrained: a.cfg.PowerConstrained,
 		Ranks:            a.cfg.Ranks,
-	}, 200_000)
+	}
+	if a.cfg.DisableSchedCache {
+		return sched.Simulate(profile, cfg, schedHorizonNS)
+	}
+	return sched.CachedSimulate(profile, cfg, schedHorizonNS)
+}
+
+// chainUnit returns the memoized per-row cost unit of the chained fold.
+func (a *Accelerator) chainUnit(cp chainProvider, op engine.Op) (costUnit, error) {
+	a.costMu.Lock()
+	defer a.costMu.Unlock()
+	k := costKey{op: op, chained: true}
+	if u, ok := a.costUnits[k]; ok && !a.cfg.DisableSchedCache {
+		return u, nil
+	}
+	per, err := cp.ChainStats(op)
 	if err != nil {
-		return Stats{}, err
+		return costUnit{}, err
+	}
+	seq, err := cp.ChainSeq(op)
+	if err != nil {
+		return costUnit{}, err
+	}
+	res, err := a.simulate(seq)
+	if err != nil {
+		return costUnit{}, err
 	}
 	banks := res.EffectiveBanks
 	if banks <= 0 {
 		banks = 1
 	}
-	latency := float64(stripes) * per.LatencyNS / banks
-	energy := per.EnergyNJ*float64(stripes) +
+	u := costUnit{per: per, banks: banks}
+	a.costUnits[k] = u
+	return u, nil
+}
+
+// chainCost computes the scheduled cost of `stripes` chained folds.
+func (a *Accelerator) chainCost(cp chainProvider, op engine.Op, stripes int) (Stats, error) {
+	u, err := a.chainUnit(cp, op)
+	if err != nil {
+		return Stats{}, err
+	}
+	return a.scaleUnit(u, stripes), nil
+}
+
+// scaleUnit expands a per-row cost unit to `stripes` row operations.
+func (a *Accelerator) scaleUnit(u costUnit, stripes int) Stats {
+	latency := float64(stripes) * u.per.LatencyNS / u.banks
+	energy := u.per.EnergyNJ*float64(stripes) +
 		a.cfg.Power.BackgroundPower*a.eng.BackgroundFactor()*latency
 	st := Stats{
 		LatencyNS: latency,
 		EnergyNJ:  energy,
 		RowOps:    stripes,
-		Commands:  per.Commands * stripes,
-		Wordlines: per.Wordlines * stripes,
+		Commands:  u.per.Commands * stripes,
+		Wordlines: u.per.Wordlines * stripes,
 	}
 	if latency > 0 {
 		st.AveragePowerW = energy / latency
 	}
-	return st, nil
+	return st
 }
 
 // subarrayFor returns stripe s's home subarray.
 func (a *Accelerator) subarrayFor(s int) *dram.Subarray {
 	bank := a.module.Bank(s % a.module.Banks())
 	return bank.Subarray((s / a.module.Banks()) % bank.Subarrays())
+}
+
+// stripeGroup returns stripe s's serialization-group id: a stable index of
+// its home subarray. Every vector's stripe s maps to the same group, so
+// FIFO order within a group is exactly the order data dependencies need.
+// Non-word-aligned rows collapse to a single group because neighbouring
+// stripes then share destination words.
+func (a *Accelerator) stripeGroup(s int) int {
+	if a.cfg.Module.Columns%64 != 0 {
+		return 0
+	}
+	banks := a.module.Banks()
+	bank := s % banks
+	sub := (s / banks) % a.module.Bank(bank).Subarrays()
+	return sub*banks + bank
+}
+
+// opStripe executes one stripe of dst = op(x, y) on its home subarray
+// (y nil for unary ops) — the per-stripe body shared by the synchronous
+// and batched paths.
+func (a *Accelerator) opStripe(iop engine.Op, dst, x, y *bitvec.Vector, s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+	cols := a.cfg.Module.Columns
+	loadStripe(buf, x, s, cols)
+	sub.LoadRow(rowA, buf)
+	if !iop.Unary() {
+		loadStripe(buf, y, s, cols)
+		sub.LoadRow(rowB, buf)
+	}
+	if err := a.eng.Execute(sub, iop, rowC, rowA, rowB); err != nil {
+		return err
+	}
+	storeStripe(dst, sub.RowData(rowC), s, cols)
+	return nil
+}
+
+// foldStripe executes one stripe of the reduction fold dst = op(v, dst),
+// via the engine's in-place form when available.
+func (a *Accelerator) foldStripe(iop engine.Op, ipe inPlaceExecutor, inPlace bool, dst, v *bitvec.Vector, s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+	cols := a.cfg.Module.Columns
+	loadStripe(buf, v, s, cols)
+	sub.LoadRow(rowA, buf)
+	loadStripe(buf, dst, s, cols)
+	sub.LoadRow(rowB, buf)
+	var err error
+	if inPlace {
+		err = ipe.ExecuteInPlace(sub, iop, rowA, rowB)
+	} else {
+		err = a.eng.Execute(sub, iop, rowB, rowA, rowB)
+	}
+	if err != nil {
+		return err
+	}
+	storeStripe(dst, sub.RowData(rowB), s, cols)
+	return nil
 }
 
 // forEachStripe runs fn for every stripe. Stripes sharing a subarray are
@@ -526,30 +657,62 @@ func (a *Accelerator) forEachStripe(stripes int, fn func(s int, sub *dram.Subarr
 		return nil
 	}
 
-	// Group stripes by home subarray.
-	groups := map[*dram.Subarray][]int{}
+	// Group stripes by home subarray, preserving discovery order (ordered
+	// by each group's first — and therefore lowest — stripe).
+	type stripeGroup struct {
+		sub  *dram.Subarray
+		list []int
+	}
+	index := map[*dram.Subarray]int{}
+	var groups []stripeGroup
 	for s := 0; s < stripes; s++ {
 		sub := a.subarrayFor(s)
-		groups[sub] = append(groups[sub], s)
+		i, ok := index[sub]
+		if !ok {
+			i = len(groups)
+			index[sub] = i
+			groups = append(groups, stripeGroup{sub: sub})
+		}
+		groups[i].list = append(groups[i].list, s)
 	}
+
+	// Every group runs to its first failure; the error reported is the one
+	// from the lowest failing stripe, so multiple concurrent failures
+	// resolve deterministically and none is dropped silently.
+	errs := make([]error, len(groups))
+	failAt := make([]int, len(groups))
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(groups))
-	for sub, list := range groups {
+	for i := range groups {
 		wg.Add(1)
-		go func(sub *dram.Subarray, list []int) {
+		go func(i int, g stripeGroup) {
 			defer wg.Done()
 			buf := bitvec.New(cols)
-			for _, s := range list {
-				if err := fn(s, sub, buf); err != nil {
-					errCh <- err
+			for _, s := range g.list {
+				if err := fn(s, g.sub, buf); err != nil {
+					errs[i], failAt[i] = err, s
 					return
 				}
 			}
-		}(sub, list)
+		}(i, groups[i])
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return firstStripeError(errs, failAt)
+}
+
+// firstStripeError returns the error with the lowest failing stripe index
+// (nil when no group failed).
+func firstStripeError(errs []error, failAt []int) error {
+	var first error
+	firstStripe := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstStripe < 0 || failAt[i] < firstStripe {
+			first, firstStripe = err, failAt[i]
+		}
+	}
+	return first
 }
 
 // loadStripe copies stripe s of src into the row buffer vector.
@@ -609,46 +772,41 @@ type seqProvider interface {
 	Seq(op engine.Op) primitive.Seq
 }
 
-// opCost computes the scheduled latency and energy of `stripes` row ops.
-func (a *Accelerator) opCost(op engine.Op, stripes int) (Stats, error) {
+// opUnit returns the memoized per-row cost unit of the three-operand op:
+// the engine's canonical per-row stats plus the scheduled effective-bank
+// count (with or without the power constraint). Repeated operations cost
+// one map lookup here instead of a fresh 200k-ns scheduling simulation.
+func (a *Accelerator) opUnit(op engine.Op) (costUnit, error) {
+	a.costMu.Lock()
+	defer a.costMu.Unlock()
+	k := costKey{op: op}
+	if u, ok := a.costUnits[k]; ok && !a.cfg.DisableSchedCache {
+		return u, nil
+	}
 	per := a.eng.OpStats(op)
-
-	// Bank-level parallelism (with or without the power constraint).
 	banks := float64(a.module.Banks())
 	if sp, ok := a.eng.(seqProvider); ok {
-		profile := sched.ProfileFromSeq(sp.Seq(op), a.cfg.Timing)
-		res, err := sched.Simulate(profile, sched.Config{
-			Banks:            a.module.Banks(),
-			Timing:           a.cfg.Timing,
-			PowerConstrained: a.cfg.PowerConstrained,
-			Ranks:            a.cfg.Ranks,
-		}, 200_000)
+		res, err := a.simulate(sp.Seq(op))
 		if err != nil {
-			return Stats{}, err
+			return costUnit{}, err
 		}
 		banks = res.EffectiveBanks
 	}
 	if banks <= 0 {
 		banks = 1
 	}
+	u := costUnit{per: per, banks: banks}
+	a.costUnits[k] = u
+	return u, nil
+}
 
-	latency := float64(stripes) * per.LatencyNS / banks
-	// Energy: dynamic per stripe + background over the wall-clock.
-	dynamic := per.EnergyNJ * float64(stripes)
-	background := a.cfg.Power.BackgroundPower * a.eng.BackgroundFactor() * latency
-	energy := dynamic + background
-
-	st := Stats{
-		LatencyNS: latency,
-		EnergyNJ:  energy,
-		RowOps:    stripes,
-		Commands:  per.Commands * stripes,
-		Wordlines: per.Wordlines * stripes,
+// opCost computes the scheduled latency and energy of `stripes` row ops.
+func (a *Accelerator) opCost(op engine.Op, stripes int) (Stats, error) {
+	u, err := a.opUnit(op)
+	if err != nil {
+		return Stats{}, err
 	}
-	if latency > 0 {
-		st.AveragePowerW = energy / latency
-	}
-	return st, nil
+	return a.scaleUnit(u, stripes), nil
 }
 
 // CPUBaseline returns the Kaby-Lake-class roofline model used by the

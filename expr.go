@@ -91,6 +91,6 @@ func (a *Accelerator) Eval(src string, vars map[string]*BitVector) (*BitVector, 
 		}
 		total.add(st)
 	}
-	a.totals.add(total)
+	a.addTotals(total)
 	return out, total, nil
 }

@@ -46,6 +46,9 @@ func DefaultConfig() Config {
 // Engine is the Ambit design.
 type Engine struct {
 	cfg Config
+	// seqs memoizes the canonical command sequence per op; the engine is
+	// immutable after New, so the cached (read-only) sequences are shared.
+	seqs [engine.OpCOPY + 1]primitive.Seq
 }
 
 // New returns an engine for cfg.
@@ -61,7 +64,11 @@ func New(cfg Config) (*Engine, error) {
 	default:
 		return nil, errors.New("ambit: ReservedRows must be 4, 6, 8 or 10")
 	}
-	return &Engine{cfg: cfg}, nil
+	e := &Engine{cfg: cfg}
+	for op := engine.OpNOT; op <= engine.OpCOPY; op++ {
+		e.seqs[op] = e.build(op)
+	}
+	return e, nil
 }
 
 // MustNew returns New's engine and panics on configuration errors.
@@ -116,10 +123,19 @@ func (e *Engine) Supports(op engine.Op) bool {
 	}
 }
 
-// seq returns the canonical command sequence for the three-operand form.
-// All copies into/out of the B-group use the special decoder and overlap
-// (oAAP-class, 53 ns); the TRA command itself is AP-class (49 ns).
+// seq returns the memoized canonical command sequence for the
+// three-operand form (read-only).
 func (e *Engine) seq(op engine.Op) primitive.Seq {
+	if op >= 0 && int(op) < len(e.seqs) && e.seqs[op] != nil {
+		return e.seqs[op]
+	}
+	return e.build(op)
+}
+
+// build constructs the canonical command sequence for the three-operand
+// form. All copies into/out of the B-group use the special decoder and
+// overlap (oAAP-class, 53 ns); the TRA command itself is AP-class (49 ns).
+func (e *Engine) build(op engine.Op) primitive.Seq {
 	oaap := func() primitive.Step { return primitive.Step{Kind: primitive.OAAP} }
 	switch op {
 	case engine.OpCOPY:

@@ -138,9 +138,11 @@ func Run(w Workload, d Design, mod dram.Config, tp timing.Params, pp power.Param
 	}
 	opLatency := opSeq.Duration(tp)
 
-	// Bank-level parallelism for the fold profile.
+	// Bank-level parallelism for the fold profile, through the process-wide
+	// scheduler memo: sweeps re-pricing the same (design, op, config)
+	// triple pay the event-accurate simulation once.
 	profile := sched.ProfileFromSeq(opSeq, tp)
-	res, err := sched.Simulate(profile, sched.Config{
+	res, err := sched.CachedSimulate(profile, sched.Config{
 		Banks:            mod.Banks,
 		Timing:           tp,
 		PowerConstrained: constrained,

@@ -162,8 +162,10 @@ func runWithSeq(w Workload, d Design, seq primitive.Seq, mod dram.Config, tp tim
 	latency := seq.Duration(tp)
 	stripes := (w.Tuples + mod.Columns - 1) / mod.Columns
 
+	// The width sweep re-prices many predicate profiles against one module
+	// config; the process-wide scheduler memo amortizes the simulations.
 	profile := sched.ProfileFromSeq(seq, tp)
-	res, err := sched.Simulate(profile, sched.Config{
+	res, err := sched.CachedSimulate(profile, sched.Config{
 		Banks:            mod.Banks,
 		Timing:           tp,
 		PowerConstrained: true,

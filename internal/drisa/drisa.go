@@ -36,6 +36,9 @@ func DefaultConfig() Config {
 // Engine is the Drisa_nor design.
 type Engine struct {
 	cfg Config
+	// seqs memoizes the per-op NOR-cycle sequences; the engine is
+	// immutable after New, so the cached (read-only) sequences are shared.
+	seqs [engine.OpCOPY + 1]primitive.Seq
 }
 
 // New returns an engine for cfg.
@@ -46,7 +49,11 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Power.Validate(); err != nil {
 		return nil, fmt.Errorf("drisa: %w", err)
 	}
-	return &Engine{cfg: cfg}, nil
+	e := &Engine{cfg: cfg}
+	for op := engine.OpNOT; op <= engine.OpCOPY; op++ {
+		e.seqs[op] = e.build(op)
+	}
+	return e, nil
 }
 
 // MustNew returns New's engine and panics on configuration errors.
@@ -123,9 +130,17 @@ func (e *Engine) OpStats(op engine.Op) engine.Stats {
 	return e.cycleStats().Scale(e.Cycles(op))
 }
 
-// Seq returns the operation as a sequence of NOR compute cycles (for
-// scheduling profiles).
+// Seq returns the operation as a memoized (read-only) sequence of NOR
+// compute cycles, for scheduling profiles.
 func (e *Engine) Seq(op engine.Op) primitive.Seq {
+	if op >= 0 && int(op) < len(e.seqs) && e.seqs[op] != nil {
+		return e.seqs[op]
+	}
+	return e.build(op)
+}
+
+// build constructs the NOR-cycle sequence for op.
+func (e *Engine) build(op engine.Op) primitive.Seq {
 	q := make(primitive.Seq, e.Cycles(op))
 	for i := range q {
 		q[i] = primitive.Step{Kind: primitive.NORCYCLE}

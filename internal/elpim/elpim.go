@@ -93,6 +93,11 @@ func DefaultConfig() Config {
 // Engine is the ELP2IM design.
 type Engine struct {
 	cfg Config
+	// seqs memoizes the compiled sequence of every operation: the engine
+	// is immutable after New, so each op compiles exactly once and every
+	// later Compile/Seq call is a table lookup. The cached sequences are
+	// shared — callers must treat them as read-only.
+	seqs [engine.OpCOPY + 1]primitive.Seq
 }
 
 // New returns an engine for cfg.
@@ -106,7 +111,11 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.ReservedRows != 1 && cfg.ReservedRows != 2 {
 		return nil, errors.New("elpim: ReservedRows must be 1 or 2")
 	}
-	return &Engine{cfg: cfg}, nil
+	e := &Engine{cfg: cfg}
+	for op := engine.OpNOT; op <= engine.OpCOPY; op++ {
+		e.seqs[op] = e.compile(op)
+	}
+	return e, nil
 }
 
 // MustNew returns a New engine and panics on configuration errors.
@@ -191,7 +200,16 @@ func (e *Engine) copyPrim() primitive.Kind {
 // Compile returns the primitive sequence implementing the three-operand
 // form C = op(A, B) (B unused for unary ops). The sequences are the §3.3 /
 // Figure 8 constructions; see doc.go for the step-by-step dataflow.
+// The returned sequence is memoized and must be treated as read-only.
 func (e *Engine) Compile(op engine.Op) primitive.Seq {
+	if op >= 0 && int(op) < len(e.seqs) && e.seqs[op] != nil {
+		return e.seqs[op]
+	}
+	return e.compile(op)
+}
+
+// compile builds the sequence afresh (the memo's producer).
+func (e *Engine) compile(op engine.Op) primitive.Seq {
 	cp := e.copyPrim()
 	app := e.app()
 	// In high-throughput mode the pseudo primitives are never overlapped

@@ -1,0 +1,173 @@
+// Package pipeline provides the batched asynchronous execution pool behind
+// the facade's Batch API: a fixed set of worker goroutines draining
+// per-worker FIFO queues, with tasks bound to serialization groups.
+//
+// Tasks in the same group always land on the same worker queue, so they
+// execute serially in submission order — the property the accelerator needs
+// for stripes that share a DRAM subarray (they share its row buffer, and a
+// later operation may consume an earlier operation's output stripe). Tasks
+// in distinct groups run concurrently, mirroring bank-level parallelism.
+package pipeline
+
+import (
+	"errors"
+	"sync"
+)
+
+// Task is one unit of work bound to a serialization group.
+type Task struct {
+	// Group selects the serialization domain; tasks sharing a group run
+	// serially in submission order.
+	Group int
+	// Run executes the task.
+	Run func() error
+}
+
+// Future resolves once every task of one Submit call has completed.
+type Future struct {
+	done chan struct{}
+
+	mu        sync.Mutex
+	remaining int
+	errs      []error // per-task, in task order
+	err       error
+}
+
+// newFuture returns a future tracking n tasks.
+func newFuture(n int) *Future {
+	return &Future{done: make(chan struct{}), remaining: n, errs: make([]error, n)}
+}
+
+// complete records task i's outcome and resolves the future on the last one.
+func (f *Future) complete(i int, err error) {
+	f.mu.Lock()
+	f.errs[i] = err
+	f.remaining--
+	last := f.remaining == 0
+	if last {
+		// First error in task order wins, deterministically, regardless of
+		// which worker finished when.
+		for _, e := range f.errs {
+			if e != nil {
+				f.err = e
+				break
+			}
+		}
+	}
+	f.mu.Unlock()
+	if last {
+		close(f.done)
+	}
+}
+
+// Done returns a channel closed when the future resolves.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Err blocks until the future resolves and returns the first task error in
+// task order (nil on success).
+func (f *Future) Err() error {
+	<-f.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// item is one queued task instance.
+type item struct {
+	f   *Future
+	idx int
+	run func() error
+}
+
+// Pool is a worker pool with group-serialized FIFO queues.
+type Pool struct {
+	queues   []chan item
+	workers  sync.WaitGroup
+	inflight sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// queueDepth bounds each worker's backlog; Submit applies backpressure
+// beyond it. Workers never submit, so a full queue cannot deadlock.
+const queueDepth = 256
+
+// NewPool starts a pool of n workers (n < 1 is treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{queues: make([]chan item, n)}
+	for i := range p.queues {
+		q := make(chan item, queueDepth)
+		p.queues[i] = q
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for it := range q {
+				it.f.complete(it.idx, it.run())
+				p.inflight.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.queues) }
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("pipeline: pool is closed")
+
+// Submit enqueues one logical operation's tasks and returns its future.
+// Tasks are routed to workers by group (group mod pool size), preserving
+// per-group FIFO order relative to earlier Submit calls from the same
+// goroutine. An empty task set resolves immediately.
+func (p *Pool) Submit(tasks []Task) (*Future, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Reserve the inflight count under the lock so a concurrent Drain
+	// cannot observe a half-submitted operation set.
+	p.inflight.Add(len(tasks))
+	p.mu.Unlock()
+
+	f := newFuture(len(tasks))
+	if len(tasks) == 0 {
+		close(f.done)
+		return f, nil
+	}
+	for i, t := range tasks {
+		g := t.Group % len(p.queues)
+		if g < 0 {
+			g += len(p.queues)
+		}
+		p.queues[g] <- item{f: f, idx: i, run: t.Run}
+	}
+	return f, nil
+}
+
+// Drain blocks until every task submitted so far has completed. Submissions
+// racing with Drain are not guaranteed to be waited on.
+func (p *Pool) Drain() { p.inflight.Wait() }
+
+// Close drains the pool and stops the workers. Subsequent Submit calls
+// return ErrClosed; Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+
+	p.inflight.Wait()
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.workers.Wait()
+}

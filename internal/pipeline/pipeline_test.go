@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupSerialization: tasks sharing a group run serially in submission
+// order even across many Submit calls; the observed order per group is
+// exactly the submission order.
+func TestGroupSerialization(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	const groups = 3
+	const perGroup = 50
+	var mu sync.Mutex
+	seen := make([][]int, groups)
+
+	for i := 0; i < perGroup; i++ {
+		for g := 0; g < groups; g++ {
+			g, i := g, i
+			if _, err := p.Submit([]Task{{Group: g, Run: func() error {
+				mu.Lock()
+				seen[g] = append(seen[g], i)
+				mu.Unlock()
+				return nil
+			}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p.Drain()
+	for g := 0; g < groups; g++ {
+		if len(seen[g]) != perGroup {
+			t.Fatalf("group %d ran %d tasks, want %d", g, len(seen[g]), perGroup)
+		}
+		for i, v := range seen[g] {
+			if v != i {
+				t.Fatalf("group %d task order %v: position %d got %d", g, seen[g], i, v)
+			}
+		}
+	}
+}
+
+// TestFutureFirstErrorDeterministic: the future's error is the first in
+// task order, no matter which worker fails first.
+func TestFutureFirstErrorDeterministic(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for round := 0; round < 50; round++ {
+		p := NewPool(4)
+		f, err := p.Submit([]Task{
+			{Group: 0, Run: func() error { return nil }},
+			{Group: 1, Run: func() error { return errA }},
+			{Group: 2, Run: func() error { return errB }},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Err(); got != errA {
+			t.Fatalf("round %d: got %v, want %v", round, got, errA)
+		}
+		p.Close()
+	}
+}
+
+// TestEmptySubmitResolvesImmediately verifies the zero-task fast path.
+func TestEmptySubmitResolvesImmediately(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	f, err := p.Submit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Err(); got != nil {
+		t.Fatalf("empty submit errored: %v", got)
+	}
+}
+
+// TestSubmitAfterClose returns ErrClosed.
+func TestSubmitAfterClose(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	if _, err := p.Submit([]Task{{Run: func() error { return nil }}}); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestConcurrentSubmitters: Submit is safe from many goroutines and Drain
+// waits for everything (run under -race).
+func TestConcurrentSubmitters(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	const submitters = 8
+	const each = 40
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				f, err := p.Submit([]Task{
+					{Group: seed, Run: func() error { ran.Add(1); return nil }},
+					{Group: seed + 1, Run: func() error { ran.Add(1); return nil }},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := f.Err(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	p.Drain()
+	if got := ran.Load(); got != submitters*each*2 {
+		t.Fatalf("ran %d tasks, want %d", got, submitters*each*2)
+	}
+}
+
+// TestNegativeGroupRouting: negative group ids route without panicking.
+func TestNegativeGroupRouting(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	f, err := p.Submit([]Task{{Group: -7, Run: func() error { return nil }}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Err(); got != nil {
+		t.Fatal(got)
+	}
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Cache memoizes Simulate results. Simulate is deterministic — the result
+// is a pure function of (profile, config, horizon) — so a cached Result is
+// bit-identical to a fresh simulation. The key embeds every input,
+// including the full timing parameter set, so a configuration change can
+// never alias a stale entry: "invalidation on config change" falls out of
+// the keying. Reset exists for callers that want to bound memory.
+//
+// A Cache is safe for concurrent use.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[string]Result
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]Result)}
+}
+
+// key serializes every Simulate input exactly. Floats are encoded with
+// strconv 'b' (binary exponent) format, which is lossless, so two configs
+// differing in any bit of any parameter get distinct keys.
+func key(p OpProfile, cfg Config, horizonNS float64) string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'b', -1, 64) }
+	b := make([]byte, 0, 64+32*len(p.Events))
+	app := func(s string) { b = append(append(b, s...), '|') }
+	app(f(p.LatencyNS))
+	for _, e := range p.Events {
+		app(f(e.OffsetNS))
+		app(strconv.Itoa(e.Wordlines))
+	}
+	app("cfg")
+	app(strconv.Itoa(cfg.Banks))
+	app(strconv.Itoa(cfg.Ranks))
+	app(strconv.FormatBool(cfg.PowerConstrained))
+	app(strconv.FormatBool(cfg.ModelRefresh))
+	tp := cfg.Timing
+	for _, v := range []float64{
+		tp.AccessSense, tp.Restore, tp.Precharge, tp.OverlapActivate,
+		tp.PseudoPrechargeFactor, tp.TFAW, tp.Clock, tp.TREFI, tp.TRFC,
+	} {
+		app(f(v))
+	}
+	app(strconv.Itoa(tp.ActivatesPerTFAW))
+	app(f(horizonNS))
+	return string(b)
+}
+
+// Simulate returns the memoized result of Simulate(p, cfg, horizonNS),
+// running the event-accurate simulation on the first miss.
+func (c *Cache) Simulate(p OpProfile, cfg Config, horizonNS float64) (Result, error) {
+	k := key(p, cfg, horizonNS)
+	c.mu.RLock()
+	res, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		return res, nil
+	}
+	res, err := Simulate(p, cfg, horizonNS)
+	if err != nil {
+		// Errors are cheap to recompute (validation fails before the
+		// horizon loop) and carry no result worth caching.
+		return Result{}, err
+	}
+	c.mu.Lock()
+	c.m[k] = res
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Reset drops every cached result.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.m = make(map[string]Result)
+	c.mu.Unlock()
+}
+
+// defaultCache backs CachedSimulate: one process-wide memo shared by every
+// accelerator and case study. Profiles and configs are tiny and the set of
+// distinct (design, op, config) triples a process touches is small, so the
+// cache stays bounded in practice.
+var defaultCache = NewCache()
+
+// CachedSimulate is Simulate memoized through the process-wide cache.
+func CachedSimulate(p OpProfile, cfg Config, horizonNS float64) (Result, error) {
+	return defaultCache.Simulate(p, cfg, horizonNS)
+}
+
+// ResetCache drops the process-wide memo (test hook / memory bound).
+func ResetCache() { defaultCache.Reset() }
+
+// CacheLen returns the process-wide memo's entry count (observability).
+func CacheLen() int { return defaultCache.Len() }

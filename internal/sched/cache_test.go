@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func testProfile() OpProfile {
+	return OpProfile{
+		LatencyNS: 100,
+		Events: []Event{
+			{OffsetNS: 0, Wordlines: 1},
+			{OffsetNS: 49, Wordlines: 3},
+		},
+	}
+}
+
+// TestCachedEqualsFresh: a cached result is bit-identical to a fresh
+// simulation for representative configurations.
+func TestCachedEqualsFresh(t *testing.T) {
+	tp := timing.DDR31600()
+	p := testProfile()
+	cfgs := []Config{
+		{Banks: 8, Timing: tp},
+		{Banks: 8, Timing: tp, PowerConstrained: true},
+		{Banks: 8, Timing: tp, PowerConstrained: true, Ranks: 2},
+		{Banks: 8, Timing: tp, ModelRefresh: true},
+	}
+	c := NewCache()
+	for _, cfg := range cfgs {
+		fresh, err := Simulate(p, cfg, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ { // miss, then hit
+			got, err := c.Simulate(p, cfg, 200_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != fresh {
+				t.Fatalf("cfg %+v pass %d: cached %+v != fresh %+v", cfg, i, got, fresh)
+			}
+		}
+	}
+	if c.Len() != len(cfgs) {
+		t.Fatalf("cache has %d entries, want %d", c.Len(), len(cfgs))
+	}
+}
+
+// TestCacheKeyDistinguishesConfigs: any input change must miss rather than
+// alias — the memo's "invalidation on config change" property.
+func TestCacheKeyDistinguishesConfigs(t *testing.T) {
+	tp := timing.DDR31600()
+	p := testProfile()
+	c := NewCache()
+	base := Config{Banks: 8, Timing: tp, PowerConstrained: true}
+	if _, err := c.Simulate(p, base, 200_000); err != nil {
+		t.Fatal(err)
+	}
+	variants := []func() (OpProfile, Config, float64){
+		func() (OpProfile, Config, float64) { v := base; v.Banks = 4; return p, v, 200_000 },
+		func() (OpProfile, Config, float64) { v := base; v.PowerConstrained = false; return p, v, 200_000 },
+		func() (OpProfile, Config, float64) { v := base; v.Ranks = 2; return p, v, 200_000 },
+		func() (OpProfile, Config, float64) { v := base; v.Timing.TFAW += 1; return p, v, 200_000 },
+		func() (OpProfile, Config, float64) { v := base; v.Timing.ActivatesPerTFAW++; return p, v, 200_000 },
+		func() (OpProfile, Config, float64) { return p, base, 300_000 },
+		func() (OpProfile, Config, float64) {
+			q := testProfile()
+			q.Events[1].Wordlines = 1
+			return q, base, 200_000
+		},
+	}
+	want := 1
+	for i, mk := range variants {
+		q, cfg, h := mk()
+		if _, err := c.Simulate(q, cfg, h); err != nil {
+			t.Fatal(err)
+		}
+		want++
+		if c.Len() != want {
+			t.Fatalf("variant %d aliased an existing key (len %d, want %d)", i, c.Len(), want)
+		}
+		fresh, err := Simulate(q, cfg, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Simulate(q, cfg, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fresh {
+			t.Fatalf("variant %d: cached %+v != fresh %+v", i, got, fresh)
+		}
+	}
+}
+
+// TestCacheErrorsNotCached: invalid inputs keep erroring and add no entry.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache()
+	bad := OpProfile{LatencyNS: -1}
+	if _, err := c.Simulate(bad, Config{Banks: 8, Timing: timing.DDR31600()}, 200_000); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error was cached: len %d", c.Len())
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines (run with
+// -race) and checks every result matches the fresh simulation.
+func TestCacheConcurrent(t *testing.T) {
+	tp := timing.DDR31600()
+	p := testProfile()
+	cfg := Config{Banks: 8, Timing: tp, PowerConstrained: true}
+	fresh, err := Simulate(p, cfg, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				got, err := c.Simulate(p, cfg, 200_000)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != fresh {
+					t.Errorf("cached %+v != fresh %+v", got, fresh)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 1 {
+		t.Fatalf("cache has %d entries, want 1", c.Len())
+	}
+}
+
+// TestResetCache: Reset empties the process-wide memo.
+func TestResetCache(t *testing.T) {
+	p := testProfile()
+	cfg := Config{Banks: 8, Timing: timing.DDR31600()}
+	if _, err := CachedSimulate(p, cfg, 200_000); err != nil {
+		t.Fatal(err)
+	}
+	if CacheLen() == 0 {
+		t.Fatal("process-wide cache empty after CachedSimulate")
+	}
+	ResetCache()
+	if CacheLen() != 0 {
+		t.Fatalf("ResetCache left %d entries", CacheLen())
+	}
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh — run the pipeline benchmarks and emit BENCH_pipeline.json.
+#
+# Compares three modes of issuing row-wide ops through the facade:
+#   single_call_uncached : per-call Op with the scheduler memo disabled
+#                          (the pre-memoization baseline)
+#   single_call_cached   : per-call Op with the memo on (default)
+#   batched              : ops submitted through Accelerator.Batch
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME   go test -benchtime value (default 200x)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pipeline.json}"
+benchtime="${BENCHTIME:-200x}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkPipeline(PerCallUncached|PerCallCached|BatchCached)$' \
+	-benchtime "$benchtime" .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk -v out="$out" '
+/^BenchmarkPipelinePerCallUncached/ { uncached = $3 }
+/^BenchmarkPipelinePerCallCached/   { cached = $3 }
+/^BenchmarkPipelineBatchCached/     { batched = $3 }
+END {
+	if (uncached == "" || cached == "" || batched == "") {
+		print "bench.sh: missing benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n" > out
+	printf "  \"benchtime\": \"%s\",\n", ENVIRON["BENCHTIME"] != "" ? ENVIRON["BENCHTIME"] : "200x" > out
+	printf "  \"single_call_uncached_ns_op\": %s,\n", uncached > out
+	printf "  \"single_call_cached_ns_op\": %s,\n", cached > out
+	printf "  \"batched_ns_op\": %s,\n", batched > out
+	printf "  \"batch_speedup_vs_uncached\": %.2f,\n", uncached / batched > out
+	printf "  \"cache_speedup_per_call\": %.2f\n", uncached / cached > out
+	printf "}\n" > out
+}
+'
+echo "wrote $out" >&2
+cat "$out"
