@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/bitvec"
+	"repro/internal/dram"
 	"repro/internal/engine"
 	"repro/internal/pipeline"
 )
@@ -47,9 +48,14 @@ func (f *Future) Wait() (Stats, error) {
 // synchronization.
 //
 // A Batch may be used from multiple goroutines; operations submitted
-// concurrently have no defined order relative to each other. Call Wait to
-// drain outstanding work and fold the batch's statistics into the
-// accelerator totals; call Close when done with the batch.
+// concurrently have no defined order relative to each other. Multiple
+// Batches on one Accelerator — and Batches running alongside synchronous
+// Op/Reduce/Eval calls — are safe as long as the concurrently executing
+// operations' vectors do not overlap: the accelerator's per-subarray locks
+// serialize shared row state across contexts, but ordering between
+// contexts is undefined (submission order only holds within one Batch).
+// Call Wait to drain outstanding work and fold the batch's statistics into
+// the accelerator totals; call Close when done with the batch.
 type Batch struct {
 	acc  *Accelerator
 	pool *pipeline.Pool
@@ -87,17 +93,6 @@ func (b *Batch) failed(err error) *Future {
 	return f
 }
 
-// groupStripes partitions stripes [0, n) into per-serialization-group
-// ascending lists.
-func (a *Accelerator) groupStripes(n int) map[int][]int {
-	groups := make(map[int][]int)
-	for s := 0; s < n; s++ {
-		g := a.stripeGroup(s)
-		groups[g] = append(groups[g], s)
-	}
-	return groups
-}
-
 // Submit enqueues dst = op(x, y) (y nil for unary ops) and returns its
 // future. Validation errors surface on the returned future and on Wait.
 func (b *Batch) Submit(op Op, dst, x, y *BitVector) *Future {
@@ -129,14 +124,18 @@ func (b *Batch) Submit(op Op, dst, x, y *BitVector) *Future {
 	if y != nil {
 		yv = y.v
 	}
+	// groupStripes is ordered by first stripe, so the task slice — and with
+	// it pipeline.Future's "first error in task order" — is deterministic.
 	groups := a.groupStripes(stripes)
 	tasks := make([]pipeline.Task, 0, len(groups))
-	for g, list := range groups {
-		list := list
-		tasks = append(tasks, pipeline.Task{Group: g, Run: func() error {
+	for _, g := range groups {
+		g := g
+		tasks = append(tasks, pipeline.Task{Group: g.group, Run: func() error {
 			buf := bitvec.New(cols)
-			for _, s := range list {
-				if err := a.opStripe(iop, dst.v, x.v, yv, s, a.subarrayFor(s), buf); err != nil {
+			for _, s := range g.list {
+				if err := a.runStripe(g.group, s, buf, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+					return a.opStripe(iop, dst.v, x.v, yv, s, sub, buf)
+				}); err != nil {
 					return err
 				}
 			}
@@ -194,19 +193,26 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 	ipe, inPlace := a.eng.(inPlaceExecutor)
 	groups := a.groupStripes(stripes)
 	tasks := make([]pipeline.Task, 0, len(groups))
-	for g, list := range groups {
-		list := list
-		tasks = append(tasks, pipeline.Task{Group: g, Run: func() error {
+	for _, g := range groups {
+		g := g
+		tasks = append(tasks, pipeline.Task{Group: g.group, Run: func() error {
 			buf := bitvec.New(cols)
-			for _, s := range list {
-				sub := a.subarrayFor(s)
-				if err := a.opStripe(engine.OpCOPY, dst.v, vs[0].v, nil, s, sub, buf); err != nil {
-					return err
-				}
-				for _, v := range vs[1:] {
-					if err := a.foldStripe(iop, ipe, inPlace, dst.v, v.v, s, sub, buf); err != nil {
+			for _, s := range g.list {
+				// One lock hold per stripe covers the staging copy and the
+				// whole fold chain; each step reloads its rows, so stripe
+				// granularity is the widest atomicity the chain needs.
+				if err := a.runStripe(g.group, s, buf, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+					if err := a.opStripe(engine.OpCOPY, dst.v, vs[0].v, nil, s, sub, buf); err != nil {
 						return err
 					}
+					for _, v := range vs[1:] {
+						if err := a.foldStripe(iop, ipe, inPlace, dst.v, v.v, s, sub, buf); err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					return err
 				}
 			}
 			return nil

@@ -160,6 +160,111 @@ func TestBatchConcurrentSubmit(t *testing.T) {
 	}
 }
 
+// TestConcurrentBatchesAndSyncOps: the documented concurrency contract —
+// several Batches plus synchronous Op/Reduce calls running at once on one
+// Accelerator, on disjoint vectors. Every vector's stripe s maps to the
+// same shared subarray, so without the accelerator-wide per-subarray locks
+// these contexts would interleave on row state and corrupt results; the
+// oracle comparison (and -race) is the assertion.
+func TestConcurrentBatchesAndSyncOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	acc := newAcc(t, smallModule)
+	n := 4*acc.cfg.Module.Columns + 9
+	x := RandomBitVector(rng, n)
+	y := RandomBitVector(rng, n)
+	z := RandomBitVector(rng, n)
+
+	wantXor := NewBitVector(n)
+	golden(OpXor, wantXor, x, y)
+	wantNor := NewBitVector(n)
+	golden(OpNor, wantNor, y, z)
+	wantAnd := NewBitVector(n)
+	golden(OpAnd, wantAnd, x, z)
+
+	const rounds = 12
+	var wg sync.WaitGroup
+	batchDst := [2][]*BitVector{}
+	for bi := 0; bi < 2; bi++ {
+		bi := bi
+		batchDst[bi] = make([]*BitVector, rounds)
+		wg.Add(1)
+		op, lhs, rhs := OpXor, x, y
+		if bi == 1 {
+			op, lhs, rhs = OpNor, y, z
+		}
+		go func() {
+			defer wg.Done()
+			b := acc.Batch()
+			defer b.Close()
+			for i := 0; i < rounds; i++ {
+				dst := NewBitVector(n)
+				batchDst[bi][i] = dst
+				b.Submit(op, dst, lhs, rhs)
+			}
+			if _, err := b.Wait(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	syncDst := make([]*BitVector, rounds)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			dst := NewBitVector(n)
+			syncDst[i] = dst
+			if _, err := acc.Op(OpAnd, dst, x, z); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	for i := 0; i < rounds; i++ {
+		if !batchDst[0][i].Equal(wantXor) {
+			t.Fatalf("batch 0 dst %d corrupted by concurrent execution", i)
+		}
+		if !batchDst[1][i].Equal(wantNor) {
+			t.Fatalf("batch 1 dst %d corrupted by concurrent execution", i)
+		}
+		if !syncDst[i].Equal(wantAnd) {
+			t.Fatalf("sync dst %d corrupted by concurrent execution", i)
+		}
+	}
+}
+
+// TestGroupStripesDeterministicOrder: groupStripes returns groups ordered
+// by first stripe, so batch task slices — and pipeline.Future's "first
+// error in task order" — are deterministic across runs.
+func TestGroupStripesDeterministicOrder(t *testing.T) {
+	acc := newAcc(t, smallModule)
+	for _, stripes := range []int{1, 3, 8, 13} {
+		runs := acc.groupStripes(stripes)
+		seen := 0
+		prevFirst := -1
+		for i, r := range runs {
+			if len(r.list) == 0 {
+				t.Fatalf("stripes=%d: empty group at %d", stripes, i)
+			}
+			if r.list[0] <= prevFirst {
+				t.Fatalf("stripes=%d: group %d first stripe %d not above previous %d",
+					stripes, i, r.list[0], prevFirst)
+			}
+			prevFirst = r.list[0]
+			for j := 1; j < len(r.list); j++ {
+				if r.list[j] <= r.list[j-1] {
+					t.Fatalf("stripes=%d: group %d list not ascending: %v", stripes, i, r.list)
+				}
+			}
+			seen += len(r.list)
+		}
+		if seen != stripes {
+			t.Fatalf("stripes=%d: groups cover %d stripes", stripes, seen)
+		}
+	}
+}
+
 // TestTotalsDuringBatch: Totals/ResetTotals racing a running batch is safe
 // (the race detector is the assertion).
 func TestTotalsDuringBatch(t *testing.T) {

@@ -227,13 +227,27 @@ func (s *Stats) add(o Stats) {
 }
 
 // Accelerator executes bulk bitwise operations on a modeled DRAM module.
-// It is safe for concurrent use through the Batch API; the synchronous Op,
-// Reduce and Eval entry points may also be called concurrently as long as
-// their vector arguments do not overlap.
+// It is safe for concurrent use: the synchronous Op, Reduce and Eval entry
+// points, one or more Batches, and any mix of the two may run at the same
+// time, as long as concurrently executing operations' vector arguments do
+// not overlap. Stripe s of every vector lives in the same modeled subarray,
+// so an accelerator-wide lock per subarray serializes the row-state of
+// operations that would otherwise collide there (see execLocks); operations
+// whose vectors overlap still need external ordering — within one Batch,
+// submission order provides it.
 type Accelerator struct {
 	cfg    Config
 	module *dram.Module
 	eng    engine.Engine
+
+	// execLocks holds one mutex per serialization group (one per subarray;
+	// stripeGroup indexes it). Every execution path — synchronous calls and
+	// every Batch's worker pool — takes the group's lock around each stripe
+	// operation, so concurrent contexts never interleave LoadRow/Execute/
+	// RowData on a shared subarray. Per-stripe granularity is sufficient
+	// because each stripe operation reloads its operand rows before
+	// executing and stores its result row after.
+	execLocks []sync.Mutex
 
 	totalsMu sync.Mutex
 	totals   Stats
@@ -328,10 +342,12 @@ func NewWithConfig(cfg Config) (*Accelerator, error) {
 		return nil, errors.New("elp2im: unknown design")
 	}
 
+	module := dram.NewModule(cfg.Module)
 	return &Accelerator{
 		cfg:       cfg,
-		module:    dram.NewModule(cfg.Module),
+		module:    module,
 		eng:       eng,
+		execLocks: make([]sync.Mutex, module.Banks()*module.Bank(0).Subarrays()),
 		costUnits: make(map[costKey]costUnit),
 	}, nil
 }
@@ -641,6 +657,42 @@ func (a *Accelerator) foldStripe(iop engine.Op, ipe inPlaceExecutor, inPlace boo
 	return nil
 }
 
+// stripeRun is one serialization group's ascending stripe list.
+type stripeRun struct {
+	group int
+	list  []int
+}
+
+// groupStripes partitions stripes [0, n) into per-serialization-group
+// ascending lists, in discovery order — i.e. ordered by each group's first
+// (and therefore lowest) stripe — so every consumer that iterates the
+// result builds tasks in a deterministic order.
+func (a *Accelerator) groupStripes(n int) []stripeRun {
+	index := map[int]int{}
+	var runs []stripeRun
+	for s := 0; s < n; s++ {
+		g := a.stripeGroup(s)
+		i, ok := index[g]
+		if !ok {
+			i = len(runs)
+			index[g] = i
+			runs = append(runs, stripeRun{group: g})
+		}
+		runs[i].list = append(runs[i].list, s)
+	}
+	return runs
+}
+
+// runStripe executes fn on stripe s's home subarray while holding the
+// accelerator-wide lock of its serialization group, so synchronous calls
+// and every Batch mutually exclude on shared subarray row state.
+func (a *Accelerator) runStripe(group, s int, buf *bitvec.Vector, fn func(s int, sub *dram.Subarray, buf *bitvec.Vector) error) error {
+	mu := &a.execLocks[group]
+	mu.Lock()
+	defer mu.Unlock()
+	return fn(s, a.subarrayFor(s), buf)
+}
+
 // forEachStripe runs fn for every stripe. Stripes sharing a subarray are
 // serialized (they share the row buffer); distinct subarrays run in
 // parallel goroutines when the row width is word-aligned, so concurrent
@@ -650,45 +702,27 @@ func (a *Accelerator) forEachStripe(stripes int, fn func(s int, sub *dram.Subarr
 	if cols%64 != 0 || stripes == 1 {
 		buf := bitvec.New(cols)
 		for s := 0; s < stripes; s++ {
-			if err := fn(s, a.subarrayFor(s), buf); err != nil {
+			if err := a.runStripe(a.stripeGroup(s), s, buf, fn); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	// Group stripes by home subarray, preserving discovery order (ordered
-	// by each group's first — and therefore lowest — stripe).
-	type stripeGroup struct {
-		sub  *dram.Subarray
-		list []int
-	}
-	index := map[*dram.Subarray]int{}
-	var groups []stripeGroup
-	for s := 0; s < stripes; s++ {
-		sub := a.subarrayFor(s)
-		i, ok := index[sub]
-		if !ok {
-			i = len(groups)
-			index[sub] = i
-			groups = append(groups, stripeGroup{sub: sub})
-		}
-		groups[i].list = append(groups[i].list, s)
-	}
-
 	// Every group runs to its first failure; the error reported is the one
 	// from the lowest failing stripe, so multiple concurrent failures
 	// resolve deterministically and none is dropped silently.
+	groups := a.groupStripes(stripes)
 	errs := make([]error, len(groups))
 	failAt := make([]int, len(groups))
 	var wg sync.WaitGroup
 	for i := range groups {
 		wg.Add(1)
-		go func(i int, g stripeGroup) {
+		go func(i int, g stripeRun) {
 			defer wg.Done()
 			buf := bitvec.New(cols)
 			for _, s := range g.list {
-				if err := fn(s, g.sub, buf); err != nil {
+				if err := a.runStripe(g.group, s, buf, fn); err != nil {
 					errs[i], failAt[i] = err, s
 					return
 				}

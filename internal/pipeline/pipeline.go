@@ -81,12 +81,18 @@ type item struct {
 
 // Pool is a worker pool with group-serialized FIFO queues.
 type Pool struct {
-	queues   []chan item
-	workers  sync.WaitGroup
-	inflight sync.WaitGroup
+	queues  []chan item
+	workers sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	// inflight is a cond-guarded counter rather than a sync.WaitGroup:
+	// Submit may raise it concurrently with a blocked Drain (sanctioned
+	// usage — "submissions racing with Drain are not guaranteed to be
+	// waited on"), which would panic a WaitGroup whose counter touched
+	// zero while a waiter was parked.
+	mu       sync.Mutex
+	idle     sync.Cond // broadcast whenever inflight drops to zero
+	inflight int
+	closed   bool
 }
 
 // queueDepth bounds each worker's backlog; Submit applies backpressure
@@ -99,6 +105,7 @@ func NewPool(n int) *Pool {
 		n = 1
 	}
 	p := &Pool{queues: make([]chan item, n)}
+	p.idle.L = &p.mu
 	for i := range p.queues {
 		q := make(chan item, queueDepth)
 		p.queues[i] = q
@@ -107,11 +114,21 @@ func NewPool(n int) *Pool {
 			defer p.workers.Done()
 			for it := range q {
 				it.f.complete(it.idx, it.run())
-				p.inflight.Done()
+				p.taskDone()
 			}
 		}()
 	}
 	return p
+}
+
+// taskDone retires one in-flight task and wakes drainers on the last one.
+func (p *Pool) taskDone() {
+	p.mu.Lock()
+	p.inflight--
+	if p.inflight == 0 {
+		p.idle.Broadcast()
+	}
+	p.mu.Unlock()
 }
 
 // Workers returns the pool size.
@@ -132,7 +149,7 @@ func (p *Pool) Submit(tasks []Task) (*Future, error) {
 	}
 	// Reserve the inflight count under the lock so a concurrent Drain
 	// cannot observe a half-submitted operation set.
-	p.inflight.Add(len(tasks))
+	p.inflight += len(tasks)
 	p.mu.Unlock()
 
 	f := newFuture(len(tasks))
@@ -152,7 +169,13 @@ func (p *Pool) Submit(tasks []Task) (*Future, error) {
 
 // Drain blocks until every task submitted so far has completed. Submissions
 // racing with Drain are not guaranteed to be waited on.
-func (p *Pool) Drain() { p.inflight.Wait() }
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	for p.inflight > 0 {
+		p.idle.Wait()
+	}
+	p.mu.Unlock()
+}
 
 // Close drains the pool and stops the workers. Subsequent Submit calls
 // return ErrClosed; Close is idempotent.
@@ -163,9 +186,11 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
+	for p.inflight > 0 {
+		p.idle.Wait()
+	}
 	p.mu.Unlock()
 
-	p.inflight.Wait()
 	for _, q := range p.queues {
 		close(q)
 	}

@@ -126,6 +126,43 @@ func TestConcurrentSubmitters(t *testing.T) {
 	}
 }
 
+// TestDrainWhileSubmitting: Submit racing Drain is well-defined even when
+// the in-flight count transits zero while a drainer is blocked — the exact
+// interleaving that panics a sync.WaitGroup with "Add called concurrently
+// with Wait". The Batch docs sanction this usage ("submissions racing with
+// Drain are not guaranteed to be included"), so it must never panic.
+func TestDrainWhileSubmitting(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f, err := p.Submit([]Task{{Group: seed, Run: func() error { return nil }}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f.Err()
+			}
+		}(i)
+	}
+	for i := 0; i < 200; i++ {
+		p.Drain()
+	}
+	close(stop)
+	wg.Wait()
+	p.Drain()
+}
+
 // TestNegativeGroupRouting: negative group ids route without panicking.
 func TestNegativeGroupRouting(t *testing.T) {
 	p := NewPool(2)
