@@ -12,14 +12,23 @@ import (
 	"repro/internal/pipeline"
 )
 
+// costTerm is one accounting component of a submitted operation: the op
+// kind it should be attributed to in the per-op metric series, and its
+// modeled cost.
+type costTerm struct {
+	op engine.Op
+	st Stats
+}
+
 // Future is the handle of one asynchronously submitted operation.
 type Future struct {
 	pf *pipeline.Future
 	// components are the operation's cost terms in the order the
 	// synchronous path would account them (one for an Op, copy + one per
 	// fold for a Reduce); Batch.Wait folds them into the session totals in
-	// this order so batched and per-call totals are bit-identical.
-	components []Stats
+	// this order so batched and per-call totals are bit-identical, and
+	// attributes each term to its op kind in the metric series.
+	components []costTerm
 	stats      Stats
 	err        error // submission-time validation error
 	accounted  bool  // guarded by the owning batch's mutex
@@ -77,7 +86,7 @@ func (a *Accelerator) Batch() *Batch {
 	}
 	return &Batch{
 		acc:  a,
-		pool: pipeline.NewPool(workers),
+		pool: pipeline.NewPoolObs(workers, a.obsc),
 	}
 }
 
@@ -97,6 +106,7 @@ func (b *Batch) failed(err error) *Future {
 // future. Validation errors surface on the returned future and on Wait.
 func (b *Batch) Submit(op Op, dst, x, y *BitVector) *Future {
 	a := b.acc
+	a.batchSubmitted.Inc()
 	iop := op.internal()
 	if x == nil || dst == nil {
 		return b.failed(errors.New("elp2im: nil vector"))
@@ -142,13 +152,14 @@ func (b *Batch) Submit(op Op, dst, x, y *BitVector) *Future {
 			return nil
 		}})
 	}
-	return b.enqueue(tasks, []Stats{st}, st)
+	return b.enqueue(tasks, []costTerm{{op: iop, st: st}}, st)
 }
 
 // SubmitReduce enqueues the asynchronous variant of Reduce:
 // dst = vs[0] op vs[1] op ... (OpAnd / OpOr only).
 func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 	a := b.acc
+	a.batchSubmitted.Inc()
 	if op != OpAnd && op != OpOr {
 		return b.failed(fmt.Errorf("elp2im: no reduction for %v", op))
 	}
@@ -166,12 +177,12 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 
 	// Cost components in the synchronous Reduce's accounting order: the
 	// staging copy, then one term per fold.
-	components := make([]Stats, 0, len(vs))
+	components := make([]costTerm, 0, len(vs))
 	copySt, err := a.opCost(engine.OpCOPY, stripes)
 	if err != nil {
 		return b.failed(err)
 	}
-	components = append(components, copySt)
+	components = append(components, costTerm{op: engine.OpCOPY, st: copySt})
 	cp, chained := a.eng.(chainProvider)
 	for range vs[1:] {
 		var st Stats
@@ -183,11 +194,11 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 		if err != nil {
 			return b.failed(err)
 		}
-		components = append(components, st)
+		components = append(components, costTerm{op: iop, st: st})
 	}
 	var total Stats
 	for _, c := range components {
-		total.add(c)
+		total.add(c.st)
 	}
 
 	ipe, inPlace := a.eng.(inPlaceExecutor)
@@ -222,7 +233,7 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 }
 
 // enqueue hands tasks to the pool and registers the future.
-func (b *Batch) enqueue(tasks []pipeline.Task, components []Stats, total Stats) *Future {
+func (b *Batch) enqueue(tasks []pipeline.Task, components []costTerm, total Stats) *Future {
 	pf, err := b.pool.Submit(tasks)
 	if err != nil {
 		return b.failed(err)
@@ -241,6 +252,7 @@ func (b *Batch) enqueue(tasks []pipeline.Task, components []Stats, total Stats) 
 // repeatedly; operations are accounted once. Submissions racing with Wait
 // from other goroutines are not guaranteed to be included.
 func (b *Batch) Wait() (Stats, error) {
+	b.acc.batchWaits.Inc()
 	b.pool.Drain()
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -262,8 +274,9 @@ func (b *Batch) Wait() (Stats, error) {
 		}
 		f.accounted = true
 		for _, c := range f.components {
-			b.acc.addTotals(c)
-			total.add(c)
+			b.acc.addTotals(c.st)
+			total.add(c.st)
+			b.acc.record(c.op, c.st)
 		}
 	}
 	return total, firstErr

@@ -280,6 +280,29 @@ func BenchmarkAcceleratorBulkAND(b *testing.B) {
 	b.ReportMetric(st.LatencyNS/1e3, "modeled_us")
 }
 
+// BenchmarkOp measures the facade's per-call overhead on a small vector
+// (one stripe per bank): the observability acceptance gate — with the
+// default no-op tracer this path must allocate nothing in obs code and
+// stay within noise of the pre-observability baseline.
+func BenchmarkOp(b *testing.B) {
+	acc, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 16
+	x := RandomBitVector(rng, n)
+	y := RandomBitVector(rng, n)
+	dst := NewBitVector(n)
+	b.SetBytes(n / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.Op(OpAnd, dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExperimentHarness regenerates every §6 artifact end to end.
 func BenchmarkExperimentHarness(b *testing.B) {
 	for i := 0; i < b.N; i++ {

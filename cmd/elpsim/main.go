@@ -2,17 +2,24 @@
 //
 // Usage:
 //
-//	elpsim list            list the available experiments
-//	elpsim all             regenerate every table and figure
-//	elpsim <id> [<id>...]  regenerate specific experiments
-//	                       (table1, fig8, fig10, fig11, fig12, fig13,
-//	                        fig14, table2, table3)
+//	elpsim [-metrics] [-trace file] list            list the available experiments
+//	elpsim [-metrics] [-trace file] all             regenerate every table and figure
+//	elpsim [-metrics] [-trace file] <id> [<id>...]  regenerate specific experiments
+//	                                                (table1, fig8, fig10, fig11, fig12,
+//	                                                 fig13, fig14, table2, table3)
+//
+// -metrics prints the process-wide observability snapshot (engine execution
+// counters, scheduler-memo hit rate, pipeline gauges) after the run;
+// -trace streams Chrome trace_event spans to the given file (load it in
+// chrome://tracing or Perfetto).
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 
+	elp2im "repro"
 	"repro/internal/exp"
 )
 
@@ -24,6 +31,47 @@ func main() {
 }
 
 func run(args []string) error {
+	var showMetrics bool
+	var tracePath string
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-metrics", "--metrics":
+			showMetrics = true
+		case "-trace", "--trace":
+			i++
+			if i >= len(args) {
+				return errors.New("-trace needs an output file path")
+			}
+			tracePath = args[i]
+		default:
+			rest = append(rest, args[i])
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		tr := elp2im.NewJSONLTracer(f)
+		elp2im.SetGlobalTracer(tr)
+		defer func() {
+			elp2im.SetGlobalTracer(nil)
+			tr.Close()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "elpsim: wrote %d trace spans to %s\n", tr.Spans(), tracePath)
+		}()
+	}
+	if showMetrics {
+		defer func() {
+			fmt.Println("\n==== observability snapshot (process-wide) ====")
+			fmt.Print(elp2im.GlobalSnapshot().Text())
+		}()
+	}
+	return dispatch(rest)
+}
+
+func dispatch(args []string) error {
 	if len(args) == 0 {
 		usage()
 		return nil
@@ -75,5 +123,9 @@ func usage() {
 usage:
   elpsim list            list the available experiments
   elpsim all             regenerate every table and figure
-  elpsim <id> [<id>...]  regenerate specific experiments`)
+  elpsim <id> [<id>...]  regenerate specific experiments
+  elpsim -csv <id>       emit an experiment's data as CSV
+flags (anywhere on the command line):
+  -metrics               print the process-wide metrics snapshot after the run
+  -trace <file>          stream Chrome trace_event spans to <file>`)
 }

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	waveform [-op or|and] [-a 0|1] [-b 0|1] [-ascii] [-short]
+//	waveform [-op or|and] [-a 0|1] [-b 0|1] [-ascii] [-short] [-png file] [-chrome file]
+//
+// -chrome exports the trace's phase timeline (one span per contiguous
+// circuit phase, nanosecond-accurate) as a Chrome trace_event file for
+// chrome://tracing / Perfetto.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/analog"
+	"repro/internal/obs"
 	"repro/internal/timing"
 )
 
@@ -22,6 +27,7 @@ func main() {
 	b := flag.Int("b", 0, "bit stored in the second cell (0 or 1)")
 	ascii := flag.Bool("ascii", false, "render an ASCII strip chart instead of CSV")
 	pngPath := flag.String("png", "", "write a PNG plot to this file instead of CSV")
+	chromePath := flag.String("chrome", "", "write the phase timeline as a Chrome trace_event file")
 	short := flag.Bool("short", false, "use the short-bitline (Cb < Cc) circuit")
 	strategy := flag.String("strategy", "regular", "pseudo-precharge strategy: regular | complementary (§4.1)")
 	flag.Parse()
@@ -58,6 +64,20 @@ func main() {
 	}
 	wf := analog.SimulateAPPAPStrategy(circuit, timing.DDR31600(), tcOp, strat, *a == 1, *b == 1)
 	switch {
+	case *chromePath != "":
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "waveform:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		spans := phaseSpans(wf, *op)
+		if err := obs.WriteChromeTrace(f, spans); err != nil {
+			fmt.Fprintln(os.Stderr, "waveform:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d phase spans to %s (%s(%d,%d) -> %d)\n",
+			len(spans), *chromePath, *op, *a, *b, boolToInt(wf.Result))
 	case *pngPath != "":
 		f, err := os.Create(*pngPath)
 		if err != nil {
@@ -75,6 +95,36 @@ func main() {
 	default:
 		fmt.Print(wf.CSV())
 	}
+}
+
+// phaseSpans collapses the waveform's samples into one span per contiguous
+// circuit phase. Sample times are ns since sequence start, which map
+// directly onto SpanEvent's nanosecond fields (the exporter rebases to the
+// first span, so the absolute origin is irrelevant).
+func phaseSpans(wf analog.Waveform, op string) []obs.SpanEvent {
+	var spans []obs.SpanEvent
+	for i := 0; i < len(wf.Samples); {
+		j := i
+		for j < len(wf.Samples) && wf.Samples[j].Phase == wf.Samples[i].Phase {
+			j++
+		}
+		start := int64(wf.Samples[i].T)
+		end := start
+		if j < len(wf.Samples) {
+			end = int64(wf.Samples[j].T)
+		} else if j > i {
+			end = int64(wf.Samples[j-1].T)
+		}
+		spans = append(spans, obs.SpanEvent{
+			Name:    wf.Samples[i].Phase,
+			Cat:     "waveform",
+			Op:      op,
+			StartNS: start,
+			DurNS:   end - start,
+		})
+		i = j
+	}
+	return spans
 }
 
 func boolToInt(v bool) int {

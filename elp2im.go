@@ -42,6 +42,7 @@ import (
 	"repro/internal/drisa"
 	"repro/internal/elpim"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/primitive"
 	"repro/internal/sched"
@@ -221,9 +222,17 @@ func (s *Stats) add(o Stats) {
 	s.RowOps += o.RowOps
 	s.Commands += o.Commands
 	s.Wordlines += o.Wordlines
-	if s.LatencyNS > 0 {
-		s.AveragePowerW = s.EnergyNJ / s.LatencyNS
+	s.AveragePowerW = powerW(s.EnergyNJ, s.LatencyNS)
+}
+
+// powerW derives average power from accumulated energy and latency,
+// guarding the zero-latency accumulation case (ResetTotals followed by a
+// zero-cost operation must report 0 W, never NaN or a stale value).
+func powerW(energyNJ, latencyNS float64) float64 {
+	if latencyNS <= 0 {
+		return 0
 	}
+	return energyNJ / latencyNS
 }
 
 // Accelerator executes bulk bitwise operations on a modeled DRAM module.
@@ -258,6 +267,15 @@ type Accelerator struct {
 	// SetPowerConstrained invalidates it when the one mutable knob changes.
 	costMu    sync.Mutex
 	costUnits map[costKey]costUnit
+
+	// Observability (see observe.go): the accelerator-local obs context,
+	// the pre-resolved per-op-kind series, and the lock/batch counters.
+	obsc           *obs.Context
+	series         [engine.OpCOPY + 1]opSeries
+	lockAcquire    *obs.Counter
+	lockContended  *obs.Counter
+	batchSubmitted *obs.Counter
+	batchWaits     *obs.Counter
 }
 
 // costKey identifies one memoized cost unit.
@@ -343,13 +361,15 @@ func NewWithConfig(cfg Config) (*Accelerator, error) {
 	}
 
 	module := dram.NewModule(cfg.Module)
-	return &Accelerator{
+	a := &Accelerator{
 		cfg:       cfg,
 		module:    module,
 		eng:       eng,
 		execLocks: make([]sync.Mutex, module.Banks()*module.Bank(0).Subarrays()),
 		costUnits: make(map[costKey]costUnit),
-	}, nil
+	}
+	a.initObs()
+	return a, nil
 }
 
 // Design returns the modeled design's name.
@@ -428,6 +448,7 @@ func (a *Accelerator) Op(op Op, dst, x, y *BitVector) (Stats, error) {
 	cols := a.cfg.Module.Columns
 	n := x.Len()
 	stripes := (n + cols - 1) / cols
+	start := a.obsc.SpanStart()
 
 	// Functional execution, stripe by stripe, round-robin over banks;
 	// distinct subarrays run concurrently (the simulator's mirror of
@@ -440,14 +461,18 @@ func (a *Accelerator) Op(op Op, dst, x, y *BitVector) (Stats, error) {
 		return a.opStripe(iop, dst.v, x.v, yv, s, sub, buf)
 	})
 	if err != nil {
+		a.opSpan(start, iop, stripes, Stats{}, err)
 		return Stats{}, err
 	}
 
 	st, err := a.opCost(iop, stripes)
 	if err != nil {
+		a.opSpan(start, iop, stripes, Stats{}, err)
 		return Stats{}, err
 	}
 	a.addTotals(st)
+	a.record(iop, st)
+	a.opSpan(start, iop, stripes, st, nil)
 	return st, nil
 }
 
@@ -483,10 +508,12 @@ func (a *Accelerator) Reduce(op Op, dst *BitVector, vs ...*BitVector) (Stats, er
 		}
 	}
 	iop := op.internal()
+	start := a.obsc.SpanStart()
 
 	var total Stats
 	st, err := a.Op(OpCopy, dst, vs[0], nil)
 	if err != nil {
+		a.reduceSpan(start, iop, 0, Stats{}, err)
 		return Stats{}, err
 	}
 	total.add(st)
@@ -503,6 +530,7 @@ func (a *Accelerator) Reduce(op Op, dst *BitVector, vs ...*BitVector) (Stats, er
 			return a.foldStripe(iop, ipe, inPlace, dst.v, v.v, s, sub, buf)
 		})
 		if err != nil {
+			a.reduceSpan(start, iop, stripes, Stats{}, err)
 			return Stats{}, err
 		}
 		// Cost of this fold: chained stats where available.
@@ -513,11 +541,14 @@ func (a *Accelerator) Reduce(op Op, dst *BitVector, vs ...*BitVector) (Stats, er
 			st, err = a.opCost(iop, stripes)
 		}
 		if err != nil {
+			a.reduceSpan(start, iop, stripes, Stats{}, err)
 			return Stats{}, err
 		}
 		total.add(st)
 		a.addTotals(st)
+		a.record(iop, st)
 	}
+	a.reduceSpan(start, iop, stripes, total, nil)
 	return total, nil
 }
 
@@ -585,14 +616,12 @@ func (a *Accelerator) scaleUnit(u costUnit, stripes int) Stats {
 	energy := u.per.EnergyNJ*float64(stripes) +
 		a.cfg.Power.BackgroundPower*a.eng.BackgroundFactor()*latency
 	st := Stats{
-		LatencyNS: latency,
-		EnergyNJ:  energy,
-		RowOps:    stripes,
-		Commands:  u.per.Commands * stripes,
-		Wordlines: u.per.Wordlines * stripes,
-	}
-	if latency > 0 {
-		st.AveragePowerW = energy / latency
+		LatencyNS:     latency,
+		EnergyNJ:      energy,
+		AveragePowerW: powerW(energy, latency),
+		RowOps:        stripes,
+		Commands:      u.per.Commands * stripes,
+		Wordlines:     u.per.Wordlines * stripes,
 	}
 	return st
 }
@@ -688,9 +717,18 @@ func (a *Accelerator) groupStripes(n int) []stripeRun {
 // and every Batch mutually exclude on shared subarray row state.
 func (a *Accelerator) runStripe(group, s int, buf *bitvec.Vector, fn func(s int, sub *dram.Subarray, buf *bitvec.Vector) error) error {
 	mu := &a.execLocks[group]
-	mu.Lock()
+	if !mu.TryLock() {
+		// Another context holds this subarray; count the contended path
+		// before falling back to the blocking acquire.
+		a.lockContended.Inc()
+		mu.Lock()
+	}
+	a.lockAcquire.Inc()
 	defer mu.Unlock()
-	return fn(s, a.subarrayFor(s), buf)
+	start := a.obsc.SpanStart()
+	err := fn(s, a.subarrayFor(s), buf)
+	a.stripeSpan(start, s, err)
+	return err
 }
 
 // forEachStripe runs fn for every stripe. Stripes sharing a subarray are

@@ -5,9 +5,11 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	elp2im "repro"
 )
@@ -18,6 +20,10 @@ const (
 )
 
 func main() {
+	metrics := flag.Bool("metrics", false, "print the accelerator's metrics snapshot after the run")
+	tracePath := flag.String("trace", "", "stream Chrome trace_event spans to this file")
+	flag.Parse()
+
 	rng := rand.New(rand.NewSource(2026))
 
 	// Synthesize weekly activity: each user is active in a week with
@@ -36,6 +42,26 @@ func main() {
 	acc, err := elp2im.New(func(c *elp2im.Config) { c.PowerConstrained = true })
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := elp2im.NewJSONLTracer(f)
+		acc.SetTracer(tr)
+		defer func() {
+			acc.SetTracer(nil)
+			tr.Close()
+			f.Close()
+			fmt.Printf("wrote %d trace spans to %s\n", tr.Spans(), *tracePath)
+		}()
+	}
+	if *metrics {
+		defer func() {
+			fmt.Println("\n==== accelerator metrics ====")
+			fmt.Print(acc.Snapshot().Text())
+		}()
 	}
 
 	// Q1: users active every week — AND-reduce the week bitmaps in DRAM.

@@ -4,10 +4,13 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
+	elp2im "repro"
 	"repro/internal/ambit"
 	"repro/internal/apps/tablescan"
 	"repro/internal/cpu"
@@ -24,6 +27,33 @@ const (
 )
 
 func main() {
+	metrics := flag.Bool("metrics", false, "print the process-wide metrics snapshot after the run")
+	tracePath := flag.String("trace", "", "stream Chrome trace_event spans to this file")
+	flag.Parse()
+
+	// The scan drives the engines directly (no facade Accelerator), so the
+	// observability hooks go through the process-wide context.
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := elp2im.NewJSONLTracer(f)
+		elp2im.SetGlobalTracer(tr)
+		defer func() {
+			elp2im.SetGlobalTracer(nil)
+			tr.Close()
+			f.Close()
+			fmt.Printf("wrote %d trace spans to %s\n", tr.Spans(), *tracePath)
+		}()
+	}
+	if *metrics {
+		defer func() {
+			fmt.Println("\n==== observability snapshot (process-wide) ====")
+			fmt.Print(elp2im.GlobalSnapshot().Text())
+		}()
+	}
+
 	rng := rand.New(rand.NewSource(7))
 	values := make([]uint64, tuples)
 	for i := range values {

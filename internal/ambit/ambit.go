@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/primitive"
 	"repro/internal/timing"
@@ -49,6 +50,9 @@ type Engine struct {
 	// seqs memoizes the canonical command sequence per op; the engine is
 	// immutable after New, so the cached (read-only) sequences are shared.
 	seqs [engine.OpCOPY + 1]primitive.Seq
+	// obs holds the pre-resolved per-op observability series (process
+	// global by default; Instrument re-points it).
+	obs *engine.ObsSeries
 }
 
 // New returns an engine for cfg.
@@ -68,7 +72,14 @@ func New(cfg Config) (*Engine, error) {
 	for op := engine.OpNOT; op <= engine.OpCOPY; op++ {
 		e.seqs[op] = e.build(op)
 	}
+	e.obs = engine.NewObsSeries(nil, e.Name())
 	return e, nil
+}
+
+// Instrument re-points the engine's observability series at ctx (the
+// accelerator-local context when owned by a facade Accelerator).
+func (e *Engine) Instrument(ctx *obs.Context) {
+	e.obs = engine.NewObsSeries(ctx, e.Name())
 }
 
 // MustNew returns New's engine and panics on configuration errors.

@@ -77,6 +77,14 @@ func traInto(sub *dram.Subarray, r0, r1, r2, dst int) error {
 // OpStats (the canonical command counts); Execute reproduces the dataflow
 // functionally on the device model.
 func (e *Engine) Execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error {
+	start := e.obs.Start()
+	err := e.execute(sub, op, dst, a, b)
+	e.obs.Record(op, e.OpStats(op), start, err)
+	return err
+}
+
+// execute is Execute's uninstrumented body.
+func (e *Engine) execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error {
 	if !e.Supports(op) {
 		return fmt.Errorf("ambit: %v unsupported with %d reserved rows", op, e.cfg.ReservedRows)
 	}

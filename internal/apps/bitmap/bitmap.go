@@ -25,6 +25,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/primitive"
 	"repro/internal/sched"
@@ -164,6 +165,8 @@ func Run(w Workload, d Design, mod dram.Config, tp timing.Params, pp power.Param
 	deviceEnergy := opSeq.Energy(pp)*float64(rowOps) +
 		pp.BackgroundPower*d.BackgroundFactor()*deviceNS
 
+	recordObs(engine.OpAND, opSeq, opLatency, rowOps, pp)
+
 	system := deviceNS + countNS
 	return Result{
 		Name:             d.Name(),
@@ -177,6 +180,23 @@ func Run(w Workload, d Design, mod dram.Config, tp timing.Params, pp power.Param
 		PowerConstrained: constrained,
 		DeviceEnergyNJ:   deviceEnergy,
 	}, nil
+}
+
+// recordObs folds one run's modeled per-op costs into the process-wide
+// observability registry, so cost-model harnesses (`elpsim fig13`,
+// `elpsim -metrics`) report the same per-op-kind series the facade
+// records for functional runs. The names mirror the facade's `acc.op.*`
+// scheme under `app.op.*`; the histograms observe the per-row-op cost
+// (one observation per Run call), the counters accumulate the workload's
+// total row ops, activate events, and raised wordlines.
+func recordObs(op engine.Op, seq primitive.Seq, perRowLatencyNS float64, rowOps int, pp power.Params) {
+	m := obs.Global().Metrics
+	name := op.String()
+	m.Counter("app.op.rowops." + name).Add(int64(rowOps))
+	m.Counter("app.op.activates." + name).Add(int64(seq.ActivateEvents() * rowOps))
+	m.Counter("app.op.wordlines." + name).Add(int64(seq.Wordlines() * rowOps))
+	m.Histogram("app.op.latency_ns."+name, obs.LatencyBuckets()).Observe(perRowLatencyNS)
+	m.Histogram("app.op.energy_nj."+name, obs.EnergyBuckets()).Observe(seq.Energy(pp))
 }
 
 // RunCPU evaluates the query pair entirely on the CPU baseline.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/dram"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/primitive"
 	"repro/internal/timing"
@@ -39,6 +40,9 @@ type Engine struct {
 	// seqs memoizes the per-op NOR-cycle sequences; the engine is
 	// immutable after New, so the cached (read-only) sequences are shared.
 	seqs [engine.OpCOPY + 1]primitive.Seq
+	// obs holds the pre-resolved per-op observability series (process
+	// global by default; Instrument re-points it).
+	obs *engine.ObsSeries
 }
 
 // New returns an engine for cfg.
@@ -53,7 +57,14 @@ func New(cfg Config) (*Engine, error) {
 	for op := engine.OpNOT; op <= engine.OpCOPY; op++ {
 		e.seqs[op] = e.build(op)
 	}
+	e.obs = engine.NewObsSeries(nil, e.Name())
 	return e, nil
+}
+
+// Instrument re-points the engine's observability series at ctx (the
+// accelerator-local context when owned by a facade Accelerator).
+func (e *Engine) Instrument(ctx *obs.Context) {
+	e.obs = engine.NewObsSeries(ctx, e.Name())
 }
 
 // MustNew returns New's engine and panics on configuration errors.
@@ -197,6 +208,14 @@ func (e *Engine) ChainStats(op engine.Op) (engine.Stats, error) {
 // in the subarray's top rows; dst/a/b must not collide with the top four
 // rows.
 func (e *Engine) Execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error {
+	start := e.obs.Start()
+	err := e.execute(sub, op, dst, a, b)
+	e.obs.Record(op, e.OpStats(op), start, err)
+	return err
+}
+
+// execute is Execute's uninstrumented body.
+func (e *Engine) execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error {
 	n := sub.Rows()
 	if n < 8 {
 		return fmt.Errorf("drisa: subarray has %d rows; need at least 8", n)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/primitive"
 	"repro/internal/timing"
@@ -98,6 +99,9 @@ type Engine struct {
 	// later Compile/Seq call is a table lookup. The cached sequences are
 	// shared — callers must treat them as read-only.
 	seqs [engine.OpCOPY + 1]primitive.Seq
+	// obs holds the pre-resolved per-op observability series (process
+	// global by default; Instrument re-points it).
+	obs *engine.ObsSeries
 }
 
 // New returns an engine for cfg.
@@ -115,7 +119,14 @@ func New(cfg Config) (*Engine, error) {
 	for op := engine.OpNOT; op <= engine.OpCOPY; op++ {
 		e.seqs[op] = e.compile(op)
 	}
+	e.obs = engine.NewObsSeries(nil, e.Name())
 	return e, nil
+}
+
+// Instrument re-points the engine's observability series at ctx (the
+// accelerator-local context when owned by a facade Accelerator).
+func (e *Engine) Instrument(ctx *obs.Context) {
+	e.obs = engine.NewObsSeries(ctx, e.Name())
 }
 
 // MustNew returns a New engine and panics on configuration errors.

@@ -128,11 +128,13 @@ func (e *Engine) Execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error 
 	if (op == engine.OpXOR || op == engine.OpXNOR) && (dst == a || dst == b) {
 		return fmt.Errorf("elpim: %v destination must not alias an operand (dst=%d a=%d b=%d)", op, dst, a, b)
 	}
+	start := e.obs.Start()
 	bind, err := BindDefault(sub, e.cfg.ReservedRows, a, b, dst)
-	if err != nil {
-		return err
+	if err == nil {
+		err = e.ExecuteSeq(sub, e.Compile(op), bind)
 	}
-	return e.ExecuteSeq(sub, e.Compile(op), bind)
+	e.obs.Record(op, e.OpStats(op), start, err)
+	return err
 }
 
 // ExecuteNotChain performs the complement fold functionally: row b becomes
@@ -156,9 +158,15 @@ func (e *Engine) ExecuteInPlace(sub *dram.Subarray, op engine.Op, a, b int) erro
 	if err != nil {
 		return err
 	}
+	start := e.obs.Start()
 	bind, err := BindDefault(sub, e.cfg.ReservedRows, a, b, -1)
-	if err != nil {
-		return err
+	if err == nil {
+		err = e.ExecuteSeq(sub, q, bind)
 	}
-	return e.ExecuteSeq(sub, q, bind)
+	st, serr := e.ChainStats(op)
+	if serr != nil {
+		st = e.OpStats(op)
+	}
+	e.obs.Record(op, st, start, err)
+	return err
 }

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ObsSeries pre-resolves one design's per-op observability series so an
+// engine's Execute hot path updates pure atomics and, with tracing off,
+// allocates nothing. Engines default to obs.Global() at construction and
+// are re-pointed at an accelerator-local context via their Instrument
+// method.
+//
+// Series names: engine.exec.<design>.<op> (executions),
+// engine.commands.<design>.<op>, engine.wordlines.<design>.<op>.
+type ObsSeries struct {
+	ctx       *obs.Context
+	names     [OpCOPY + 1]string
+	exec      [OpCOPY + 1]*obs.Counter
+	commands  [OpCOPY + 1]*obs.Counter
+	wordlines [OpCOPY + 1]*obs.Counter
+}
+
+// NewObsSeries resolves the design's series against ctx (obs.Global()
+// when ctx is nil).
+func NewObsSeries(ctx *obs.Context, design string) *ObsSeries {
+	if ctx == nil {
+		ctx = obs.Global()
+	}
+	s := &ObsSeries{ctx: ctx}
+	for op := OpNOT; op <= OpCOPY; op++ {
+		name := op.String()
+		s.names[op] = design + " " + name
+		s.exec[op] = ctx.Metrics.Counter("engine.exec." + design + "." + name)
+		s.commands[op] = ctx.Metrics.Counter("engine.commands." + design + "." + name)
+		s.wordlines[op] = ctx.Metrics.Counter("engine.wordlines." + design + "." + name)
+	}
+	return s
+}
+
+// Start returns the wall-clock start for a Record span (0 when tracing is
+// off, so the disabled path never reads the clock).
+func (s *ObsSeries) Start() int64 { return s.ctx.SpanStart() }
+
+// Record accounts one row-wide execution of op with the design's
+// canonical per-row stats, and emits an "engine" span when tracing is on.
+// startNS is the value returned by Start; err annotates failed spans.
+func (s *ObsSeries) Record(op Op, st Stats, startNS int64, err error) {
+	if op < 0 || op > OpCOPY {
+		return
+	}
+	s.exec[op].Inc()
+	s.commands[op].Add(int64(st.Commands))
+	s.wordlines[op].Add(int64(st.Wordlines))
+	if startNS != 0 && s.ctx.Tracing() {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		s.ctx.Span(obs.SpanEvent{
+			Name:      s.names[op],
+			Cat:       "engine",
+			StartNS:   startNS,
+			DurNS:     time.Now().UnixNano() - startNS,
+			Op:        op.String(),
+			LatencyNS: st.LatencyNS,
+			EnergyNJ:  st.EnergyNJ,
+			Commands:  st.Commands,
+			Wordlines: st.Wordlines,
+			Err:       msg,
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// debugSnap holds the snapshot provider published to expvar. expvar only
+// accepts one registration per name process-wide, so the publisher is
+// installed once and reads whichever provider was installed last.
+var (
+	debugSnap    atomic.Pointer[func() Snapshot]
+	publishOnce  sync.Once
+	publishedVar = "elp2im.metrics"
+)
+
+// publishExpvar installs the process-wide expvar variable on first use.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish(publishedVar, expvar.Func(func() any {
+			if f := debugSnap.Load(); f != nil {
+				return (*f)()
+			}
+			return Snapshot{}
+		}))
+	})
+}
+
+// DebugServer is a running observability endpoint: /metrics (text, or
+// ?format=json), /debug/vars (expvar, including the latest snapshot under
+// "elp2im.metrics"), and /debug/pprof/* (the standard Go profiler).
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// Serve starts the opt-in debug endpoint on addr (e.g. "localhost:6060"
+// or ":0" for an ephemeral port), scraping snap for /metrics and expvar.
+// The caller owns the returned server and must Close it.
+func Serve(addr string, snap func() Snapshot) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	debugSnap.Store(&snap)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := snap()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(s)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.Text()))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}

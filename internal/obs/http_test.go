@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv.hits").Add(5)
+	srv, err := Serve("127.0.0.1:0", r.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if text := get("/metrics"); !strings.Contains(text, "srv.hits") {
+		t.Errorf("/metrics missing series:\n%s", text)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics?format=json")), &s); err != nil {
+		t.Fatalf("/metrics?format=json does not parse: %v", err)
+	}
+	if s.Counter("srv.hits") != 5 {
+		t.Errorf("json snapshot counter = %d, want 5", s.Counter("srv.hits"))
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, publishedVar) {
+		t.Errorf("/debug/vars missing %q", publishedVar)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index looks wrong")
+	}
+}

@@ -12,6 +12,9 @@ package pipeline
 import (
 	"errors"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Task is one unit of work bound to a serialization group.
@@ -93,36 +96,84 @@ type Pool struct {
 	idle     sync.Cond // broadcast whenever inflight drops to zero
 	inflight int
 	closed   bool
+
+	// Observability series, pre-resolved at construction: current/peak
+	// task backlog (queued + running), tasks retired, and the summed
+	// wall-clock time workers spent running tasks (utilization numerator).
+	ctx       *obs.Context
+	depth     *obs.Gauge
+	depthMax  *obs.Gauge
+	poolGauge *obs.Gauge
+	tasksDone *obs.Counter
+	busyNS    *obs.Counter
 }
 
 // queueDepth bounds each worker's backlog; Submit applies backpressure
 // beyond it. Workers never submit, so a full queue cannot deadlock.
 const queueDepth = 256
 
-// NewPool starts a pool of n workers (n < 1 is treated as 1).
-func NewPool(n int) *Pool {
+// NewPool starts a pool of n workers (n < 1 is treated as 1) reporting
+// into the process-wide observability context.
+func NewPool(n int) *Pool { return NewPoolObs(n, nil) }
+
+// NewPoolObs starts a pool of n workers (n < 1 is treated as 1) reporting
+// metrics and task spans into ctx (obs.Global() when nil). Pools sharing
+// one context aggregate into the same pipeline.* series.
+func NewPoolObs(n int, ctx *obs.Context) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{queues: make([]chan item, n)}
+	if ctx == nil {
+		ctx = obs.Global()
+	}
+	p := &Pool{
+		queues:    make([]chan item, n),
+		ctx:       ctx,
+		depth:     ctx.Metrics.Gauge("pipeline.queue.depth"),
+		depthMax:  ctx.Metrics.Gauge("pipeline.queue.depth.max"),
+		poolGauge: ctx.Metrics.Gauge("pipeline.workers"),
+		tasksDone: ctx.Metrics.Counter("pipeline.tasks"),
+		busyNS:    ctx.Metrics.Counter("pipeline.busy_ns"),
+	}
+	p.poolGauge.Add(int64(n))
 	p.idle.L = &p.mu
 	for i := range p.queues {
 		q := make(chan item, queueDepth)
 		p.queues[i] = q
 		p.workers.Add(1)
-		go func() {
+		go func(worker int) {
 			defer p.workers.Done()
 			for it := range q {
-				it.f.complete(it.idx, it.run())
+				start := time.Now()
+				err := it.run()
+				busy := time.Since(start)
+				p.busyNS.Add(busy.Nanoseconds())
+				p.tasksDone.Inc()
+				if p.ctx.Tracing() {
+					msg := ""
+					if err != nil {
+						msg = err.Error()
+					}
+					p.ctx.Span(obs.SpanEvent{
+						Name:    "task",
+						Cat:     "pipeline",
+						TID:     int64(worker),
+						StartNS: start.UnixNano(),
+						DurNS:   busy.Nanoseconds(),
+						Err:     msg,
+					})
+				}
+				it.f.complete(it.idx, err)
 				p.taskDone()
 			}
-		}()
+		}(i)
 	}
 	return p
 }
 
 // taskDone retires one in-flight task and wakes drainers on the last one.
 func (p *Pool) taskDone() {
+	p.depth.Add(-1)
 	p.mu.Lock()
 	p.inflight--
 	if p.inflight == 0 {
@@ -151,6 +202,9 @@ func (p *Pool) Submit(tasks []Task) (*Future, error) {
 	// cannot observe a half-submitted operation set.
 	p.inflight += len(tasks)
 	p.mu.Unlock()
+	if len(tasks) > 0 {
+		p.depthMax.Max(p.depth.Add(int64(len(tasks))))
+	}
 
 	f := newFuture(len(tasks))
 	if len(tasks) == 0 {
@@ -195,4 +249,5 @@ func (p *Pool) Close() {
 		close(q)
 	}
 	p.workers.Wait()
+	p.poolGauge.Add(-int64(len(p.queues)))
 }

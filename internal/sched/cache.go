@@ -3,6 +3,7 @@ package sched
 import (
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Cache memoizes Simulate results. Simulate is deterministic — the result
@@ -12,15 +13,34 @@ import (
 // never alias a stale entry: "invalidation on config change" falls out of
 // the keying. Reset exists for callers that want to bound memory.
 //
+// The cache keeps hit/miss/eviction counters (plain atomics — the package
+// stays leaf so the observability layer can surface them without an import
+// cycle) and bounds its entry count: beyond the capacity, an arbitrary
+// entry is evicted per insert. The set of distinct (design, op, config)
+// triples a process touches is small, so evictions only fire for
+// pathological workloads (e.g. fuzzing over random timing parameters).
+//
 // A Cache is safe for concurrent use.
 type Cache struct {
-	mu sync.RWMutex
-	m  map[string]Result
+	mu  sync.RWMutex
+	m   map[string]Result
+	cap int
+
+	hits, misses, evictions atomic.Int64
 }
 
-// NewCache returns an empty cache.
+// DefaultCacheCap is the entry bound of caches built by NewCache.
+const DefaultCacheCap = 4096
+
+// NewCache returns an empty cache bounded at DefaultCacheCap entries.
 func NewCache() *Cache {
-	return &Cache{m: make(map[string]Result)}
+	return NewCacheCap(DefaultCacheCap)
+}
+
+// NewCacheCap returns an empty cache bounded at n entries (n < 1 means
+// unbounded).
+func NewCacheCap(n int) *Cache {
+	return &Cache{m: make(map[string]Result), cap: n}
 }
 
 // key serializes every Simulate input exactly. Floats are encoded with
@@ -60,8 +80,10 @@ func (c *Cache) Simulate(p OpProfile, cfg Config, horizonNS float64) (Result, er
 	res, ok := c.m[k]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Add(1)
 		return res, nil
 	}
+	c.misses.Add(1)
 	res, err := Simulate(p, cfg, horizonNS)
 	if err != nil {
 		// Errors are cheap to recompute (validation fails before the
@@ -69,6 +91,15 @@ func (c *Cache) Simulate(p OpProfile, cfg Config, horizonNS float64) (Result, er
 		return Result{}, err
 	}
 	c.mu.Lock()
+	if _, exists := c.m[k]; !exists && c.cap > 0 && len(c.m) >= c.cap {
+		// Evict one arbitrary entry to stay within the bound; the memo
+		// has no access-order worth tracking at this hit rate.
+		for victim := range c.m {
+			delete(c.m, victim)
+			c.evictions.Add(1)
+			break
+		}
+	}
 	c.m[k] = res
 	c.mu.Unlock()
 	return res, nil
@@ -81,17 +112,47 @@ func (c *Cache) Len() int {
 	return len(c.m)
 }
 
-// Reset drops every cached result.
+// Reset drops every cached result. Dropped entries count as evictions.
 func (c *Cache) Reset() {
 	c.mu.Lock()
+	c.evictions.Add(int64(len(c.m)))
 	c.m = make(map[string]Result)
 	c.mu.Unlock()
+}
+
+// CacheStats is a point-in-time copy of a cache's effectiveness counters.
+type CacheStats struct {
+	// Hits and Misses count Simulate lookups by outcome.
+	Hits, Misses int64
+	// Evictions counts entries dropped by the capacity bound and Reset.
+	Evictions int64
+	// Entries is the current entry count.
+	Entries int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns the cache's current effectiveness counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+	}
 }
 
 // defaultCache backs CachedSimulate: one process-wide memo shared by every
 // accelerator and case study. Profiles and configs are tiny and the set of
 // distinct (design, op, config) triples a process touches is small, so the
-// cache stays bounded in practice.
+// cache stays bounded in practice (and hard-bounded at DefaultCacheCap).
 var defaultCache = NewCache()
 
 // CachedSimulate is Simulate memoized through the process-wide cache.
@@ -104,3 +165,7 @@ func ResetCache() { defaultCache.Reset() }
 
 // CacheLen returns the process-wide memo's entry count (observability).
 func CacheLen() int { return defaultCache.Len() }
+
+// GlobalCacheStats returns the process-wide memo's hit/miss/eviction
+// counters, surfaced as the sched.cache.* series in metric snapshots.
+func GlobalCacheStats() CacheStats { return defaultCache.Stats() }

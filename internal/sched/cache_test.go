@@ -158,3 +158,73 @@ func TestResetCache(t *testing.T) {
 		t.Fatalf("ResetCache left %d entries", CacheLen())
 	}
 }
+
+// TestCacheStats: hit/miss/eviction counters and the derived hit rate.
+func TestCacheStats(t *testing.T) {
+	tp := timing.DDR31600()
+	p := testProfile()
+	cfg := Config{Banks: 8, Timing: tp}
+	c := NewCache()
+
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("fresh cache stats = %+v, want zero", s)
+	}
+	if got := (CacheStats{}).HitRate(); got != 0 {
+		t.Errorf("empty hit rate = %g, want 0", got)
+	}
+
+	if _, err := c.Simulate(p, cfg, 200_000); err != nil { // miss
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // hits
+		if _, err := c.Simulate(p, cfg, 200_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 1 || s.Evictions != 0 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 3 hits / 1 miss / 0 evictions / 1 entry", s)
+	}
+	if got := s.HitRate(); got != 0.75 {
+		t.Errorf("hit rate = %g, want 0.75", got)
+	}
+
+	c.Reset()
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 0 {
+		t.Errorf("after reset: %+v, want 1 eviction / 0 entries", s)
+	}
+}
+
+// TestCacheCapacityEviction: the entry bound evicts rather than grows.
+func TestCacheCapacityEviction(t *testing.T) {
+	tp := timing.DDR31600()
+	cfg := Config{Banks: 8, Timing: tp}
+	c := NewCacheCap(2)
+	for i := 1; i <= 4; i++ {
+		p := testProfile()
+		p.LatencyNS = float64(100 * i) // distinct key per iteration
+		if _, err := c.Simulate(p, cfg, 200_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("capped cache has %d entries, want 2", c.Len())
+	}
+	s := c.Stats()
+	if s.Misses != 4 || s.Evictions != 2 {
+		t.Errorf("stats = %+v, want 4 misses / 2 evictions", s)
+	}
+
+	// Unbounded (n < 1) never evicts.
+	u := NewCacheCap(0)
+	for i := 1; i <= 4; i++ {
+		p := testProfile()
+		p.LatencyNS = float64(100 * i)
+		if _, err := u.Simulate(p, cfg, 200_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.Len() != 4 || u.Stats().Evictions != 0 {
+		t.Errorf("unbounded cache: len=%d evictions=%d", u.Len(), u.Stats().Evictions)
+	}
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Static hygiene gate, part of the tier-1 verify (see ROADMAP.md):
+#   1. gofmt       — no unformatted files anywhere in the repo
+#   2. go vet      — whole-module analysis
+#   3. doccheck    — godoc completeness for the packages whose documentation
+#                    the project guarantees (root facade, internal/pipeline,
+#                    internal/obs)
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "lint: gofmt wants to reformat:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+if ! go vet ./...; then
+    fail=1
+fi
+
+if ! go run ./scripts/doccheck . internal/pipeline internal/obs; then
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint: FAIL" >&2
+    exit 1
+fi
+echo "lint: ok"
