@@ -1,0 +1,150 @@
+// Command elpd serves the elp2im accelerator over HTTP: a named
+// bit-vector store plus single ops, reductions, and expression
+// evaluation, with every write riding the dynamic micro-batcher in
+// internal/server (coalescing window, bounded admission queue with 503
+// backpressure, per-request deadlines, graceful drain on SIGTERM).
+//
+// Usage:
+//
+//	elpd [flags]
+//	  -addr string          listen address (default "127.0.0.1:8372"; use :0 for ephemeral)
+//	  -design string        elp2im | ambit | drisa (default "elp2im")
+//	  -power-constrained    enforce the charge-pump/tFAW activation budget
+//	  -window duration      micro-batch coalescing window (default 200µs; 0 = pass-through)
+//	  -max-batch int        max requests folded into one flush (default 64)
+//	  -max-queue int        admission-queue bound; beyond it requests get 503 (default 1024)
+//	  -timeout duration     default per-request deadline (default 5s)
+//	  -no-pipeline          degraded mode: synchronous ops, no micro-batching
+//	  -debug-addr string    optional observability endpoint (ServeDebug: /metrics,
+//	                        /debug/vars, /debug/pprof) — the server.* series appear
+//	                        there next to acc.* and pipeline.*
+//
+// elpd prints "elpd: listening on <addr>" once ready (scripts/smoke.sh
+// parses it) and on SIGTERM/SIGINT drains gracefully: stop admitting,
+// flush every queued micro-batch, then exit 0 with "elpd: drained".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	elp2im "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "elpd:", err)
+		os.Exit(1)
+	}
+}
+
+// parseDesign maps the flag value onto the facade's Design.
+func parseDesign(s string) (elp2im.Design, error) {
+	switch s {
+	case "elp2im":
+		return elp2im.DesignELP2IM, nil
+	case "ambit":
+		return elp2im.DesignAmbit, nil
+	case "drisa":
+		return elp2im.DesignDrisaNOR, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q (want elp2im, ambit or drisa)", s)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("elpd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8372", "listen address (:0 for ephemeral)")
+	designName := fs.String("design", "elp2im", "elp2im | ambit | drisa")
+	powerConstrained := fs.Bool("power-constrained", false, "enforce the charge-pump/tFAW activation budget")
+	window := fs.Duration("window", 200*time.Microsecond, "micro-batch coalescing window (0 = pass-through)")
+	maxBatch := fs.Int("max-batch", 64, "max requests folded into one flush")
+	maxQueue := fs.Int("max-queue", 1024, "admission-queue bound (503 beyond it)")
+	timeout := fs.Duration("timeout", 5*time.Second, "default per-request deadline")
+	noPipeline := fs.Bool("no-pipeline", false, "degraded mode: synchronous ops, no micro-batching")
+	debugAddr := fs.String("debug-addr", "", "optional ServeDebug endpoint (/metrics, /debug/pprof)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	design, err := parseDesign(*designName)
+	if err != nil {
+		return err
+	}
+	acc, err := elp2im.New(func(c *elp2im.Config) {
+		c.Design = design
+		c.PowerConstrained = *powerConstrained
+	})
+	if err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		Accelerator:    acc,
+		Window:         *window,
+		DisableWindow:  *window == 0,
+		MaxBatch:       *maxBatch,
+		MaxQueue:       *maxQueue,
+		Degraded:       *noPipeline,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *debugAddr != "" {
+		dbg, err := acc.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("elpd: debug endpoint on %s\n", dbg.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("elpd: %s design, window %v, max batch %d, max queue %d\n",
+		acc.Design(), *window, *maxBatch, *maxQueue)
+	fmt.Printf("elpd: listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Printf("elpd: %v, draining\n", sig)
+	}
+
+	// Graceful drain: stop admitting new operations (everything already
+	// queued still flushes), let in-flight handlers finish, then stop the
+	// listener and the batcher.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Printf("elpd: drained (%d batches flushed, %d requests coalesced, mean occupancy %.2f)\n",
+		st.Server.BatchesFlushed, st.Server.RequestsCoalesced, st.Server.MeanBatchOccupancy)
+	return nil
+}

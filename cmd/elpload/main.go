@@ -1,0 +1,553 @@
+// Command elpload is the concurrent load generator and smoke client for
+// elpd: it drives a configurable mixed op workload (AND/OR/XOR +
+// reductions) from many concurrent clients — closed-loop by default, or
+// open-loop at a fixed offered QPS — verifies results client-side
+// against a local mirror of every vector, and reports achieved
+// throughput and latency percentiles as JSON on stdout (the
+// BENCH_server.json trajectory point).
+//
+// Usage:
+//
+//	elpload [flags]
+//	  -addr string       target elpd (empty: spawn an in-process server and
+//	                     drive it — the mode scripts/bench.sh uses)
+//	  -clients int       concurrent clients (default 64)
+//	  -duration duration load duration (default 2s)
+//	  -qps float         total offered open-loop rate; 0 = closed loop
+//	  -bits int          vector length per operand (default 65536)
+//	  -mix string        op weights (default "and=3,or=3,xor=2,reduce=2")
+//	  -timeout duration  per-request deadline (default 5s)
+//	  -verify-every int  verify the result of every Nth op per client (default 4)
+//	  -seed int          base RNG seed (default 1)
+//	  -window duration   self-spawned server's coalescing window (default 200µs)
+//
+// Exit status is non-zero when any result verification fails or any
+// transport-level error occurs; 503 (backpressure) and 504 (deadline)
+// responses are counted but are expected outcomes under overload.
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	elp2im "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "elpload:", err)
+		os.Exit(1)
+	}
+}
+
+// options are the parsed flags.
+type options struct {
+	addr        string
+	clients     int
+	duration    time.Duration
+	qps         float64
+	bits        int
+	mix         []mixEntry
+	timeout     time.Duration
+	verifyEvery int
+	seed        int64
+	window      time.Duration
+}
+
+// mixEntry is one weighted workload component.
+type mixEntry struct {
+	name   string
+	weight int
+}
+
+// parseMix parses "and=3,or=3,xor=2,reduce=2" into weighted entries.
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, ok := strings.Cut(part, "=")
+		weight := 1
+		if ok {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("bad mix weight %q", part)
+			}
+			weight = w
+		}
+		switch name {
+		case "and", "or", "xor", "nand", "nor", "xnor", "not", "copy", "reduce":
+		default:
+			return nil, fmt.Errorf("unknown mix op %q", name)
+		}
+		if weight > 0 {
+			mix = append(mix, mixEntry{name: name, weight: weight})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty op mix")
+	}
+	return mix, nil
+}
+
+// pick draws one op from the mix.
+func pick(mix []mixEntry, rng *rand.Rand) string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	n := rng.Intn(total)
+	for _, m := range mix {
+		n -= m.weight
+		if n < 0 {
+			return m.name
+		}
+	}
+	return mix[len(mix)-1].name
+}
+
+// Report is the JSON output: the achieved load, outcome counts, latency
+// percentiles, and the server's own batching stats scraped at the end.
+type Report struct {
+	// Mode is "self" (in-process server) or "remote".
+	Mode string `json:"mode"`
+	// Clients is the concurrent client count.
+	Clients int `json:"clients"`
+	// DurationS is the configured load duration in seconds.
+	DurationS float64 `json:"duration_s"`
+	// TargetQPS is the offered open-loop rate (0 for closed loop).
+	TargetQPS float64 `json:"target_qps"`
+	// Bits is the operand vector length.
+	Bits int `json:"bits"`
+	// Requests counts issued requests; OK/Rejected503/Deadline504/Errors
+	// partition their outcomes; Shed counts open-loop tokens dropped
+	// because every client was busy.
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok"`
+	Rejected503 int64 `json:"rejected_503"`
+	Deadline504 int64 `json:"deadline_504"`
+	Errors      int64 `json:"errors"`
+	Shed        int64 `json:"shed"`
+	// VerifyChecks and VerifyFailures count client-side result
+	// verifications against the local mirror.
+	VerifyChecks   int64 `json:"verify_checks"`
+	VerifyFailures int64 `json:"verify_failures"`
+	// AchievedQPS is completed (OK) requests per wall second.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// LatencyMS summarizes successful-request latency.
+	LatencyMS LatencySummary `json:"latency_ms"`
+	// Server is the target's /v1/stats scrape after the run (null when
+	// unreachable).
+	Server *server.StatsPayload `json:"server,omitempty"`
+}
+
+// LatencySummary is the latency percentile block, in milliseconds.
+type LatencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// clientStats is one worker's tallies, merged after the run.
+type clientStats struct {
+	latenciesMS []float64
+	requests    int64
+	ok          int64
+	rejected    int64
+	deadline    int64
+	errors      int64
+	checks      int64
+	failures    int64
+	firstErr    error
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elpload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "target elpd address (empty: in-process server)")
+	clients := fs.Int("clients", 64, "concurrent clients")
+	duration := fs.Duration("duration", 2*time.Second, "load duration")
+	qps := fs.Float64("qps", 0, "total offered open-loop rate (0 = closed loop)")
+	bits := fs.Int("bits", 65536, "vector length per operand")
+	mixStr := fs.String("mix", "and=3,or=3,xor=2,reduce=2", "op mix weights")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
+	verifyEvery := fs.Int("verify-every", 4, "verify every Nth op per client (0 = never)")
+	seed := fs.Int64("seed", 1, "base RNG seed")
+	window := fs.Duration("window", 200*time.Microsecond, "self-spawned server coalescing window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixStr)
+	if err != nil {
+		return err
+	}
+	opt := options{
+		addr: *addr, clients: *clients, duration: *duration, qps: *qps,
+		bits: *bits, mix: mix, timeout: *timeout, verifyEvery: *verifyEvery,
+		seed: *seed, window: *window,
+	}
+	if opt.clients < 1 || opt.bits < 8 || opt.bits%8 != 0 {
+		return fmt.Errorf("clients must be >= 1 and bits a positive multiple of 8")
+	}
+
+	mode := "remote"
+	base := "http://" + opt.addr
+	var drain func() // self mode: graceful-drain the in-process server
+	if opt.addr == "" {
+		mode = "self"
+		srv, ln, err := spawnServer(opt)
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		drain = func() {
+			srv.Drain()
+			_ = httpSrv.Close()
+		}
+	}
+
+	report, err := drive(opt, base, mode)
+	if drain != nil {
+		drain()
+	}
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if report.VerifyFailures > 0 {
+		return fmt.Errorf("%d result verifications failed", report.VerifyFailures)
+	}
+	if report.Errors > 0 {
+		return fmt.Errorf("%d requests failed with transport or server errors", report.Errors)
+	}
+	return nil
+}
+
+// spawnServer builds the in-process elpd used by -addr "".
+func spawnServer(opt options) (*server.Server, net.Listener, error) {
+	acc, err := elp2im.New()
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.New(server.Config{
+		Accelerator:    acc,
+		Window:         opt.window,
+		DisableWindow:  opt.window == 0,
+		RequestTimeout: opt.timeout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, ln, nil
+}
+
+// drive runs the load and assembles the report.
+func drive(opt options, base, mode string) (*Report, error) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opt.clients * 2,
+		MaxIdleConnsPerHost: opt.clients * 2,
+	}}
+
+	// Open-loop token source: tokens carry their emission time so client
+	// queueing counts against latency, as an open-loop measurement must.
+	var tokens chan time.Time
+	var shed int64
+	stopDispatch := make(chan struct{})
+	var dispatchWG sync.WaitGroup
+	if opt.qps > 0 {
+		tokens = make(chan time.Time, opt.clients*4)
+		interval := time.Duration(float64(time.Second) / opt.qps)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		dispatchWG.Add(1)
+		go func() {
+			defer dispatchWG.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopDispatch:
+					return
+				case t := <-tick.C:
+					select {
+					case tokens <- t:
+					default:
+						shed++
+					}
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(opt.duration)
+	stats := make([]*clientStats, opt.clients)
+	var wg sync.WaitGroup
+	for i := 0; i < opt.clients; i++ {
+		stats[i] = &clientStats{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i].firstErr = runClient(opt, base, client, i, deadline, tokens, stats[i])
+		}(i)
+	}
+	wg.Wait()
+	if tokens != nil {
+		close(stopDispatch)
+		dispatchWG.Wait()
+	}
+
+	report := &Report{
+		Mode: mode, Clients: opt.clients, DurationS: opt.duration.Seconds(),
+		TargetQPS: opt.qps, Bits: opt.bits, Shed: shed,
+	}
+	var all []float64
+	for _, cs := range stats {
+		if cs.firstErr != nil {
+			return nil, cs.firstErr
+		}
+		report.Requests += cs.requests
+		report.OK += cs.ok
+		report.Rejected503 += cs.rejected
+		report.Deadline504 += cs.deadline
+		report.Errors += cs.errors
+		report.VerifyChecks += cs.checks
+		report.VerifyFailures += cs.failures
+		all = append(all, cs.latenciesMS...)
+	}
+	report.AchievedQPS = float64(report.OK) / opt.duration.Seconds()
+	report.LatencyMS = summarize(all)
+	if sp, err := scrapeStats(client, base); err == nil {
+		report.Server = sp
+	}
+	return report, nil
+}
+
+// runClient is one worker: set up its vectors, then issue ops until the
+// deadline, verifying results against the local mirror. The returned
+// error is fatal (setup failure); per-request failures are tallied.
+func runClient(opt options, base string, client *http.Client, id int, deadline time.Time, tokens <-chan time.Time, cs *clientStats) error {
+	rng := rand.New(rand.NewSource(opt.seed + int64(id)*7919))
+	pfx := fmt.Sprintf("c%d_", id)
+	nbytes := opt.bits / 8
+	mirror := map[string][]byte{}
+	for _, v := range []string{"a", "b", "d"} {
+		raw := make([]byte, nbytes)
+		rng.Read(raw)
+		mirror[v] = raw
+		if err := putVector(client, base, pfx+v, raw); err != nil {
+			return fmt.Errorf("client %d: setup PUT %s: %w", id, v, err)
+		}
+	}
+
+	sinceVerify := 0
+	for {
+		start := time.Now()
+		if !start.Before(deadline) {
+			return nil
+		}
+		if tokens != nil {
+			select {
+			case t := <-tokens:
+				start = t // open-loop: latency from intended send time
+			case <-time.After(time.Until(deadline)):
+				return nil
+			}
+		}
+		op := pick(opt.mix, rng)
+		status, err := issueOp(client, base, opt.timeout, pfx, op)
+		cs.requests++
+		if err != nil {
+			cs.errors++
+			continue
+		}
+		switch status {
+		case http.StatusOK:
+			cs.ok++
+			cs.latenciesMS = append(cs.latenciesMS, float64(time.Since(start).Microseconds())/1000)
+		case http.StatusServiceUnavailable:
+			cs.rejected++
+			time.Sleep(time.Duration(500+rng.Intn(1500)) * time.Microsecond)
+			continue
+		case http.StatusGatewayTimeout:
+			cs.deadline++
+			continue
+		default:
+			cs.errors++
+			continue
+		}
+
+		sinceVerify++
+		if opt.verifyEvery > 0 && sinceVerify >= opt.verifyEvery {
+			sinceVerify = 0
+			cs.checks++
+			want := expected(op, mirror)
+			got, err := getVector(client, base, pfx+"r")
+			if err != nil {
+				cs.errors++
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				cs.failures++
+			}
+		}
+	}
+}
+
+// expected computes the local mirror of dst after op.
+func expected(op string, mirror map[string][]byte) []byte {
+	a, b, d := mirror["a"], mirror["b"], mirror["d"]
+	out := make([]byte, len(a))
+	for i := range a {
+		switch op {
+		case "and":
+			out[i] = a[i] & b[i]
+		case "or":
+			out[i] = a[i] | b[i]
+		case "xor":
+			out[i] = a[i] ^ b[i]
+		case "nand":
+			out[i] = ^(a[i] & b[i])
+		case "nor":
+			out[i] = ^(a[i] | b[i])
+		case "xnor":
+			out[i] = ^(a[i] ^ b[i])
+		case "not":
+			out[i] = ^a[i]
+		case "copy":
+			out[i] = a[i]
+		case "reduce":
+			out[i] = a[i] & b[i] & d[i]
+		}
+	}
+	return out
+}
+
+// issueOp posts one op/reduce request and returns the HTTP status.
+func issueOp(client *http.Client, base string, timeout time.Duration, pfx, op string) (int, error) {
+	var path string
+	var body any
+	if op == "reduce" {
+		path = "/v1/reduce"
+		body = server.ReduceRequest{Op: "and", Dst: pfx + "r", Srcs: []string{pfx + "a", pfx + "b", pfx + "d"}}
+	} else {
+		path = "/v1/op"
+		body = server.OpRequest{Op: op, Dst: pfx + "r", X: pfx + "a", Y: pfx + "b"}
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	url := fmt.Sprintf("%s%s?timeout_ms=%d", base, path, timeout.Milliseconds())
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// putVector stores raw bytes under name.
+func putVector(client *http.Client, base, name string, raw []byte) error {
+	payload := server.VectorPayload{Bits: len(raw) * 8, Data: base64.StdEncoding.EncodeToString(raw)}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/vectors/"+name, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("PUT %s: status %d", name, resp.StatusCode)
+	}
+	return nil
+}
+
+// getVector fetches a vector's raw bytes.
+func getVector(client *http.Client, base, name string) ([]byte, error) {
+	resp, err := client.Get(base + "/v1/vectors/" + name)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", name, resp.StatusCode)
+	}
+	var payload server.VectorPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, err
+	}
+	return base64.StdEncoding.DecodeString(payload.Data)
+}
+
+// scrapeStats fetches the target's /v1/stats.
+func scrapeStats(client *http.Client, base string) (*server.StatsPayload, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var sp server.StatsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// summarize computes the latency percentile block.
+func summarize(ms []float64) LatencySummary {
+	if len(ms) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(ms)
+	sum := 0.0
+	for _, v := range ms {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(ms)-1))
+		return ms[i]
+	}
+	return LatencySummary{
+		Mean: sum / float64(len(ms)),
+		P50:  q(0.50),
+		P95:  q(0.95),
+		P99:  q(0.99),
+		Max:  ms[len(ms)-1],
+	}
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+
+	elp2im "repro"
+)
+
+// This file defines the JSON wire shapes of the elpd HTTP API. The field
+// names are a stable contract: dashboards and clients key on them, so the
+// round-trip regression test in api_test.go pins the exact key set —
+// renaming a tag is a breaking change and must fail that test.
+
+// VectorPayload is the wire form of a named bulk bit-vector (PUT body and
+// GET response of /v1/vectors/{name}).
+type VectorPayload struct {
+	// Name is the vector's store key (response only; ignored on PUT, where
+	// the URL names the vector).
+	Name string `json:"name,omitempty"`
+	// Bits is the vector length in bits.
+	Bits int `json:"bits"`
+	// Data is the vector contents: standard base64 of ceil(bits/8) bytes,
+	// little-endian within each byte (bit i of the vector is bit i%8 of
+	// byte i/8). Empty on PUT means all-zero.
+	Data string `json:"data,omitempty"`
+	// Popcount is the number of set bits (response only).
+	Popcount *int `json:"popcount,omitempty"`
+}
+
+// VectorInfo is one row of the GET /v1/vectors listing.
+type VectorInfo struct {
+	// Name is the vector's store key.
+	Name string `json:"name"`
+	// Bits is the vector length in bits.
+	Bits int `json:"bits"`
+}
+
+// ListResponse is the GET /v1/vectors response.
+type ListResponse struct {
+	// Vectors lists every stored vector, sorted by name.
+	Vectors []VectorInfo `json:"vectors"`
+}
+
+// OpRequest is the POST /v1/op body: dst = op(x, y), y omitted for the
+// unary not/copy.
+type OpRequest struct {
+	// Op is the operation mnemonic: not, and, or, nand, nor, xor, xnor,
+	// copy (case-insensitive).
+	Op string `json:"op"`
+	// Dst names the destination vector; it is created with x's length if
+	// absent.
+	Dst string `json:"dst"`
+	// X names the first operand.
+	X string `json:"x"`
+	// Y names the second operand (binary ops only).
+	Y string `json:"y,omitempty"`
+}
+
+// ReduceRequest is the POST /v1/reduce body:
+// dst = srcs[0] op srcs[1] op ... (and/or only).
+type ReduceRequest struct {
+	// Op is "and" or "or".
+	Op string `json:"op"`
+	// Dst names the destination vector; created with srcs[0]'s length if
+	// absent.
+	Dst string `json:"dst"`
+	// Srcs names the operands, at least two.
+	Srcs []string `json:"srcs"`
+}
+
+// EvalRequest is the POST /v1/eval body: evaluate a boolean expression
+// over stored vectors and store the result under dst.
+type EvalRequest struct {
+	// Expr is the expression source (& | ^ ~ and parentheses over stored
+	// vector names).
+	Expr string `json:"expr"`
+	// Dst names the vector the result is stored under.
+	Dst string `json:"dst"`
+}
+
+// StatsJSON is the stable wire form of elp2im.Stats.
+type StatsJSON struct {
+	// LatencyNS is the modeled latency in nanoseconds.
+	LatencyNS float64 `json:"latency_ns"`
+	// EnergyNJ is the modeled energy in nanojoules.
+	EnergyNJ float64 `json:"energy_nj"`
+	// AveragePowerW is EnergyNJ / LatencyNS.
+	AveragePowerW float64 `json:"average_power_w"`
+	// RowOps is the number of row-wide operations executed.
+	RowOps int `json:"row_ops"`
+	// Commands is the number of DRAM command primitives issued.
+	Commands int `json:"commands"`
+	// Wordlines is the total number of wordlines raised.
+	Wordlines int `json:"wordlines"`
+}
+
+// statsJSON converts the facade's Stats into the wire shape.
+func statsJSON(st elp2im.Stats) StatsJSON {
+	return StatsJSON{
+		LatencyNS:     st.LatencyNS,
+		EnergyNJ:      st.EnergyNJ,
+		AveragePowerW: st.AveragePowerW,
+		RowOps:        st.RowOps,
+		Commands:      st.Commands,
+		Wordlines:     st.Wordlines,
+	}
+}
+
+// OpResponse is the response body of /v1/op, /v1/reduce and /v1/eval.
+type OpResponse struct {
+	// Stats is the modeled cost of the operation.
+	Stats StatsJSON `json:"stats"`
+	// Bits is the result vector's length (eval only, where the result
+	// vector is created by the expression).
+	Bits int `json:"bits,omitempty"`
+}
+
+// ServerStats is the serving-layer section of the /v1/stats payload.
+type ServerStats struct {
+	// QueueDepth is the current admission-queue depth.
+	QueueDepth int64 `json:"queue_depth"`
+	// QueueMax is the configured admission bound.
+	QueueMax int64 `json:"queue_max"`
+	// Rejected counts requests refused with 503 by admission control.
+	Rejected int64 `json:"rejected"`
+	// DeadlineExpired counts requests whose deadline expired (504).
+	DeadlineExpired int64 `json:"deadline_expired"`
+	// BatchesFlushed counts micro-batch flushes.
+	BatchesFlushed int64 `json:"batches_flushed"`
+	// RequestsCoalesced counts requests that rode a flush.
+	RequestsCoalesced int64 `json:"requests_coalesced"`
+	// MeanBatchOccupancy is RequestsCoalesced / BatchesFlushed.
+	MeanBatchOccupancy float64 `json:"mean_batch_occupancy"`
+	// Panics counts handler panics converted to 500s.
+	Panics int64 `json:"panics"`
+	// Vectors is the number of stored vectors.
+	Vectors int `json:"vectors"`
+	// Draining reports whether the server is shutting down.
+	Draining bool `json:"draining"`
+	// Degraded reports whether the batching pipeline is disabled and ops
+	// run synchronously.
+	Degraded bool `json:"degraded"`
+}
+
+// StatsPayload is the GET /v1/stats response: the accelerator identity and
+// session totals plus the serving-layer counters, at a stable JSON shape.
+type StatsPayload struct {
+	// Design is the modeled design's name.
+	Design string `json:"design"`
+	// ReservedRows is the design's reserved-row count.
+	ReservedRows int `json:"reserved_rows"`
+	// Totals is the accumulated cost of every operation this session.
+	Totals StatsJSON `json:"totals"`
+	// Server is the serving-layer section.
+	Server ServerStats `json:"server"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+// parseOp maps a wire mnemonic onto the facade's Op.
+func parseOp(s string) (elp2im.Op, error) {
+	switch strings.ToLower(s) {
+	case "not":
+		return elp2im.OpNot, nil
+	case "and":
+		return elp2im.OpAnd, nil
+	case "or":
+		return elp2im.OpOr, nil
+	case "nand":
+		return elp2im.OpNand, nil
+	case "nor":
+		return elp2im.OpNor, nil
+	case "xor":
+		return elp2im.OpXor, nil
+	case "xnor":
+		return elp2im.OpXnor, nil
+	case "copy":
+		return elp2im.OpCopy, nil
+	default:
+		return 0, fmt.Errorf("server: unknown op %q", s)
+	}
+}
+
+// EncodeBits renders a vector's contents in the wire format: base64 of
+// ceil(bits/8) little-endian bytes.
+func EncodeBits(v *elp2im.BitVector) string {
+	n := v.Len()
+	words := v.Words()
+	raw := make([]byte, (n+7)/8)
+	for i := range raw {
+		raw[i] = byte(words[i/8] >> (8 * (i % 8)))
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// DecodeBits parses the wire format back into a fresh vector of the given
+// length. Stray bits beyond the length in the final byte are rejected.
+func DecodeBits(data string, bits int) (*elp2im.BitVector, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("server: bits must be positive, got %d", bits)
+	}
+	raw, err := base64.StdEncoding.DecodeString(data)
+	if err != nil {
+		return nil, fmt.Errorf("server: bad vector data: %v", err)
+	}
+	if want := (bits + 7) / 8; len(raw) != want {
+		return nil, fmt.Errorf("server: vector data is %d bytes, want %d for %d bits", len(raw), want, bits)
+	}
+	if rem := bits % 8; rem != 0 {
+		if tail := raw[len(raw)-1] >> rem; tail != 0 {
+			return nil, fmt.Errorf("server: vector data has bits set beyond length %d", bits)
+		}
+	}
+	v := elp2im.NewBitVector(bits)
+	words := v.Words()
+	for i, b := range raw {
+		words[i/8] |= uint64(b) << (8 * (i % 8))
+	}
+	return v, nil
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"sort"
+	"testing"
+
+	elp2im "repro"
+)
+
+// TestStatsPayloadRoundTrip guards the /v1/stats contract: the payload
+// must survive a marshal/unmarshal round trip unchanged, and the exact
+// JSON key set is pinned so a silent field rename (which would break
+// dashboards keying on these names) fails here instead of in production.
+func TestStatsPayloadRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	c := ts.Client()
+	rng := rand.New(rand.NewSource(20))
+	putRandom(t, c, ts.URL, "st.a", rng, 1024)
+	putRandom(t, c, ts.URL, "st.b", rng, 1024)
+	code, _ := doJSON(t, c, http.MethodPost, ts.URL+"/v1/op",
+		OpRequest{Op: "and", Dst: "st.r", X: "st.a", Y: "st.b"}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("op: status %d", code)
+	}
+
+	resp, err := c.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var payload StatsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if payload.Design == "" || payload.Totals.LatencyNS <= 0 || payload.Totals.RowOps <= 0 {
+		t.Fatalf("implausible stats payload: %+v", payload)
+	}
+
+	// Round trip: marshal → unmarshal → identical struct.
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back StatsPayload
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(payload, back) {
+		t.Fatalf("round trip changed the payload:\n  out: %+v\n  back: %+v", payload, back)
+	}
+
+	// Pin the exact key sets.
+	var tree map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		t.Fatalf("unmarshal tree: %v", err)
+	}
+	assertKeys(t, "payload", tree, []string{"design", "reserved_rows", "totals", "server"})
+	var totals map[string]json.RawMessage
+	if err := json.Unmarshal(tree["totals"], &totals); err != nil {
+		t.Fatalf("unmarshal totals: %v", err)
+	}
+	assertKeys(t, "totals", totals, []string{
+		"latency_ns", "energy_nj", "average_power_w", "row_ops", "commands", "wordlines",
+	})
+	var server map[string]json.RawMessage
+	if err := json.Unmarshal(tree["server"], &server); err != nil {
+		t.Fatalf("unmarshal server: %v", err)
+	}
+	assertKeys(t, "server", server, []string{
+		"queue_depth", "queue_max", "rejected", "deadline_expired",
+		"batches_flushed", "requests_coalesced", "mean_batch_occupancy",
+		"panics", "vectors", "draining", "degraded",
+	})
+}
+
+// assertKeys fails unless m's key set is exactly want.
+func assertKeys(t *testing.T, label string, m map[string]json.RawMessage, want []string) {
+	t.Helper()
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want = append([]string(nil), want...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s keys = %v, want %v", label, got, want)
+	}
+}
+
+func TestEncodeDecodeBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, bits := range []int{1, 7, 8, 63, 64, 65, 8192, 100_000} {
+		v := elp2im.RandomBitVector(rng, bits)
+		enc := EncodeBits(v)
+		back, err := DecodeBits(enc, bits)
+		if err != nil {
+			t.Fatalf("bits=%d: decode: %v", bits, err)
+		}
+		if !v.Equal(back) {
+			t.Fatalf("bits=%d: round trip mismatch", bits)
+		}
+	}
+
+	if _, err := DecodeBits("AAAA", 0); err == nil {
+		t.Error("DecodeBits accepted zero bits")
+	}
+	if _, err := DecodeBits("!!", 8); err == nil {
+		t.Error("DecodeBits accepted invalid base64")
+	}
+	// One byte but claiming 4 bits with the high bits set: stray bits
+	// beyond the length must be rejected.
+	if _, err := DecodeBits("8A==", 4); err == nil { // 0xF0
+		t.Error("DecodeBits accepted stray bits beyond the vector length")
+	}
+	// Wrong byte count for the claimed length.
+	if _, err := DecodeBits("AAAA", 8); err == nil {
+		t.Error("DecodeBits accepted a length/data mismatch")
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	cases := map[string]elp2im.Op{
+		"and": elp2im.OpAnd, "AND": elp2im.OpAnd, "Xor": elp2im.OpXor,
+		"not": elp2im.OpNot, "copy": elp2im.OpCopy, "nor": elp2im.OpNor,
+		"nand": elp2im.OpNand, "xnor": elp2im.OpXnor, "or": elp2im.OpOr,
+	}
+	for in, want := range cases {
+		got, err := parseOp(in)
+		if err != nil || got != want {
+			t.Errorf("parseOp(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseOp("mux"); err == nil {
+		t.Error("parseOp accepted an unknown mnemonic")
+	}
+}

@@ -1,0 +1,416 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	elp2im "repro"
+)
+
+// Serving-layer sentinel errors, mapped onto HTTP statuses by the
+// handlers (503 for admission/drain, 404 for unknown vectors).
+var (
+	// ErrSaturated is returned when the admission queue is full: the
+	// pipeline cannot keep up with the offered load and the client should
+	// back off (503 + Retry-After).
+	ErrSaturated = errors.New("server: request queue is full")
+	// ErrDraining is returned once graceful shutdown has begun and no new
+	// work is admitted.
+	ErrDraining = errors.New("server: draining, not accepting new requests")
+	// ErrUnknownVector wraps the name of an operand that is not in the
+	// store.
+	ErrUnknownVector = errors.New("server: unknown vector")
+)
+
+// reqKind discriminates the two batchable request shapes.
+type reqKind int
+
+const (
+	kindOp reqKind = iota
+	kindReduce
+)
+
+// pimRequest is one admitted operation waiting for (or riding) a
+// micro-batch flush.
+type pimRequest struct {
+	kind reqKind
+	op   elp2im.Op
+	dst  string
+	x, y string   // kindOp operands
+	srcs []string // kindReduce operands
+
+	ctx  context.Context
+	done chan struct{}
+
+	// Results, written exactly once before done is closed.
+	stats   elp2im.Stats
+	err     error
+	flushID int64
+}
+
+// resolve publishes the request's outcome and wakes its handler.
+func (r *pimRequest) resolve(st elp2im.Stats, err error) {
+	r.stats, r.err = st, err
+	close(r.done)
+}
+
+// Batcher is the dynamic micro-batcher at the heart of elpd: concurrent
+// requests that arrive within one coalescing window (or up to MaxBatch)
+// are folded into a single Accelerator.Batch submission, so requests
+// whose stripes land on distinct subarrays ride the pipeline's existing
+// parallelism, and every request fans back out through its own Future.
+//
+// A single flusher goroutine alternates between coalescing and flushing;
+// while a flush is executing, newly admitted requests accumulate into the
+// next batch — the standard dynamic-batching feedback that grows batches
+// exactly when the pipeline is busy. Admission is bounded (MaxQueue):
+// beyond it, Do fails fast with ErrSaturated instead of queueing
+// unboundedly. Request deadlines are honored both in the handler (the
+// select in Do) and at flush time (expired requests are skipped, not
+// executed). Drain stops admission, flushes everything already queued,
+// and waits for in-flight synchronous work — zero admitted requests are
+// dropped.
+type Batcher struct {
+	acc      *elp2im.Accelerator
+	store    *Store
+	window   time.Duration
+	maxBatch int
+	maxQueue int
+	degraded bool
+	obs      *serverMetrics
+
+	mu       sync.Mutex
+	queue    []*pimRequest
+	draining bool
+	syncWG   sync.WaitGroup // in-flight degraded/Eval work, Add under mu
+
+	wake      chan struct{} // buffered(1): queue became non-empty / grew
+	drainCh   chan struct{} // closed when draining starts
+	drainOnce sync.Once
+	loopDone  chan struct{} // closed when the flusher exits
+
+	flushSeq int64 // flusher-goroutine-local sequence number
+}
+
+// newBatcher starts a batcher (and its flusher goroutine, unless
+// degraded) over acc and store.
+func newBatcher(acc *elp2im.Accelerator, store *Store, window time.Duration, maxBatch, maxQueue int, degraded bool, obs *serverMetrics) *Batcher {
+	b := &Batcher{
+		acc:      acc,
+		store:    store,
+		window:   window,
+		maxBatch: maxBatch,
+		maxQueue: maxQueue,
+		degraded: degraded,
+		obs:      obs,
+		wake:     make(chan struct{}, 1),
+		drainCh:  make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	obs.queueMax.Set(int64(maxQueue))
+	if degraded {
+		obs.degraded.Set(1)
+		close(b.loopDone)
+		return b
+	}
+	go b.loop()
+	return b
+}
+
+// Do admits one request, waits for its outcome or the context deadline,
+// and returns the modeled cost. The error is ErrSaturated / ErrDraining
+// when admission fails, the context error when the deadline expires
+// first (the request itself is then skipped at flush time), or the
+// operation's own error.
+func (b *Batcher) Do(ctx context.Context, r *pimRequest) (elp2im.Stats, int64, error) {
+	if b.degraded {
+		st, err := b.doSync(ctx, r)
+		return st, 0, err
+	}
+	r.ctx = ctx
+	r.done = make(chan struct{})
+	b.mu.Lock()
+	if b.draining {
+		b.mu.Unlock()
+		return elp2im.Stats{}, 0, ErrDraining
+	}
+	if len(b.queue) >= b.maxQueue {
+		b.mu.Unlock()
+		b.obs.rejected.Inc()
+		return elp2im.Stats{}, 0, ErrSaturated
+	}
+	b.queue = append(b.queue, r)
+	b.obs.queueDepth.Set(int64(len(b.queue)))
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+
+	select {
+	case <-r.done:
+		return r.stats, r.flushID, r.err
+	case <-ctx.Done():
+		// The flusher skips the request once it notices the expired
+		// context; the handler answers 504 now rather than blocking on a
+		// Future that would only resolve at the next flush.
+		b.obs.deadlineExpired.Inc()
+		return elp2im.Stats{}, 0, ctx.Err()
+	}
+}
+
+// acquireSync admits one unit of synchronous (non-batched) work — Eval,
+// or any op in degraded mode — against the drain gate.
+func (b *Batcher) acquireSync() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.draining {
+		return ErrDraining
+	}
+	b.syncWG.Add(1)
+	return nil
+}
+
+// releaseSync retires one unit of synchronous work.
+func (b *Batcher) releaseSync() { b.syncWG.Done() }
+
+// doSync executes one request synchronously through the facade — the
+// degraded mode used when the pipeline is disabled.
+func (b *Batcher) doSync(ctx context.Context, r *pimRequest) (elp2im.Stats, error) {
+	if err := b.acquireSync(); err != nil {
+		return elp2im.Stats{}, err
+	}
+	defer b.releaseSync()
+	if err := ctx.Err(); err != nil {
+		b.obs.deadlineExpired.Inc()
+		return elp2im.Stats{}, err
+	}
+	res, err := b.resolveRequest(r)
+	if err != nil {
+		return elp2im.Stats{}, err
+	}
+	unlock := lockEntries(res.entries)
+	defer unlock()
+	switch r.kind {
+	case kindReduce:
+		return b.acc.Reduce(r.op, res.dst, res.srcs...)
+	default:
+		return b.acc.Op(r.op, res.dst, res.x, res.y)
+	}
+}
+
+// Draining reports whether drain has begun.
+func (b *Batcher) Draining() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.draining
+}
+
+// Degraded reports whether the batcher runs in synchronous fallback mode.
+func (b *Batcher) Degraded() bool { return b.degraded }
+
+// Drain stops admission (Do returns ErrDraining from now on), flushes
+// every request already queued, and blocks until the flusher has exited
+// and all in-flight synchronous work has retired. It is idempotent.
+func (b *Batcher) Drain() {
+	b.mu.Lock()
+	b.draining = true
+	b.mu.Unlock()
+	b.obs.draining.Set(1)
+	b.drainOnce.Do(func() { close(b.drainCh) })
+	<-b.loopDone
+	b.syncWG.Wait()
+}
+
+// loop is the flusher: wait for work, coalesce, flush, repeat; on drain,
+// keep flushing until the queue is empty, then exit.
+func (b *Batcher) loop() {
+	defer close(b.loopDone)
+	for {
+		if !b.waitForWork() {
+			return
+		}
+		b.coalesce()
+		if reqs := b.take(); len(reqs) > 0 {
+			b.flush(reqs)
+		}
+	}
+}
+
+// waitForWork blocks until the queue is non-empty (true) or the batcher
+// is draining with an empty queue (false).
+func (b *Batcher) waitForWork() bool {
+	for {
+		b.mu.Lock()
+		n, draining := len(b.queue), b.draining
+		b.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+		if draining {
+			return false
+		}
+		select {
+		case <-b.wake:
+		case <-b.drainCh:
+		}
+	}
+}
+
+// coalesce holds the open batch for the coalescing window, returning
+// early when the batch fills (maxBatch) or drain begins. A zero window
+// is pure pass-through: whatever is queued right now flushes immediately.
+func (b *Batcher) coalesce() {
+	if b.window <= 0 {
+		return
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for {
+		b.mu.Lock()
+		full, draining := len(b.queue) >= b.maxBatch, b.draining
+		b.mu.Unlock()
+		if full || draining {
+			return
+		}
+		select {
+		case <-timer.C:
+			return
+		case <-b.wake:
+		case <-b.drainCh:
+		}
+	}
+}
+
+// take removes up to maxBatch requests from the head of the queue.
+func (b *Batcher) take() []*pimRequest {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.queue)
+	if n > b.maxBatch {
+		n = b.maxBatch
+	}
+	reqs := make([]*pimRequest, n)
+	copy(reqs, b.queue[:n])
+	rest := copy(b.queue, b.queue[n:])
+	for i := rest; i < len(b.queue); i++ {
+		b.queue[i] = nil
+	}
+	b.queue = b.queue[:rest]
+	b.obs.queueDepth.Set(int64(rest))
+	return reqs
+}
+
+// resolved is one request's operands bound to store vectors.
+type resolved struct {
+	dst, x, y *elp2im.BitVector
+	srcs      []*elp2im.BitVector
+	entries   map[string]*entry
+}
+
+// resolveRequest binds a request's vector names to store entries,
+// creating the destination (sized from the first operand) when absent.
+func (b *Batcher) resolveRequest(r *pimRequest) (*resolved, error) {
+	res := &resolved{entries: make(map[string]*entry, 3+len(r.srcs))}
+	need := func(name string) (*entry, error) {
+		e := b.store.lookup(name)
+		if e == nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownVector, name)
+		}
+		res.entries[name] = e
+		return e, nil
+	}
+	switch r.kind {
+	case kindReduce:
+		res.srcs = make([]*elp2im.BitVector, len(r.srcs))
+		for i, name := range r.srcs {
+			e, err := need(name)
+			if err != nil {
+				return nil, err
+			}
+			res.srcs[i] = e.vec
+		}
+		de := b.store.getOrCreate(r.dst, res.srcs[0].Len())
+		res.entries[r.dst] = de
+		res.dst = de.vec
+	default:
+		xe, err := need(r.x)
+		if err != nil {
+			return nil, err
+		}
+		res.x = xe.vec
+		if !r.op.Unary() {
+			ye, err := need(r.y)
+			if err != nil {
+				return nil, err
+			}
+			res.y = ye.vec
+		}
+		de := b.store.getOrCreate(r.dst, res.x.Len())
+		res.entries[r.dst] = de
+		res.dst = de.vec
+	}
+	return res, nil
+}
+
+// flush folds one coalesced request set into a single Accelerator.Batch
+// submission, waits for it, and fans the per-request Futures back out.
+// Expired and unresolvable requests are settled without executing; the
+// rest execute with every involved vector's entry lock held, so handler
+// reads/writes cannot observe a half-applied batch.
+func (b *Batcher) flush(reqs []*pimRequest) {
+	b.flushSeq++
+	id := b.flushSeq
+	start := b.obs.ctx.SpanStart()
+
+	live := make([]*pimRequest, 0, len(reqs))
+	bound := make([]*resolved, 0, len(reqs))
+	entries := make(map[string]*entry)
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			r.resolve(elp2im.Stats{}, err)
+			continue
+		}
+		res, err := b.resolveRequest(r)
+		if err != nil {
+			r.resolve(elp2im.Stats{}, err)
+			continue
+		}
+		live = append(live, r)
+		bound = append(bound, res)
+		for n, e := range res.entries {
+			entries[n] = e
+		}
+	}
+	if len(live) == 0 {
+		b.obs.flushSpan(start, id, 0, nil)
+		return
+	}
+
+	unlock := lockEntries(entries)
+	batch := b.acc.Batch()
+	futures := make([]*elp2im.Future, len(live))
+	for i, r := range live {
+		r.flushID = id
+		switch r.kind {
+		case kindReduce:
+			futures[i] = batch.SubmitReduce(r.op, bound[i].dst, bound[i].srcs...)
+		default:
+			futures[i] = batch.Submit(r.op, bound[i].dst, bound[i].x, bound[i].y)
+		}
+	}
+	_, firstErr := batch.Wait()
+	batch.Close()
+	unlock()
+
+	for i, r := range live {
+		r.resolve(futures[i].Wait())
+	}
+	b.obs.flushes.Inc()
+	b.obs.coalesced.Add(int64(len(live)))
+	b.obs.occupancy.Observe(float64(len(live)))
+	b.obs.flushSpan(start, id, len(live), firstErr)
+}

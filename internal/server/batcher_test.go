@@ -1,0 +1,242 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	elp2im "repro"
+)
+
+// The micro-batcher edge cases the ISSUE pins down, all run under -race
+// by the tier-1 gate: zero-length coalescing window (pass-through),
+// batch-size-1, a deadline expiring while queued (504, never a stuck
+// future), and drain racing with submission.
+
+// fillRandom seeds a store vector directly and returns its local mirror.
+func fillRandom(s *Store, name string, rng *rand.Rand, bits int) *elp2im.BitVector {
+	v := elp2im.RandomBitVector(rng, bits)
+	mirror := elp2im.NewBitVector(bits)
+	copy(mirror.Words(), v.Words())
+	s.set(name, v)
+	return mirror
+}
+
+func TestZeroWindowPassThrough(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) { c.DisableWindow = true })
+	rng := rand.New(rand.NewSource(10))
+	a := fillRandom(s.store, "z.a", rng, 16384)
+	b := fillRandom(s.store, "z.b", rng, 16384)
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		st, _, err := s.batcher.Do(context.Background(),
+			&pimRequest{kind: kindOp, op: elp2im.OpXor, dst: "z.r", x: "z.a", y: "z.b"})
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if st.RowOps <= 0 {
+			t.Fatalf("op %d: no row ops accounted", i)
+		}
+	}
+	e := s.store.lookup("z.r")
+	want := elp2im.NewBitVector(16384)
+	for i := range want.Words() {
+		want.Words()[i] = a.Words()[i] ^ b.Words()[i]
+	}
+	if !e.vec.Equal(want) {
+		t.Fatal("pass-through op produced a wrong result")
+	}
+	// Serial submission through a zero window must flush per request —
+	// every occupancy observation is exactly 1.
+	if got, wantN := s.obs.flushes.Value(), int64(n); got != wantN {
+		t.Errorf("flushes = %d, want %d (pass-through must not coalesce serial requests)", got, wantN)
+	}
+	if got := s.obs.coalesced.Value(); got != n {
+		t.Errorf("coalesced = %d, want %d", got, n)
+	}
+}
+
+func TestBatchSizeOne(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.MaxBatch = 1
+		c.Window = 2 * time.Millisecond
+		c.RequestTimeout = time.Minute
+	})
+	rng := rand.New(rand.NewSource(11))
+	fillRandom(s.store, "b1.a", rng, 8192)
+	fillRandom(s.store, "b1.b", rng, 8192)
+
+	const n = 12
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := s.batcher.Do(context.Background(),
+				&pimRequest{kind: kindOp, op: elp2im.OpAnd, dst: fmt.Sprintf("b1.r%d", i), x: "b1.a", y: "b1.b"})
+			if err != nil {
+				failed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d ops failed", failed.Load())
+	}
+	// MaxBatch 1 caps every flush at one request regardless of queueing.
+	if f, c := s.obs.flushes.Value(), s.obs.coalesced.Value(); f != c || c != n {
+		t.Errorf("flushes=%d coalesced=%d, want both %d (batch size 1)", f, c, n)
+	}
+}
+
+func TestDeadlineWhileQueued(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		// A window far longer than the deadline: the request expires while
+		// still queued, before any flush.
+		c.Window = 30 * time.Second
+	})
+	c := ts.Client()
+	rng := rand.New(rand.NewSource(12))
+	putRandom(t, c, ts.URL, "dl.a", rng, 256)
+	putRandom(t, c, ts.URL, "dl.b", rng, 256)
+
+	start := time.Now()
+	code, _ := doJSON(t, c, http.MethodPost, ts.URL+"/v1/op?timeout_ms=50",
+		OpRequest{Op: "and", Dst: "dl.r", X: "dl.a", Y: "dl.b"}, nil)
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("queued-past-deadline op: status %d, want 504", code)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("504 took %v — the future was stuck on the coalescing window", elapsed)
+	}
+	if got := s.obs.deadlineExpired.Value(); got == 0 {
+		t.Error("server.deadline.expired did not move")
+	}
+	// Drain must settle the expired request without executing it and
+	// without blocking on the 30 s window.
+	done := make(chan struct{})
+	go func() { s.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain blocked on an expired queued request")
+	}
+}
+
+func TestDirectDoDeadline(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) { c.Window = 30 * time.Second })
+	rng := rand.New(rand.NewSource(13))
+	fillRandom(s.store, "dd.a", rng, 256)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := s.batcher.Do(ctx, &pimRequest{kind: kindOp, op: elp2im.OpNot, dst: "dd.r", x: "dd.a"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do past deadline: err %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestDrainDuringSubmit(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.Window = time.Millisecond
+		c.RequestTimeout = time.Minute
+	})
+	rng := rand.New(rand.NewSource(14))
+	fillRandom(s.store, "ds.a", rng, 8192)
+	fillRandom(s.store, "ds.b", rng, 8192)
+
+	const submitters = 8
+	const perSubmitter = 20
+	var wg sync.WaitGroup
+	var completed, refused, other atomic.Int64
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < perSubmitter; k++ {
+				_, _, err := s.batcher.Do(context.Background(),
+					&pimRequest{kind: kindOp, op: elp2im.OpOr, dst: fmt.Sprintf("ds.r%d", i), x: "ds.a", y: "ds.b"})
+				switch {
+				case err == nil:
+					completed.Add(1)
+				case errors.Is(err, ErrDraining):
+					refused.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let some requests land pre-drain
+	s.Drain()
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Errorf("%d requests failed with unexpected errors", other.Load())
+	}
+	if completed.Load() == 0 {
+		t.Error("no request completed before drain")
+	}
+	if got := completed.Load() + refused.Load() + other.Load(); got != submitters*perSubmitter {
+		t.Errorf("settled %d of %d requests — some future is stuck", got, submitters*perSubmitter)
+	}
+	// Zero dropped in-flight: everything admitted was flushed.
+	if depth := s.obs.queueDepth.Value(); depth != 0 {
+		t.Errorf("queue depth %d after drain, want 0", depth)
+	}
+	if got := s.obs.coalesced.Value(); got != completed.Load() {
+		t.Errorf("coalesced %d != completed %d", got, completed.Load())
+	}
+}
+
+func TestCoalescingOccupancy(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.Window = 10 * time.Millisecond
+		c.RequestTimeout = time.Minute
+	})
+	rng := rand.New(rand.NewSource(15))
+	const clients = 16
+	for i := 0; i < clients; i++ {
+		fillRandom(s.store, fmt.Sprintf("co.a%d", i), rng, 8192)
+		fillRandom(s.store, fmt.Sprintf("co.b%d", i), rng, 8192)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				_, _, err := s.batcher.Do(context.Background(), &pimRequest{
+					kind: kindOp, op: elp2im.OpXor,
+					dst: fmt.Sprintf("co.r%d", i), x: fmt.Sprintf("co.a%d", i), y: fmt.Sprintf("co.b%d", i),
+				})
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	f, co := s.obs.flushes.Value(), s.obs.coalesced.Value()
+	if f == 0 || float64(co)/float64(f) <= 1 {
+		t.Errorf("mean occupancy %.2f (coalesced=%d flushes=%d), want > 1", float64(co)/float64(max64(f, 1)), co, f)
+	}
+}
+
+// max64 avoids a division by zero in the failure message.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

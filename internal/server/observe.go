@@ -1,0 +1,148 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric series of the serving layer, registered in the owning
+// accelerator's observability context so they appear on the same
+// Snapshot / ServeDebug surface as the acc.*, engine.* and pipeline.*
+// series:
+//
+//	server.http.requests.<route>    counter   requests entering the route
+//	server.http.errors.<route>      counter   non-2xx responses
+//	server.http.latency_ns.<route>  histogram wall-clock handler latency
+//	server.queue.depth              gauge     admission-queue depth
+//	server.queue.max                gauge     configured admission bound
+//	server.queue.rejected           counter   503s from admission control
+//	server.deadline.expired         counter   504s (deadline while queued)
+//	server.batch.flushes            counter   micro-batch flushes
+//	server.batch.coalesced          counter   requests that rode a flush
+//	server.batch.occupancy          histogram requests per flush
+//	server.panics                   counter   recovered handler panics
+//	server.draining                 gauge     1 while draining
+//	server.degraded                 gauge     1 when pipeline disabled
+//
+// Spans (with a tracer installed): every HTTP request emits one span
+// named "http.<route>" in category "server", and every flush emits a
+// "flush" span; a request that rode a flush shares the flush's sequence
+// number as its TID, linking the HTTP request to its pipeline submission.
+
+// routeNames are the metric keys of the HTTP routes, in registration
+// order.
+var routeNames = []string{
+	"put_vector", "get_vector", "delete_vector", "list_vectors",
+	"op", "reduce", "eval", "stats", "health",
+}
+
+// routeSeries is one route's pre-resolved metric series.
+type routeSeries struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// serverMetrics bundles the serving layer's pre-resolved series.
+type serverMetrics struct {
+	ctx             *obs.Context
+	routes          map[string]*routeSeries
+	queueDepth      *obs.Gauge
+	queueMax        *obs.Gauge
+	rejected        *obs.Counter
+	deadlineExpired *obs.Counter
+	flushes         *obs.Counter
+	coalesced       *obs.Counter
+	occupancy       *obs.Histogram
+	panics          *obs.Counter
+	draining        *obs.Gauge
+	degraded        *obs.Gauge
+}
+
+// httpLatencyBuckets covers wall-clock handler latency: 16 buckets from
+// 10 µs to ~9.3 s (batch waits under load sit in the middle decades).
+func httpLatencyBuckets() []float64 { return obs.ExpBuckets(10_000, 2.5, 16) }
+
+// occupancyBuckets covers requests-per-flush: 1, 2, 4, ... 1024.
+func occupancyBuckets() []float64 { return obs.ExpBuckets(1, 2, 11) }
+
+// newServerMetrics resolves every serving-layer series in ctx.
+func newServerMetrics(ctx *obs.Context) *serverMetrics {
+	m := ctx.Metrics
+	sm := &serverMetrics{
+		ctx:             ctx,
+		routes:          make(map[string]*routeSeries, len(routeNames)),
+		queueDepth:      m.Gauge("server.queue.depth"),
+		queueMax:        m.Gauge("server.queue.max"),
+		rejected:        m.Counter("server.queue.rejected"),
+		deadlineExpired: m.Counter("server.deadline.expired"),
+		flushes:         m.Counter("server.batch.flushes"),
+		coalesced:       m.Counter("server.batch.coalesced"),
+		occupancy:       m.Histogram("server.batch.occupancy", occupancyBuckets()),
+		panics:          m.Counter("server.panics"),
+		draining:        m.Gauge("server.draining"),
+		degraded:        m.Gauge("server.degraded"),
+	}
+	for _, name := range routeNames {
+		sm.routes[name] = &routeSeries{
+			requests: m.Counter("server.http.requests." + name),
+			errors:   m.Counter("server.http.errors." + name),
+			latency:  m.Histogram("server.http.latency_ns."+name, httpLatencyBuckets()),
+		}
+	}
+	return sm
+}
+
+// route returns the named route's series (panics on an unregistered name,
+// which would be a programming error caught by any test touching the
+// route).
+func (sm *serverMetrics) route(name string) *routeSeries {
+	rs, ok := sm.routes[name]
+	if !ok {
+		panic("server: unregistered route " + name)
+	}
+	return rs
+}
+
+// requestSpan emits the HTTP-request span when tracing is on. flushID is
+// the micro-batch sequence number the request rode (0 for requests that
+// never reached a flush), which the flush span shares as its TID.
+func (sm *serverMetrics) requestSpan(startNS int64, route, op string, flushID int64, err error) {
+	if startNS == 0 {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	sm.ctx.Span(obs.SpanEvent{
+		Name:    "http." + route,
+		Cat:     "server",
+		TID:     flushID,
+		StartNS: startNS,
+		DurNS:   time.Now().UnixNano() - startNS,
+		Op:      op,
+		Err:     msg,
+	})
+}
+
+// flushSpan emits one micro-batch flush's span when tracing is on.
+func (sm *serverMetrics) flushSpan(startNS int64, flushID int64, occupancy int, err error) {
+	if startNS == 0 {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	sm.ctx.Span(obs.SpanEvent{
+		Name:    "flush",
+		Cat:     "server",
+		TID:     flushID,
+		StartNS: startNS,
+		DurNS:   time.Now().UnixNano() - startNS,
+		Stripes: occupancy,
+		Err:     msg,
+	})
+}

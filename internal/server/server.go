@@ -1,0 +1,465 @@
+// Package server is the networked PIM-as-a-service layer over the elp2im
+// facade: a named bit-vector store and an HTTP/JSON API (vector CRUD,
+// single ops, reductions, expression evaluation, stats) whose write path
+// runs through a dynamic micro-batcher — concurrent requests arriving
+// within a coalescing window fold into one Accelerator.Batch submission,
+// so independent clients keep the modeled banks saturated the way the
+// paper's multi-tenant framing intends.
+//
+// Around the batcher sits the robustness envelope a real service needs:
+// bounded-queue admission control (503 + Retry-After under saturation),
+// per-request deadlines propagated via context, panic-isolated handlers,
+// graceful drain (stop admitting, flush everything queued, then stop),
+// and a degraded mode that falls back to synchronous facade calls when
+// the pipeline is disabled. Every serving-layer metric registers in the
+// owning accelerator's observability context, so the existing Snapshot /
+// ServeDebug surface shows the server.* series next to acc.* and
+// pipeline.* (see observe.go for the name scheme).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"time"
+
+	elp2im "repro"
+	"repro/internal/expr"
+)
+
+// Config parameterizes a Server. The zero value of every optional field
+// selects the documented default.
+type Config struct {
+	// Accelerator is the facade the server fronts. Required.
+	Accelerator *elp2im.Accelerator
+	// Window is the micro-batcher's coalescing window: requests arriving
+	// within it fold into one batch. Zero means pass-through (flush
+	// immediately with whatever has queued); negative is normalized to
+	// zero. Default 200 µs when left zero — pass DisableWindow to force
+	// true zero.
+	Window time.Duration
+	// DisableWindow forces a zero coalescing window (pass-through) even
+	// though Window is zero-valued.
+	DisableWindow bool
+	// MaxBatch bounds the number of requests folded into one flush.
+	// Default 64.
+	MaxBatch int
+	// MaxQueue bounds the admission queue; beyond it requests fail fast
+	// with 503 + Retry-After. Default 1024.
+	MaxQueue int
+	// Degraded disables the batching pipeline: operations execute
+	// synchronously through the facade.
+	Degraded bool
+	// RequestTimeout is the per-request deadline applied when the client
+	// does not pass ?timeout_ms. Default 5 s; negative disables the
+	// default deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. Default 16 MiB (a 64-Mbit
+	// vector payload is ~11 MiB of base64).
+	MaxBodyBytes int64
+}
+
+// withDefaults normalizes cfg.
+func (c Config) withDefaults() Config {
+	if c.Window == 0 && !c.DisableWindow {
+		c.Window = 200 * time.Microsecond
+	}
+	if c.Window < 0 {
+		c.Window = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// Server is the HTTP serving layer: store + batcher + handler mux.
+// Create one with New, mount Handler, and call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	acc     *elp2im.Accelerator
+	store   *Store
+	batcher *Batcher
+	obs     *serverMetrics
+	mux     *http.ServeMux
+}
+
+// New returns a server over cfg.Accelerator.
+func New(cfg Config) (*Server, error) {
+	if cfg.Accelerator == nil {
+		return nil, errors.New("server: Config.Accelerator is required")
+	}
+	cfg = cfg.withDefaults()
+	obs := newServerMetrics(cfg.Accelerator.Observability())
+	s := &Server{
+		cfg:   cfg,
+		acc:   cfg.Accelerator,
+		store: NewStore(),
+		obs:   obs,
+	}
+	s.batcher = newBatcher(cfg.Accelerator, s.store, cfg.Window, cfg.MaxBatch, cfg.MaxQueue, cfg.Degraded, obs)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("PUT /v1/vectors/{name}", s.wrap("put_vector", s.handlePutVector))
+	s.mux.HandleFunc("GET /v1/vectors/{name}", s.wrap("get_vector", s.handleGetVector))
+	s.mux.HandleFunc("DELETE /v1/vectors/{name}", s.wrap("delete_vector", s.handleDeleteVector))
+	s.mux.HandleFunc("GET /v1/vectors", s.wrap("list_vectors", s.handleListVectors))
+	s.mux.HandleFunc("POST /v1/op", s.wrap("op", s.handleOp))
+	s.mux.HandleFunc("POST /v1/reduce", s.wrap("reduce", s.handleReduce))
+	s.mux.HandleFunc("POST /v1/eval", s.wrap("eval", s.handleEval))
+	s.mux.HandleFunc("GET /v1/stats", s.wrap("stats", s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.wrap("health", s.handleHealth))
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the vector store (tests and embedding binaries).
+func (s *Server) Store() *Store { return s.store }
+
+// Batcher exposes the micro-batcher (tests and embedding binaries).
+func (s *Server) Batcher() *Batcher { return s.batcher }
+
+// Drain gracefully stops the serving layer: new operations are refused
+// with 503, everything already admitted flushes, and Drain returns once
+// the batcher is idle. The HTTP listener is the caller's to stop (elpd
+// shuts the http.Server down around this call).
+func (s *Server) Drain() { s.batcher.Drain() }
+
+// Stats assembles the /v1/stats payload.
+func (s *Server) Stats() StatsPayload {
+	flushes := s.obs.flushes.Value()
+	coalesced := s.obs.coalesced.Value()
+	mean := 0.0
+	if flushes > 0 {
+		mean = float64(coalesced) / float64(flushes)
+	}
+	return StatsPayload{
+		Design:       s.acc.Design(),
+		ReservedRows: s.acc.ReservedRows(),
+		Totals:       statsJSON(s.acc.Totals()),
+		Server: ServerStats{
+			QueueDepth:         s.obs.queueDepth.Value(),
+			QueueMax:           s.obs.queueMax.Value(),
+			Rejected:           s.obs.rejected.Value(),
+			DeadlineExpired:    s.obs.deadlineExpired.Value(),
+			BatchesFlushed:     flushes,
+			RequestsCoalesced:  coalesced,
+			MeanBatchOccupancy: mean,
+			Panics:             s.obs.panics.Value(),
+			Vectors:            s.store.size(),
+			Draining:           s.batcher.Draining(),
+			Degraded:           s.batcher.Degraded(),
+		},
+	}
+}
+
+// handlerFunc is the internal handler shape: return a status and an
+// error; wrap renders both.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+// wrap is the route middleware: request/error/latency series, span
+// emission, body limiting, and panic isolation (a panicking handler
+// answers 500 and increments server.panics instead of killing the
+// connection's goroutine silently).
+func (s *Server) wrap(route string, h handlerFunc) http.HandlerFunc {
+	rs := s.obs.route(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rs.requests.Inc()
+		start := time.Now()
+		spanStart := s.obs.ctx.SpanStart()
+		var flushID int64
+		r = r.WithContext(context.WithValue(r.Context(), flushIDKey{}, &flushID))
+		var handlerErr error
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.obs.panics.Inc()
+				err := fmt.Errorf("server: internal error: %v", rec)
+				debug.PrintStack()
+				s.writeError(w, rs, http.StatusInternalServerError, err)
+				handlerErr = err
+			}
+			rs.latency.Observe(float64(time.Since(start).Nanoseconds()))
+			s.obs.requestSpan(spanStart, route, r.Method, flushID, handlerErr)
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		handlerErr = h(w, r)
+		if handlerErr != nil {
+			s.writeError(w, rs, statusFor(handlerErr), handlerErr)
+		}
+	}
+}
+
+// flushIDKey carries the flush sequence number a request rode from the
+// handler body back to the span emitter, via a pointer stashed in the
+// request context by wrap.
+type flushIDKey struct{}
+
+// statusFor maps serving-layer errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrUnknownVector):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeError renders err as the JSON error body for the given status,
+// attaching Retry-After on 503s so well-behaved clients back off.
+func (s *Server) writeError(w http.ResponseWriter, rs *routeSeries, status int, err error) {
+	rs.errors.Inc()
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// writeJSON renders a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// requestContext applies the per-request deadline: ?timeout_ms when the
+// client passed one, the configured default otherwise.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("server: bad timeout_ms %q", raw)
+		}
+		ctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		return ctx, cancel, nil
+	}
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		return ctx, cancel, nil
+	}
+	return ctx, func() {}, nil
+}
+
+// decodeBody parses the JSON request body into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: bad request body: %v", err)
+	}
+	return nil
+}
+
+// handlePutVector stores a vector under the URL name: all-zero of the
+// given length when Data is empty, decoded contents otherwise.
+func (s *Server) handlePutVector(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	if name == "" {
+		return errors.New("server: vector name must not be empty")
+	}
+	var body VectorPayload
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	var vec *elp2im.BitVector
+	if body.Data == "" {
+		if body.Bits <= 0 {
+			return fmt.Errorf("server: bits must be positive, got %d", body.Bits)
+		}
+		vec = elp2im.NewBitVector(body.Bits)
+	} else {
+		v, err := DecodeBits(body.Data, body.Bits)
+		if err != nil {
+			return err
+		}
+		vec = v
+	}
+	s.store.set(name, vec)
+	return writeJSON(w, VectorInfo{Name: name, Bits: vec.Len()})
+}
+
+// handleGetVector returns a vector's contents.
+func (s *Server) handleGetVector(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	e := s.store.lookup(name)
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownVector, name)
+	}
+	e.mu.RLock()
+	vec := e.vec
+	bits := vec.Len()
+	data := EncodeBits(vec)
+	pop := vec.Popcount()
+	e.mu.RUnlock()
+	return writeJSON(w, VectorPayload{Name: name, Bits: bits, Data: data, Popcount: &pop})
+}
+
+// handleDeleteVector removes a vector.
+func (s *Server) handleDeleteVector(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	if !s.store.remove(name) {
+		return fmt.Errorf("%w: %q", ErrUnknownVector, name)
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+// handleListVectors lists every stored vector.
+func (s *Server) handleListVectors(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, ListResponse{Vectors: s.store.list()})
+}
+
+// runBatched admits req to the micro-batcher and reports the flush id it
+// rode back to wrap's span emitter.
+func (s *Server) runBatched(w http.ResponseWriter, r *http.Request, req *pimRequest) error {
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	st, id, err := s.batcher.Do(ctx, req)
+	if p, ok := r.Context().Value(flushIDKey{}).(*int64); ok {
+		*p = id
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, OpResponse{Stats: statsJSON(st)})
+}
+
+// handleOp executes dst = op(x, y) through the micro-batcher.
+func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) error {
+	var body OpRequest
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	op, err := parseOp(body.Op)
+	if err != nil {
+		return err
+	}
+	if body.Dst == "" || body.X == "" {
+		return errors.New("server: op needs dst and x")
+	}
+	if !op.Unary() && body.Y == "" {
+		return fmt.Errorf("server: %s needs operand y", body.Op)
+	}
+	return s.runBatched(w, r, &pimRequest{kind: kindOp, op: op, dst: body.Dst, x: body.X, y: body.Y})
+}
+
+// handleReduce executes dst = srcs[0] op srcs[1] op ... through the
+// micro-batcher.
+func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) error {
+	var body ReduceRequest
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	op, err := parseOp(body.Op)
+	if err != nil {
+		return err
+	}
+	if body.Dst == "" {
+		return errors.New("server: reduce needs dst")
+	}
+	if len(body.Srcs) < 2 {
+		return errors.New("server: reduce needs at least two srcs")
+	}
+	return s.runBatched(w, r, &pimRequest{kind: kindReduce, op: op, dst: body.Dst, srcs: body.Srcs})
+}
+
+// handleEval evaluates a boolean expression over stored vectors and
+// stores the result under dst. Eval has no batched form on the facade,
+// so it runs synchronously — gated on the drain state and coordinated
+// with in-flight flushes through the same entry locks.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
+	var body EvalRequest
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	if body.Expr == "" || body.Dst == "" {
+		return errors.New("server: eval needs expr and dst")
+	}
+	node, err := expr.Parse(body.Expr)
+	if err != nil {
+		return err
+	}
+	prog, err := expr.Compile(node)
+	if err != nil {
+		return err
+	}
+	if err := s.batcher.acquireSync(); err != nil {
+		return err
+	}
+	defer s.batcher.releaseSync()
+
+	entries := make(map[string]*entry, len(prog.Vars))
+	vars := make(map[string]*elp2im.BitVector, len(prog.Vars))
+	for _, name := range prog.Vars {
+		e := s.store.lookup(name)
+		if e == nil {
+			return fmt.Errorf("%w: %q", ErrUnknownVector, name)
+		}
+		entries[name] = e
+	}
+	unlock := lockEntries(entries)
+	for name, e := range entries {
+		vars[name] = e.vec
+	}
+	out, st, err := s.acc.Eval(body.Expr, vars)
+	unlock()
+	if err != nil {
+		return err
+	}
+	s.store.set(body.Dst, out)
+	return writeJSON(w, OpResponse{Stats: statsJSON(st), Bits: out.Len()})
+}
+
+// handleStats serves the stable stats payload.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, s.Stats())
+}
+
+// healthPayload is the /healthz body.
+type healthPayload struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+}
+
+// handleHealth reports liveness and the drain state (load balancers use
+// "draining" to take the instance out of rotation).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
+	st := "ok"
+	if s.batcher.Draining() {
+		st = "draining"
+	}
+	return writeJSON(w, healthPayload{Status: st})
+}
+
+// sortedRouteNames returns the route metric keys, sorted (documentation
+// and test helper).
+func sortedRouteNames() []string {
+	names := append([]string(nil), routeNames...)
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	elp2im "repro"
+)
+
+// Store is the server's named bit-vector table. The map itself is guarded
+// by mu; each entry additionally carries its own RWMutex so the contents
+// of a vector can be pinned for the duration of a micro-batch flush (or a
+// synchronous Eval) while unrelated vectors stay fully concurrent.
+//
+// Lock ordering: mu is never held while acquiring an entry lock, and
+// multi-entry lock sets are always acquired in ascending name order
+// (see lockEntries), so handler access, flushes and Eval cannot deadlock.
+type Store struct {
+	mu sync.RWMutex
+	m  map[string]*entry
+}
+
+// entry is one stored vector plus its content lock. The vec pointer is
+// only replaced (PUT over an existing name) or read while holding mu of
+// the entry, so a flush that resolved and locked an entry owns the vector
+// it saw until it unlocks.
+type entry struct {
+	mu   sync.RWMutex
+	name string
+	vec  *elp2im.BitVector
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{m: make(map[string]*entry)}
+}
+
+// lookup returns the named entry, or nil when absent.
+func (s *Store) lookup(name string) *entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[name]
+}
+
+// getOrCreate returns the named entry, creating it with an all-zero
+// vector of the given length when absent. An existing entry is returned
+// as-is — length validation is the caller's (the facade rejects length
+// mismatches at submission).
+func (s *Store) getOrCreate(name string, bits int) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[name]; ok {
+		return e
+	}
+	e := &entry{name: name, vec: elp2im.NewBitVector(bits)}
+	s.m[name] = e
+	return e
+}
+
+// set stores vec under name, replacing any previous contents. The entry
+// lock is taken without holding the map lock (lock-ordering rule), so an
+// in-flight flush that pinned the old vector finishes against it before
+// the replacement lands.
+func (s *Store) set(name string, vec *elp2im.BitVector) {
+	e := s.getOrCreate(name, vec.Len())
+	e.mu.Lock()
+	e.vec = vec
+	e.mu.Unlock()
+}
+
+// remove deletes the named vector and reports whether it existed. An
+// in-flight operation that already resolved the entry keeps the orphaned
+// vector alive until it completes; its result is simply discarded.
+func (s *Store) remove(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[name]; !ok {
+		return false
+	}
+	delete(s.m, name)
+	return true
+}
+
+// list returns every stored vector's name and length, sorted by name.
+func (s *Store) list() []VectorInfo {
+	s.mu.RLock()
+	infos := make([]VectorInfo, 0, len(s.m))
+	for _, e := range s.m {
+		e.mu.RLock()
+		infos = append(infos, VectorInfo{Name: e.name, Bits: e.vec.Len()})
+		e.mu.RUnlock()
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// size returns the number of stored vectors.
+func (s *Store) size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// lockEntries write-locks a set of entries in ascending name order
+// (deduplicated) and returns the unlock function. Consistent ordering
+// across every multi-entry locker is what makes concurrent flushes and
+// Eval calls deadlock-free.
+func lockEntries(entries map[string]*entry) (unlock func()) {
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		entries[n].mu.Lock()
+	}
+	return func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			entries[names[i]].mu.Unlock()
+		}
+	}
+}

@@ -179,6 +179,13 @@ func (a *Accelerator) stripeSpan(startNS int64, s int, err error) {
 // operations are in flight.
 func (a *Accelerator) SetTracer(t Tracer) { a.obsc.SetTracer(t) }
 
+// Observability returns the accelerator's internal observability context,
+// so in-module subsystems layered on top of the facade (internal/server)
+// can register their own metric series and emit spans into the same
+// registry — making them visible on this accelerator's Snapshot and
+// ServeDebug endpoint alongside the op/engine/pipeline series.
+func (a *Accelerator) Observability() *obs.Context { return a.obsc }
+
 // withSchedStats folds the process-wide scheduler-memo counters into s.
 func withSchedStats(s obs.Snapshot) obs.Snapshot {
 	cs := sched.GlobalCacheStats()

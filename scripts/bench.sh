@@ -1,14 +1,23 @@
 #!/bin/sh
-# bench.sh — run the pipeline benchmarks and emit BENCH_pipeline.json.
+# bench.sh — run the benchmarks and emit BENCH_pipeline.json plus
+# BENCH_server.json.
 #
-# Compares three modes of issuing row-wide ops through the facade:
+# Part 1 (BENCH_pipeline.json) compares three modes of issuing row-wide
+# ops through the facade:
 #   single_call_uncached : per-call Op with the scheduler memo disabled
 #                          (the pre-memoization baseline)
 #   single_call_cached   : per-call Op with the memo on (default)
 #   batched              : ops submitted through Accelerator.Batch
 #
+# Part 2 (BENCH_server.json) drives an in-process elpd with elpload's
+# mixed concurrent workload and records achieved QPS, latency
+# percentiles, and the micro-batcher's mean batch occupancy.
+#
 # Usage: scripts/bench.sh [output.json]
-#   BENCHTIME   go test -benchtime value (default 200x)
+#   BENCHTIME        go test -benchtime value (default 200x)
+#   SERVER_CLIENTS   elpload concurrent clients (default 64)
+#   SERVER_DURATION  elpload load duration (default 2s)
+#   SERVER_BITS      elpload operand length in bits (default 65536)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -40,3 +49,19 @@ END {
 '
 echo "wrote $out" >&2
 cat "$out"
+
+# Part 2: the PIM-as-a-service trajectory point. elpload with no -addr
+# spawns an in-process server, drives the mixed op workload, verifies
+# every Nth result client-side, and prints the report JSON on stdout.
+server_out="BENCH_server.json"
+server_clients="${SERVER_CLIENTS:-64}"
+server_duration="${SERVER_DURATION:-2s}"
+server_bits="${SERVER_BITS:-65536}"
+echo "bench.sh: driving in-process elpd (${server_clients} clients, ${server_duration})" >&2
+go run ./cmd/elpload \
+	-clients "$server_clients" \
+	-duration "$server_duration" \
+	-bits "$server_bits" \
+	>"$server_out"
+echo "wrote $server_out" >&2
+cat "$server_out"

@@ -4,7 +4,9 @@
 #   2. go vet      — whole-module analysis
 #   3. doccheck    — godoc completeness for the packages whose documentation
 #                    the project guarantees (root facade, internal/pipeline,
-#                    internal/obs)
+#                    internal/obs, internal/server)
+#   4. race tests  — the server/micro-batcher suite under the race detector
+#                    (its whole value is its concurrency envelope)
 set -u
 cd "$(dirname "$0")/.."
 
@@ -21,7 +23,11 @@ if ! go vet ./...; then
     fail=1
 fi
 
-if ! go run ./scripts/doccheck . internal/pipeline internal/obs; then
+if ! go run ./scripts/doccheck . internal/pipeline internal/obs internal/server; then
+    fail=1
+fi
+
+if ! go test -race -count=1 ./internal/server/...; then
     fail=1
 fi
 

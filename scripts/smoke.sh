@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# smoke.sh — end-to-end smoke test of the elpd service binaries.
+#
+# Builds elpd and elpload, starts elpd on an ephemeral port, fires a
+# 1-second elpload burst at it over real TCP, then sends SIGTERM and
+# checks the graceful-drain contract: elpd must exit 0 and report
+# "drained", and the load report must show zero verification failures
+# and zero transport errors.
+#
+# Usage: scripts/smoke.sh
+#   SMOKE_CLIENTS   elpload concurrent clients (default 32)
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+elpd_pid=""
+cleanup() {
+    if [ -n "$elpd_pid" ] && kill -0 "$elpd_pid" 2>/dev/null; then
+        kill -KILL "$elpd_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "smoke: building binaries" >&2
+go build -o "$tmp/elpd" ./cmd/elpd
+go build -o "$tmp/elpload" ./cmd/elpload
+
+"$tmp/elpd" -addr 127.0.0.1:0 >"$tmp/elpd.log" 2>&1 &
+elpd_pid=$!
+
+# Wait for the readiness line and extract the ephemeral address.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^elpd: listening on //p' "$tmp/elpd.log")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$elpd_pid" 2>/dev/null; then
+        echo "smoke: elpd died during startup:" >&2
+        cat "$tmp/elpd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "smoke: elpd never printed its listen address" >&2
+    cat "$tmp/elpd.log" >&2
+    exit 1
+fi
+echo "smoke: elpd up on $addr" >&2
+
+"$tmp/elpload" -addr "$addr" -clients "${SMOKE_CLIENTS:-32}" -duration 1s \
+    -bits 16384 >"$tmp/report.json"
+
+# Graceful drain: SIGTERM must produce a clean exit and the drain line.
+kill -TERM "$elpd_pid"
+if ! wait "$elpd_pid"; then
+    echo "smoke: elpd exited non-zero after SIGTERM:" >&2
+    cat "$tmp/elpd.log" >&2
+    exit 1
+fi
+elpd_pid=""
+if ! grep -q '^elpd: drained' "$tmp/elpd.log"; then
+    echo "smoke: elpd log is missing the drain report:" >&2
+    cat "$tmp/elpd.log" >&2
+    exit 1
+fi
+
+if ! grep -q '"verify_failures": 0' "$tmp/report.json"; then
+    echo "smoke: load report shows verification failures:" >&2
+    cat "$tmp/report.json" >&2
+    exit 1
+fi
+if ! grep -q '"errors": 0' "$tmp/report.json"; then
+    echo "smoke: load report shows transport/server errors:" >&2
+    cat "$tmp/report.json" >&2
+    exit 1
+fi
+
+grep '^elpd: drained' "$tmp/elpd.log" >&2
+echo "smoke: ok" >&2
