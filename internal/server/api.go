@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/base64"
-	"fmt"
 	"strings"
 
 	elp2im "repro"
@@ -49,8 +48,8 @@ type OpRequest struct {
 	// Op is the operation mnemonic: not, and, or, nand, nor, xor, xnor,
 	// copy (case-insensitive).
 	Op string `json:"op"`
-	// Dst names the destination vector; it is created with x's length if
-	// absent.
+	// Dst names the destination vector; if absent it is created with x's
+	// length, and only becomes visible once the operation succeeds.
 	Dst string `json:"dst"`
 	// X names the first operand.
 	X string `json:"x"`
@@ -63,8 +62,9 @@ type OpRequest struct {
 type ReduceRequest struct {
 	// Op is "and" or "or".
 	Op string `json:"op"`
-	// Dst names the destination vector; created with srcs[0]'s length if
-	// absent.
+	// Dst names the destination vector; if absent it is created with
+	// srcs[0]'s length, and only becomes visible once the operation
+	// succeeds.
 	Dst string `json:"dst"`
 	// Srcs names the operands, at least two.
 	Srcs []string `json:"srcs"`
@@ -183,7 +183,7 @@ func parseOp(s string) (elp2im.Op, error) {
 	case "copy":
 		return elp2im.OpCopy, nil
 	default:
-		return 0, fmt.Errorf("server: unknown op %q", s)
+		return 0, badRequestf("server: unknown op %q", s)
 	}
 }
 
@@ -203,18 +203,18 @@ func EncodeBits(v *elp2im.BitVector) string {
 // length. Stray bits beyond the length in the final byte are rejected.
 func DecodeBits(data string, bits int) (*elp2im.BitVector, error) {
 	if bits <= 0 {
-		return nil, fmt.Errorf("server: bits must be positive, got %d", bits)
+		return nil, badRequestf("server: bits must be positive, got %d", bits)
 	}
 	raw, err := base64.StdEncoding.DecodeString(data)
 	if err != nil {
-		return nil, fmt.Errorf("server: bad vector data: %v", err)
+		return nil, badRequestf("server: bad vector data: %v", err)
 	}
 	if want := (bits + 7) / 8; len(raw) != want {
-		return nil, fmt.Errorf("server: vector data is %d bytes, want %d for %d bits", len(raw), want, bits)
+		return nil, badRequestf("server: vector data is %d bytes, want %d for %d bits", len(raw), want, bits)
 	}
 	if rem := bits % 8; rem != 0 {
 		if tail := raw[len(raw)-1] >> rem; tail != 0 {
-			return nil, fmt.Errorf("server: vector data has bits set beyond length %d", bits)
+			return nil, badRequestf("server: vector data has bits set beyond length %d", bits)
 		}
 	}
 	v := elp2im.NewBitVector(bits)

@@ -23,7 +23,28 @@ var (
 	// ErrUnknownVector wraps the name of an operand that is not in the
 	// store.
 	ErrUnknownVector = errors.New("server: unknown vector")
+	// errBadRequest tags request-validation failures so statusFor can
+	// reserve 400 Bad Request for them; any error that reaches wrap
+	// untagged (and is none of the named sentinels) is a server fault and
+	// answers 500.
+	errBadRequest = errors.New("server: bad request")
 )
+
+// badRequest is a client-fault error: its message stands alone, but it
+// unwraps to errBadRequest so statusFor recognizes it through any further
+// wrapping.
+type badRequest struct{ msg string }
+
+// Error returns the validation failure's message.
+func (e *badRequest) Error() string { return e.msg }
+
+// Unwrap exposes the errBadRequest tag to errors.Is.
+func (e *badRequest) Unwrap() error { return errBadRequest }
+
+// badRequestf builds a client-fault error from a format string.
+func badRequestf(format string, args ...any) error {
+	return &badRequest{msg: fmt.Sprintf(format, args...)}
+}
 
 // reqKind discriminates the two batchable request shapes.
 type reqKind int
@@ -193,13 +214,25 @@ func (b *Batcher) doSync(ctx context.Context, r *pimRequest) (elp2im.Stats, erro
 		return elp2im.Stats{}, err
 	}
 	unlock := lockEntries(res.entries)
-	defer unlock()
+	if err := res.bind(r); err != nil {
+		unlock()
+		return elp2im.Stats{}, err
+	}
+	var st elp2im.Stats
 	switch r.kind {
 	case kindReduce:
-		return b.acc.Reduce(r.op, res.dst, res.srcs...)
+		st, err = b.acc.Reduce(r.op, res.dst, res.srcs...)
 	default:
-		return b.acc.Op(r.op, res.dst, res.x, res.y)
+		st, err = b.acc.Op(r.op, res.dst, res.x, res.y)
 	}
+	unlock()
+	if err != nil {
+		return elp2im.Stats{}, err
+	}
+	if res.newDst != nil {
+		b.store.adopt(r.dst, res.newDst)
+	}
+	return st, nil
 }
 
 // Draining reports whether drain has begun.
@@ -304,63 +337,118 @@ func (b *Batcher) take() []*pimRequest {
 	return reqs
 }
 
-// resolved is one request's operands bound to store vectors.
+// resolved is one request's operand names bound to store entries, then —
+// once those entries are locked — to the vectors themselves (see bind).
 type resolved struct {
+	// entries are the involved store entries, keyed by name; they must be
+	// locked (lockEntries) before bind reads any vector out of them.
+	entries map[string]*entry
+	// dstEntry is the destination's store entry when the name existed at
+	// resolve time; nil means the destination is created detached by bind
+	// and published (adopt) only if the operation succeeds.
+	dstEntry *entry
+	// newDst is the detached destination entry bind created, nil when the
+	// destination already existed.
+	newDst *entry
+
 	dst, x, y *elp2im.BitVector
 	srcs      []*elp2im.BitVector
-	entries   map[string]*entry
 }
 
-// resolveRequest binds a request's vector names to store entries,
-// creating the destination (sized from the first operand) when absent.
+// resolveRequest binds a request's vector names to store entries. It
+// never touches vector contents — per the store's locking invariant, vec
+// pointers are only read by bind, after lockEntries pinned every involved
+// entry. A destination that does not exist yet is deliberately NOT
+// created here: bind materializes it detached, and it becomes visible in
+// the store only when the operation succeeds, so a failed request never
+// leaves a spurious all-zero vector behind.
 func (b *Batcher) resolveRequest(r *pimRequest) (*resolved, error) {
 	res := &resolved{entries: make(map[string]*entry, 3+len(r.srcs))}
-	need := func(name string) (*entry, error) {
+	need := func(name string) error {
 		e := b.store.lookup(name)
 		if e == nil {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownVector, name)
+			return fmt.Errorf("%w: %q", ErrUnknownVector, name)
 		}
 		res.entries[name] = e
-		return e, nil
+		return nil
 	}
 	switch r.kind {
 	case kindReduce:
-		res.srcs = make([]*elp2im.BitVector, len(r.srcs))
-		for i, name := range r.srcs {
-			e, err := need(name)
-			if err != nil {
+		for _, name := range r.srcs {
+			if err := need(name); err != nil {
 				return nil, err
 			}
-			res.srcs[i] = e.vec
 		}
-		de := b.store.getOrCreate(r.dst, res.srcs[0].Len())
-		res.entries[r.dst] = de
-		res.dst = de.vec
 	default:
-		xe, err := need(r.x)
-		if err != nil {
+		if err := need(r.x); err != nil {
 			return nil, err
 		}
-		res.x = xe.vec
 		if !r.op.Unary() {
-			ye, err := need(r.y)
-			if err != nil {
+			if err := need(r.y); err != nil {
 				return nil, err
 			}
-			res.y = ye.vec
 		}
-		de := b.store.getOrCreate(r.dst, res.x.Len())
-		res.entries[r.dst] = de
-		res.dst = de.vec
+	}
+	if e := b.store.lookup(r.dst); e != nil {
+		res.entries[r.dst] = e
+		res.dstEntry = e
 	}
 	return res, nil
 }
 
+// bind reads the operand vectors out of the locked entries and
+// materializes the destination: the stored vector when the name exists, a
+// detached one otherwise. It also pre-validates operand lengths so a
+// mismatch settles as a tagged 400 instead of surfacing as an opaque
+// facade error. The caller must hold the locks from
+// lockEntries(res.entries).
+func (res *resolved) bind(r *pimRequest) error {
+	switch r.kind {
+	case kindReduce:
+		res.srcs = make([]*elp2im.BitVector, len(r.srcs))
+		for i, name := range r.srcs {
+			res.srcs[i] = res.entries[name].vec
+			if res.srcs[i].Len() != res.srcs[0].Len() {
+				return badRequestf("server: reduce operand %q has %d bits, want %d",
+					name, res.srcs[i].Len(), res.srcs[0].Len())
+			}
+		}
+		return res.bindDst(r.dst, res.srcs[0].Len())
+	default:
+		res.x = res.entries[r.x].vec
+		if !r.op.Unary() {
+			res.y = res.entries[r.y].vec
+			if res.y.Len() != res.x.Len() {
+				return badRequestf("server: operands %q (%d bits) and %q (%d bits) differ in length",
+					r.x, res.x.Len(), r.y, res.y.Len())
+			}
+		}
+		return res.bindDst(r.dst, res.x.Len())
+	}
+}
+
+// bindDst binds the destination vector: the existing entry's (length
+// checked against the operands) or a fresh detached one.
+func (res *resolved) bindDst(name string, bits int) error {
+	if res.dstEntry != nil {
+		res.dst = res.dstEntry.vec
+		if res.dst.Len() != bits {
+			return badRequestf("server: destination %q has %d bits, want %d", name, res.dst.Len(), bits)
+		}
+		return nil
+	}
+	res.newDst = &entry{name: name, vec: elp2im.NewBitVector(bits)}
+	res.dst = res.newDst.vec
+	return nil
+}
+
 // flush folds one coalesced request set into a single Accelerator.Batch
 // submission, waits for it, and fans the per-request Futures back out.
-// Expired and unresolvable requests are settled without executing; the
-// rest execute with every involved vector's entry lock held, so handler
-// reads/writes cannot observe a half-applied batch.
+// Expired, unresolvable and length-mismatched requests are settled
+// without executing; the rest bind their vectors and execute with every
+// involved entry's lock held, so a concurrent PUT can neither race the
+// vector reads nor land invisibly between resolution and execution, and
+// handler reads cannot observe a half-applied batch.
 func (b *Batcher) flush(reqs []*pimRequest) {
 	b.flushSeq++
 	id := b.flushSeq
@@ -392,25 +480,44 @@ func (b *Batcher) flush(reqs []*pimRequest) {
 
 	unlock := lockEntries(entries)
 	batch := b.acc.Batch()
-	futures := make([]*elp2im.Future, len(live))
+	submitted := make([]*pimRequest, 0, len(live))
+	subBound := make([]*resolved, 0, len(live))
+	futures := make([]*elp2im.Future, 0, len(live))
 	for i, r := range live {
+		if err := bound[i].bind(r); err != nil {
+			r.resolve(elp2im.Stats{}, err)
+			continue
+		}
 		r.flushID = id
 		switch r.kind {
 		case kindReduce:
-			futures[i] = batch.SubmitReduce(r.op, bound[i].dst, bound[i].srcs...)
+			futures = append(futures, batch.SubmitReduce(r.op, bound[i].dst, bound[i].srcs...))
 		default:
-			futures[i] = batch.Submit(r.op, bound[i].dst, bound[i].x, bound[i].y)
+			futures = append(futures, batch.Submit(r.op, bound[i].dst, bound[i].x, bound[i].y))
 		}
+		submitted = append(submitted, r)
+		subBound = append(subBound, bound[i])
 	}
-	_, firstErr := batch.Wait()
+	var firstErr error
+	if len(submitted) > 0 {
+		_, firstErr = batch.Wait()
+	}
 	batch.Close()
 	unlock()
+	if len(submitted) == 0 {
+		b.obs.flushSpan(start, id, 0, nil)
+		return
+	}
 
-	for i, r := range live {
-		r.resolve(futures[i].Wait())
+	for i, r := range submitted {
+		st, err := futures[i].Wait()
+		if err == nil && subBound[i].newDst != nil {
+			b.store.adopt(r.dst, subBound[i].newDst)
+		}
+		r.resolve(st, err)
 	}
 	b.obs.flushes.Inc()
-	b.obs.coalesced.Add(int64(len(live)))
-	b.obs.occupancy.Observe(float64(len(live)))
-	b.obs.flushSpan(start, id, len(live), firstErr)
+	b.obs.coalesced.Add(int64(len(submitted)))
+	b.obs.occupancy.Observe(float64(len(submitted)))
+	b.obs.flushSpan(start, id, len(submitted), firstErr)
 }

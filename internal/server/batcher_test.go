@@ -240,3 +240,89 @@ func max64(a, b int64) int64 {
 	}
 	return b
 }
+
+// TestConcurrentPutAndOp hammers PUT over a vector that concurrent ops
+// are reading: the flusher must re-read the entry's vector under the
+// entry lock (never between resolve and lock), so this is race-free under
+// -race and no PUT is silently lost to an op writing an orphaned vector.
+func TestConcurrentPutAndOp(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.Window = time.Millisecond
+		c.RequestTimeout = time.Minute
+	})
+	rng := rand.New(rand.NewSource(30))
+	const bits = 8192
+	fillRandom(s.store, "rw.a", rng, bits)
+	fillRandom(s.store, "rw.b", rng, bits)
+
+	stop := make(chan struct{})
+	var putters sync.WaitGroup
+	putters.Add(1)
+	go func() {
+		defer putters.Done()
+		prng := rand.New(rand.NewSource(31))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.store.set("rw.a", elp2im.RandomBitVector(prng, bits))
+		}
+	}()
+
+	const workers, ops = 4, 15
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < ops; k++ {
+				_, _, err := s.batcher.Do(context.Background(),
+					&pimRequest{kind: kindOp, op: elp2im.OpXor, dst: fmt.Sprintf("rw.r%d", i), x: "rw.a", y: "rw.b"})
+				if err != nil {
+					failed.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	putters.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d ops failed under concurrent PUT", failed.Load())
+	}
+}
+
+// TestFailedOpLeavesNoDst pins the no-spurious-destination contract: an
+// operation that fails (here a length mismatch, answered as a tagged 400)
+// must not leave an all-zero destination vector visible in the store.
+func TestFailedOpLeavesNoDst(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) { c.DisableWindow = true })
+	rng := rand.New(rand.NewSource(32))
+	fillRandom(s.store, "nf.a", rng, 256)
+	fillRandom(s.store, "nf.b", rng, 512)
+
+	_, _, err := s.batcher.Do(context.Background(),
+		&pimRequest{kind: kindOp, op: elp2im.OpAnd, dst: "nf.r", x: "nf.a", y: "nf.b"})
+	if !errors.Is(err, errBadRequest) {
+		t.Fatalf("mismatched op: err %v, want a tagged bad request", err)
+	}
+	if s.store.lookup("nf.r") != nil {
+		t.Fatal("failed op left a spurious destination vector in the store")
+	}
+
+	// Same contract in degraded (synchronous) mode.
+	sd, _ := newTestServer(t, func(c *Config) { c.Degraded = true })
+	fillRandom(sd.store, "nf.a", rng, 256)
+	fillRandom(sd.store, "nf.b", rng, 512)
+	_, _, err = sd.batcher.Do(context.Background(),
+		&pimRequest{kind: kindOp, op: elp2im.OpAnd, dst: "nf.r", x: "nf.a", y: "nf.b"})
+	if !errors.Is(err, errBadRequest) {
+		t.Fatalf("degraded mismatched op: err %v, want a tagged bad request", err)
+	}
+	if sd.store.lookup("nf.r") != nil {
+		t.Fatal("degraded failed op left a spurious destination vector")
+	}
+}

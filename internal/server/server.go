@@ -172,16 +172,39 @@ func (s *Server) Stats() StatsPayload {
 // error; wrap renders both.
 type handlerFunc func(w http.ResponseWriter, r *http.Request) error
 
+// committedWriter wraps the ResponseWriter to record whether the handler
+// has already committed a response (status line sent or body bytes
+// written), so the error paths in wrap never append a second status/body
+// to a partially written reply.
+type committedWriter struct {
+	http.ResponseWriter
+	committed bool
+}
+
+// WriteHeader marks the response committed before sending the status.
+func (w *committedWriter) WriteHeader(code int) {
+	w.committed = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write marks the response committed before writing body bytes.
+func (w *committedWriter) Write(p []byte) (int, error) {
+	w.committed = true
+	return w.ResponseWriter.Write(p)
+}
+
 // wrap is the route middleware: request/error/latency series, span
 // emission, body limiting, and panic isolation (a panicking handler
 // answers 500 and increments server.panics instead of killing the
-// connection's goroutine silently).
+// connection's goroutine silently — unless it already committed a
+// response, in which case there is nothing coherent left to write).
 func (s *Server) wrap(route string, h handlerFunc) http.HandlerFunc {
 	rs := s.obs.route(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rs.requests.Inc()
 		start := time.Now()
 		spanStart := s.obs.ctx.SpanStart()
+		cw := &committedWriter{ResponseWriter: w}
 		var flushID int64
 		r = r.WithContext(context.WithValue(r.Context(), flushIDKey{}, &flushID))
 		var handlerErr error
@@ -190,16 +213,16 @@ func (s *Server) wrap(route string, h handlerFunc) http.HandlerFunc {
 				s.obs.panics.Inc()
 				err := fmt.Errorf("server: internal error: %v", rec)
 				debug.PrintStack()
-				s.writeError(w, rs, http.StatusInternalServerError, err)
+				s.writeError(cw, rs, http.StatusInternalServerError, err)
 				handlerErr = err
 			}
 			rs.latency.Observe(float64(time.Since(start).Nanoseconds()))
 			s.obs.requestSpan(spanStart, route, r.Method, flushID, handlerErr)
 		}()
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		handlerErr = h(w, r)
+		r.Body = http.MaxBytesReader(cw, r.Body, s.cfg.MaxBodyBytes)
+		handlerErr = h(cw, r)
 		if handlerErr != nil {
-			s.writeError(w, rs, statusFor(handlerErr), handlerErr)
+			s.writeError(cw, rs, statusFor(handlerErr), handlerErr)
 		}
 	}
 }
@@ -209,7 +232,9 @@ func (s *Server) wrap(route string, h handlerFunc) http.HandlerFunc {
 // request context by wrap.
 type flushIDKey struct{}
 
-// statusFor maps serving-layer errors onto HTTP statuses.
+// statusFor maps serving-layer errors onto HTTP statuses. 400 is
+// reserved for tagged request-validation failures (errBadRequest); an
+// unrecognized error is a server fault and reports 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrSaturated), errors.Is(err, ErrDraining):
@@ -220,15 +245,23 @@ func statusFor(err error) int {
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, ErrUnknownVector):
 		return http.StatusNotFound
-	default:
+	case errors.Is(err, errBadRequest):
 		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
 	}
 }
 
-// writeError renders err as the JSON error body for the given status,
-// attaching Retry-After on 503s so well-behaved clients back off.
-func (s *Server) writeError(w http.ResponseWriter, rs *routeSeries, status int, err error) {
+// writeError records the error and renders it as the JSON error body for
+// the given status, attaching Retry-After on 503s so well-behaved clients
+// back off. If the handler already committed a response, only the error
+// counter moves — a late status line or JSON body would corrupt whatever
+// the client is reading.
+func (s *Server) writeError(w *committedWriter, rs *routeSeries, status int, err error) {
 	rs.errors.Inc()
+	if w.committed {
+		return
+	}
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
@@ -250,7 +283,7 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
 		ms, err := strconv.Atoi(raw)
 		if err != nil || ms <= 0 {
-			return nil, nil, fmt.Errorf("server: bad timeout_ms %q", raw)
+			return nil, nil, badRequestf("server: bad timeout_ms %q", raw)
 		}
 		ctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
 		return ctx, cancel, nil
@@ -267,7 +300,7 @@ func decodeBody(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("server: bad request body: %v", err)
+		return badRequestf("server: bad request body: %v", err)
 	}
 	return nil
 }
@@ -277,7 +310,7 @@ func decodeBody(r *http.Request, v any) error {
 func (s *Server) handlePutVector(w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("name")
 	if name == "" {
-		return errors.New("server: vector name must not be empty")
+		return badRequestf("server: vector name must not be empty")
 	}
 	var body VectorPayload
 	if err := decodeBody(r, &body); err != nil {
@@ -286,7 +319,7 @@ func (s *Server) handlePutVector(w http.ResponseWriter, r *http.Request) error {
 	var vec *elp2im.BitVector
 	if body.Data == "" {
 		if body.Bits <= 0 {
-			return fmt.Errorf("server: bits must be positive, got %d", body.Bits)
+			return badRequestf("server: bits must be positive, got %d", body.Bits)
 		}
 		vec = elp2im.NewBitVector(body.Bits)
 	} else {
@@ -360,10 +393,10 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	if body.Dst == "" || body.X == "" {
-		return errors.New("server: op needs dst and x")
+		return badRequestf("server: op needs dst and x")
 	}
 	if !op.Unary() && body.Y == "" {
-		return fmt.Errorf("server: %s needs operand y", body.Op)
+		return badRequestf("server: %s needs operand y", body.Op)
 	}
 	return s.runBatched(w, r, &pimRequest{kind: kindOp, op: op, dst: body.Dst, x: body.X, y: body.Y})
 }
@@ -380,10 +413,10 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	if body.Dst == "" {
-		return errors.New("server: reduce needs dst")
+		return badRequestf("server: reduce needs dst")
 	}
 	if len(body.Srcs) < 2 {
-		return errors.New("server: reduce needs at least two srcs")
+		return badRequestf("server: reduce needs at least two srcs")
 	}
 	return s.runBatched(w, r, &pimRequest{kind: kindReduce, op: op, dst: body.Dst, srcs: body.Srcs})
 }
@@ -391,22 +424,25 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) error {
 // handleEval evaluates a boolean expression over stored vectors and
 // stores the result under dst. Eval has no batched form on the facade,
 // so it runs synchronously — gated on the drain state and coordinated
-// with in-flight flushes through the same entry locks.
+// with in-flight flushes through the same entry locks. Eval only reads
+// its operands (the result lands in a fresh vector, stored afterwards),
+// so the sources are read-locked: concurrent GETs and other Evals sharing
+// an operand proceed, only writers are excluded.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 	var body EvalRequest
 	if err := decodeBody(r, &body); err != nil {
 		return err
 	}
 	if body.Expr == "" || body.Dst == "" {
-		return errors.New("server: eval needs expr and dst")
+		return badRequestf("server: eval needs expr and dst")
 	}
 	node, err := expr.Parse(body.Expr)
 	if err != nil {
-		return err
+		return badRequestf("server: bad expression: %v", err)
 	}
 	prog, err := expr.Compile(node)
 	if err != nil {
-		return err
+		return badRequestf("server: bad expression: %v", err)
 	}
 	if err := s.batcher.acquireSync(); err != nil {
 		return err
@@ -422,9 +458,17 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 		}
 		entries[name] = e
 	}
-	unlock := lockEntries(entries)
+	unlock := rlockEntries(entries)
+	var bits int
 	for name, e := range entries {
 		vars[name] = e.vec
+		if bits == 0 {
+			bits = e.vec.Len()
+		} else if e.vec.Len() != bits {
+			unlock()
+			return badRequestf("server: expression vectors differ in length (%q has %d bits, want %d)",
+				name, e.vec.Len(), bits)
+		}
 	}
 	out, st, err := s.acc.Eval(body.Expr, vars)
 	unlock()

@@ -395,6 +395,60 @@ func TestPanicIsolation(t *testing.T) {
 	}
 }
 
+// TestStatusClassification pins the 4xx/5xx split: length mismatches and
+// malformed input are client faults (400), while a panic after the
+// response is committed must not append a second status/body.
+func TestStatusClassification(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	c := ts.Client()
+	rng := rand.New(rand.NewSource(6))
+	putRandom(t, c, ts.URL, "sc.a", rng, 256)
+	putRandom(t, c, ts.URL, "sc.b", rng, 512)
+
+	code, _ := doJSON(t, c, http.MethodPost, ts.URL+"/v1/op",
+		OpRequest{Op: "and", Dst: "sc.r", X: "sc.a", Y: "sc.b"}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("length-mismatched op: status %d, want 400", code)
+	}
+	code, _ = doJSON(t, c, http.MethodGet, ts.URL+"/v1/vectors/sc.r", nil, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("dst of failed op: status %d, want 404 (no spurious vector)", code)
+	}
+	code, _ = doJSON(t, c, http.MethodPost, ts.URL+"/v1/op",
+		OpRequest{Op: "mux", Dst: "sc.r", X: "sc.a", Y: "sc.b"}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d, want 400", code)
+	}
+	code, _ = doJSON(t, c, http.MethodPost, ts.URL+"/v1/eval",
+		EvalRequest{Expr: "sc_a &", Dst: "sc.r"}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed expression: status %d, want 400", code)
+	}
+}
+
+// TestPanicAfterCommitDoesNotRewrite verifies that wrap's recovery path
+// leaves an already committed response alone instead of appending a
+// superfluous 500 header and a second JSON body.
+func TestPanicAfterCommitDoesNotRewrite(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	h := s.wrap("op", func(w http.ResponseWriter, _ *http.Request) error {
+		_ = writeJSON(w, healthPayload{Status: "ok"})
+		panic("late boom")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodPost, "/v1/op", strings.NewReader("{}")))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("committed-then-panic: status %d, want the committed 200", rec.Code)
+	}
+	var hp healthPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &hp); err != nil || hp.Status != "ok" {
+		t.Fatalf("committed-then-panic: body %q corrupted", rec.Body.String())
+	}
+	if got := s.obs.panics.Value(); got != 1 {
+		t.Fatalf("server.panics = %d, want 1", got)
+	}
+}
+
 func TestHealthAndDrain(t *testing.T) {
 	s, ts := newTestServer(t, nil)
 	c := ts.Client()

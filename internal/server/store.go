@@ -68,6 +68,25 @@ func (s *Store) set(name string, vec *elp2im.BitVector) {
 	e.mu.Unlock()
 }
 
+// adopt publishes a detached entry (a destination created by an
+// operation that succeeded) under its name. When a concurrent PUT won the
+// name in the meantime, the existing entry stays and only its vector is
+// replaced — under the entry lock, per the locking invariant — so readers
+// never hold a stale *entry.
+func (s *Store) adopt(name string, e *entry) {
+	s.mu.Lock()
+	cur, ok := s.m[name]
+	if !ok {
+		s.m[name] = e
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	cur.mu.Lock()
+	cur.vec = e.vec
+	cur.mu.Unlock()
+}
+
 // remove deletes the named vector and reports whether it existed. An
 // in-flight operation that already resolved the entry keeps the orphaned
 // vector alive until it completes; its result is simply discarded.
@@ -118,6 +137,26 @@ func lockEntries(entries map[string]*entry) (unlock func()) {
 	return func() {
 		for i := len(names) - 1; i >= 0; i-- {
 			entries[names[i]].mu.Unlock()
+		}
+	}
+}
+
+// rlockEntries read-locks a set of entries in the same ascending-name
+// order as lockEntries. Read-only consumers (Eval never mutates a stored
+// vector in place — its result lands via set afterwards) use this so they
+// only exclude writers, not each other or concurrent GETs.
+func rlockEntries(entries map[string]*entry) (unlock func()) {
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		entries[n].mu.RLock()
+	}
+	return func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			entries[names[i]].mu.RUnlock()
 		}
 	}
 }
