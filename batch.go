@@ -134,6 +134,16 @@ func (b *Batch) Submit(op Op, dst, x, y *BitVector) *Future {
 	if y != nil {
 		yv = y.v
 	}
+	// The executor (and with it fast-path eligibility) is resolved at
+	// submission time: SetExecutor takes effect for operations started
+	// after the call, and a Submit is the operation's start.
+	ex, wrapped := a.executor()
+	k := a.fastKernel(iop, wrapped)
+	if k != nil {
+		a.fastHits.Inc()
+	} else {
+		a.fastFallbacks.Inc()
+	}
 	// groupStripes is ordered by first stripe, so the task slice — and with
 	// it pipeline.Future's "first error in task order" — is deterministic.
 	groups := a.groupStripes(stripes)
@@ -141,10 +151,22 @@ func (b *Batch) Submit(op Op, dst, x, y *BitVector) *Future {
 	for _, g := range groups {
 		g := g
 		tasks = append(tasks, pipeline.Task{Group: g.group, Run: func() error {
-			buf := bitvec.New(cols)
+			if k != nil {
+				// Pure word-level body: no device row state, so no
+				// per-subarray lock — the pipeline's per-group FIFO already
+				// orders dependent submissions.
+				for _, s := range g.list {
+					start := a.obsc.SpanStart()
+					fastStripe(k, dst.v, x.v, yv, s, cols)
+					a.stripeSpan(start, s, nil)
+				}
+				return nil
+			}
+			buf := a.getBuf()
+			defer a.putBuf(buf)
 			for _, s := range g.list {
 				if err := a.runStripe(g.group, s, buf, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-					return a.opStripe(iop, dst.v, x.v, yv, s, sub, buf)
+					return a.opStripe(ex, iop, dst.v, x.v, yv, s, sub, buf)
 				}); err != nil {
 					return err
 				}
@@ -202,22 +224,43 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 	}
 
 	ipe, inPlace := a.eng.(inPlaceExecutor)
+	ex, wrapped := a.executor()
+	k := a.fastKernel(iop, wrapped)
+	kcopy := a.fastKernel(engine.OpCOPY, wrapped)
+	fast := k != nil && kcopy != nil
+	if fast {
+		a.fastHits.Inc()
+	} else {
+		a.fastFallbacks.Inc()
+	}
 	groups := a.groupStripes(stripes)
 	tasks := make([]pipeline.Task, 0, len(groups))
 	for _, g := range groups {
 		g := g
 		tasks = append(tasks, pipeline.Task{Group: g.group, Run: func() error {
-			buf := bitvec.New(cols)
+			if fast {
+				for _, s := range g.list {
+					start := a.obsc.SpanStart()
+					fastStripe(kcopy, dst.v, vs[0].v, nil, s, cols)
+					for _, v := range vs[1:] {
+						fastFoldStripe(k, dst.v, v.v, s, cols)
+					}
+					a.stripeSpan(start, s, nil)
+				}
+				return nil
+			}
+			buf := a.getBuf()
+			defer a.putBuf(buf)
 			for _, s := range g.list {
 				// One lock hold per stripe covers the staging copy and the
 				// whole fold chain; each step reloads its rows, so stripe
 				// granularity is the widest atomicity the chain needs.
 				if err := a.runStripe(g.group, s, buf, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-					if err := a.opStripe(engine.OpCOPY, dst.v, vs[0].v, nil, s, sub, buf); err != nil {
+					if err := a.opStripe(ex, engine.OpCOPY, dst.v, vs[0].v, nil, s, sub, buf); err != nil {
 						return err
 					}
 					for _, v := range vs[1:] {
-						if err := a.foldStripe(iop, ipe, inPlace, dst.v, v.v, s, sub, buf); err != nil {
+						if err := a.foldStripe(ex, iop, ipe, inPlace, dst.v, v.v, s, sub, buf); err != nil {
 							return err
 						}
 					}

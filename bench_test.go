@@ -280,6 +280,31 @@ func BenchmarkAcceleratorBulkAND(b *testing.B) {
 	b.ReportMetric(st.LatencyNS/1e3, "modeled_us")
 }
 
+// BenchmarkAcceleratorBulkANDFallback is the same 8 Mbit AND forced
+// through the command-accurate device model (DisableFastpath) — the
+// pre-kernel baseline the fast path's speedup is measured against.
+func BenchmarkAcceleratorBulkANDFallback(b *testing.B) {
+	acc, err := New(func(c *Config) { c.DisableFastpath = true })
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 23
+	x := RandomBitVector(rng, n)
+	y := RandomBitVector(rng, n)
+	dst := NewBitVector(n)
+	b.SetBytes(n / 8)
+	b.ResetTimer()
+	var st Stats
+	for i := 0; i < b.N; i++ {
+		st, err = acc.Op(OpAnd, dst, x, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(st.LatencyNS/1e3, "modeled_us")
+}
+
 // BenchmarkOp measures the facade's per-call overhead on a small vector
 // (one stripe per bank): the observability acceptance gate — with the
 // default no-op tracer this path must allocate nothing in obs code and

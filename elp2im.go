@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"repro/internal/ambit"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/drisa"
 	"repro/internal/elpim"
 	"repro/internal/engine"
+	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/primitive"
@@ -185,6 +187,13 @@ type Config struct {
 	// memoization win (scripts/bench.sh); cached results are bit-identical
 	// to fresh ones.
 	DisableSchedCache bool
+	// DisableFastpath turns off the compiled word-level kernel fast path,
+	// forcing every stripe through the command-accurate device model the
+	// way the pre-kernel code did. Kernels are self-derived from the
+	// device model (see internal/kernel), so results and modeled costs are
+	// bit-identical either way; the knob exists for benchmarking the
+	// compiled-execution win and for differential testing.
+	DisableFastpath bool
 }
 
 // DefaultConfig returns ELP2IM on a DDR3-1600 module with 8 banks.
@@ -249,6 +258,24 @@ type Accelerator struct {
 	module *dram.Module
 	eng    engine.Engine
 
+	// kerns memoizes the compiled word-level kernels self-derived from the
+	// engine (one probe per op; see internal/kernel). The fast path
+	// dispatches stripes to these kernels directly on the vectors' words;
+	// every fallback condition routes through the command-accurate model.
+	kerns *kernel.Set
+
+	// execMu guards the functional executor. execr is the engine by
+	// default; SetExecutor installs a wrapper (fault injection/detection),
+	// which also forces command-level execution so the wrapper keeps
+	// seeing real commands.
+	execMu  sync.RWMutex
+	execr   Executor
+	wrapped bool
+
+	// bufPool recycles row-width stripe buffers across forEachStripe
+	// calls and Batch tasks on the command-level path.
+	bufPool sync.Pool
+
 	// execLocks holds one mutex per serialization group (one per subarray;
 	// stripeGroup indexes it). Every execution path — synchronous calls and
 	// every Batch's worker pool — takes the group's lock around each stripe
@@ -276,6 +303,8 @@ type Accelerator struct {
 	lockContended  *obs.Counter
 	batchSubmitted *obs.Counter
 	batchWaits     *obs.Counter
+	fastHits       *obs.Counter
+	fastFallbacks  *obs.Counter
 }
 
 // costKey identifies one memoized cost unit.
@@ -365,12 +394,79 @@ func NewWithConfig(cfg Config) (*Accelerator, error) {
 		cfg:       cfg,
 		module:    module,
 		eng:       eng,
+		kerns:     kernel.NewSet(eng, cfg.Module),
+		execr:     eng,
 		execLocks: make([]sync.Mutex, module.Banks()*module.Bank(0).Subarrays()),
 		costUnits: make(map[costKey]costUnit),
 	}
 	a.initObs()
 	return a, nil
 }
+
+// Executor is the functional command-level execution surface: everything
+// that can perform dst = op(a, b) on a subarray of the device model. The
+// engines implement it, as do the wrappers in internal/fault.
+type Executor interface {
+	Execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error
+}
+
+// BaseExecutor returns the engine's own command-level executor — the
+// inner executor to hand to a wrapper such as fault.New or
+// fault.NewDetecting before installing it with SetExecutor.
+func (a *Accelerator) BaseExecutor() Executor { return a.eng }
+
+// SetExecutor installs exec as the accelerator's functional executor
+// (nil restores the engine). Installing a non-nil wrapper forces every
+// operation onto the command-accurate path — wrappers observe and mutate
+// real per-command row state, which the compiled kernels bypass — until
+// SetExecutor(nil) re-enables the fast path. The swap takes effect for
+// operations started after the call; modeled costs are unaffected either
+// way.
+func (a *Accelerator) SetExecutor(exec Executor) {
+	a.execMu.Lock()
+	defer a.execMu.Unlock()
+	if exec == nil {
+		a.execr, a.wrapped = a.eng, false
+		return
+	}
+	a.execr, a.wrapped = exec, true
+}
+
+// executor returns the current functional executor and whether it is a
+// wrapper (a wrapper disables the fast path).
+func (a *Accelerator) executor() (Executor, bool) {
+	a.execMu.RLock()
+	defer a.execMu.RUnlock()
+	return a.execr, a.wrapped
+}
+
+// fastKernel returns op's compiled kernel when the fast path is eligible:
+// word-aligned rows, no wrapped executor, fast path not disabled, and the
+// kernel derivable from the engine. A nil return means "use the
+// command-level path" (where unsupported ops also surface their real
+// errors).
+func (a *Accelerator) fastKernel(op engine.Op, wrapped bool) *kernel.Kernel {
+	if a.cfg.DisableFastpath || wrapped || a.cfg.Module.Columns%64 != 0 {
+		return nil
+	}
+	k, err := a.kerns.Kernel(op)
+	if err != nil {
+		return nil
+	}
+	return k
+}
+
+// getBuf leases a row-width stripe buffer from the pool. Callers must not
+// assume it is zeroed — loadStripe overwrites every word.
+func (a *Accelerator) getBuf() *bitvec.Vector {
+	if v := a.bufPool.Get(); v != nil {
+		return v.(*bitvec.Vector)
+	}
+	return bitvec.New(a.cfg.Module.Columns)
+}
+
+// putBuf returns a leased stripe buffer.
+func (a *Accelerator) putBuf(v *bitvec.Vector) { a.bufPool.Put(v) }
 
 // Design returns the modeled design's name.
 func (a *Accelerator) Design() string { return a.eng.Name() }
@@ -452,14 +548,26 @@ func (a *Accelerator) Op(op Op, dst, x, y *BitVector) (Stats, error) {
 
 	// Functional execution, stripe by stripe, round-robin over banks;
 	// distinct subarrays run concurrently (the simulator's mirror of
-	// bank-level parallelism).
+	// bank-level parallelism). Word-aligned configurations dispatch each
+	// stripe to the compiled kernel directly on the vectors' words; the
+	// command-accurate device model remains the fallback.
 	var yv *bitvec.Vector
 	if y != nil {
 		yv = y.v
 	}
-	err := a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-		return a.opStripe(iop, dst.v, x.v, yv, s, sub, buf)
-	})
+	ex, wrapped := a.executor()
+	var err error
+	if k := a.fastKernel(iop, wrapped); k != nil {
+		a.fastHits.Inc()
+		a.fastForEachRange(stripes, func(lo, hi int) {
+			fastOpRange(k, dst.v, x.v, yv, lo, hi, cols)
+		})
+	} else {
+		a.fastFallbacks.Inc()
+		err = a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+			return a.opStripe(ex, iop, dst.v, x.v, yv, s, sub, buf)
+		})
+	}
 	if err != nil {
 		a.opSpan(start, iop, stripes, Stats{}, err)
 		return Stats{}, err
@@ -520,21 +628,41 @@ func (a *Accelerator) Reduce(op Op, dst *BitVector, vs ...*BitVector) (Stats, er
 
 	cp, chained := a.eng.(chainProvider)
 	ipe, inPlace := a.eng.(inPlaceExecutor)
+	ex, wrapped := a.executor()
+	k := a.fastKernel(iop, wrapped)
+	if k != nil {
+		a.fastHits.Inc()
+	} else {
+		a.fastFallbacks.Inc()
+	}
 
 	cols := a.cfg.Module.Columns
 	stripes := (dst.Len() + cols - 1) / cols
 
-	for _, v := range vs[1:] {
-		// Functional fold, stripe by stripe.
-		err := a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-			return a.foldStripe(iop, ipe, inPlace, dst.v, v.v, s, sub, buf)
+	if k != nil {
+		// Compiled fold: one sweep applies every operand to each stripe of
+		// the accumulator in place (each stripe's words stay hot across the
+		// whole chain).
+		a.fastForEachRange(stripes, func(lo, hi int) {
+			for _, v := range vs[1:] {
+				fastFoldRange(k, dst.v, v.v, lo, hi, cols)
+			}
 		})
-		if err != nil {
-			a.reduceSpan(start, iop, stripes, Stats{}, err)
-			return Stats{}, err
+	}
+	for _, v := range vs[1:] {
+		// Functional fold on the command-level path, stripe by stripe.
+		if k == nil {
+			err := a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+				return a.foldStripe(ex, iop, ipe, inPlace, dst.v, v.v, s, sub, buf)
+			})
+			if err != nil {
+				a.reduceSpan(start, iop, stripes, Stats{}, err)
+				return Stats{}, err
+			}
 		}
 		// Cost of this fold: chained stats where available.
 		var st Stats
+		var err error
 		if chained {
 			st, err = a.chainCost(cp, iop, stripes)
 		} else {
@@ -647,10 +775,10 @@ func (a *Accelerator) stripeGroup(s int) int {
 	return sub*banks + bank
 }
 
-// opStripe executes one stripe of dst = op(x, y) on its home subarray
-// (y nil for unary ops) — the per-stripe body shared by the synchronous
-// and batched paths.
-func (a *Accelerator) opStripe(iop engine.Op, dst, x, y *bitvec.Vector, s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+// opStripe executes one stripe of dst = op(x, y) through the
+// command-accurate device model (y nil for unary ops) — the fallback
+// per-stripe body shared by the synchronous and batched paths.
+func (a *Accelerator) opStripe(ex Executor, iop engine.Op, dst, x, y *bitvec.Vector, s int, sub *dram.Subarray, buf *bitvec.Vector) error {
 	cols := a.cfg.Module.Columns
 	loadStripe(buf, x, s, cols)
 	sub.LoadRow(rowA, buf)
@@ -658,32 +786,145 @@ func (a *Accelerator) opStripe(iop engine.Op, dst, x, y *bitvec.Vector, s int, s
 		loadStripe(buf, y, s, cols)
 		sub.LoadRow(rowB, buf)
 	}
-	if err := a.eng.Execute(sub, iop, rowC, rowA, rowB); err != nil {
+	if err := ex.Execute(sub, iop, rowC, rowA, rowB); err != nil {
 		return err
 	}
 	storeStripe(dst, sub.RowData(rowC), s, cols)
 	return nil
 }
 
-// foldStripe executes one stripe of the reduction fold dst = op(v, dst),
-// via the engine's in-place form when available.
-func (a *Accelerator) foldStripe(iop engine.Op, ipe inPlaceExecutor, inPlace bool, dst, v *bitvec.Vector, s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+// foldStripe executes one stripe of the reduction fold dst = op(v, dst)
+// on the device model, via the engine's in-place form when available. A
+// wrapped executor takes the three-operand form instead, so the wrapper
+// observes (and may corrupt) the fold like any other operation.
+func (a *Accelerator) foldStripe(ex Executor, iop engine.Op, ipe inPlaceExecutor, inPlace bool, dst, v *bitvec.Vector, s int, sub *dram.Subarray, buf *bitvec.Vector) error {
 	cols := a.cfg.Module.Columns
 	loadStripe(buf, v, s, cols)
 	sub.LoadRow(rowA, buf)
 	loadStripe(buf, dst, s, cols)
 	sub.LoadRow(rowB, buf)
 	var err error
-	if inPlace {
+	if _, isEngine := ex.(engine.Engine); inPlace && isEngine {
 		err = ipe.ExecuteInPlace(sub, iop, rowA, rowB)
 	} else {
-		err = a.eng.Execute(sub, iop, rowB, rowA, rowB)
+		err = ex.Execute(sub, iop, rowB, rowA, rowB)
 	}
 	if err != nil {
 		return err
 	}
 	storeStripe(dst, sub.RowData(rowB), s, cols)
 	return nil
+}
+
+// fastOpRange applies a compiled kernel to the contiguous stripe range
+// [lo, hi) of dst = op(x, y) directly on the vectors' word storage — no
+// row buffer, no device-model copies, no allocation. y is nil for unary
+// kernels. The destination's canonical tail is re-masked when the range
+// covers the final word.
+func fastOpRange(k *kernel.Kernel, dst, x, y *bitvec.Vector, lo, hi, cols int) {
+	wpr := cols / 64
+	dw := dst.Words()
+	wlo := lo * wpr
+	if wlo >= len(dw) {
+		return
+	}
+	whi := hi * wpr
+	if whi > len(dw) {
+		whi = len(dw)
+	}
+	var yw []uint64
+	if y != nil {
+		yw = y.Words()[wlo:whi]
+	}
+	k.Apply(dw[wlo:whi], x.Words()[wlo:whi], yw)
+	if whi == len(dw) {
+		dst.MaskTail()
+	}
+}
+
+// fastStripe applies a compiled kernel to the single stripe s (the
+// per-stripe form used where stripes are not contiguous, e.g. a batch
+// group's strided stripe list).
+func fastStripe(k *kernel.Kernel, dst, x, y *bitvec.Vector, s, cols int) {
+	fastOpRange(k, dst, x, y, s, s+1, cols)
+}
+
+// fastFoldRange applies a compiled kernel to the contiguous stripe range
+// [lo, hi) of the reduction fold dst = op(v, dst), in place on the
+// accumulator words.
+func fastFoldRange(k *kernel.Kernel, dst, v *bitvec.Vector, lo, hi, cols int) {
+	wpr := cols / 64
+	dw := dst.Words()
+	wlo := lo * wpr
+	if wlo >= len(dw) {
+		return
+	}
+	whi := hi * wpr
+	if whi > len(dw) {
+		whi = len(dw)
+	}
+	k.Apply(dw[wlo:whi], v.Words()[wlo:whi], dw[wlo:whi])
+	if whi == len(dw) {
+		dst.MaskTail()
+	}
+}
+
+// fastFoldStripe is fastFoldRange for a single stripe.
+func fastFoldStripe(k *kernel.Kernel, dst, v *bitvec.Vector, s, cols int) {
+	fastFoldRange(k, dst, v, s, s+1, cols)
+}
+
+// fastSerialThresholdWords is the total word count below which the fast
+// path runs single-threaded: under ~64 KiB of destination data the kernel
+// loops finish faster than goroutine fan-out costs.
+const fastSerialThresholdWords = 8192
+
+// fastForEachRange runs a pure word-level body over [0, stripes),
+// partitioned into contiguous stripe ranges. The fast path never touches
+// device-model row state, so it needs none of the per-subarray
+// serialization the command-level path routes through runStripe — ranges
+// cover disjoint destination words and run lock-free, in parallel
+// goroutines for large operations. With a tracer installed the body runs
+// stripe by stripe instead so per-stripe spans match the command path.
+func (a *Accelerator) fastForEachRange(stripes int, body func(lo, hi int)) {
+	if stripes <= 0 {
+		return
+	}
+	if start := a.obsc.SpanStart(); start != 0 {
+		body(0, 1)
+		a.stripeSpan(start, 0, nil)
+		for s := 1; s < stripes; s++ {
+			start := a.obsc.SpanStart()
+			body(s, s+1)
+			a.stripeSpan(start, s, nil)
+		}
+		return
+	}
+	cols := a.cfg.Module.Columns
+	workers := a.module.Banks() * a.module.Bank(0).Subarrays()
+	if n := runtime.GOMAXPROCS(0); workers > n {
+		workers = n
+	}
+	if workers > stripes {
+		workers = stripes
+	}
+	if workers <= 1 || stripes*(cols/64) < fastSerialThresholdWords {
+		body(0, stripes)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*stripes/workers, (w+1)*stripes/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // stripeRun is one serialization group's ascending stripe list.
@@ -731,14 +972,27 @@ func (a *Accelerator) runStripe(group, s int, buf *bitvec.Vector, fn func(s int,
 	return err
 }
 
-// forEachStripe runs fn for every stripe. Stripes sharing a subarray are
-// serialized (they share the row buffer); distinct subarrays run in
-// parallel goroutines when the row width is word-aligned, so concurrent
-// stores into the destination vector cannot touch the same word.
+// forEachStripe runs fn for every stripe with a leased row buffer — the
+// command-level entry point. Stripes sharing a subarray are serialized
+// (they share the row buffer); distinct subarrays run in parallel
+// goroutines when the row width is word-aligned, so concurrent stores
+// into the destination vector cannot touch the same word.
 func (a *Accelerator) forEachStripe(stripes int, fn func(s int, sub *dram.Subarray, buf *bitvec.Vector) error) error {
+	return a.forEachStripeBuf(stripes, true, fn)
+}
+
+// forEachStripeBuf is forEachStripe with the buffer policy explicit:
+// needBuf leases one pooled row buffer per serialization group (the
+// command-level path); the kernel fast path passes false and fn receives
+// a nil buffer.
+func (a *Accelerator) forEachStripeBuf(stripes int, needBuf bool, fn func(s int, sub *dram.Subarray, buf *bitvec.Vector) error) error {
 	cols := a.cfg.Module.Columns
 	if cols%64 != 0 || stripes == 1 {
-		buf := bitvec.New(cols)
+		var buf *bitvec.Vector
+		if needBuf {
+			buf = a.getBuf()
+			defer a.putBuf(buf)
+		}
 		for s := 0; s < stripes; s++ {
 			if err := a.runStripe(a.stripeGroup(s), s, buf, fn); err != nil {
 				return err
@@ -758,7 +1012,11 @@ func (a *Accelerator) forEachStripe(stripes int, fn func(s int, sub *dram.Subarr
 		wg.Add(1)
 		go func(i int, g stripeRun) {
 			defer wg.Done()
-			buf := bitvec.New(cols)
+			var buf *bitvec.Vector
+			if needBuf {
+				buf = a.getBuf()
+				defer a.putBuf(buf)
+			}
 			for _, s := range g.list {
 				if err := a.runStripe(g.group, s, buf, fn); err != nil {
 					errs[i], failAt[i] = err, s
@@ -788,22 +1046,24 @@ func firstStripeError(errs []error, failAt []int) error {
 }
 
 // loadStripe copies stripe s of src into the row buffer vector.
-// Word-aligned stripes (cols%64 == 0) copy whole words.
+// Word-aligned stripes (cols%64 == 0) copy whole words; the buffer may
+// come from the pool holding a previous stripe's contents, so the words
+// past the copied prefix are zeroed explicitly (the source's own tail
+// word is already masked, and a partial final stripe must read as zeros
+// beyond src.Len()).
 func loadStripe(row *bitvec.Vector, src *bitvec.Vector, s, cols int) {
 	base := s * cols
 	if cols%64 == 0 {
-		row.Fill(false)
 		rw := row.Words()
 		sw := src.Words()
 		lo := base / 64
-		for i := range rw {
-			if lo+i >= len(sw) {
-				break
-			}
-			rw[i] = sw[lo+i]
+		var n int
+		if lo < len(sw) {
+			n = copy(rw, sw[lo:])
 		}
-		// The source's own tail word is already masked; a full stripe
-		// beyond src.Len() stays zero via Fill.
+		for i := n; i < len(rw); i++ {
+			rw[i] = 0
+		}
 		return
 	}
 	row.Fill(false)
@@ -812,24 +1072,20 @@ func loadStripe(row *bitvec.Vector, src *bitvec.Vector, s, cols int) {
 	}
 }
 
-// storeStripe copies a result row back into stripe s of dst.
+// storeStripe copies a result row back into stripe s of dst. Word-aligned
+// stripes copy whole words and re-mask the destination's canonical tail
+// when the copy reaches the last word.
 func storeStripe(dst *bitvec.Vector, row *bitvec.Vector, s, cols int) {
 	base := s * cols
 	if cols%64 == 0 {
 		dw := dst.Words()
-		rw := row.Words()
 		lo := base / 64
-		for i := range rw {
-			if lo+i >= len(dw) {
-				break
-			}
-			if lo+i == len(dw)-1 && dst.Len()%64 != 0 {
-				// Preserve the destination's canonical tail.
-				mask := uint64(1)<<uint(dst.Len()%64) - 1
-				dw[lo+i] = rw[i] & mask
-				continue
-			}
-			dw[lo+i] = rw[i]
+		if lo >= len(dw) {
+			return
+		}
+		n := copy(dw[lo:], row.Words())
+		if lo+n == len(dw) {
+			dst.MaskTail()
 		}
 		return
 	}

@@ -3,10 +3,12 @@ package elp2im
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/dram"
 	"repro/internal/expr"
+	"repro/internal/kernel"
 )
 
 // Eval evaluates a boolean expression over named bulk bit-vectors entirely
@@ -59,24 +61,81 @@ func (a *Accelerator) Eval(src string, vars map[string]*BitVector) (*BitVector, 
 
 	stripes := (n + cols - 1) / cols
 	out := NewBitVector(n)
-	varRows := make([]int, len(prog.Vars))
-	for i := range varRows {
-		varRows[i] = i
-	}
-	scratchBase := len(prog.Vars)
 
-	err = a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-		for i, name := range prog.Vars {
-			loadStripe(buf, vars[name].v, s, cols)
-			sub.LoadRow(varRows[i], buf)
+	// The fast path compiles the whole program to word-level kernels and
+	// evaluates it per stripe directly on the vectors' words, with temp
+	// slots as pooled word slabs; any ineligible instruction (or a wrapped
+	// executor, or DisableFastpath) routes the entire program through the
+	// command-accurate device model, exactly as before.
+	ex, wrapped := a.executor()
+	kerns := make([]*kernel.Kernel, len(prog.Instrs))
+	fast := !wrapped && !a.cfg.DisableFastpath && cols%64 == 0
+	for i := 0; fast && i < len(prog.Instrs); i++ {
+		if kerns[i] = a.fastKernel(prog.Instrs[i].Op, wrapped); kerns[i] == nil {
+			fast = false
 		}
-		resRow, err := prog.Execute(sub, a.eng, varRows, scratchBase)
-		if err != nil {
-			return err
+	}
+
+	if fast {
+		a.fastHits.Inc()
+		wpr := cols / 64
+		slabs := sync.Pool{New: func() any {
+			s := make([]uint64, prog.TempSlots*wpr)
+			return &s
+		}}
+		res := prog.Result()
+		a.fastForEachRange(stripes, func(sLo, sHi int) {
+			slab := slabs.Get().(*[]uint64)
+			defer slabs.Put(slab)
+			ow := out.v.Words()
+			for s := sLo; s < sHi; s++ {
+				lo := s * wpr
+				if lo >= len(ow) {
+					return
+				}
+				hi := lo + wpr
+				if hi > len(ow) {
+					hi = len(ow)
+				}
+				wordsOf := func(r expr.Ref) []uint64 {
+					if r.Temp {
+						return (*slab)[r.Index*wpr : r.Index*wpr+(hi-lo)]
+					}
+					return vars[prog.Vars[r.Index]].v.Words()[lo:hi]
+				}
+				for i, in := range prog.Instrs {
+					var bw []uint64
+					if !in.Op.Unary() {
+						bw = wordsOf(in.B)
+					}
+					kerns[i].Apply(wordsOf(in.Dst), wordsOf(in.A), bw)
+				}
+				copy(ow[lo:hi], wordsOf(res))
+				if hi == len(ow) {
+					out.v.MaskTail()
+				}
+			}
+		})
+	} else {
+		a.fastFallbacks.Inc()
+		varRows := make([]int, len(prog.Vars))
+		for i := range varRows {
+			varRows[i] = i
 		}
-		storeStripe(out.v, sub.RowData(resRow), s, cols)
-		return nil
-	})
+		scratchBase := len(prog.Vars)
+		err = a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+			for i, name := range prog.Vars {
+				loadStripe(buf, vars[name].v, s, cols)
+				sub.LoadRow(varRows[i], buf)
+			}
+			resRow, err := prog.Execute(sub, ex, varRows, scratchBase)
+			if err != nil {
+				return err
+			}
+			storeStripe(out.v, sub.RowData(resRow), s, cols)
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -1,0 +1,374 @@
+package elp2im
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+)
+
+// fastpathConfigs enumerates every engine/reserved-row combination the
+// fast path must agree with the command-accurate model on.
+func fastpathConfigs() map[string][]func(*Config) {
+	return map[string][]func(*Config){
+		"elp2im-1":  {smallModule},
+		"elp2im-2":  {smallModule, func(c *Config) { c.ReservedRows = 2 }},
+		"elp2im-ht": {smallModule, func(c *Config) { c.HighThroughputMode = true }},
+		"ambit":     {smallModule, func(c *Config) { c.Design = DesignAmbit }},
+		"drisa":     {smallModule, func(c *Config) { c.Design = DesignDrisaNOR }},
+	}
+}
+
+// fastSlowPair builds two accelerators from one configuration: the default
+// (compiled-kernel) one and its DisableFastpath twin.
+func fastSlowPair(t *testing.T, muts []func(*Config)) (fast, slow *Accelerator) {
+	t.Helper()
+	fast = newAcc(t, muts...)
+	slow = newAcc(t, append(append([]func(*Config){}, muts...),
+		func(c *Config) { c.DisableFastpath = true })...)
+	return fast, slow
+}
+
+// TestFastpathMatchesCommandPath is the differential gate of the compiled
+// kernels: for every engine, reserved-row configuration, operation, and a
+// spread of vector lengths (multi-stripe, single-word, ragged tails,
+// partial final stripes), Op must produce bit-identical results and
+// bit-identical modeled costs on both execution paths.
+func TestFastpathMatchesCommandPath(t *testing.T) {
+	allOps := []Op{OpNot, OpAnd, OpOr, OpNand, OpNor, OpXor, OpXnor, OpCopy}
+	rng := rand.New(rand.NewSource(11))
+	// smallModule has 128 columns: cover one word, one exact stripe, a
+	// ragged tail inside one stripe, several stripes, a partial final
+	// stripe, and two random ragged lengths.
+	lengths := []int{
+		64, 128, 50, 128 * 3, 128*2 + 37, 128*5 + 1,
+		1 + rng.Intn(2000), 1 + rng.Intn(2000),
+	}
+	for name, muts := range fastpathConfigs() {
+		fast, slow := fastSlowPair(t, muts)
+		for _, op := range allOps {
+			for _, n := range lengths {
+				x := RandomBitVector(rng, n)
+				y := RandomBitVector(rng, n)
+				var yArg *BitVector
+				if !op.Unary() {
+					yArg = y
+				}
+				dFast := NewBitVector(n)
+				dSlow := NewBitVector(n)
+				stFast, err := fast.Op(op, dFast, x, yArg)
+				if err != nil {
+					t.Fatalf("%s/%v/n=%d fast: %v", name, op, n, err)
+				}
+				stSlow, err := slow.Op(op, dSlow, x, yArg)
+				if err != nil {
+					t.Fatalf("%s/%v/n=%d slow: %v", name, op, n, err)
+				}
+				if !dFast.Equal(dSlow) {
+					t.Fatalf("%s/%v/n=%d: fast path result diverges from command path", name, op, n)
+				}
+				want := NewBitVector(n)
+				golden(op, want, x, y)
+				if !dFast.Equal(want) {
+					t.Fatalf("%s/%v/n=%d: both paths disagree with golden", name, op, n)
+				}
+				if stFast != stSlow {
+					t.Fatalf("%s/%v/n=%d: modeled cost diverges: fast %+v, slow %+v",
+						name, op, n, stFast, stSlow)
+				}
+			}
+		}
+		// Every fast-accelerator dispatch must have hit the kernels and
+		// every slow one must have fallen back.
+		fs := fast.Snapshot()
+		if fs.Counter("acc.fastpath.hit") == 0 || fs.Counter("acc.fastpath.fallback") != 0 {
+			t.Errorf("%s: fast accelerator hit=%d fallback=%d", name,
+				fs.Counter("acc.fastpath.hit"), fs.Counter("acc.fastpath.fallback"))
+		}
+		ss := slow.Snapshot()
+		if ss.Counter("acc.fastpath.hit") != 0 || ss.Counter("acc.fastpath.fallback") == 0 {
+			t.Errorf("%s: slow accelerator hit=%d fallback=%d", name,
+				ss.Counter("acc.fastpath.hit"), ss.Counter("acc.fastpath.fallback"))
+		}
+	}
+}
+
+// TestFastpathReduceMatchesCommandPath runs the chained reduction on both
+// paths for every configuration and both foldable operations.
+func TestFastpathReduceMatchesCommandPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for name, muts := range fastpathConfigs() {
+		fast, slow := fastSlowPair(t, muts)
+		for _, op := range []Op{OpAnd, OpOr} {
+			for _, n := range []int{128 * 3, 128*2 + 37, 200} {
+				vs := make([]*BitVector, 4)
+				for i := range vs {
+					vs[i] = RandomBitVector(rng, n)
+				}
+				dFast := NewBitVector(n)
+				dSlow := NewBitVector(n)
+				stFast, err := fast.Reduce(op, dFast, vs...)
+				if err != nil {
+					t.Fatalf("%s/%v/n=%d fast: %v", name, op, n, err)
+				}
+				stSlow, err := slow.Reduce(op, dSlow, vs...)
+				if err != nil {
+					t.Fatalf("%s/%v/n=%d slow: %v", name, op, n, err)
+				}
+				if !dFast.Equal(dSlow) {
+					t.Fatalf("%s/%v/n=%d: reduce fast path diverges", name, op, n)
+				}
+				if stFast != stSlow {
+					t.Fatalf("%s/%v/n=%d: reduce cost diverges: fast %+v, slow %+v",
+						name, op, n, stFast, stSlow)
+				}
+			}
+		}
+	}
+}
+
+// TestFastpathBatchMatchesCommandPath runs a dependency chain through a
+// Batch on both paths.
+func TestFastpathBatchMatchesCommandPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for name, muts := range fastpathConfigs() {
+		fast, slow := fastSlowPair(t, muts)
+		n := 128*3 + 29
+		a := RandomBitVector(rng, n)
+		b := RandomBitVector(rng, n)
+		c := RandomBitVector(rng, n)
+		run := func(acc *Accelerator) (*BitVector, *BitVector, Stats) {
+			t.Helper()
+			tmp := NewBitVector(n)
+			dst := NewBitVector(n)
+			red := NewBitVector(n)
+			bt := acc.Batch()
+			defer bt.Close()
+			bt.Submit(OpXor, tmp, a, b)
+			bt.Submit(OpNand, dst, tmp, c)
+			bt.SubmitReduce(OpOr, red, a, b, c)
+			st, err := bt.Wait()
+			if err != nil {
+				t.Fatalf("%s: batch: %v", name, err)
+			}
+			return dst, red, st
+		}
+		dFast, rFast, stFast := run(fast)
+		dSlow, rSlow, stSlow := run(slow)
+		if !dFast.Equal(dSlow) || !rFast.Equal(rSlow) {
+			t.Fatalf("%s: batched fast path diverges from command path", name)
+		}
+		if stFast != stSlow {
+			t.Fatalf("%s: batched cost diverges: fast %+v, slow %+v", name, stFast, stSlow)
+		}
+	}
+}
+
+// TestFastpathEvalMatchesCommandPath evaluates compiled expressions on
+// both paths, including the bare-variable edge case.
+func TestFastpathEvalMatchesCommandPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	exprs := []string{
+		"(a & ~b) | (c ^ d)",
+		"~(a | b) ^ (c & ~d)",
+		"a",
+	}
+	for name, muts := range fastpathConfigs() {
+		fast, slow := fastSlowPair(t, muts)
+		for _, src := range exprs {
+			for _, n := range []int{128 * 2, 128 + 91} {
+				vars := map[string]*BitVector{
+					"a": RandomBitVector(rng, n),
+					"b": RandomBitVector(rng, n),
+					"c": RandomBitVector(rng, n),
+					"d": RandomBitVector(rng, n),
+				}
+				outFast, stFast, err := fast.Eval(src, vars)
+				if err != nil {
+					t.Fatalf("%s/%q fast: %v", name, src, err)
+				}
+				outSlow, stSlow, err := slow.Eval(src, vars)
+				if err != nil {
+					t.Fatalf("%s/%q slow: %v", name, src, err)
+				}
+				if !outFast.Equal(outSlow) {
+					t.Fatalf("%s/%q/n=%d: eval fast path diverges", name, src, n)
+				}
+				if stFast != stSlow {
+					t.Fatalf("%s/%q/n=%d: eval cost diverges: fast %+v, slow %+v",
+						name, src, n, stFast, stSlow)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultWrapperForcesCommandPath checks the wrapper contract: installing
+// a fault injector with SetExecutor must route operations through the
+// command-accurate model (the injector sees real commands and its counters
+// advance), and SetExecutor(nil) must restore the fast path.
+func TestFaultWrapperForcesCommandPath(t *testing.T) {
+	acc := newAcc(t, smallModule)
+	inj, err := fault.New(acc.BaseExecutor(), 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.SetExecutor(inj)
+
+	// One stripe: the injector is not safe for concurrent use, and a
+	// single-stripe operation runs serially.
+	n := acc.cfg.Module.Columns
+	rng := rand.New(rand.NewSource(15))
+	x := RandomBitVector(rng, n)
+	y := RandomBitVector(rng, n)
+	dst := NewBitVector(n)
+	if _, err := acc.Op(OpAnd, dst, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Ops == 0 || inj.Injected == 0 {
+		t.Fatalf("injector saw ops=%d injected=%d; wrapper was bypassed", inj.Ops, inj.Injected)
+	}
+	// Rate 1 flips every result bit, so the output must be the exact
+	// complement of the true AND — only command-level execution shows this.
+	want := NewBitVector(n)
+	golden(OpNand, want, x, y)
+	if !dst.Equal(want) {
+		t.Fatal("rate-1 injector did not complement the result; fast path leaked past the wrapper")
+	}
+	s := acc.Snapshot()
+	if s.Counter("acc.fastpath.fallback") == 0 || s.Counter("acc.fastpath.hit") != 0 {
+		t.Fatalf("wrapped executor: hit=%d fallback=%d",
+			s.Counter("acc.fastpath.hit"), s.Counter("acc.fastpath.fallback"))
+	}
+
+	// Restoring the engine re-enables the fast path and correct results.
+	acc.SetExecutor(nil)
+	if _, err := acc.Op(OpAnd, dst, x, y); err != nil {
+		t.Fatal(err)
+	}
+	golden(OpAnd, want, x, y)
+	if !dst.Equal(want) {
+		t.Fatal("result wrong after restoring the engine executor")
+	}
+	if got := acc.Snapshot().Counter("acc.fastpath.hit"); got != 1 {
+		t.Fatalf("acc.fastpath.hit = %d after SetExecutor(nil), want 1", got)
+	}
+}
+
+// TestFastpathStripeAllocFree is the zero-allocation gate on the fast
+// path's per-stripe body.
+func TestFastpathStripeAllocFree(t *testing.T) {
+	acc := newAcc(t, smallModule)
+	cols := acc.cfg.Module.Columns
+	kAnd, err := acc.kerns.Kernel(engine.OpAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kNot, err := acc.kerns.Kernel(engine.OpNOT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cols*4 + 37
+	dst := NewBitVector(n)
+	x := RandomBitVector(rand.New(rand.NewSource(16)), n)
+	y := RandomBitVector(rand.New(rand.NewSource(17)), n)
+	stripes := (n + cols - 1) / cols
+	allocs := testing.AllocsPerRun(100, func() {
+		for s := 0; s < stripes; s++ {
+			fastStripe(kAnd, dst.v, x.v, y.v, s, cols)
+			fastStripe(kNot, dst.v, x.v, nil, s, cols)
+			fastFoldStripe(kAnd, dst.v, x.v, s, cols)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fast-path stripe body allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestFastpathConcurrentWithExecutorSwaps hammers one accelerator with
+// concurrent synchronous ops, a batch, and executor swaps that flip every
+// in-flight dispatch decision between the two paths. Results must stay
+// correct throughout (run under -race by scripts/lint.sh).
+func TestFastpathConcurrentWithExecutorSwaps(t *testing.T) {
+	acc := newAcc(t, smallModule)
+	const n = 128 * 4
+	errc := make(chan error, 16)
+
+	// Toggler: BaseExecutor() is the engine itself, so wrapping it forces
+	// the command path without adding non-thread-safe state.
+	stop := make(chan struct{})
+	var toggler sync.WaitGroup
+	toggler.Add(1)
+	go func() {
+		defer toggler.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				acc.SetExecutor(acc.BaseExecutor())
+			} else {
+				acc.SetExecutor(nil)
+			}
+		}
+	}()
+
+	var workers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < 20; i++ {
+				x := RandomBitVector(rng, n)
+				y := RandomBitVector(rng, n)
+				dst := NewBitVector(n)
+				if _, err := acc.Op(OpXor, dst, x, y); err != nil {
+					errc <- err
+					return
+				}
+				want := NewBitVector(n)
+				golden(OpXor, want, x, y)
+				if !dst.Equal(want) {
+					errc <- fmt.Errorf("goroutine %d iter %d: wrong XOR under executor swaps", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		rng := rand.New(rand.NewSource(200))
+		b := acc.Batch()
+		defer b.Close()
+		x := RandomBitVector(rng, n)
+		y := RandomBitVector(rng, n)
+		dst := NewBitVector(n)
+		for i := 0; i < 20; i++ {
+			b.Submit(OpAnd, dst, x, y)
+		}
+		if _, err := b.Wait(); err != nil {
+			errc <- err
+			return
+		}
+		want := NewBitVector(n)
+		golden(OpAnd, want, x, y)
+		if !dst.Equal(want) {
+			errc <- fmt.Errorf("batched AND wrong under executor swaps")
+		}
+	}()
+
+	workers.Wait()
+	close(stop)
+	toggler.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -62,6 +62,12 @@ func (v *Vector) maskTail() {
 // Len returns the length in bits.
 func (v *Vector) Len() int { return v.nbits }
 
+// MaskTail re-establishes the canonical-form invariant (bits beyond Len
+// in the last word zeroed) after direct writes through Words. Callers
+// that bulk-write words — the compiled kernel fast path — must call it
+// once the final word has been touched.
+func (v *Vector) MaskTail() { v.maskTail() }
+
 // Words returns the underlying words. The slice is shared, not copied;
 // mutating it directly may break the canonical-form invariant.
 func (v *Vector) Words() []uint64 { return v.bits }

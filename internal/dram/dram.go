@@ -134,6 +134,13 @@ type Subarray struct {
 	mode   RetainMode
 	retain *bitvec.Vector // snapshot of buffer at pseudo-precharge time
 
+	// Persistent per-command scratch rows, so Activate and ActivateTRA
+	// never allocate on the hot path (the command-accurate model is the
+	// fallback executor behind every fastpath miss and the whole
+	// differential harness).
+	scratchVal *bitvec.Vector // negated-read staging in Activate
+	scratchRes *bitvec.Vector // charge-sharing result in Activate/ActivateTRA
+
 	// Stats counters (functional-level cross-checks for the engines).
 	Activations int // activate events
 	Wordlines   int // total wordlines raised
@@ -146,10 +153,12 @@ func NewSubarray(cfg Config) *Subarray {
 		rows[i] = bitvec.New(cfg.Columns)
 	}
 	return &Subarray{
-		cfg:    cfg,
-		rows:   rows,
-		buf:    bitvec.New(cfg.Columns),
-		retain: bitvec.New(cfg.Columns),
+		cfg:        cfg,
+		rows:       rows,
+		buf:        bitvec.New(cfg.Columns),
+		retain:     bitvec.New(cfg.Columns),
+		scratchVal: bitvec.New(cfg.Columns),
+		scratchRes: bitvec.New(cfg.Columns),
 	}
 }
 
@@ -237,11 +246,11 @@ func (s *Subarray) Activate(r int, negated bool) error {
 	case StatePseudoPrecharged:
 		// ELP2IM in-place op. Where the bitline retained a full rail the
 		// cell is overwritten; elsewhere the cell is sensed normally.
-		val := cell.Clone()
+		val := cell
 		if negated {
-			val.Not(cell)
+			val = s.scratchVal.Not(cell)
 		}
-		result := bitvec.New(s.cfg.Columns)
+		result := s.scratchRes
 		switch s.mode {
 		case RetainOnes: // retained '1' overwrites → OR
 			result.Or(s.retain, val)
@@ -275,7 +284,7 @@ func (s *Subarray) ActivateTRA(r0, r1, r2 int) error {
 	}
 	s.Activations++
 	s.Wordlines += 3
-	maj := bitvec.New(s.cfg.Columns).Majority(s.rows[r0], s.rows[r1], s.rows[r2])
+	maj := s.scratchRes.Majority(s.rows[r0], s.rows[r1], s.rows[r2])
 	s.rows[r0].CopyFrom(maj)
 	s.rows[r1].CopyFrom(maj)
 	s.rows[r2].CopyFrom(maj)

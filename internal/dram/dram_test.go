@@ -488,3 +488,41 @@ func TestConfigTotalRows(t *testing.T) {
 		t.Fatal("TotalRows wrong")
 	}
 }
+
+// TestCommandsAllocFree is the device-model allocation gate: with the
+// persistent scratch rows, no command primitive allocates — in particular
+// Activate in the pseudo-precharged state (the ELP2IM in-place op, the
+// hottest command of the fallback executor) and ActivateTRA.
+func TestCommandsAllocFree(t *testing.T) {
+	s := NewSubarray(smallCfg())
+	rng := rand.New(rand.NewSource(3))
+	s.LoadRow(0, bitvec.Random(rng, 128))
+	s.LoadRow(1, bitvec.Random(rng, 128))
+	s.LoadRow(2, bitvec.Random(rng, 128))
+
+	mustOK := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pseudo-precharged Activate, regular and negated, both retain modes.
+	allocs := testing.AllocsPerRun(100, func() {
+		mustOK(s.Activate(0, false))
+		mustOK(s.PseudoPrecharge(RetainZeros))
+		mustOK(s.Activate(1, false))
+		mustOK(s.PseudoPrecharge(RetainOnes))
+		mustOK(s.Activate(s.DCCRow(0), true))
+		s.Precharge()
+	})
+	if allocs != 0 {
+		t.Fatalf("pseudo-precharged Activate allocates %.1f/op, want 0", allocs)
+	}
+	// TRA.
+	allocs = testing.AllocsPerRun(100, func() {
+		mustOK(s.ActivateTRA(0, 1, 2))
+		s.Precharge()
+	})
+	if allocs != 0 {
+		t.Fatalf("ActivateTRA allocates %.1f/op, want 0", allocs)
+	}
+}

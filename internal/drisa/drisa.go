@@ -12,7 +12,6 @@ package drisa
 import (
 	"fmt"
 
-	"repro/internal/bitvec"
 	"repro/internal/dram"
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -222,16 +221,19 @@ func (e *Engine) execute(sub *dram.Subarray, op engine.Op, dst, a, b int) error 
 	}
 	s0, s1, s2, s3 := n-1, n-2, n-3, n-4
 
+	// The gate result is written straight into the target row: the
+	// word-wise bitvec ops are single-pass and the decompositions below
+	// never alias a cycle's target with its operands, so no per-cycle
+	// scratch vector (and no allocation) is needed.
 	nor := func(into, x, y int) {
 		sub.Activations += 2 // both operand rows are opened through the gate
 		sub.Wordlines += 2
-		r := bitvec.New(sub.Columns()).Nor(sub.RowData(x), sub.RowData(y))
-		sub.LoadRow(into, r)
+		sub.RowData(into).Nor(sub.RowData(x), sub.RowData(y))
 	}
 	move := func(into, x int) {
 		sub.Activations += 2
 		sub.Wordlines += 2
-		sub.LoadRow(into, sub.RowData(x).Clone())
+		sub.RowData(into).CopyFrom(sub.RowData(x))
 	}
 
 	switch op {

@@ -82,6 +82,8 @@ func (a *Accelerator) initObs() {
 	a.lockContended = m.Counter("acc.lock.contended")
 	a.batchSubmitted = m.Counter("batch.submitted")
 	a.batchWaits = m.Counter("batch.waits")
+	a.fastHits = m.Counter("acc.fastpath.hit")
+	a.fastFallbacks = m.Counter("acc.fastpath.fallback")
 	if ie, ok := a.eng.(interface{ Instrument(*obs.Context) }); ok {
 		ie.Instrument(a.obsc)
 	}

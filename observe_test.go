@@ -50,10 +50,17 @@ func TestSnapshotPerOpSeries(t *testing.T) {
 	if s.Counter("acc.op.commands.AND") <= 0 || s.Counter("acc.op.wordlines.AND") <= 0 {
 		t.Error("command/wordline series empty after 3 ANDs")
 	}
-	// Engine-level execution counters share the accelerator context.
-	stripes := int64(n / acc.cfg.Module.Columns)
-	if got := s.Counter("engine.exec.ELP2IM.AND"); got != 3*stripes {
-		t.Errorf("engine.exec.ELP2IM.AND = %d, want %d", got, 3*stripes)
+	// On the default (fast-path) configuration the engine executes only
+	// during kernel derivation — one packed probe plus one verification run
+	// per op — and the facade counts every dispatched op as a fast-path hit.
+	if got := s.Counter("engine.exec.ELP2IM.AND"); got != 2 {
+		t.Errorf("engine.exec.ELP2IM.AND = %d, want 2 (derivation probe + verify)", got)
+	}
+	if got := s.Counter("acc.fastpath.hit"); got != 4 {
+		t.Errorf("acc.fastpath.hit = %d, want 4", got)
+	}
+	if got := s.Counter("acc.fastpath.fallback"); got != 0 {
+		t.Errorf("acc.fastpath.fallback = %d, want 0", got)
 	}
 	// The scheduler memo's counters ride along in every snapshot.
 	if _, ok := s.Counters["sched.cache.hits"]; !ok {
@@ -66,6 +73,33 @@ func TestSnapshotPerOpSeries(t *testing.T) {
 	}
 	if got := acc2.Snapshot().Counter("acc.op.count.AND"); got != 0 {
 		t.Errorf("fresh accelerator starts with count %d, want 0", got)
+	}
+
+	// With the fast path disabled the engine-level execution counters
+	// advance per stripe again, and every dispatch counts as a fallback.
+	slow, err := New(func(c *Config) { c.DisableFastpath = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := slow.Op(OpAnd, dst, x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss := slow.Snapshot()
+	stripes := int64(n / slow.cfg.Module.Columns)
+	if got := ss.Counter("engine.exec.ELP2IM.AND"); got != 3*stripes {
+		t.Errorf("command-level engine.exec.ELP2IM.AND = %d, want %d", got, 3*stripes)
+	}
+	if got := ss.Counter("acc.fastpath.fallback"); got != 3 {
+		t.Errorf("acc.fastpath.fallback = %d, want 3", got)
+	}
+	if got := ss.Counter("acc.fastpath.hit"); got != 0 {
+		t.Errorf("acc.fastpath.hit = %d, want 0", got)
+	}
+	// Command-level stripes serialize on the per-subarray locks.
+	if ss.Counter("acc.lock.acquire") == 0 {
+		t.Error("acc.lock.acquire = 0 after command-level ops")
 	}
 }
 
@@ -131,9 +165,14 @@ func TestSnapshotConsistentUnderConcurrentBatch(t *testing.T) {
 	if tot := acc.Totals().LatencyNS; math.Abs(sum-tot) > 1e-6*tot {
 		t.Errorf("histogram latency sum %g != totals %g", sum, tot)
 	}
-	// Every stripe execution passed through the per-subarray locks.
-	if s.Counter("acc.lock.acquire") == 0 {
-		t.Error("acc.lock.acquire = 0 after concurrent load")
+	// All this traffic dispatched through the compiled kernels, which
+	// never touch device row state and therefore never take the
+	// per-subarray locks (lock counters track command-level stripes only).
+	if got := s.Counter("acc.fastpath.hit"); got != batches*perBatch+4 {
+		t.Errorf("acc.fastpath.hit = %d, want %d", got, batches*perBatch+4)
+	}
+	if s.Counter("acc.lock.acquire") != 0 {
+		t.Error("fast-path stripes took per-subarray locks")
 	}
 	if got, max := s.Gauge("pipeline.queue.depth"), s.Gauge("pipeline.queue.depth.max"); got != 0 || max == 0 {
 		t.Errorf("queue depth = %d (want 0 after drain), max = %d (want > 0)", got, max)

@@ -9,6 +9,14 @@
 #   single_call_cached   : per-call Op with the memo on (default)
 #   batched              : ops submitted through Accelerator.Batch
 #
+# plus the two execution modes of the functional hot loop on an 8 Mbit AND
+# (see DESIGN.md "Execution modes"):
+#   fastpath             : compiled word-level kernels (default)
+#   fallback             : command-accurate device model (DisableFastpath)
+#
+# When the output file already exists, its previous values are echoed as a
+# before/after delta so regressions are visible at a glance.
+#
 # Part 2 (BENCH_server.json) drives an in-process elpd with elpload's
 # mixed concurrent workload and records achieved QPS, latency
 # percentiles, and the micro-batcher's mean batch occupancy.
@@ -24,16 +32,27 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_pipeline.json}"
 benchtime="${BENCHTIME:-200x}"
 
-raw=$(go test -run '^$' -bench 'BenchmarkPipeline(PerCallUncached|PerCallCached|BatchCached)$' \
-	-benchtime "$benchtime" .)
+prev=""
+if [ -f "$out" ]; then
+	prev=$(cat "$out")
+fi
+
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkPipeline(PerCallUncached|PerCallCached|BatchCached)$|BenchmarkAcceleratorBulkAND(Fallback)?$' \
+	-benchtime "$benchtime" -benchmem .)
 printf '%s\n' "$raw" >&2
 
+# Benchmark names print with a -GOMAXPROCS suffix on multi-core machines
+# (e.g. ...BulkAND-8) and bare otherwise, so the AND / ANDFallback pair
+# must be anchored through the end of the name to avoid a prefix collision.
 printf '%s\n' "$raw" | awk -v out="$out" '
-/^BenchmarkPipelinePerCallUncached/ { uncached = $3 }
-/^BenchmarkPipelinePerCallCached/   { cached = $3 }
-/^BenchmarkPipelineBatchCached/     { batched = $3 }
+/^BenchmarkPipelinePerCallUncached/                  { uncached = $3 }
+/^BenchmarkPipelinePerCallCached/                    { cached = $3 }
+/^BenchmarkPipelineBatchCached/                      { batched = $3 }
+/^BenchmarkAcceleratorBulkAND(-[0-9]+)?[ \t]/         { fastpath = $3 }
+/^BenchmarkAcceleratorBulkANDFallback(-[0-9]+)?[ \t]/ { fallback = $3 }
 END {
-	if (uncached == "" || cached == "" || batched == "") {
+	if (uncached == "" || cached == "" || batched == "" || fastpath == "" || fallback == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"
 		exit 1
 	}
@@ -43,12 +62,29 @@ END {
 	printf "  \"single_call_cached_ns_op\": %s,\n", cached > out
 	printf "  \"batched_ns_op\": %s,\n", batched > out
 	printf "  \"batch_speedup_vs_uncached\": %.2f,\n", uncached / batched > out
-	printf "  \"cache_speedup_per_call\": %.2f\n", uncached / cached > out
+	printf "  \"cache_speedup_per_call\": %.2f,\n", uncached / cached > out
+	printf "  \"fastpath_ns_op\": %s,\n", fastpath > out
+	printf "  \"fallback_ns_op\": %s,\n", fallback > out
+	printf "  \"fastpath_speedup\": %.2f\n", fallback / fastpath > out
 	printf "}\n" > out
 }
 '
 echo "wrote $out" >&2
 cat "$out"
+
+if [ -n "$prev" ]; then
+	echo "bench.sh: delta vs previous $out (before -> after):" >&2
+	prev_tmp=$(mktemp)
+	printf '%s\n' "$prev" >"$prev_tmp"
+	awk -F'[:,]' '
+		NR == FNR { key = $1; val = $2; gsub(/[ "]/, "", key); gsub(/ /, "", val)
+		            if (key != "" && val ~ /^-?[0-9.]+$/) prev[key] = val; next }
+		{ key = $1; val = $2; gsub(/[ "]/, "", key); gsub(/ /, "", val)
+		  if (key in prev && val ~ /^-?[0-9.]+$/)
+		      printf "  %-28s %12s -> %s\n", key, prev[key], val }
+	' "$prev_tmp" "$out" >&2
+	rm -f "$prev_tmp"
+fi
 
 # Part 2: the PIM-as-a-service trajectory point. elpload with no -addr
 # spawns an in-process server, drives the mixed op workload, verifies

@@ -5,8 +5,10 @@
 #   3. doccheck    — godoc completeness for the packages whose documentation
 #                    the project guarantees (root facade, internal/pipeline,
 #                    internal/obs, internal/server)
-#   4. race tests  — the server/micro-batcher suite under the race detector
-#                    (its whole value is its concurrency envelope)
+#   4. race tests  — the server/micro-batcher suite, the kernel-derivation
+#                    cache, and the facade's fast-path/fallback concurrency
+#                    tests under the race detector (their whole value is
+#                    their concurrency envelope)
 set -u
 cd "$(dirname "$0")/.."
 
@@ -28,6 +30,14 @@ if ! go run ./scripts/doccheck . internal/pipeline internal/obs internal/server;
 fi
 
 if ! go test -race -count=1 ./internal/server/...; then
+    fail=1
+fi
+
+if ! go test -race -count=1 ./internal/kernel/...; then
+    fail=1
+fi
+
+if ! go test -race -count=1 -run 'Fastpath|FaultWrapper' .; then
     fail=1
 fi
 
