@@ -1,8 +1,6 @@
 package elp2im
 
 import (
-	"errors"
-	"fmt"
 	"math"
 	"sync"
 
@@ -20,9 +18,11 @@ type costTerm struct {
 	st Stats
 }
 
-// Future is the handle of one asynchronously submitted operation.
+// Future is the handle of one asynchronously submitted operation. A Batch
+// submission has one underlying pipeline future; a ShardBatch submission
+// has one per shard its stripes scattered to.
 type Future struct {
-	pf *pipeline.Future
+	pfs []*pipeline.Future
 	// components are the operation's cost terms in the order the
 	// synchronous path would account them (one for an Op, copy + one per
 	// fold for a Reduce); Batch.Wait folds them into the session totals in
@@ -34,13 +34,26 @@ type Future struct {
 	accounted  bool  // guarded by the owning batch's mutex
 }
 
+// runErr blocks until every underlying pipeline future settles and returns
+// the first error in slice order — task order for a Batch, ascending shard
+// order for a ShardBatch — so the reported error is deterministic.
+func (f *Future) runErr() error {
+	var first error
+	for _, pf := range f.pfs {
+		if err := pf.Err(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Wait blocks until the operation completes and returns its modeled cost.
 // Session totals are folded in by Batch.Wait, not here.
 func (f *Future) Wait() (Stats, error) {
 	if f.err != nil {
 		return Stats{}, f.err
 	}
-	if err := f.pf.Err(); err != nil {
+	if err := f.runErr(); err != nil {
 		return Stats{}, err
 	}
 	return f.stats, nil
@@ -73,10 +86,10 @@ type Batch struct {
 	leased []*Future // submission order
 }
 
-// Batch returns a new asynchronous submission context. The worker pool is
-// sized from the scheduler's effective-bank count under the current power
-// constraint — the modeled hardware's own concurrency budget.
-func (a *Accelerator) Batch() *Batch {
+// batchWorkers sizes a batch worker pool from the scheduler's
+// effective-bank count under the current power constraint — the modeled
+// hardware's own concurrency budget.
+func (a *Accelerator) batchWorkers() int {
 	workers := a.module.Banks()
 	if u, err := a.opUnit(engine.OpAND); err == nil {
 		eff := int(math.Ceil(u.banks))
@@ -84,9 +97,15 @@ func (a *Accelerator) Batch() *Batch {
 			workers = eff
 		}
 	}
+	return workers
+}
+
+// Batch returns a new asynchronous submission context. The worker pool is
+// sized by batchWorkers.
+func (a *Accelerator) Batch() *Batch {
 	return &Batch{
 		acc:  a,
-		pool: pipeline.NewPoolObs(workers, a.obsc),
+		pool: pipeline.NewPoolObs(a.batchWorkers(), a.obsc),
 	}
 }
 
@@ -102,25 +121,61 @@ func (b *Batch) failed(err error) *Future {
 	return f
 }
 
+// opTasks builds the per-serialization-group pipeline tasks executing
+// dst = op(x, y) over the grouped stripes (y nil for unary ops). The
+// executor — and with it fast-path eligibility — is resolved now, at
+// submission time: SetExecutor takes effect for operations started after
+// the call, and a Submit is the operation's start. The groups argument is
+// ordered by first stripe (see groupStripes), so the task slice — and with
+// it pipeline.Future's "first error in task order" — is deterministic.
+// Shared by Batch.Submit and ShardBatch.Submit.
+func (a *Accelerator) opTasks(iop engine.Op, dst, x, y *bitvec.Vector, groups []stripeRun) []pipeline.Task {
+	cols := a.cfg.Module.Columns
+	ex, wrapped := a.executor()
+	k := a.fastKernel(iop, wrapped)
+	if k != nil {
+		a.fastHits.Inc()
+	} else {
+		a.fastFallbacks.Inc()
+	}
+	tasks := make([]pipeline.Task, 0, len(groups))
+	for _, g := range groups {
+		g := g
+		tasks = append(tasks, pipeline.Task{Group: g.group, Run: func() error {
+			if k != nil {
+				// Pure word-level body: no device row state, so no
+				// per-subarray lock — the pipeline's per-group FIFO already
+				// orders dependent submissions.
+				for _, s := range g.list {
+					start := a.obsc.SpanStart()
+					fastStripe(k, dst, x, y, s, cols)
+					a.stripeSpan(start, s, nil)
+				}
+				return nil
+			}
+			buf := a.getBuf()
+			defer a.putBuf(buf)
+			for _, s := range g.list {
+				if err := a.runStripe(g.group, s, buf, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+					return a.opStripe(ex, iop, dst, x, y, s, sub, buf)
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	return tasks
+}
+
 // Submit enqueues dst = op(x, y) (y nil for unary ops) and returns its
 // future. Validation errors surface on the returned future and on Wait.
 func (b *Batch) Submit(op Op, dst, x, y *BitVector) *Future {
 	a := b.acc
 	a.batchSubmitted.Inc()
 	iop := op.internal()
-	if x == nil || dst == nil {
-		return b.failed(errors.New("elp2im: nil vector"))
-	}
-	if !op.Unary() {
-		if y == nil {
-			return b.failed(fmt.Errorf("elp2im: %v needs two operands", op))
-		}
-		if y.Len() != x.Len() {
-			return b.failed(errors.New("elp2im: operand length mismatch"))
-		}
-	}
-	if dst.Len() != x.Len() {
-		return b.failed(errors.New("elp2im: destination length mismatch"))
+	if err := validateOp(op, dst, x, y); err != nil {
+		return b.failed(err)
 	}
 
 	cols := a.cfg.Module.Columns
@@ -134,79 +189,22 @@ func (b *Batch) Submit(op Op, dst, x, y *BitVector) *Future {
 	if y != nil {
 		yv = y.v
 	}
-	// The executor (and with it fast-path eligibility) is resolved at
-	// submission time: SetExecutor takes effect for operations started
-	// after the call, and a Submit is the operation's start.
-	ex, wrapped := a.executor()
-	k := a.fastKernel(iop, wrapped)
-	if k != nil {
-		a.fastHits.Inc()
-	} else {
-		a.fastFallbacks.Inc()
-	}
-	// groupStripes is ordered by first stripe, so the task slice — and with
-	// it pipeline.Future's "first error in task order" — is deterministic.
-	groups := a.groupStripes(stripes)
-	tasks := make([]pipeline.Task, 0, len(groups))
-	for _, g := range groups {
-		g := g
-		tasks = append(tasks, pipeline.Task{Group: g.group, Run: func() error {
-			if k != nil {
-				// Pure word-level body: no device row state, so no
-				// per-subarray lock — the pipeline's per-group FIFO already
-				// orders dependent submissions.
-				for _, s := range g.list {
-					start := a.obsc.SpanStart()
-					fastStripe(k, dst.v, x.v, yv, s, cols)
-					a.stripeSpan(start, s, nil)
-				}
-				return nil
-			}
-			buf := a.getBuf()
-			defer a.putBuf(buf)
-			for _, s := range g.list {
-				if err := a.runStripe(g.group, s, buf, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-					return a.opStripe(ex, iop, dst.v, x.v, yv, s, sub, buf)
-				}); err != nil {
-					return err
-				}
-			}
-			return nil
-		}})
-	}
+	tasks := a.opTasks(iop, dst.v, x.v, yv, a.groupStripes(stripes))
 	return b.enqueue(tasks, []costTerm{{op: iop, st: st}}, st)
 }
 
-// SubmitReduce enqueues the asynchronous variant of Reduce:
-// dst = vs[0] op vs[1] op ... (OpAnd / OpOr only).
-func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
-	a := b.acc
-	a.batchSubmitted.Inc()
-	if op != OpAnd && op != OpOr {
-		return b.failed(fmt.Errorf("elp2im: no reduction for %v", op))
-	}
-	if len(vs) < 2 {
-		return b.failed(errors.New("elp2im: reduction needs at least two vectors"))
-	}
-	for _, v := range vs {
-		if v == nil || v.Len() != dst.Len() {
-			return b.failed(errors.New("elp2im: reduction operand nil or length mismatch"))
-		}
-	}
-	iop := op.internal()
-	cols := a.cfg.Module.Columns
-	stripes := (dst.Len() + cols - 1) / cols
-
-	// Cost components in the synchronous Reduce's accounting order: the
-	// staging copy, then one term per fold.
-	components := make([]costTerm, 0, len(vs))
+// reduceComponents computes a reduction's cost terms in the synchronous
+// Reduce's accounting order — the staging copy, then one term per fold —
+// plus their sum (shared by Batch.SubmitReduce, ShardBatch.SubmitReduce).
+func (a *Accelerator) reduceComponents(iop engine.Op, operands, stripes int) ([]costTerm, Stats, error) {
+	components := make([]costTerm, 0, operands)
 	copySt, err := a.opCost(engine.OpCOPY, stripes)
 	if err != nil {
-		return b.failed(err)
+		return nil, Stats{}, err
 	}
 	components = append(components, costTerm{op: engine.OpCOPY, st: copySt})
 	cp, chained := a.eng.(chainProvider)
-	for range vs[1:] {
+	for i := 1; i < operands; i++ {
 		var st Stats
 		if chained {
 			st, err = a.chainCost(cp, iop, stripes)
@@ -214,7 +212,7 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 			st, err = a.opCost(iop, stripes)
 		}
 		if err != nil {
-			return b.failed(err)
+			return nil, Stats{}, err
 		}
 		components = append(components, costTerm{op: iop, st: st})
 	}
@@ -222,7 +220,14 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 	for _, c := range components {
 		total.add(c.st)
 	}
+	return components, total, nil
+}
 
+// reduceTasks builds the per-serialization-group pipeline tasks executing
+// the staged reduction dst = vs[0] op vs[1] op ... over the grouped
+// stripes (see opTasks for the resolution and ordering contract).
+func (a *Accelerator) reduceTasks(iop engine.Op, dst *bitvec.Vector, vs []*bitvec.Vector, groups []stripeRun) []pipeline.Task {
+	cols := a.cfg.Module.Columns
 	ipe, inPlace := a.eng.(inPlaceExecutor)
 	ex, wrapped := a.executor()
 	k := a.fastKernel(iop, wrapped)
@@ -233,7 +238,6 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 	} else {
 		a.fastFallbacks.Inc()
 	}
-	groups := a.groupStripes(stripes)
 	tasks := make([]pipeline.Task, 0, len(groups))
 	for _, g := range groups {
 		g := g
@@ -241,9 +245,9 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 			if fast {
 				for _, s := range g.list {
 					start := a.obsc.SpanStart()
-					fastStripe(kcopy, dst.v, vs[0].v, nil, s, cols)
+					fastStripe(kcopy, dst, vs[0], nil, s, cols)
 					for _, v := range vs[1:] {
-						fastFoldStripe(k, dst.v, v.v, s, cols)
+						fastFoldStripe(k, dst, v, s, cols)
 					}
 					a.stripeSpan(start, s, nil)
 				}
@@ -256,11 +260,11 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 				// whole fold chain; each step reloads its rows, so stripe
 				// granularity is the widest atomicity the chain needs.
 				if err := a.runStripe(g.group, s, buf, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-					if err := a.opStripe(ex, engine.OpCOPY, dst.v, vs[0].v, nil, s, sub, buf); err != nil {
+					if err := a.opStripe(ex, engine.OpCOPY, dst, vs[0], nil, s, sub, buf); err != nil {
 						return err
 					}
 					for _, v := range vs[1:] {
-						if err := a.foldStripe(ex, iop, ipe, inPlace, dst.v, v.v, s, sub, buf); err != nil {
+						if err := a.foldStripe(ex, iop, ipe, inPlace, dst, v, s, sub, buf); err != nil {
 							return err
 						}
 					}
@@ -272,7 +276,36 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 			return nil
 		}})
 	}
+	return tasks
+}
+
+// SubmitReduce enqueues the asynchronous variant of Reduce:
+// dst = vs[0] op vs[1] op ... (OpAnd / OpOr only).
+func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
+	a := b.acc
+	a.batchSubmitted.Inc()
+	if err := validateReduce(op, dst, vs); err != nil {
+		return b.failed(err)
+	}
+	iop := op.internal()
+	cols := a.cfg.Module.Columns
+	stripes := (dst.Len() + cols - 1) / cols
+
+	components, total, err := a.reduceComponents(iop, len(vs), stripes)
+	if err != nil {
+		return b.failed(err)
+	}
+	tasks := a.reduceTasks(iop, dst.v, vecsOf(vs), a.groupStripes(stripes))
 	return b.enqueue(tasks, components, total)
+}
+
+// vecsOf unwraps a BitVector slice to the underlying storage vectors.
+func vecsOf(vs []*BitVector) []*bitvec.Vector {
+	out := make([]*bitvec.Vector, len(vs))
+	for i, v := range vs {
+		out[i] = v.v
+	}
+	return out
 }
 
 // enqueue hands tasks to the pool and registers the future.
@@ -281,7 +314,7 @@ func (b *Batch) enqueue(tasks []pipeline.Task, components []costTerm, total Stat
 	if err != nil {
 		return b.failed(err)
 	}
-	f := &Future{pf: pf, components: components, stats: total}
+	f := &Future{pfs: []*pipeline.Future{pf}, components: components, stats: total}
 	b.mu.Lock()
 	b.leased = append(b.leased, f)
 	b.mu.Unlock()
@@ -304,7 +337,7 @@ func (b *Batch) Wait() (Stats, error) {
 	for _, f := range b.leased {
 		err := f.err
 		if err == nil {
-			err = f.pf.Err()
+			err = f.runErr()
 		}
 		if err != nil {
 			if firstErr == nil {

@@ -9,6 +9,10 @@
 //	elpd [flags]
 //	  -addr string          listen address (default "127.0.0.1:8372"; use :0 for ephemeral)
 //	  -design string        elp2im | ambit | drisa (default "elp2im")
+//	  -shards int           independent accelerator shards (ranks/channels with
+//	                        private charge pumps); vectors place deterministically
+//	                        on a home shard and each shard runs its own
+//	                        micro-batcher and admission queue (default 1)
 //	  -power-constrained    enforce the charge-pump/tFAW activation budget
 //	  -window duration      micro-batch coalescing window (default 200µs; 0 = pass-through)
 //	  -max-batch int        max requests folded into one flush (default 64)
@@ -65,6 +69,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("elpd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8372", "listen address (:0 for ephemeral)")
 	designName := fs.String("design", "elp2im", "elp2im | ambit | drisa")
+	shards := fs.Int("shards", 1, "independent accelerator shards (each with its own micro-batcher)")
 	powerConstrained := fs.Bool("power-constrained", false, "enforce the charge-pump/tFAW activation budget")
 	window := fs.Duration("window", 200*time.Microsecond, "micro-batch coalescing window (0 = pass-through)")
 	maxBatch := fs.Int("max-batch", 64, "max requests folded into one flush")
@@ -80,29 +85,50 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	acc, err := elp2im.New(func(c *elp2im.Config) {
+	if *shards < 1 {
+		return fmt.Errorf("shards must be >= 1, got %d", *shards)
+	}
+	mutate := func(c *elp2im.Config) {
 		c.Design = design
 		c.PowerConstrained = *powerConstrained
-	})
-	if err != nil {
-		return err
 	}
-
-	srv, err := server.New(server.Config{
-		Accelerator:    acc,
+	cfg := server.Config{
 		Window:         *window,
 		DisableWindow:  *window == 0,
 		MaxBatch:       *maxBatch,
 		MaxQueue:       *maxQueue,
 		Degraded:       *noPipeline,
 		RequestTimeout: *timeout,
-	})
+	}
+	// serveDebug starts the observability endpoint over whichever backend
+	// owns the metric registries (the shard router's merged view when
+	// sharded).
+	var serveDebug func(string) (*elp2im.DebugServer, error)
+	var designLabel string
+	if *shards > 1 {
+		sh, err := elp2im.NewShard(*shards, mutate)
+		if err != nil {
+			return err
+		}
+		cfg.Shard = sh
+		serveDebug = sh.ServeDebug
+		designLabel = sh.Design()
+	} else {
+		acc, err := elp2im.New(mutate)
+		if err != nil {
+			return err
+		}
+		cfg.Accelerator = acc
+		serveDebug = acc.ServeDebug
+		designLabel = acc.Design()
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
 
 	if *debugAddr != "" {
-		dbg, err := acc.ServeDebug(*debugAddr)
+		dbg, err := serveDebug(*debugAddr)
 		if err != nil {
 			return err
 		}
@@ -115,8 +141,8 @@ func run(args []string) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("elpd: %s design, window %v, max batch %d, max queue %d\n",
-		acc.Design(), *window, *maxBatch, *maxQueue)
+	fmt.Printf("elpd: %s design, %d shard(s), window %v, max batch %d, max queue %d\n",
+		designLabel, srv.Shards(), *window, *maxBatch, *maxQueue)
 	fmt.Printf("elpd: listening on %s\n", ln.Addr())
 
 	errCh := make(chan error, 1)

@@ -20,6 +20,15 @@
 //	  -verify-every int  verify the result of every Nth op per client (default 4)
 //	  -seed int          base RNG seed (default 1)
 //	  -window duration   self-spawned server's coalescing window (default 200µs)
+//	  -shards int        self-spawned server's shard count (default 1)
+//
+// Besides wall-clock achieved_qps, the report carries modeled_qps:
+// completed operations divided by the modeled hardware makespan scraped
+// from the server (the MAX of the per-shard modeled busy times, since
+// shards model concurrently executing ranks). On a host with fewer cores
+// than shards, wall-clock throughput cannot scale, but modeled_qps shows
+// the modeled hardware's scaling with the shard count — the number
+// scripts/bench.sh sweeps into BENCH_shards.json.
 //
 // Exit status is non-zero when any result verification fails or any
 // transport-level error occurs; 503 (backpressure) and 504 (deadline)
@@ -66,6 +75,7 @@ type options struct {
 	verifyEvery int
 	seed        int64
 	window      time.Duration
+	shards      int
 }
 
 // mixEntry is one weighted workload component.
@@ -148,8 +158,19 @@ type Report struct {
 	// verifications against the local mirror.
 	VerifyChecks   int64 `json:"verify_checks"`
 	VerifyFailures int64 `json:"verify_failures"`
+	// Shards is the target server's shard count (from the final stats
+	// scrape; 0 when the scrape failed).
+	Shards int `json:"shards"`
 	// AchievedQPS is completed (OK) requests per wall second.
 	AchievedQPS float64 `json:"achieved_qps"`
+	// ModeledQPS is completed (OK) requests divided by the modeled
+	// hardware makespan: the MAX over the per-shard modeled busy times
+	// (shards are concurrently executing ranks), or the single module's
+	// total modeled latency when unsharded. Unlike AchievedQPS it is
+	// independent of the host's core count, so it is the number that shows
+	// the modeled hardware's throughput scaling with -shards. Zero when
+	// the final stats scrape failed.
+	ModeledQPS float64 `json:"modeled_qps"`
 	// LatencyMS summarizes successful-request latency.
 	LatencyMS LatencySummary `json:"latency_ms"`
 	// Server is the target's /v1/stats scrape after the run (null when
@@ -191,6 +212,7 @@ func run(args []string, out io.Writer) error {
 	verifyEvery := fs.Int("verify-every", 4, "verify every Nth op per client (0 = never)")
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	window := fs.Duration("window", 200*time.Microsecond, "self-spawned server coalescing window")
+	shards := fs.Int("shards", 1, "self-spawned server shard count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -201,10 +223,13 @@ func run(args []string, out io.Writer) error {
 	opt := options{
 		addr: *addr, clients: *clients, duration: *duration, qps: *qps,
 		bits: *bits, mix: mix, timeout: *timeout, verifyEvery: *verifyEvery,
-		seed: *seed, window: *window,
+		seed: *seed, window: *window, shards: *shards,
 	}
 	if opt.clients < 1 || opt.bits < 8 || opt.bits%8 != 0 {
 		return fmt.Errorf("clients must be >= 1 and bits a positive multiple of 8")
+	}
+	if opt.shards < 1 {
+		return fmt.Errorf("shards must be >= 1, got %d", opt.shards)
 	}
 
 	mode := "remote"
@@ -246,18 +271,28 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// spawnServer builds the in-process elpd used by -addr "".
+// spawnServer builds the in-process elpd used by -addr "", sharded when
+// -shards > 1.
 func spawnServer(opt options) (*server.Server, net.Listener, error) {
-	acc, err := elp2im.New()
-	if err != nil {
-		return nil, nil, err
-	}
-	srv, err := server.New(server.Config{
-		Accelerator:    acc,
+	cfg := server.Config{
 		Window:         opt.window,
 		DisableWindow:  opt.window == 0,
 		RequestTimeout: opt.timeout,
-	})
+	}
+	if opt.shards > 1 {
+		sh, err := elp2im.NewShard(opt.shards)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Shard = sh
+	} else {
+		acc, err := elp2im.New()
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Accelerator = acc
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -346,8 +381,30 @@ func drive(opt options, base, mode string) (*Report, error) {
 	report.LatencyMS = summarize(all)
 	if sp, err := scrapeStats(client, base); err == nil {
 		report.Server = sp
+		report.Shards = sp.Server.Shards
+		report.ModeledQPS = modeledQPS(report.OK, sp)
 	}
 	return report, nil
+}
+
+// modeledQPS divides completed operations by the modeled hardware
+// makespan. Shards model concurrently executing ranks with private charge
+// pumps, so the makespan is the MAX over the per-shard modeled busy times;
+// a single module's makespan is its total modeled latency.
+func modeledQPS(ok int64, sp *server.StatsPayload) float64 {
+	makespanNS := sp.Totals.LatencyNS
+	if len(sp.Server.PerShard) > 0 {
+		makespanNS = 0
+		for _, ss := range sp.Server.PerShard {
+			if ss.ModeledBusyNS > makespanNS {
+				makespanNS = ss.ModeledBusyNS
+			}
+		}
+	}
+	if makespanNS <= 0 {
+		return 0
+	}
+	return float64(ok) / (makespanNS / 1e9)
 }
 
 // runClient is one worker: set up its vectors, then issue ops until the

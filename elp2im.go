@@ -298,7 +298,7 @@ type Accelerator struct {
 	// Observability (see observe.go): the accelerator-local obs context,
 	// the pre-resolved per-op-kind series, and the lock/batch counters.
 	obsc           *obs.Context
-	series         [engine.OpCOPY + 1]opSeries
+	series         opSeriesSet
 	lockAcquire    *obs.Counter
 	lockContended  *obs.Counter
 	batchSubmitted *obs.Counter
@@ -520,25 +520,52 @@ const (
 	rowC = 2
 )
 
+// validateOp checks an Op call's operands — the one validation shared by
+// the synchronous path, Batch.Submit, and the Shard router, so all three
+// reject malformed calls with identical errors.
+func validateOp(op Op, dst, x, y *BitVector) error {
+	if x == nil || dst == nil {
+		return errors.New("elp2im: nil vector")
+	}
+	if !op.Unary() {
+		if y == nil {
+			return fmt.Errorf("elp2im: %v needs two operands", op)
+		}
+		if y.Len() != x.Len() {
+			return errors.New("elp2im: operand length mismatch")
+		}
+	}
+	if dst.Len() != x.Len() {
+		return errors.New("elp2im: destination length mismatch")
+	}
+	return nil
+}
+
+// validateReduce checks a Reduce call's operands (shared exactly like
+// validateOp).
+func validateReduce(op Op, dst *BitVector, vs []*BitVector) error {
+	if op != OpAnd && op != OpOr {
+		return fmt.Errorf("elp2im: no reduction for %v", op)
+	}
+	if len(vs) < 2 {
+		return errors.New("elp2im: reduction needs at least two vectors")
+	}
+	for _, v := range vs {
+		if v == nil || v.Len() != dst.Len() {
+			return errors.New("elp2im: reduction operand nil or length mismatch")
+		}
+	}
+	return nil
+}
+
 // Op executes dst = op(x, y) as a bulk operation: the vectors are split
 // into row-wide stripes, spread round-robin across banks, executed
 // through the design's real command sequences on the device model, and
 // the results read back. For unary ops y may be nil.
 func (a *Accelerator) Op(op Op, dst, x, y *BitVector) (Stats, error) {
 	iop := op.internal()
-	if x == nil || dst == nil {
-		return Stats{}, errors.New("elp2im: nil vector")
-	}
-	if !op.Unary() {
-		if y == nil {
-			return Stats{}, fmt.Errorf("elp2im: %v needs two operands", op)
-		}
-		if y.Len() != x.Len() {
-			return Stats{}, errors.New("elp2im: operand length mismatch")
-		}
-	}
-	if dst.Len() != x.Len() {
-		return Stats{}, errors.New("elp2im: destination length mismatch")
+	if err := validateOp(op, dst, x, y); err != nil {
+		return Stats{}, err
 	}
 
 	cols := a.cfg.Module.Columns
@@ -604,16 +631,8 @@ type inPlaceExecutor interface {
 // (ELP2IM: the in-place APP-AP of Figure 5(a)), which is what makes
 // reductions the paper's headline workload.
 func (a *Accelerator) Reduce(op Op, dst *BitVector, vs ...*BitVector) (Stats, error) {
-	if op != OpAnd && op != OpOr {
-		return Stats{}, fmt.Errorf("elp2im: no reduction for %v", op)
-	}
-	if len(vs) < 2 {
-		return Stats{}, errors.New("elp2im: reduction needs at least two vectors")
-	}
-	for _, v := range vs {
-		if v == nil || v.Len() != dst.Len() {
-			return Stats{}, errors.New("elp2im: reduction operand nil or length mismatch")
-		}
+	if err := validateReduce(op, dst, vs); err != nil {
+		return Stats{}, err
 	}
 	iop := op.internal()
 	start := a.obsc.SpanStart()
@@ -754,10 +773,23 @@ func (a *Accelerator) scaleUnit(u costUnit, stripes int) Stats {
 	return st
 }
 
+// stripeCoord is the one place the round-robin stripe placement is
+// derived: stripe s lives in bank s mod B, subarray (s div B) mod S of
+// that bank. subarrayFor and stripeGroup are both expressed through it so
+// the lock-group index can never drift from the physical placement (two
+// stripes locking different groups while sharing a subarray's row state
+// would silently break the serialization invariant).
+func (a *Accelerator) stripeCoord(s int) (bank, sub int) {
+	banks := a.module.Banks()
+	bank = s % banks
+	sub = (s / banks) % a.module.Bank(bank).Subarrays()
+	return bank, sub
+}
+
 // subarrayFor returns stripe s's home subarray.
 func (a *Accelerator) subarrayFor(s int) *dram.Subarray {
-	bank := a.module.Bank(s % a.module.Banks())
-	return bank.Subarray((s / a.module.Banks()) % bank.Subarrays())
+	bank, sub := a.stripeCoord(s)
+	return a.module.Bank(bank).Subarray(sub)
 }
 
 // stripeGroup returns stripe s's serialization-group id: a stable index of
@@ -769,10 +801,8 @@ func (a *Accelerator) stripeGroup(s int) int {
 	if a.cfg.Module.Columns%64 != 0 {
 		return 0
 	}
-	banks := a.module.Banks()
-	bank := s % banks
-	sub := (s / banks) % a.module.Bank(bank).Subarrays()
-	return sub*banks + bank
+	bank, sub := a.stripeCoord(s)
+	return sub*a.module.Banks() + bank
 }
 
 // opStripe executes one stripe of dst = op(x, y) through the
@@ -880,23 +910,40 @@ func fastFoldStripe(k *kernel.Kernel, dst, v *bitvec.Vector, s, cols int) {
 const fastSerialThresholdWords = 8192
 
 // fastForEachRange runs a pure word-level body over [0, stripes),
-// partitioned into contiguous stripe ranges. The fast path never touches
-// device-model row state, so it needs none of the per-subarray
-// serialization the command-level path routes through runStripe — ranges
-// cover disjoint destination words and run lock-free, in parallel
-// goroutines for large operations. With a tracer installed the body runs
-// stripe by stripe instead so per-stripe spans match the command path.
+// partitioned into contiguous stripe ranges — the whole-vector case of
+// fastForEachRuns.
 func (a *Accelerator) fastForEachRange(stripes int, body func(lo, hi int)) {
-	if stripes <= 0 {
+	a.fastForEachRuns([][2]int{{0, stripes}}, body)
+}
+
+// fastForEachRuns runs a pure word-level body over the given ascending,
+// disjoint, contiguous stripe runs (each a [lo, hi) pair — a sharded
+// operation's subset of the vector; the whole vector is the single run
+// [0, stripes)). The fast path never touches device-model row state, so it
+// needs none of the per-subarray serialization the command-level path
+// routes through runStripe — runs cover disjoint destination words and
+// execute lock-free, split across parallel goroutines for large
+// operations. With a tracer installed the body runs stripe by stripe
+// instead so per-stripe spans match the command path.
+func (a *Accelerator) fastForEachRuns(runs [][2]int, body func(lo, hi int)) {
+	total := 0
+	for _, r := range runs {
+		total += r[1] - r[0]
+	}
+	if total <= 0 {
 		return
 	}
 	if start := a.obsc.SpanStart(); start != 0 {
-		body(0, 1)
-		a.stripeSpan(start, 0, nil)
-		for s := 1; s < stripes; s++ {
-			start := a.obsc.SpanStart()
-			body(s, s+1)
-			a.stripeSpan(start, s, nil)
+		first := true
+		for _, r := range runs {
+			for s := r[0]; s < r[1]; s++ {
+				if !first {
+					start = a.obsc.SpanStart()
+				}
+				first = false
+				body(s, s+1)
+				a.stripeSpan(start, s, nil)
+			}
 		}
 		return
 	}
@@ -905,26 +952,62 @@ func (a *Accelerator) fastForEachRange(stripes int, body func(lo, hi int)) {
 	if n := runtime.GOMAXPROCS(0); workers > n {
 		workers = n
 	}
-	if workers > stripes {
-		workers = stripes
+	if workers > total {
+		workers = total
 	}
-	if workers <= 1 || stripes*(cols/64) < fastSerialThresholdWords {
-		body(0, stripes)
+	if workers <= 1 || total*(cols/64) < fastSerialThresholdWords {
+		for _, r := range runs {
+			body(r[0], r[1])
+		}
 		return
 	}
+	// Deal each worker an equal flat share of the total stripe count, then
+	// map its flat span back onto run pieces (a single run degenerates to
+	// the familiar [w*n/W, (w+1)*n/W) partition).
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo, hi := w*stripes/workers, (w+1)*stripes/workers
-		if lo == hi {
+		flo, fhi := w*total/workers, (w+1)*total/workers
+		if flo == fhi {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(flo, fhi int) {
 			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+			base := 0
+			for _, r := range runs {
+				n := r[1] - r[0]
+				lo, hi := flo-base, fhi-base
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > n {
+					hi = n
+				}
+				if lo < hi {
+					body(r[0]+lo, r[0]+hi)
+				}
+				base += n
+				if base >= fhi {
+					break
+				}
+			}
+		}(flo, fhi)
 	}
 	wg.Wait()
+}
+
+// stripeRuns converts an ascending stripe list into maximal contiguous
+// [lo, hi) runs, the shape the kernel fast path consumes.
+func stripeRuns(list []int) [][2]int {
+	var runs [][2]int
+	for _, s := range list {
+		if n := len(runs); n > 0 && runs[n-1][1] == s {
+			runs[n-1][1] = s + 1
+			continue
+		}
+		runs = append(runs, [2]int{s, s + 1})
+	}
+	return runs
 }
 
 // stripeRun is one serialization group's ascending stripe list.
@@ -941,15 +1024,33 @@ func (a *Accelerator) groupStripes(n int) []stripeRun {
 	index := map[int]int{}
 	var runs []stripeRun
 	for s := 0; s < n; s++ {
-		g := a.stripeGroup(s)
-		i, ok := index[g]
-		if !ok {
-			i = len(runs)
-			index[g] = i
-			runs = append(runs, stripeRun{group: g})
-		}
-		runs[i].list = append(runs[i].list, s)
+		runs = a.addToGroup(index, runs, s)
 	}
+	return runs
+}
+
+// groupStripeList is groupStripes over an explicit ascending stripe list
+// (a sharded operation's subset), with the same discovery ordering.
+func (a *Accelerator) groupStripeList(list []int) []stripeRun {
+	index := map[int]int{}
+	var runs []stripeRun
+	for _, s := range list {
+		runs = a.addToGroup(index, runs, s)
+	}
+	return runs
+}
+
+// addToGroup appends stripe s to its serialization group's list, creating
+// the group on first sight.
+func (a *Accelerator) addToGroup(index map[int]int, runs []stripeRun, s int) []stripeRun {
+	g := a.stripeGroup(s)
+	i, ok := index[g]
+	if !ok {
+		i = len(runs)
+		index[g] = i
+		runs = append(runs, stripeRun{group: g})
+	}
+	runs[i].list = append(runs[i].list, s)
 	return runs
 }
 
@@ -1000,11 +1101,33 @@ func (a *Accelerator) forEachStripeBuf(stripes int, needBuf bool, fn func(s int,
 		}
 		return nil
 	}
+	return a.runGroups(a.groupStripes(stripes), needBuf, fn)
+}
 
-	// Every group runs to its first failure; the error reported is the one
-	// from the lowest failing stripe, so multiple concurrent failures
-	// resolve deterministically and none is dropped silently.
-	groups := a.groupStripes(stripes)
+// forEachStripeList is forEachStripe restricted to an ascending stripe
+// list — the command-level execution of one shard's subset of a sharded
+// operation. Non-word-aligned rows run serially in list order (their
+// stripes share destination words).
+func (a *Accelerator) forEachStripeList(list []int, fn func(s int, sub *dram.Subarray, buf *bitvec.Vector) error) error {
+	if a.cfg.Module.Columns%64 != 0 || len(list) == 1 {
+		buf := a.getBuf()
+		defer a.putBuf(buf)
+		for _, s := range list {
+			if err := a.runStripe(a.stripeGroup(s), s, buf, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return a.runGroups(a.groupStripeList(list), true, fn)
+}
+
+// runGroups executes fn over each serialization group's stripe list in a
+// goroutine per group. Every group runs to its first failure; the error
+// reported is the one from the lowest failing stripe, so multiple
+// concurrent failures resolve deterministically and none is dropped
+// silently.
+func (a *Accelerator) runGroups(groups []stripeRun, needBuf bool, fn func(s int, sub *dram.Subarray, buf *bitvec.Vector) error) error {
 	errs := make([]error, len(groups))
 	failAt := make([]int, len(groups))
 	var wg sync.WaitGroup
@@ -1027,6 +1150,70 @@ func (a *Accelerator) forEachStripeBuf(stripes int, needBuf bool, fn func(s int,
 	}
 	wg.Wait()
 	return firstStripeError(errs, failAt)
+}
+
+// execOpStripes executes dst = op(x, y) over the given ascending stripe
+// list (y nil for unary ops) through whichever execution mode is eligible
+// — the compiled kernel fast path on the list's contiguous runs, or the
+// command-accurate device model — with no cost accounting: a Shard
+// scatters one logical operation across its accelerators and accounts it
+// once, centrally, so the merged Stats stay bit-identical to the
+// single-module baseline.
+func (a *Accelerator) execOpStripes(iop engine.Op, dst, x, y *bitvec.Vector, list []int) error {
+	if len(list) == 0 {
+		return nil
+	}
+	cols := a.cfg.Module.Columns
+	ex, wrapped := a.executor()
+	if k := a.fastKernel(iop, wrapped); k != nil {
+		a.fastHits.Inc()
+		a.fastForEachRuns(stripeRuns(list), func(lo, hi int) {
+			fastOpRange(k, dst, x, y, lo, hi, cols)
+		})
+		return nil
+	}
+	a.fastFallbacks.Inc()
+	return a.forEachStripeList(list, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+		return a.opStripe(ex, iop, dst, x, y, s, sub, buf)
+	})
+}
+
+// execReduceStripes executes the staged reduction dst = vs[0] op vs[1] op
+// ... over the given ascending stripe list, with no cost accounting (see
+// execOpStripes). Each stripe runs its whole copy-then-fold chain before
+// the next, which is result-identical to the baseline's sweep-per-operand
+// order because every chain step touches only its own stripe.
+func (a *Accelerator) execReduceStripes(iop engine.Op, dst *bitvec.Vector, vs []*bitvec.Vector, list []int) error {
+	if len(list) == 0 {
+		return nil
+	}
+	cols := a.cfg.Module.Columns
+	ex, wrapped := a.executor()
+	k := a.fastKernel(iop, wrapped)
+	kcopy := a.fastKernel(engine.OpCOPY, wrapped)
+	if k != nil && kcopy != nil {
+		a.fastHits.Inc()
+		a.fastForEachRuns(stripeRuns(list), func(lo, hi int) {
+			fastOpRange(kcopy, dst, vs[0], nil, lo, hi, cols)
+			for _, v := range vs[1:] {
+				fastFoldRange(k, dst, v, lo, hi, cols)
+			}
+		})
+		return nil
+	}
+	a.fastFallbacks.Inc()
+	ipe, inPlace := a.eng.(inPlaceExecutor)
+	return a.forEachStripeList(list, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+		if err := a.opStripe(ex, engine.OpCOPY, dst, vs[0], nil, s, sub, buf); err != nil {
+			return err
+		}
+		for _, v := range vs[1:] {
+			if err := a.foldStripe(ex, iop, ipe, inPlace, dst, v, s, sub, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // firstStripeError returns the error with the lowest failing stripe index

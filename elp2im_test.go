@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/bitvec"
+	"repro/internal/dram"
 )
 
 func newAcc(t *testing.T, mutators ...func(*Config)) *Accelerator {
@@ -378,5 +379,70 @@ func TestRanksRelaxTheConstraint(t *testing.T) {
 	one, two := lat(1), lat(2)
 	if two >= one {
 		t.Fatalf("two ranks (%v ns) must beat one rank (%v ns) under the constraint", two, one)
+	}
+}
+
+// TestStripeCoordCrossCheck pins the invariant that the serialization
+// group index and the physical subarray placement are one mapping: over
+// non-uniform bank/subarray geometries, two stripes share a group if and
+// only if they share a home subarray, and every group indexes within the
+// accelerator's lock table. Silent drift between the two derivations
+// would let two stripes lock different groups while mutating the same
+// subarray's row state.
+func TestStripeCoordCrossCheck(t *testing.T) {
+	geometries := []struct {
+		banks, subs, cols int
+	}{
+		{1, 1, 64},
+		{2, 2, 128},
+		{3, 5, 64},
+		{5, 3, 128},
+		{8, 2, 192},
+		{7, 1, 64},
+		{3, 5, 100}, // non-word-aligned: groups collapse, placement must not
+	}
+	for _, g := range geometries {
+		acc := newAcc(t, func(c *Config) {
+			c.Module.Banks = g.banks
+			c.Module.SubarraysPerBank = g.subs
+			c.Module.RowsPerSubarray = 16
+			c.Module.Columns = g.cols
+		})
+		aligned := g.cols%64 == 0
+		total := g.banks * g.subs
+		subOf := make(map[int]*dram.Subarray)   // group -> subarray
+		groupOf := make(map[*dram.Subarray]int) // subarray -> group
+		for s := 0; s < 3*total+1; s++ {
+			sub := acc.subarrayFor(s)
+			// Independent re-derivation of the documented placement.
+			wantBank := s % g.banks
+			wantSub := (s / g.banks) % g.subs
+			if want := acc.module.Bank(wantBank).Subarray(wantSub); sub != want {
+				t.Fatalf("%dx%dx%d: stripe %d placed in wrong subarray", g.banks, g.subs, g.cols, s)
+			}
+			grp := acc.stripeGroup(s)
+			if !aligned {
+				if grp != 0 {
+					t.Fatalf("%dx%dx%d: unaligned stripe %d group = %d, want 0", g.banks, g.subs, g.cols, s, grp)
+				}
+				continue
+			}
+			if grp < 0 || grp >= len(acc.execLocks) {
+				t.Fatalf("%dx%dx%d: stripe %d group %d outside lock table [0,%d)",
+					g.banks, g.subs, g.cols, s, grp, len(acc.execLocks))
+			}
+			if prev, ok := subOf[grp]; ok && prev != sub {
+				t.Fatalf("%dx%dx%d: group %d spans two subarrays", g.banks, g.subs, g.cols, grp)
+			}
+			subOf[grp] = sub
+			if prev, ok := groupOf[sub]; ok && prev != grp {
+				t.Fatalf("%dx%dx%d: subarray of stripe %d maps to groups %d and %d",
+					g.banks, g.subs, g.cols, s, prev, grp)
+			}
+			groupOf[sub] = grp
+		}
+		if aligned && len(subOf) != total {
+			t.Fatalf("%dx%dx%d: %d groups discovered, want %d", g.banks, g.subs, g.cols, len(subOf), total)
+		}
 	}
 }

@@ -26,47 +26,90 @@ import (
 // All vectors must share one length. The subarray needs enough data rows
 // for the variables plus the compiled temp count.
 func (a *Accelerator) Eval(src string, vars map[string]*BitVector) (*BitVector, Stats, error) {
-	node, err := expr.Parse(src)
+	prog, n, err := a.evalPrep(src, vars)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	prog, err := expr.Compile(node)
-	if err != nil {
+	cols := a.cfg.Module.Columns
+	stripes := (n + cols - 1) / cols
+	out := NewBitVector(n)
+	if err := a.evalExec(prog, vars, out, stripes, nil); err != nil {
 		return nil, Stats{}, err
 	}
 
-	// Validate bindings and a common length.
+	// Cost: per-stripe program cost, bank parallelism applied per op mix.
+	// The program is a fixed op sequence; reuse opCost per instruction.
+	total, err := a.evalCost(prog, stripes)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	a.addTotals(total)
+	return out, total, nil
+}
+
+// evalPrep parses and compiles src, validates that every program variable
+// is bound to a vector of one common length, and checks the subarray row
+// budget. It returns the compiled program and the common length. Shared by
+// Eval and Shard.Eval (the shard compiles once and scatters execution).
+func (a *Accelerator) evalPrep(src string, vars map[string]*BitVector) (*expr.Program, int, error) {
+	node, err := expr.Parse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	prog, err := expr.Compile(node)
+	if err != nil {
+		return nil, 0, err
+	}
+
 	n := -1
 	for _, name := range prog.Vars {
 		v, ok := vars[name]
 		if !ok || v == nil {
-			return nil, Stats{}, fmt.Errorf("elp2im: expression variable %q not bound", name)
+			return nil, 0, fmt.Errorf("elp2im: expression variable %q not bound", name)
 		}
 		if n == -1 {
 			n = v.Len()
 		} else if v.Len() != n {
-			return nil, Stats{}, errors.New("elp2im: expression vectors must share one length")
+			return nil, 0, errors.New("elp2im: expression vectors must share one length")
 		}
 	}
 	if n == -1 {
-		return nil, Stats{}, errors.New("elp2im: expression has no variables")
+		return nil, 0, errors.New("elp2im: expression has no variables")
 	}
 
-	cols := a.cfg.Module.Columns
 	needRows := len(prog.Vars) + prog.TempSlots
 	if needRows > a.cfg.Module.RowsPerSubarray {
-		return nil, Stats{}, fmt.Errorf("elp2im: expression needs %d rows per subarray, module has %d",
+		return nil, 0, fmt.Errorf("elp2im: expression needs %d rows per subarray, module has %d",
 			needRows, a.cfg.Module.RowsPerSubarray)
 	}
+	return prog, n, nil
+}
 
-	stripes := (n + cols - 1) / cols
-	out := NewBitVector(n)
+// evalCost sums the program's per-instruction scheduled costs over
+// `stripes` row operations.
+func (a *Accelerator) evalCost(prog *expr.Program, stripes int) (Stats, error) {
+	var total Stats
+	for _, in := range prog.Instrs {
+		st, err := a.opCost(in.Op, stripes)
+		if err != nil {
+			return Stats{}, err
+		}
+		total.add(st)
+	}
+	return total, nil
+}
 
-	// The fast path compiles the whole program to word-level kernels and
-	// evaluates it per stripe directly on the vectors' words, with temp
-	// slots as pooled word slabs; any ineligible instruction (or a wrapped
-	// executor, or DisableFastpath) routes the entire program through the
-	// command-accurate device model, exactly as before.
+// evalExec executes the compiled program over the stripes in list (nil
+// means all of [0, stripes)) with no cost accounting — the execution half
+// of Eval, which a Shard scatters across its accelerators.
+//
+// The fast path compiles the whole program to word-level kernels and
+// evaluates it per stripe directly on the vectors' words, with temp slots
+// as pooled word slabs; any ineligible instruction (or a wrapped executor,
+// or DisableFastpath) routes the entire program through the
+// command-accurate device model, exactly as before.
+func (a *Accelerator) evalExec(prog *expr.Program, vars map[string]*BitVector, out *BitVector, stripes int, list []int) error {
+	cols := a.cfg.Module.Columns
 	ex, wrapped := a.executor()
 	kerns := make([]*kernel.Kernel, len(prog.Instrs))
 	fast := !wrapped && !a.cfg.DisableFastpath && cols%64 == 0
@@ -84,7 +127,11 @@ func (a *Accelerator) Eval(src string, vars map[string]*BitVector) (*BitVector, 
 			return &s
 		}}
 		res := prog.Result()
-		a.fastForEachRange(stripes, func(sLo, sHi int) {
+		runs := [][2]int{{0, stripes}}
+		if list != nil {
+			runs = stripeRuns(list)
+		}
+		a.fastForEachRuns(runs, func(sLo, sHi int) {
 			slab := slabs.Get().(*[]uint64)
 			defer slabs.Put(slab)
 			ow := out.v.Words()
@@ -116,40 +163,29 @@ func (a *Accelerator) Eval(src string, vars map[string]*BitVector) (*BitVector, 
 				}
 			}
 		})
-	} else {
-		a.fastFallbacks.Inc()
-		varRows := make([]int, len(prog.Vars))
-		for i := range varRows {
-			varRows[i] = i
-		}
-		scratchBase := len(prog.Vars)
-		err = a.forEachStripe(stripes, func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
-			for i, name := range prog.Vars {
-				loadStripe(buf, vars[name].v, s, cols)
-				sub.LoadRow(varRows[i], buf)
-			}
-			resRow, err := prog.Execute(sub, ex, varRows, scratchBase)
-			if err != nil {
-				return err
-			}
-			storeStripe(out.v, sub.RowData(resRow), s, cols)
-			return nil
-		})
-	}
-	if err != nil {
-		return nil, Stats{}, err
+		return nil
 	}
 
-	// Cost: per-stripe program cost, bank parallelism applied per op mix.
-	// The program is a fixed op sequence; reuse opCost per instruction.
-	var total Stats
-	for _, in := range prog.Instrs {
-		st, err := a.opCost(in.Op, stripes)
-		if err != nil {
-			return nil, Stats{}, err
-		}
-		total.add(st)
+	a.fastFallbacks.Inc()
+	varRows := make([]int, len(prog.Vars))
+	for i := range varRows {
+		varRows[i] = i
 	}
-	a.addTotals(total)
-	return out, total, nil
+	scratchBase := len(prog.Vars)
+	body := func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+		for i, name := range prog.Vars {
+			loadStripe(buf, vars[name].v, s, cols)
+			sub.LoadRow(varRows[i], buf)
+		}
+		resRow, err := prog.Execute(sub, ex, varRows, scratchBase)
+		if err != nil {
+			return err
+		}
+		storeStripe(out.v, sub.RowData(resRow), s, cols)
+		return nil
+	}
+	if list != nil {
+		return a.forEachStripeList(list, body)
+	}
+	return a.forEachStripe(stripes, body)
 }

@@ -34,6 +34,10 @@ type VectorInfo struct {
 	Name string `json:"name"`
 	// Bits is the vector length in bits.
 	Bits int `json:"bits"`
+	// Shard is the vector's home shard (always 0 on a single-module
+	// server): the shard whose batcher admits, and whose accelerator
+	// executes, operations writing this vector.
+	Shard int `json:"shard"`
 }
 
 // ListResponse is the GET /v1/vectors response.
@@ -142,6 +146,40 @@ type ServerStats struct {
 	// Degraded reports whether the batching pipeline is disabled and ops
 	// run synchronously.
 	Degraded bool `json:"degraded"`
+	// Shards is the number of independent shards the server routes across
+	// (1 for a single-module server). Queue counters above aggregate over
+	// all of them; QueueMax is the sum of the per-shard bounds.
+	Shards int `json:"shards"`
+	// PerShard breaks the admission/batching counters out per home shard
+	// (only present when Shards > 1).
+	PerShard []ShardStats `json:"per_shard,omitempty"`
+}
+
+// ShardStats is one shard's slice of the serving-layer counters plus its
+// modeled execution load.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// QueueDepth is the shard's current admission-queue depth.
+	QueueDepth int64 `json:"queue_depth"`
+	// Rejected counts requests this shard refused with 503.
+	Rejected int64 `json:"rejected"`
+	// DeadlineExpired counts this shard's 504s.
+	DeadlineExpired int64 `json:"deadline_expired"`
+	// BatchesFlushed counts the shard's micro-batch flushes.
+	BatchesFlushed int64 `json:"batches_flushed"`
+	// RequestsCoalesced counts requests that rode one of its flushes.
+	RequestsCoalesced int64 `json:"requests_coalesced"`
+	// Vectors is the number of stored vectors homed on this shard.
+	Vectors int `json:"vectors"`
+	// Draining reports whether this shard's batcher is draining.
+	Draining bool `json:"draining"`
+	// ModeledBusyNS is the accumulated modeled latency executed on this
+	// shard's accelerator. Shards execute concurrently (private charge
+	// pumps and tFAW windows), so the modeled makespan of a run is the MAX
+	// over shards, not the sum — dividing completed operations by it shows
+	// the modeled hardware's throughput scaling with the shard count.
+	ModeledBusyNS float64 `json:"modeled_busy_ns"`
 }
 
 // StatsPayload is the GET /v1/stats response: the accelerator identity and

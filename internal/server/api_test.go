@@ -73,8 +73,14 @@ func TestStatsPayloadRoundTrip(t *testing.T) {
 	assertKeys(t, "server", server, []string{
 		"queue_depth", "queue_max", "rejected", "deadline_expired",
 		"batches_flushed", "requests_coalesced", "mean_batch_occupancy",
-		"panics", "vectors", "draining", "degraded",
+		"panics", "vectors", "draining", "degraded", "shards",
 	})
+	// per_shard is omitempty and this is a single-module server, so it must
+	// be absent here; the sharded key set is pinned by
+	// TestShardedStatsPayload in shard_server_test.go.
+	if _, ok := server["per_shard"]; ok {
+		t.Error("single-module stats payload unexpectedly carries per_shard")
+	}
 }
 
 // assertKeys fails unless m's key set is exactly want.

@@ -101,7 +101,7 @@ type Batcher struct {
 	maxBatch int
 	maxQueue int
 	degraded bool
-	obs      *serverMetrics
+	obs      *batcherSeries
 
 	mu       sync.Mutex
 	queue    []*pimRequest
@@ -117,8 +117,11 @@ type Batcher struct {
 }
 
 // newBatcher starts a batcher (and its flusher goroutine, unless
-// degraded) over acc and store.
-func newBatcher(acc *elp2im.Accelerator, store *Store, window time.Duration, maxBatch, maxQueue int, degraded bool, obs *serverMetrics) *Batcher {
+// degraded) over acc and store. A sharded server runs one per shard, each
+// with its own accelerator, admission queue, coalescing window and metric
+// series — one hot shard saturating its queue answers 503 without
+// stalling the others.
+func newBatcher(acc *elp2im.Accelerator, store *Store, window time.Duration, maxBatch, maxQueue int, degraded bool, obs *batcherSeries) *Batcher {
 	b := &Batcher{
 		acc:      acc,
 		store:    store,

@@ -36,7 +36,7 @@ func TestZeroWindowPassThrough(t *testing.T) {
 
 	const n = 5
 	for i := 0; i < n; i++ {
-		st, _, err := s.batcher.Do(context.Background(),
+		st, _, err := s.Batcher().Do(context.Background(),
 			&pimRequest{kind: kindOp, op: elp2im.OpXor, dst: "z.r", x: "z.a", y: "z.b"})
 		if err != nil {
 			t.Fatalf("op %d: %v", i, err)
@@ -55,10 +55,10 @@ func TestZeroWindowPassThrough(t *testing.T) {
 	}
 	// Serial submission through a zero window must flush per request —
 	// every occupancy observation is exactly 1.
-	if got, wantN := s.obs.flushes.Value(), int64(n); got != wantN {
+	if got, wantN := s.Batcher().obs.flushes.Value(), int64(n); got != wantN {
 		t.Errorf("flushes = %d, want %d (pass-through must not coalesce serial requests)", got, wantN)
 	}
-	if got := s.obs.coalesced.Value(); got != n {
+	if got := s.Batcher().obs.coalesced.Value(); got != n {
 		t.Errorf("coalesced = %d, want %d", got, n)
 	}
 }
@@ -80,7 +80,7 @@ func TestBatchSizeOne(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, err := s.batcher.Do(context.Background(),
+			_, _, err := s.Batcher().Do(context.Background(),
 				&pimRequest{kind: kindOp, op: elp2im.OpAnd, dst: fmt.Sprintf("b1.r%d", i), x: "b1.a", y: "b1.b"})
 			if err != nil {
 				failed.Add(1)
@@ -92,7 +92,7 @@ func TestBatchSizeOne(t *testing.T) {
 		t.Fatalf("%d ops failed", failed.Load())
 	}
 	// MaxBatch 1 caps every flush at one request regardless of queueing.
-	if f, c := s.obs.flushes.Value(), s.obs.coalesced.Value(); f != c || c != n {
+	if f, c := s.Batcher().obs.flushes.Value(), s.Batcher().obs.coalesced.Value(); f != c || c != n {
 		t.Errorf("flushes=%d coalesced=%d, want both %d (batch size 1)", f, c, n)
 	}
 }
@@ -118,7 +118,7 @@ func TestDeadlineWhileQueued(t *testing.T) {
 	if elapsed > 5*time.Second {
 		t.Fatalf("504 took %v — the future was stuck on the coalescing window", elapsed)
 	}
-	if got := s.obs.deadlineExpired.Value(); got == 0 {
+	if got := s.Batcher().obs.deadlineExpired.Value(); got == 0 {
 		t.Error("server.deadline.expired did not move")
 	}
 	// Drain must settle the expired request without executing it and
@@ -139,7 +139,7 @@ func TestDirectDoDeadline(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	_, _, err := s.batcher.Do(ctx, &pimRequest{kind: kindOp, op: elp2im.OpNot, dst: "dd.r", x: "dd.a"})
+	_, _, err := s.Batcher().Do(ctx, &pimRequest{kind: kindOp, op: elp2im.OpNot, dst: "dd.r", x: "dd.a"})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Do past deadline: err %v, want DeadlineExceeded", err)
 	}
@@ -163,7 +163,7 @@ func TestDrainDuringSubmit(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for k := 0; k < perSubmitter; k++ {
-				_, _, err := s.batcher.Do(context.Background(),
+				_, _, err := s.Batcher().Do(context.Background(),
 					&pimRequest{kind: kindOp, op: elp2im.OpOr, dst: fmt.Sprintf("ds.r%d", i), x: "ds.a", y: "ds.b"})
 				switch {
 				case err == nil:
@@ -190,10 +190,10 @@ func TestDrainDuringSubmit(t *testing.T) {
 		t.Errorf("settled %d of %d requests — some future is stuck", got, submitters*perSubmitter)
 	}
 	// Zero dropped in-flight: everything admitted was flushed.
-	if depth := s.obs.queueDepth.Value(); depth != 0 {
+	if depth := s.Batcher().obs.queueDepth.Value(); depth != 0 {
 		t.Errorf("queue depth %d after drain, want 0", depth)
 	}
-	if got := s.obs.coalesced.Value(); got != completed.Load() {
+	if got := s.Batcher().obs.coalesced.Value(); got != completed.Load() {
 		t.Errorf("coalesced %d != completed %d", got, completed.Load())
 	}
 }
@@ -215,7 +215,7 @@ func TestCoalescingOccupancy(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for k := 0; k < 3; k++ {
-				_, _, err := s.batcher.Do(context.Background(), &pimRequest{
+				_, _, err := s.Batcher().Do(context.Background(), &pimRequest{
 					kind: kindOp, op: elp2im.OpXor,
 					dst: fmt.Sprintf("co.r%d", i), x: fmt.Sprintf("co.a%d", i), y: fmt.Sprintf("co.b%d", i),
 				})
@@ -227,7 +227,7 @@ func TestCoalescingOccupancy(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	f, co := s.obs.flushes.Value(), s.obs.coalesced.Value()
+	f, co := s.Batcher().obs.flushes.Value(), s.Batcher().obs.coalesced.Value()
 	if f == 0 || float64(co)/float64(f) <= 1 {
 		t.Errorf("mean occupancy %.2f (coalesced=%d flushes=%d), want > 1", float64(co)/float64(max64(f, 1)), co, f)
 	}
@@ -279,7 +279,7 @@ func TestConcurrentPutAndOp(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for k := 0; k < ops; k++ {
-				_, _, err := s.batcher.Do(context.Background(),
+				_, _, err := s.Batcher().Do(context.Background(),
 					&pimRequest{kind: kindOp, op: elp2im.OpXor, dst: fmt.Sprintf("rw.r%d", i), x: "rw.a", y: "rw.b"})
 				if err != nil {
 					failed.Add(1)
@@ -304,7 +304,7 @@ func TestFailedOpLeavesNoDst(t *testing.T) {
 	fillRandom(s.store, "nf.a", rng, 256)
 	fillRandom(s.store, "nf.b", rng, 512)
 
-	_, _, err := s.batcher.Do(context.Background(),
+	_, _, err := s.Batcher().Do(context.Background(),
 		&pimRequest{kind: kindOp, op: elp2im.OpAnd, dst: "nf.r", x: "nf.a", y: "nf.b"})
 	if !errors.Is(err, errBadRequest) {
 		t.Fatalf("mismatched op: err %v, want a tagged bad request", err)
@@ -317,7 +317,7 @@ func TestFailedOpLeavesNoDst(t *testing.T) {
 	sd, _ := newTestServer(t, func(c *Config) { c.Degraded = true })
 	fillRandom(sd.store, "nf.a", rng, 256)
 	fillRandom(sd.store, "nf.b", rng, 512)
-	_, _, err = sd.batcher.Do(context.Background(),
+	_, _, err = sd.Batcher().Do(context.Background(),
 		&pimRequest{kind: kindOp, op: elp2im.OpAnd, dst: "nf.r", x: "nf.a", y: "nf.b"})
 	if !errors.Is(err, errBadRequest) {
 		t.Fatalf("degraded mismatched op: err %v, want a tagged bad request", err)

@@ -1,19 +1,28 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
 )
 
 // Metric series of the serving layer, registered in the owning
-// accelerator's observability context so they appear on the same
-// Snapshot / ServeDebug surface as the acc.*, engine.* and pipeline.*
-// series:
+// accelerator's (or, sharded, the Shard router's) observability context so
+// they appear on the same Snapshot / ServeDebug surface as the acc.*,
+// engine.* and pipeline.* series:
 //
 //	server.http.requests.<route>    counter   requests entering the route
 //	server.http.errors.<route>      counter   non-2xx responses
 //	server.http.latency_ns.<route>  histogram wall-clock handler latency
+//	server.panics                   counter   recovered handler panics
+//
+// plus, per micro-batcher, the admission/batching series. A single-module
+// server has one batcher and keeps the flat legacy names; a sharded server
+// (Config.Shard) runs one independent batcher per shard and prefixes each
+// shard's series with its index, so a hot shard's queue is visible on its
+// own:
+//
 //	server.queue.depth              gauge     admission-queue depth
 //	server.queue.max                gauge     configured admission bound
 //	server.queue.rejected           counter   503s from admission control
@@ -21,9 +30,17 @@ import (
 //	server.batch.flushes            counter   micro-batch flushes
 //	server.batch.coalesced          counter   requests that rode a flush
 //	server.batch.occupancy          histogram requests per flush
-//	server.panics                   counter   recovered handler panics
 //	server.draining                 gauge     1 while draining
 //	server.degraded                 gauge     1 when pipeline disabled
+//	server.shard.<i>.queue.depth    gauge     shard i's admission-queue depth
+//	server.shard.<i>.queue.max      gauge     shard i's admission bound
+//	server.shard.<i>.queue.rejected counter   shard i's admission 503s
+//	server.shard.<i>.deadline.expired counter shard i's 504s
+//	server.shard.<i>.batch.flushes  counter   shard i's micro-batch flushes
+//	server.shard.<i>.batch.coalesced counter  shard i's coalesced requests
+//	server.shard.<i>.batch.occupancy histogram shard i's requests per flush
+//	server.shard.<i>.draining       gauge     1 while shard i drains
+//	server.shard.<i>.degraded       gauge     1 when shard i is synchronous
 //
 // Spans (with a tracer installed): every HTTP request emits one span
 // named "http.<route>" in category "server", and every flush emits a
@@ -44,10 +61,23 @@ type routeSeries struct {
 	latency  *obs.Histogram
 }
 
-// serverMetrics bundles the serving layer's pre-resolved series.
+// serverMetrics bundles the serving layer's pre-resolved series: the
+// HTTP-route series and panic counter shared by every handler, plus one
+// batcherSeries per micro-batcher (one for a single-module server, one per
+// shard for a sharded one).
 type serverMetrics struct {
+	ctx    *obs.Context
+	routes map[string]*routeSeries
+	panics *obs.Counter
+	shards []*batcherSeries
+}
+
+// batcherSeries is one micro-batcher's admission/batching series. With a
+// single batcher the names are the flat legacy server.* set; per-shard
+// batchers register under server.shard.<i>.* so saturation, drain and
+// occupancy are observable shard by shard.
+type batcherSeries struct {
 	ctx             *obs.Context
-	routes          map[string]*routeSeries
 	queueDepth      *obs.Gauge
 	queueMax        *obs.Gauge
 	rejected        *obs.Counter
@@ -55,7 +85,6 @@ type serverMetrics struct {
 	flushes         *obs.Counter
 	coalesced       *obs.Counter
 	occupancy       *obs.Histogram
-	panics          *obs.Counter
 	draining        *obs.Gauge
 	degraded        *obs.Gauge
 }
@@ -67,22 +96,22 @@ func httpLatencyBuckets() []float64 { return obs.ExpBuckets(10_000, 2.5, 16) }
 // occupancyBuckets covers requests-per-flush: 1, 2, 4, ... 1024.
 func occupancyBuckets() []float64 { return obs.ExpBuckets(1, 2, 11) }
 
-// newServerMetrics resolves every serving-layer series in ctx.
-func newServerMetrics(ctx *obs.Context) *serverMetrics {
+// newServerMetrics resolves every serving-layer series in ctx, with one
+// batcherSeries per shard (shards == 1 keeps the legacy flat names).
+func newServerMetrics(ctx *obs.Context, shards int) *serverMetrics {
 	m := ctx.Metrics
 	sm := &serverMetrics{
-		ctx:             ctx,
-		routes:          make(map[string]*routeSeries, len(routeNames)),
-		queueDepth:      m.Gauge("server.queue.depth"),
-		queueMax:        m.Gauge("server.queue.max"),
-		rejected:        m.Counter("server.queue.rejected"),
-		deadlineExpired: m.Counter("server.deadline.expired"),
-		flushes:         m.Counter("server.batch.flushes"),
-		coalesced:       m.Counter("server.batch.coalesced"),
-		occupancy:       m.Histogram("server.batch.occupancy", occupancyBuckets()),
-		panics:          m.Counter("server.panics"),
-		draining:        m.Gauge("server.draining"),
-		degraded:        m.Gauge("server.degraded"),
+		ctx:    ctx,
+		routes: make(map[string]*routeSeries, len(routeNames)),
+		panics: m.Counter("server.panics"),
+		shards: make([]*batcherSeries, shards),
+	}
+	for i := range sm.shards {
+		prefix := "server."
+		if shards > 1 {
+			prefix = fmt.Sprintf("server.shard.%d.", i)
+		}
+		sm.shards[i] = newBatcherSeries(ctx, prefix)
 	}
 	for _, name := range routeNames {
 		sm.routes[name] = &routeSeries{
@@ -92,6 +121,24 @@ func newServerMetrics(ctx *obs.Context) *serverMetrics {
 		}
 	}
 	return sm
+}
+
+// newBatcherSeries resolves one batcher's series under the given name
+// prefix ("server." or "server.shard.<i>.").
+func newBatcherSeries(ctx *obs.Context, prefix string) *batcherSeries {
+	m := ctx.Metrics
+	return &batcherSeries{
+		ctx:             ctx,
+		queueDepth:      m.Gauge(prefix + "queue.depth"),
+		queueMax:        m.Gauge(prefix + "queue.max"),
+		rejected:        m.Counter(prefix + "queue.rejected"),
+		deadlineExpired: m.Counter(prefix + "deadline.expired"),
+		flushes:         m.Counter(prefix + "batch.flushes"),
+		coalesced:       m.Counter(prefix + "batch.coalesced"),
+		occupancy:       m.Histogram(prefix+"batch.occupancy", occupancyBuckets()),
+		draining:        m.Gauge(prefix + "draining"),
+		degraded:        m.Gauge(prefix + "degraded"),
+	}
 }
 
 // route returns the named route's series (panics on an unregistered name,
@@ -128,7 +175,7 @@ func (sm *serverMetrics) requestSpan(startNS int64, route, op string, flushID in
 }
 
 // flushSpan emits one micro-batch flush's span when tracing is on.
-func (sm *serverMetrics) flushSpan(startNS int64, flushID int64, occupancy int, err error) {
+func (bs *batcherSeries) flushSpan(startNS int64, flushID int64, occupancy int, err error) {
 	if startNS == 0 {
 		return
 	}
@@ -136,7 +183,7 @@ func (sm *serverMetrics) flushSpan(startNS int64, flushID int64, occupancy int, 
 	if err != nil {
 		msg = err.Error()
 	}
-	sm.ctx.Span(obs.SpanEvent{
+	bs.ctx.Span(obs.SpanEvent{
 		Name:    "flush",
 		Cat:     "server",
 		TID:     flushID,

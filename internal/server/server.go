@@ -26,6 +26,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	elp2im "repro"
@@ -35,8 +36,17 @@ import (
 // Config parameterizes a Server. The zero value of every optional field
 // selects the documented default.
 type Config struct {
-	// Accelerator is the facade the server fronts. Required.
+	// Accelerator is the facade the server fronts. Exactly one of
+	// Accelerator and Shard is required.
 	Accelerator *elp2im.Accelerator
+	// Shard, when set instead of Accelerator, fronts a sharded
+	// multi-accelerator deployment: every vector name is placed
+	// deterministically on a home shard (Store.shardOf), each shard runs
+	// its own independent micro-batcher (window, admission queue, metric
+	// series), and an operation executes on its destination's home shard.
+	// One hot shard saturating its queue answers 503 + Retry-After without
+	// stalling the others. Window/MaxBatch/MaxQueue apply per shard.
+	Shard *elp2im.Shard
 	// Window is the micro-batcher's coalescing window: requests arriving
 	// within it fold into one batch. Zero means pass-through (flush
 	// immediately with whatever has queued); negative is normalized to
@@ -87,31 +97,58 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the HTTP serving layer: store + batcher + handler mux.
-// Create one with New, mount Handler, and call Drain on shutdown.
+// Server is the HTTP serving layer: store + per-shard batchers + handler
+// mux. Create one with New, mount Handler, and call Drain on shutdown.
+// A single-module server (Config.Accelerator) runs one batcher; a sharded
+// one (Config.Shard) runs one per shard, and requests route to their
+// destination vector's home shard.
 type Server struct {
-	cfg     Config
-	acc     *elp2im.Accelerator
-	store   *Store
-	batcher *Batcher
-	obs     *serverMetrics
-	mux     *http.ServeMux
+	cfg      Config
+	acc      *elp2im.Accelerator // shard 0's accelerator (identity, Eval on single)
+	shard    *elp2im.Shard       // nil for a single-module server
+	accs     []*elp2im.Accelerator
+	store    *Store
+	batchers []*Batcher
+	obs      *serverMetrics
+	mux      *http.ServeMux
 }
 
-// New returns a server over cfg.Accelerator.
+// New returns a server over cfg.Accelerator or cfg.Shard.
 func New(cfg Config) (*Server, error) {
-	if cfg.Accelerator == nil {
-		return nil, errors.New("server: Config.Accelerator is required")
+	if (cfg.Accelerator == nil) == (cfg.Shard == nil) {
+		return nil, errors.New("server: exactly one of Config.Accelerator and Config.Shard is required")
 	}
 	cfg = cfg.withDefaults()
-	obs := newServerMetrics(cfg.Accelerator.Observability())
+	var accs []*elp2im.Accelerator
+	if cfg.Shard != nil {
+		accs = make([]*elp2im.Accelerator, cfg.Shard.Shards())
+		for i := range accs {
+			accs[i] = cfg.Shard.ShardAccelerator(i)
+		}
+	} else {
+		accs = []*elp2im.Accelerator{cfg.Accelerator}
+	}
+	// Serving-layer series register in the shard router's context when
+	// sharded (its Snapshot merges every shard accelerator's registry), in
+	// the accelerator's own otherwise.
+	var obs *serverMetrics
+	if cfg.Shard != nil {
+		obs = newServerMetrics(cfg.Shard.Observability(), len(accs))
+	} else {
+		obs = newServerMetrics(cfg.Accelerator.Observability(), 1)
+	}
 	s := &Server{
 		cfg:   cfg,
-		acc:   cfg.Accelerator,
-		store: NewStore(),
+		acc:   accs[0],
+		shard: cfg.Shard,
+		accs:  accs,
+		store: NewStore(len(accs)),
 		obs:   obs,
 	}
-	s.batcher = newBatcher(cfg.Accelerator, s.store, cfg.Window, cfg.MaxBatch, cfg.MaxQueue, cfg.Degraded, obs)
+	s.batchers = make([]*Batcher, len(accs))
+	for i, acc := range accs {
+		s.batchers[i] = newBatcher(acc, s.store, cfg.Window, cfg.MaxBatch, cfg.MaxQueue, cfg.Degraded, obs.shards[i])
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("PUT /v1/vectors/{name}", s.wrap("put_vector", s.handlePutVector))
 	s.mux.HandleFunc("GET /v1/vectors/{name}", s.wrap("get_vector", s.handleGetVector))
@@ -131,40 +168,99 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Store exposes the vector store (tests and embedding binaries).
 func (s *Server) Store() *Store { return s.store }
 
-// Batcher exposes the micro-batcher (tests and embedding binaries).
-func (s *Server) Batcher() *Batcher { return s.batcher }
+// Batcher exposes shard 0's micro-batcher (tests and embedding binaries;
+// the only batcher on a single-module server).
+func (s *Server) Batcher() *Batcher { return s.batchers[0] }
+
+// Shards returns the number of shards the server routes across (1 for a
+// single-module server).
+func (s *Server) Shards() int { return len(s.accs) }
+
+// shardFor returns the home shard of the named vector — the shard whose
+// batcher admits, and whose accelerator executes, operations writing it.
+func (s *Server) shardFor(name string) int { return s.store.shardOf(name) }
+
+// batcherFor returns the named destination's home-shard batcher.
+func (s *Server) batcherFor(name string) *Batcher { return s.batchers[s.shardFor(name)] }
 
 // Drain gracefully stops the serving layer: new operations are refused
-// with 503, everything already admitted flushes, and Drain returns once
-// the batcher is idle. The HTTP listener is the caller's to stop (elpd
-// shuts the http.Server down around this call).
-func (s *Server) Drain() { s.batcher.Drain() }
+// with 503 + Retry-After, everything already admitted flushes, and Drain
+// returns once every shard's batcher is idle. Shards drain concurrently —
+// a backed-up shard does not delay the others' flushes, only the final
+// join. The HTTP listener is the caller's to stop (elpd shuts the
+// http.Server down around this call).
+func (s *Server) Drain() {
+	var wg sync.WaitGroup
+	for _, b := range s.batchers {
+		wg.Add(1)
+		go func(b *Batcher) {
+			defer wg.Done()
+			b.Drain()
+		}(b)
+	}
+	wg.Wait()
+}
 
-// Stats assembles the /v1/stats payload.
+// Totals returns the accumulated modeled cost of every operation the
+// server executed: the single accelerator's session totals, or — sharded —
+// the merged totals across every shard accelerator (and the router's
+// central accounting, were any operation routed through it).
+func (s *Server) Totals() elp2im.Stats {
+	if s.shard != nil {
+		return s.shard.AggregateTotals()
+	}
+	return s.acc.Totals()
+}
+
+// Stats assembles the /v1/stats payload. The flat Server section
+// aggregates across shards (queue depths and rejections sum, occupancy
+// averages over every flush); PerShard breaks the same counters out per
+// home shard, alongside each shard's modeled busy time — the number a
+// load generator divides by to see the modeled hardware's aggregate
+// throughput scale with the shard count.
 func (s *Server) Stats() StatsPayload {
-	flushes := s.obs.flushes.Value()
-	coalesced := s.obs.coalesced.Value()
-	mean := 0.0
-	if flushes > 0 {
-		mean = float64(coalesced) / float64(flushes)
+	var agg ServerStats
+	perShard := make([]ShardStats, len(s.batchers))
+	vecs := s.store.sizeByShard()
+	for i, b := range s.batchers {
+		bs := b.obs
+		flushes := bs.flushes.Value()
+		coalesced := bs.coalesced.Value()
+		ss := ShardStats{
+			Shard:             i,
+			QueueDepth:        bs.queueDepth.Value(),
+			Rejected:          bs.rejected.Value(),
+			DeadlineExpired:   bs.deadlineExpired.Value(),
+			BatchesFlushed:    flushes,
+			RequestsCoalesced: coalesced,
+			Vectors:           vecs[i],
+			Draining:          b.Draining(),
+			ModeledBusyNS:     s.accs[i].Totals().LatencyNS,
+		}
+		perShard[i] = ss
+		agg.QueueDepth += ss.QueueDepth
+		agg.QueueMax += bs.queueMax.Value()
+		agg.Rejected += ss.Rejected
+		agg.DeadlineExpired += ss.DeadlineExpired
+		agg.BatchesFlushed += flushes
+		agg.RequestsCoalesced += coalesced
+		agg.Draining = agg.Draining || ss.Draining
+	}
+	if agg.BatchesFlushed > 0 {
+		agg.MeanBatchOccupancy = float64(agg.RequestsCoalesced) / float64(agg.BatchesFlushed)
+	}
+	agg.Panics = s.obs.panics.Value()
+	agg.Vectors = s.store.size()
+	agg.Degraded = s.batchers[0].Degraded()
+	agg.Shards = len(s.batchers)
+	if len(s.batchers) > 1 {
+		agg.PerShard = perShard
 	}
 	return StatsPayload{
 		Design:       s.acc.Design(),
 		ReservedRows: s.acc.ReservedRows(),
-		Totals:       statsJSON(s.acc.Totals()),
-		Server: ServerStats{
-			QueueDepth:         s.obs.queueDepth.Value(),
-			QueueMax:           s.obs.queueMax.Value(),
-			Rejected:           s.obs.rejected.Value(),
-			DeadlineExpired:    s.obs.deadlineExpired.Value(),
-			BatchesFlushed:     flushes,
-			RequestsCoalesced:  coalesced,
-			MeanBatchOccupancy: mean,
-			Panics:             s.obs.panics.Value(),
-			Vectors:            s.store.size(),
-			Draining:           s.batcher.Draining(),
-			Degraded:           s.batcher.Degraded(),
-		},
+		Totals:       statsJSON(s.Totals()),
+		Server:       agg,
 	}
 }
 
@@ -364,15 +460,15 @@ func (s *Server) handleListVectors(w http.ResponseWriter, r *http.Request) error
 	return writeJSON(w, ListResponse{Vectors: s.store.list()})
 }
 
-// runBatched admits req to the micro-batcher and reports the flush id it
-// rode back to wrap's span emitter.
+// runBatched admits req to its destination's home-shard micro-batcher and
+// reports the flush id it rode back to wrap's span emitter.
 func (s *Server) runBatched(w http.ResponseWriter, r *http.Request, req *pimRequest) error {
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
 		return err
 	}
 	defer cancel()
-	st, id, err := s.batcher.Do(ctx, req)
+	st, id, err := s.batcherFor(req.dst).Do(ctx, req)
 	if p, ok := r.Context().Value(flushIDKey{}).(*int64); ok {
 		*p = id
 	}
@@ -444,10 +540,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return badRequestf("server: bad expression: %v", err)
 	}
-	if err := s.batcher.acquireSync(); err != nil {
+	// Eval routes like every write: the destination's home shard admits it
+	// and executes it on that shard's accelerator.
+	batcher := s.batcherFor(body.Dst)
+	if err := batcher.acquireSync(); err != nil {
 		return err
 	}
-	defer s.batcher.releaseSync()
+	defer batcher.releaseSync()
 
 	entries := make(map[string]*entry, len(prog.Vars))
 	vars := make(map[string]*elp2im.BitVector, len(prog.Vars))
@@ -470,7 +569,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 				name, e.vec.Len(), bits)
 		}
 	}
-	out, st, err := s.acc.Eval(body.Expr, vars)
+	out, st, err := batcher.acc.Eval(body.Expr, vars)
 	unlock()
 	if err != nil {
 		return err
@@ -491,11 +590,15 @@ type healthPayload struct {
 }
 
 // handleHealth reports liveness and the drain state (load balancers use
-// "draining" to take the instance out of rotation).
+// "draining" to take the instance out of rotation). Any draining shard
+// marks the whole instance draining — drain is an instance-wide event.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 	st := "ok"
-	if s.batcher.Draining() {
-		st = "draining"
+	for _, b := range s.batchers {
+		if b.Draining() {
+			st = "draining"
+			break
+		}
 	}
 	return writeJSON(w, healthPayload{Status: st})
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -12,27 +13,52 @@ import (
 // of a vector can be pinned for the duration of a micro-batch flush (or a
 // synchronous Eval) while unrelated vectors stay fully concurrent.
 //
+// The store is also where the serving layer's shard placement lives:
+// every vector name maps deterministically onto one of the server's
+// shards (shardOf, an FNV-1a hash of the name), and an operation executes
+// on its destination's home shard. Placement is a pure function of the
+// name and the shard count — no placement table to keep consistent, and
+// any two servers with the same shard count agree on it.
+//
 // Lock ordering: mu is never held while acquiring an entry lock, and
 // multi-entry lock sets are always acquired in ascending name order
 // (see lockEntries), so handler access, flushes and Eval cannot deadlock.
 type Store struct {
-	mu sync.RWMutex
-	m  map[string]*entry
+	shards int
+	mu     sync.RWMutex
+	m      map[string]*entry
 }
 
-// entry is one stored vector plus its content lock. The vec pointer is
-// only replaced (PUT over an existing name) or read while holding mu of
-// the entry, so a flush that resolved and locked an entry owns the vector
-// it saw until it unlocks.
+// entry is one stored vector plus its content lock and home shard. The
+// vec pointer is only replaced (PUT over an existing name) or read while
+// holding mu of the entry, so a flush that resolved and locked an entry
+// owns the vector it saw until it unlocks.
 type entry struct {
-	mu   sync.RWMutex
-	name string
-	vec  *elp2im.BitVector
+	mu    sync.RWMutex
+	name  string
+	shard int
+	vec   *elp2im.BitVector
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{m: make(map[string]*entry)}
+// NewStore returns an empty store placing vectors across the given number
+// of shards (1 for a single-module server).
+func NewStore(shards int) *Store {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Store{shards: shards, m: make(map[string]*entry)}
+}
+
+// shardOf returns the home shard of the named vector: an FNV-1a hash of
+// the name modulo the shard count. Deterministic, uniform for realistic
+// name sets, and independent of insertion order.
+func (s *Store) shardOf(name string) int {
+	if s.shards == 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int(h.Sum64() % uint64(s.shards))
 }
 
 // lookup returns the named entry, or nil when absent.
@@ -52,7 +78,7 @@ func (s *Store) getOrCreate(name string, bits int) *entry {
 	if e, ok := s.m[name]; ok {
 		return e
 	}
-	e := &entry{name: name, vec: elp2im.NewBitVector(bits)}
+	e := &entry{name: name, shard: s.shardOf(name), vec: elp2im.NewBitVector(bits)}
 	s.m[name] = e
 	return e
 }
@@ -77,6 +103,7 @@ func (s *Store) adopt(name string, e *entry) {
 	s.mu.Lock()
 	cur, ok := s.m[name]
 	if !ok {
+		e.shard = s.shardOf(name)
 		s.m[name] = e
 		s.mu.Unlock()
 		return
@@ -106,7 +133,7 @@ func (s *Store) list() []VectorInfo {
 	infos := make([]VectorInfo, 0, len(s.m))
 	for _, e := range s.m {
 		e.mu.RLock()
-		infos = append(infos, VectorInfo{Name: e.name, Bits: e.vec.Len()})
+		infos = append(infos, VectorInfo{Name: e.name, Bits: e.vec.Len(), Shard: e.shard})
 		e.mu.RUnlock()
 	}
 	s.mu.RUnlock()
@@ -119,6 +146,17 @@ func (s *Store) size() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.m)
+}
+
+// sizeByShard returns the stored-vector count per home shard.
+func (s *Store) sizeByShard() []int {
+	counts := make([]int, s.shards)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.m {
+		counts[e.shard]++
+	}
+	return counts
 }
 
 // lockEntries write-locks a set of entries in ascending name order

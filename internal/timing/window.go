@@ -52,6 +52,9 @@ func (w *ActivationWindow) DiscardBefore(watermark float64) {
 }
 
 // countWindow returns the wordline activations inside the window (τ-W, τ].
+// It is the O(pending) reference implementation; the hot path (violates)
+// maintains the same sum incrementally, and the property tests in
+// window_test.go check the two against each other.
 func (w *ActivationWindow) countWindow(tau float64) int {
 	total := 0
 	for _, e := range w.pending {
@@ -63,18 +66,39 @@ func (w *ActivationWindow) countWindow(tau float64) int {
 }
 
 // violates reports whether adding an event of `wordlines` at time t would
-// push ANY width-W window over budget. It checks every window that would
-// contain the new event: the one ending at t, and the ones ending at each
-// already-recorded event inside [t, t+W).
+// push ANY width-W window over budget. The only windows that can overflow
+// are the one ending at t and the ones ending at each already-recorded
+// event inside [t, t+W). pending is sorted by time, so a single two-pointer
+// sweep maintains the running in-window sum while the window end slides
+// across those candidates — O(log n + k) for k events near t, instead of
+// the quadratic full re-count per candidate that made sched.Simulate
+// degrade over long horizons.
 func (w *ActivationWindow) violates(t float64, wordlines int) bool {
-	if w.countWindow(t)+wordlines > w.budget {
+	p := w.pending
+	// Events inside the window ending at t: at ∈ (t-W, t].
+	lo := sort.Search(len(p), func(i int) bool { return p[i].at > t-w.width })
+	hi := sort.Search(len(p), func(i int) bool { return p[i].at > t })
+	sum := 0
+	for i := lo; i < hi; i++ {
+		sum += p[i].count
+	}
+	if sum+wordlines > w.budget {
 		return true
 	}
-	for _, e := range w.pending {
-		if e.at >= t && e.at < t+w.width {
-			if w.countWindow(e.at)+wordlines > w.budget {
-				return true
-			}
+	// Slide the window end to each later event τ ∈ (t, t+W). Entering
+	// events are added once, expired ones (at ≤ τ-W) removed once; both
+	// pointers only advance. For equal-time runs the last event of the run
+	// sees the full sum, so the check there matches the reference exactly
+	// (earlier checks in the run are subsets and can only under-report).
+	for j := hi; j < len(p) && p[j].at < t+w.width; j++ {
+		sum += p[j].count
+		tau := p[j].at
+		for p[lo].at <= tau-w.width {
+			sum -= p[lo].count
+			lo++
+		}
+		if sum+wordlines > w.budget {
+			return true
 		}
 	}
 	return false
@@ -95,20 +119,22 @@ func (w *ActivationWindow) EarliestIssue(ready float64, wordlines int) float64 {
 	}
 	t := ready
 	for w.violates(t, wordlines) {
-		// Advance past the next event expiry. Strict progress is forced so
-		// floating-point rounding (e.at + width collapsing onto t) cannot
-		// stall the loop.
-		next := math.Inf(1)
-		for _, e := range w.pending {
-			if cand := e.at + w.width; cand > t && cand < next {
-				next = cand
-			}
+		// Advance past the next event expiry: the earliest at+W beyond t.
+		// pending is sorted, so that is the first event with at > t-W —
+		// found by binary search — skipping any whose expiry rounds onto t
+		// (strict progress is forced so floating-point rounding cannot
+		// stall the loop).
+		i := sort.Search(len(w.pending), func(i int) bool {
+			return w.pending[i].at > t-w.width
+		})
+		for i < len(w.pending) && w.pending[i].at+w.width <= t {
+			i++
 		}
-		if math.IsInf(next, 1) {
+		if i == len(w.pending) {
 			// Only sub-ULP conflicts remain; nudge once and accept.
 			return math.Nextafter(t, math.Inf(1))
 		}
-		t = next
+		t = w.pending[i].at + w.width
 	}
 	return t
 }

@@ -1,0 +1,141 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveViolates is the pre-optimization reference: re-count the full
+// pending list for every candidate window end. The production violates
+// must agree with it on every input.
+func naiveViolates(w *ActivationWindow, t float64, wordlines int) bool {
+	if w.countWindow(t)+wordlines > w.budget {
+		return true
+	}
+	for _, e := range w.pending {
+		if e.at >= t && e.at < t+w.width {
+			if w.countWindow(e.at)+wordlines > w.budget {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// naiveEarliestIssue is the pre-optimization EarliestIssue loop over
+// naiveViolates with a linear next-expiry scan.
+func naiveEarliestIssue(w *ActivationWindow, ready float64, wordlines int) float64 {
+	if wordlines <= 0 {
+		return ready
+	}
+	if wordlines > w.budget {
+		wordlines = w.budget
+	}
+	t := ready
+	for naiveViolates(w, t, wordlines) {
+		next := math.Inf(1)
+		for _, e := range w.pending {
+			if cand := e.at + w.width; cand > t && cand < next {
+				next = cand
+			}
+		}
+		if math.IsInf(next, 1) {
+			return math.Nextafter(t, math.Inf(1))
+		}
+		t = next
+	}
+	return t
+}
+
+// TestViolatesMatchesNaive property-checks the two-pointer violates (and
+// the binary-search EarliestIssue built on it) against the naive reference
+// over randomized widths, budgets, event sets — including bursts of
+// equal-time events and exact-boundary queries — and query times.
+func TestViolatesMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		width := 1 + rng.Float64()*50
+		budget := 1 + rng.Intn(12)
+		w := NewActivationWindow(width, budget)
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			at := rng.Float64() * 200
+			if rng.Intn(4) == 0 && len(w.pending) > 0 {
+				// Duplicate an existing timestamp: equal-time runs are the
+				// delicate case for the incremental sweep.
+				at = w.pending[rng.Intn(len(w.pending))].at
+			}
+			w.Issue(at, 1+rng.Intn(3))
+		}
+		for q := 0; q < 30; q++ {
+			at := rng.Float64()*260 - 30
+			switch rng.Intn(5) {
+			case 0:
+				if len(w.pending) > 0 {
+					at = w.pending[rng.Intn(len(w.pending))].at // exact event time
+				}
+			case 1:
+				if len(w.pending) > 0 {
+					at = w.pending[rng.Intn(len(w.pending))].at - width // exact boundary
+				}
+			}
+			wl := 1 + rng.Intn(4)
+			if got, want := w.violates(at, wl), naiveViolates(w, at, wl); got != want {
+				t.Fatalf("trial %d: violates(%v, %d) = %v, naive = %v (width=%v budget=%d pending=%v)",
+					trial, at, wl, got, want, width, budget, w.pending)
+			}
+			if got, want := w.EarliestIssue(at, wl), naiveEarliestIssue(w, at, wl); got != want {
+				t.Fatalf("trial %d: EarliestIssue(%v, %d) = %v, naive = %v (width=%v budget=%d pending=%v)",
+					trial, at, wl, got, want, width, budget, w.pending)
+			}
+		}
+	}
+}
+
+// BenchmarkEarliestIssueDense measures EarliestIssue against a dense
+// retained history (a multi-bank scheduler that has not advanced its
+// DiscardBefore watermark), querying near the tail as a scheduler does.
+// With the quadratic violates the per-query cost grew linearly with the
+// whole pending count even though only a handful of events are near the
+// query; the two-pointer sweep keeps it near-flat. The Naive variant runs
+// the reference implementation for direct comparison:
+//
+//	go test ./internal/timing -bench EarliestIssueDense -benchtime 1000x
+func BenchmarkEarliestIssueDense(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("pending=%d", n), func(b *testing.B) {
+			w := denseWindow(n)
+			at := float64(n)*10 - 20
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.EarliestIssue(at, 2)
+			}
+		})
+	}
+}
+
+// BenchmarkEarliestIssueDenseNaive is the pre-optimization reference on
+// the same workload (expected to grow linearly with the pending count).
+func BenchmarkEarliestIssueDenseNaive(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("pending=%d", n), func(b *testing.B) {
+			w := denseWindow(n)
+			at := float64(n)*10 - 20
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				naiveEarliestIssue(w, at, 2)
+			}
+		})
+	}
+}
+
+// denseWindow builds a window with n retained events 10 ns apart.
+func denseWindow(n int) *ActivationWindow {
+	w := NewActivationWindow(40, 4)
+	for i := 0; i < n; i++ {
+		w.Issue(float64(i)*10, 1+i%3)
+	}
+	return w
+}

@@ -61,14 +61,16 @@ type opSeries struct {
 	energy    *obs.Histogram
 }
 
-// initObs builds the accelerator's observability context: the per-op
-// series, the lock/batch counters, and the engine instrumentation.
-func (a *Accelerator) initObs() {
-	a.obsc = obs.NewContext()
-	m := a.obsc.Metrics
+// opSeriesSet holds one opSeries per op kind — the per-op accounting
+// surface shared by the Accelerator and the Shard router (which accounts
+// scattered operations centrally, in its own registry).
+type opSeriesSet [engine.OpCOPY + 1]opSeries
+
+// init resolves the series in m under the canonical acc.op.* names.
+func (set *opSeriesSet) init(m *obs.Registry) {
 	for op := engine.OpNOT; op <= engine.OpCOPY; op++ {
 		name := op.String()
-		a.series[op] = opSeries{
+		set[op] = opSeries{
 			spanName:  "Op(" + name + ")",
 			count:     m.Counter("acc.op.count." + name),
 			rowOps:    m.Counter("acc.op.rowops." + name),
@@ -78,6 +80,27 @@ func (a *Accelerator) initObs() {
 			energy:    m.Histogram("acc.op.energy_nj."+name, obs.EnergyBuckets()),
 		}
 	}
+}
+
+// record folds one operation component's modeled cost into the per-op
+// metric series (called wherever session totals are updated, so
+// synchronous, batched, and sharded paths account identically).
+func (set *opSeriesSet) record(op engine.Op, st Stats) {
+	s := &set[op]
+	s.count.Inc()
+	s.rowOps.Add(int64(st.RowOps))
+	s.commands.Add(int64(st.Commands))
+	s.wordlines.Add(int64(st.Wordlines))
+	s.latency.Observe(st.LatencyNS)
+	s.energy.Observe(st.EnergyNJ)
+}
+
+// initObs builds the accelerator's observability context: the per-op
+// series, the lock/batch counters, and the engine instrumentation.
+func (a *Accelerator) initObs() {
+	a.obsc = obs.NewContext()
+	m := a.obsc.Metrics
+	a.series.init(m)
 	a.lockAcquire = m.Counter("acc.lock.acquire")
 	a.lockContended = m.Counter("acc.lock.contended")
 	a.batchSubmitted = m.Counter("batch.submitted")
@@ -90,17 +113,8 @@ func (a *Accelerator) initObs() {
 }
 
 // record folds one operation component's modeled cost into the per-op
-// metric series (called wherever the session totals are updated, so
-// synchronous and batched paths account identically).
-func (a *Accelerator) record(op engine.Op, st Stats) {
-	s := &a.series[op]
-	s.count.Inc()
-	s.rowOps.Add(int64(st.RowOps))
-	s.commands.Add(int64(st.Commands))
-	s.wordlines.Add(int64(st.Wordlines))
-	s.latency.Observe(st.LatencyNS)
-	s.energy.Observe(st.EnergyNJ)
-}
+// metric series.
+func (a *Accelerator) record(op engine.Op, st Stats) { a.series.record(op, st) }
 
 // opSpan emits the facade-level span of one completed operation when
 // tracing is on (startNS != 0 is SpanStart's signal).

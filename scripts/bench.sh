@@ -21,11 +21,23 @@
 # mixed concurrent workload and records achieved QPS, latency
 # percentiles, and the micro-batcher's mean batch occupancy.
 #
+# Part 3 (BENCH_shards.json) sweeps elpload's BulkAND workload (-mix
+# and=1) over shard counts and records, per point, the wall-clock
+# achieved_qps, p99 latency, and modeled_qps — completed ops divided by
+# the modeled hardware makespan (MAX over per-shard modeled busy times).
+# modeled_qps is the scaling metric: shards model concurrently executing
+# ranks, so it scales with the shard count even when the host has fewer
+# cores than shards and wall-clock throughput cannot (see EXPERIMENTS.md
+# "Reading BENCH_shards.json").
+#
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME        go test -benchtime value (default 200x)
 #   SERVER_CLIENTS   elpload concurrent clients (default 64)
 #   SERVER_DURATION  elpload load duration (default 2s)
 #   SERVER_BITS      elpload operand length in bits (default 65536)
+#   SHARD_COUNTS     part-3 sweep points (default "1 2 4")
+#   SHARD_CLIENTS    part-3 concurrent clients (default 32)
+#   SHARD_DURATION   part-3 load duration per point (default 2s)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -101,3 +113,56 @@ go run ./cmd/elpload \
 	>"$server_out"
 echo "wrote $server_out" >&2
 cat "$server_out"
+
+# Part 3: throughput vs shard count on the BulkAND workload. Each point
+# self-spawns a server with -shards n; the JSON keeps wall-clock and
+# modeled throughput side by side (only the latter can scale on a host
+# with fewer cores than shards).
+shards_out="BENCH_shards.json"
+shard_counts="${SHARD_COUNTS:-1 2 4}"
+shard_clients="${SHARD_CLIENTS:-32}"
+shard_duration="${SHARD_DURATION:-2s}"
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+points=""
+for n in $shard_counts; do
+	echo "bench.sh: elpload BulkAND sweep, $n shard(s) (${shard_clients} clients, ${shard_duration})" >&2
+	go run ./cmd/elpload \
+		-shards "$n" \
+		-mix and=1 \
+		-clients "$shard_clients" \
+		-duration "$shard_duration" \
+		-bits "$server_bits" \
+		>"$tmp_dir/shard_$n.json"
+	vals=$(awk -F'[:,]' '
+		/"achieved_qps"/            { a = $2; gsub(/ /, "", a) }
+		/"modeled_qps"/             { m = $2; gsub(/ /, "", m) }
+		/"p99"/ && !p99done         { p = $2; gsub(/ /, "", p); p99done = 1 }
+		END { print a, p, m }' "$tmp_dir/shard_$n.json")
+	points="$points$n $vals
+"
+done
+printf '%s' "$points" | awk -v out="$shards_out" \
+	-v clients="$shard_clients" -v duration="$shard_duration" '
+{ n[NR] = $1; a[NR] = $2; p[NR] = $3; m[NR] = $4 }
+END {
+	if (NR < 2 || m[1] == "" || m[NR] == "" || m[1] + 0 <= 0) {
+		print "bench.sh: missing shard-sweep output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n" > out
+	printf "  \"workload\": \"bulk_and\",\n" > out
+	printf "  \"clients\": %s,\n", clients > out
+	printf "  \"duration\": \"%s\",\n", duration > out
+	printf "  \"points\": [\n" > out
+	for (i = 1; i <= NR; i++)
+		printf "    {\"shards\": %s, \"achieved_qps\": %s, \"p99_ms\": %s, \"modeled_qps\": %s}%s\n",
+			n[i], a[i], p[i], m[i], i < NR ? "," : "" > out
+	printf "  ],\n" > out
+	printf "  \"modeled_speedup_max_vs_1\": %.2f,\n", m[NR] / m[1] > out
+	printf "  \"wall_speedup_max_vs_1\": %.2f\n", a[NR] / a[1] > out
+	printf "}\n" > out
+}
+'
+echo "wrote $shards_out" >&2
+cat "$shards_out"

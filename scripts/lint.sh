@@ -6,9 +6,13 @@
 #                    the project guarantees (root facade, internal/pipeline,
 #                    internal/obs, internal/server)
 #   4. race tests  — the server/micro-batcher suite, the kernel-derivation
-#                    cache, and the facade's fast-path/fallback concurrency
-#                    tests under the race detector (their whole value is
+#                    cache, the facade's fast-path/fallback concurrency
+#                    tests, and the shard router + sharded differential
+#                    suite under the race detector (their whole value is
 #                    their concurrency envelope)
+#   5. shuffle     — the full suite once with -shuffle=on, so hidden
+#                    inter-test ordering dependencies fail here instead of
+#                    flaking later
 set -u
 cd "$(dirname "$0")/.."
 
@@ -38,6 +42,14 @@ if ! go test -race -count=1 ./internal/kernel/...; then
 fi
 
 if ! go test -race -count=1 -run 'Fastpath|FaultWrapper' .; then
+    fail=1
+fi
+
+if ! go test -race -count=1 -run 'Shard|Differential' .; then
+    fail=1
+fi
+
+if ! go test -count=1 -shuffle=on ./...; then
     fail=1
 fi
 
