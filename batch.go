@@ -83,7 +83,37 @@ type Batch struct {
 	pool *pipeline.Pool
 
 	mu     sync.Mutex
+	closed bool
 	leased []*Future // submission order
+}
+
+// poolFreeCap bounds how many drained worker pools an accelerator keeps
+// warm for reuse across Batch lifecycles. Serving traffic runs one Batch
+// per micro-batch flush; without reuse each flush would spawn (and then
+// tear down) one goroutine and one channel per worker.
+const poolFreeCap = 4
+
+// getPool fetches a recycled worker pool or constructs a fresh one. Pool
+// size is a pure function of the accelerator's config (batchWorkers), so
+// every recycled pool is interchangeable with a fresh one.
+func (a *Accelerator) getPool() *pipeline.Pool {
+	select {
+	case p := <-a.poolFree:
+		return p
+	default:
+		return pipeline.NewPoolObs(a.batchWorkers(), a.obsc)
+	}
+}
+
+// recyclePool drains p and parks it for reuse, or shuts it down when the
+// freelist is full.
+func (a *Accelerator) recyclePool(p *pipeline.Pool) {
+	p.Drain()
+	select {
+	case a.poolFree <- p:
+	default:
+		p.Close()
+	}
 }
 
 // batchWorkers sizes a batch worker pool from the scheduler's
@@ -101,12 +131,9 @@ func (a *Accelerator) batchWorkers() int {
 }
 
 // Batch returns a new asynchronous submission context. The worker pool is
-// sized by batchWorkers.
+// sized by batchWorkers and recycled across batches (see getPool).
 func (a *Accelerator) Batch() *Batch {
-	return &Batch{
-		acc:  a,
-		pool: pipeline.NewPoolObs(a.batchWorkers(), a.obsc),
-	}
+	return &Batch{acc: a, pool: a.getPool()}
 }
 
 // Workers returns the batch's worker-pool size.
@@ -308,8 +335,16 @@ func vecsOf(vs []*BitVector) []*bitvec.Vector {
 	return out
 }
 
-// enqueue hands tasks to the pool and registers the future.
+// enqueue hands tasks to the pool and registers the future. A closed
+// batch fails the submission rather than touching its (possibly
+// recycled) pool.
 func (b *Batch) enqueue(tasks []pipeline.Task, components []costTerm, total Stats) *Future {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return b.failed(pipeline.ErrClosed)
+	}
 	pf, err := b.pool.Submit(tasks)
 	if err != nil {
 		return b.failed(err)
@@ -358,7 +393,17 @@ func (b *Batch) Wait() (Stats, error) {
 	return total, firstErr
 }
 
-// Close drains and shuts down the batch's worker pool. Further Submit
-// calls return a failed future. Close does not fold unaccounted statistics
-// into the totals — call Wait first.
-func (b *Batch) Close() { b.pool.Close() }
+// Close drains the batch's worker pool and recycles it for the
+// accelerator's next Batch. Further Submit calls return a failed future.
+// Close does not fold unaccounted statistics into the totals — call Wait
+// first. Close is idempotent.
+func (b *Batch) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	b.acc.recyclePool(b.pool)
+}

@@ -8,6 +8,11 @@
 //
 //	elpd [flags]
 //	  -addr string          listen address (default "127.0.0.1:8372"; use :0 for ephemeral)
+//	  -wire-addr string     optional second listener speaking elpwire, the
+//	                        length-prefixed binary protocol (internal/wire):
+//	                        persistent multiplexed connections, raw word
+//	                        payloads, zero-allocation hot path. Same store,
+//	                        batchers and drain semantics as the HTTP listener.
 //	  -design string        elp2im | ambit | drisa (default "elp2im")
 //	  -shards int           independent accelerator shards (ranks/channels with
 //	                        private charge pumps); vectors place deterministically
@@ -68,6 +73,7 @@ func parseDesign(s string) (elp2im.Design, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("elpd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8372", "listen address (:0 for ephemeral)")
+	wireAddr := fs.String("wire-addr", "", "optional elpwire binary-protocol listener (:0 for ephemeral)")
 	designName := fs.String("design", "elp2im", "elp2im | ambit | drisa")
 	shards := fs.Int("shards", 1, "independent accelerator shards (each with its own micro-batcher)")
 	powerConstrained := fs.Bool("power-constrained", false, "enforce the charge-pump/tFAW activation budget")
@@ -145,6 +151,24 @@ func run(args []string) error {
 		designLabel, srv.Shards(), *window, *maxBatch, *maxQueue)
 	fmt.Printf("elpd: listening on %s\n", ln.Addr())
 
+	// Optional elpwire listener: the binary protocol serves from the same
+	// Server (store, batchers, admission, drain) as the HTTP mux.
+	var wireLn net.Listener
+	wireErrCh := make(chan error, 1)
+	if *wireAddr != "" {
+		wireLn, err = net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return err
+		}
+		go func() {
+			// A clean listener close returns nil; only faults surface.
+			if werr := srv.ServeWire(wireLn); werr != nil {
+				wireErrCh <- werr
+			}
+		}()
+		fmt.Printf("elpd: wire listening on %s\n", wireLn.Addr())
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
@@ -153,6 +177,8 @@ func run(args []string) error {
 	select {
 	case err := <-errCh:
 		return err
+	case err := <-wireErrCh:
+		return fmt.Errorf("wire listener: %w", err)
 	case sig := <-sigCh:
 		fmt.Printf("elpd: %v, draining\n", sig)
 	}
@@ -168,6 +194,12 @@ func run(args []string) error {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Wire clients have been answering draining errors since Drain; now
+	// stop accepting and end the remaining connections.
+	if wireLn != nil {
+		_ = wireLn.Close()
+		srv.CloseWireConns()
 	}
 	st := srv.Stats()
 	fmt.Printf("elpd: drained (%d batches flushed, %d requests coalesced, mean occupancy %.2f)\n",

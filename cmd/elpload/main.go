@@ -11,6 +11,11 @@
 //	elpload [flags]
 //	  -addr string       target elpd (empty: spawn an in-process server and
 //	                     drive it — the mode scripts/bench.sh uses)
+//	  -wire              speak elpwire (the length-prefixed binary protocol)
+//	                     instead of HTTP/JSON: -addr targets elpd's -wire-addr
+//	                     listener, and self mode spawns a wire listener. The
+//	                     report keeps the same shape, so bench.sh compares the
+//	                     two protocols point for point.
 //	  -clients int       concurrent clients (default 64)
 //	  -duration duration load duration (default 2s)
 //	  -qps float         total offered open-loop rate; 0 = closed loop
@@ -38,7 +43,9 @@ package main
 import (
 	"bytes"
 	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +61,7 @@ import (
 
 	elp2im "repro"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -66,6 +74,7 @@ func main() {
 // options are the parsed flags.
 type options struct {
 	addr        string
+	wireMode    bool
 	clients     int
 	duration    time.Duration
 	qps         float64
@@ -137,6 +146,8 @@ func pick(mix []mixEntry, rng *rand.Rand) string {
 type Report struct {
 	// Mode is "self" (in-process server) or "remote".
 	Mode string `json:"mode"`
+	// Protocol is "json" (HTTP) or "wire" (elpwire).
+	Protocol string `json:"protocol"`
 	// Clients is the concurrent client count.
 	Clients int `json:"clients"`
 	// DurationS is the configured load duration in seconds.
@@ -203,6 +214,7 @@ type clientStats struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elpload", flag.ContinueOnError)
 	addr := fs.String("addr", "", "target elpd address (empty: in-process server)")
+	wireMode := fs.Bool("wire", false, "speak the elpwire binary protocol instead of HTTP/JSON")
 	clients := fs.Int("clients", 64, "concurrent clients")
 	duration := fs.Duration("duration", 2*time.Second, "load duration")
 	qps := fs.Float64("qps", 0, "total offered open-loop rate (0 = closed loop)")
@@ -221,8 +233,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	opt := options{
-		addr: *addr, clients: *clients, duration: *duration, qps: *qps,
-		bits: *bits, mix: mix, timeout: *timeout, verifyEvery: *verifyEvery,
+		addr: *addr, wireMode: *wireMode, clients: *clients, duration: *duration,
+		qps: *qps, bits: *bits, mix: mix, timeout: *timeout, verifyEvery: *verifyEvery,
 		seed: *seed, window: *window, shards: *shards,
 	}
 	if opt.clients < 1 || opt.bits < 8 || opt.bits%8 != 0 {
@@ -233,7 +245,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	mode := "remote"
-	base := "http://" + opt.addr
+	target := opt.addr
 	var drain func() // self mode: graceful-drain the in-process server
 	if opt.addr == "" {
 		mode = "self"
@@ -241,16 +253,25 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		httpSrv := &http.Server{Handler: srv.Handler()}
-		go func() { _ = httpSrv.Serve(ln) }()
-		base = "http://" + ln.Addr().String()
-		drain = func() {
-			srv.Drain()
-			_ = httpSrv.Close()
+		target = ln.Addr().String()
+		if opt.wireMode {
+			go func() { _ = srv.ServeWire(ln) }()
+			drain = func() {
+				srv.Drain()
+				_ = ln.Close()
+				srv.CloseWireConns()
+			}
+		} else {
+			httpSrv := &http.Server{Handler: srv.Handler()}
+			go func() { _ = httpSrv.Serve(ln) }()
+			drain = func() {
+				srv.Drain()
+				_ = httpSrv.Close()
+			}
 		}
 	}
 
-	report, err := drive(opt, base, mode)
+	report, err := drive(opt, target, mode)
 	if drain != nil {
 		drain()
 	}
@@ -304,11 +325,24 @@ func spawnServer(opt options) (*server.Server, net.Listener, error) {
 }
 
 // drive runs the load and assembles the report.
-func drive(opt options, base, mode string) (*Report, error) {
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        opt.clients * 2,
-		MaxIdleConnsPerHost: opt.clients * 2,
-	}}
+func drive(opt options, target, mode string) (*Report, error) {
+	protocol := "json"
+	if opt.wireMode {
+		protocol = "wire"
+	}
+	// One transport per worker: a pooled HTTP client connection, or one
+	// persistent multiplexed elpwire connection. An extra transport scrapes
+	// the final stats.
+	mkTransport := newTransportFactory(opt, target)
+	transports := make([]transport, opt.clients)
+	for i := range transports {
+		tr, err := mkTransport()
+		if err != nil {
+			return nil, fmt.Errorf("client %d: connect: %w", i, err)
+		}
+		transports[i] = tr
+		defer tr.close()
+	}
 
 	// Open-loop token source: tokens carry their emission time so client
 	// queueing counts against latency, as an open-loop measurement must.
@@ -350,7 +384,7 @@ func drive(opt options, base, mode string) (*Report, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			stats[i].firstErr = runClient(opt, base, client, i, deadline, tokens, stats[i])
+			stats[i].firstErr = runClient(opt, transports[i], i, deadline, tokens, stats[i])
 		}(i)
 	}
 	wg.Wait()
@@ -360,7 +394,8 @@ func drive(opt options, base, mode string) (*Report, error) {
 	}
 
 	report := &Report{
-		Mode: mode, Clients: opt.clients, DurationS: opt.duration.Seconds(),
+		Mode: mode, Protocol: protocol, Clients: opt.clients,
+		DurationS: opt.duration.Seconds(),
 		TargetQPS: opt.qps, Bits: opt.bits, Shed: shed,
 	}
 	var all []float64
@@ -379,7 +414,7 @@ func drive(opt options, base, mode string) (*Report, error) {
 	}
 	report.AchievedQPS = float64(report.OK) / opt.duration.Seconds()
 	report.LatencyMS = summarize(all)
-	if sp, err := scrapeStats(client, base); err == nil {
+	if sp, err := transports[0].scrapeStats(); err == nil {
 		report.Server = sp
 		report.Shards = sp.Server.Shards
 		report.ModeledQPS = modeledQPS(report.OK, sp)
@@ -407,19 +442,33 @@ func modeledQPS(ok int64, sp *server.StatsPayload) float64 {
 	return float64(ok) / (makespanNS / 1e9)
 }
 
+// clientRNGs returns one worker's two independent PRNG streams. The op
+// stream drives the workload — vector contents and the op sequence — and
+// is a pure function of (seed, id). The jitter stream drives backpressure
+// backoff sleeps, whose draw count depends on how many 503s the server
+// happened to answer; keeping it separate means load-dependent backoff
+// can never perturb the deterministic workload sequence (it used to:
+// both drew from one PRNG, so a single 503 shifted every op after it).
+func clientRNGs(seed int64, id int) (opRNG, jitterRNG *rand.Rand) {
+	base := seed + int64(id)*7919
+	opRNG = rand.New(rand.NewSource(base))
+	jitterRNG = rand.New(rand.NewSource(base ^ 0x5DEECE66D))
+	return opRNG, jitterRNG
+}
+
 // runClient is one worker: set up its vectors, then issue ops until the
 // deadline, verifying results against the local mirror. The returned
 // error is fatal (setup failure); per-request failures are tallied.
-func runClient(opt options, base string, client *http.Client, id int, deadline time.Time, tokens <-chan time.Time, cs *clientStats) error {
-	rng := rand.New(rand.NewSource(opt.seed + int64(id)*7919))
+func runClient(opt options, tr transport, id int, deadline time.Time, tokens <-chan time.Time, cs *clientStats) error {
+	opRNG, jitterRNG := clientRNGs(opt.seed, id)
 	pfx := fmt.Sprintf("c%d_", id)
 	nbytes := opt.bits / 8
 	mirror := map[string][]byte{}
 	for _, v := range []string{"a", "b", "d"} {
 		raw := make([]byte, nbytes)
-		rng.Read(raw)
+		opRNG.Read(raw)
 		mirror[v] = raw
-		if err := putVector(client, base, pfx+v, raw); err != nil {
+		if err := tr.putVector(pfx+v, raw); err != nil {
 			return fmt.Errorf("client %d: setup PUT %s: %w", id, v, err)
 		}
 	}
@@ -438,22 +487,22 @@ func runClient(opt options, base string, client *http.Client, id int, deadline t
 				return nil
 			}
 		}
-		op := pick(opt.mix, rng)
-		status, err := issueOp(client, base, opt.timeout, pfx, op)
+		op := pick(opt.mix, opRNG)
+		outcome, err := tr.issueOp(pfx, op)
 		cs.requests++
 		if err != nil {
 			cs.errors++
 			continue
 		}
-		switch status {
-		case http.StatusOK:
+		switch outcome {
+		case outcomeOK:
 			cs.ok++
 			cs.latenciesMS = append(cs.latenciesMS, float64(time.Since(start).Microseconds())/1000)
-		case http.StatusServiceUnavailable:
+		case outcomeRejected:
 			cs.rejected++
-			time.Sleep(time.Duration(500+rng.Intn(1500)) * time.Microsecond)
+			time.Sleep(time.Duration(500+jitterRNG.Intn(1500)) * time.Microsecond)
 			continue
-		case http.StatusGatewayTimeout:
+		case outcomeDeadline:
 			cs.deadline++
 			continue
 		default:
@@ -466,7 +515,7 @@ func runClient(opt options, base string, client *http.Client, id int, deadline t
 			sinceVerify = 0
 			cs.checks++
 			want := expected(op, mirror)
-			got, err := getVector(client, base, pfx+"r")
+			got, err := tr.getVector(pfx + "r")
 			if err != nil {
 				cs.errors++
 				continue
@@ -507,8 +556,60 @@ func expected(op string, mirror map[string][]byte) []byte {
 	return out
 }
 
-// issueOp posts one op/reduce request and returns the HTTP status.
-func issueOp(client *http.Client, base string, timeout time.Duration, pfx, op string) (int, error) {
+// outcome classifies one op request's result, uniformly across the two
+// protocols: HTTP statuses and wire statuses collapse onto the same
+// classes, so the report means the same thing in either mode.
+type outcome int
+
+const (
+	outcomeOK       outcome = iota
+	outcomeRejected         // 503 / saturated / draining (backoff and retry)
+	outcomeDeadline         // 504 / deadline
+	outcomeError            // anything else
+)
+
+// transport issues the workload's requests over one protocol. Each worker
+// owns one transport; implementations need not be safe for concurrent
+// use.
+type transport interface {
+	putVector(name string, raw []byte) error
+	getVector(name string) ([]byte, error)
+	issueOp(pfx, op string) (outcome, error)
+	scrapeStats() (*server.StatsPayload, error)
+	close()
+}
+
+// newTransportFactory returns a constructor for per-worker transports
+// against the target address (host:port for wire, HTTP base otherwise).
+func newTransportFactory(opt options, target string) func() (transport, error) {
+	if opt.wireMode {
+		return func() (transport, error) {
+			c, err := wire.Dial(target)
+			if err != nil {
+				return nil, err
+			}
+			return &wireTransport{c: c, timeoutMS: uint32(opt.timeout.Milliseconds())}, nil
+		}
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opt.clients * 2,
+		MaxIdleConnsPerHost: opt.clients * 2,
+	}}
+	base := "http://" + target
+	return func() (transport, error) {
+		return &jsonTransport{client: client, base: base, timeout: opt.timeout}, nil
+	}
+}
+
+// jsonTransport is the HTTP/JSON path (shared pooled http.Client).
+type jsonTransport struct {
+	client  *http.Client
+	base    string
+	timeout time.Duration
+}
+
+// issueOp posts one op/reduce request and classifies the HTTP status.
+func (t *jsonTransport) issueOp(pfx, op string) (outcome, error) {
 	var path string
 	var body any
 	if op == "reduce" {
@@ -520,30 +621,39 @@ func issueOp(client *http.Client, base string, timeout time.Duration, pfx, op st
 	}
 	raw, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return outcomeError, err
 	}
-	url := fmt.Sprintf("%s%s?timeout_ms=%d", base, path, timeout.Milliseconds())
-	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	url := fmt.Sprintf("%s%s?timeout_ms=%d", t.base, path, t.timeout.Milliseconds())
+	resp, err := t.client.Post(url, "application/json", bytes.NewReader(raw))
 	if err != nil {
-		return 0, err
+		return outcomeError, err
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return outcomeOK, nil
+	case http.StatusServiceUnavailable:
+		return outcomeRejected, nil
+	case http.StatusGatewayTimeout:
+		return outcomeDeadline, nil
+	default:
+		return outcomeError, nil
+	}
 }
 
 // putVector stores raw bytes under name.
-func putVector(client *http.Client, base, name string, raw []byte) error {
+func (t *jsonTransport) putVector(name string, raw []byte) error {
 	payload := server.VectorPayload{Bits: len(raw) * 8, Data: base64.StdEncoding.EncodeToString(raw)}
 	body, err := json.Marshal(payload)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, base+"/v1/vectors/"+name, bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPut, t.base+"/v1/vectors/"+name, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
-	resp, err := client.Do(req)
+	resp, err := t.client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -556,8 +666,8 @@ func putVector(client *http.Client, base, name string, raw []byte) error {
 }
 
 // getVector fetches a vector's raw bytes.
-func getVector(client *http.Client, base, name string) ([]byte, error) {
-	resp, err := client.Get(base + "/v1/vectors/" + name)
+func (t *jsonTransport) getVector(name string) ([]byte, error) {
+	resp, err := t.client.Get(t.base + "/v1/vectors/" + name)
 	if err != nil {
 		return nil, err
 	}
@@ -573,8 +683,8 @@ func getVector(client *http.Client, base, name string) ([]byte, error) {
 }
 
 // scrapeStats fetches the target's /v1/stats.
-func scrapeStats(client *http.Client, base string) (*server.StatsPayload, error) {
-	resp, err := client.Get(base + "/v1/stats")
+func (t *jsonTransport) scrapeStats() (*server.StatsPayload, error) {
+	resp, err := t.client.Get(t.base + "/v1/stats")
 	if err != nil {
 		return nil, err
 	}
@@ -584,6 +694,111 @@ func scrapeStats(client *http.Client, base string) (*server.StatsPayload, error)
 		return nil, err
 	}
 	return &sp, nil
+}
+
+// close is a no-op: the pooled http.Client is shared across workers.
+func (t *jsonTransport) close() {}
+
+// wireOpCodes maps the mix's op names onto wire op codes.
+var wireOpCodes = map[string]uint8{
+	"not": wire.BitNot, "and": wire.BitAnd, "or": wire.BitOr,
+	"nand": wire.BitNand, "nor": wire.BitNor, "xor": wire.BitXor,
+	"xnor": wire.BitXnor, "copy": wire.BitCopy,
+}
+
+// wireTransport is the elpwire path: one persistent multiplexed
+// connection per worker.
+type wireTransport struct {
+	c         *wire.Client
+	timeoutMS uint32
+}
+
+// issueOp executes one op/reduce over the wire and classifies the status.
+func (t *wireTransport) issueOp(pfx, op string) (outcome, error) {
+	var err error
+	if op == "reduce" {
+		_, err = t.c.Reduce(wire.BitAnd, t.timeoutMS, pfx+"r", []string{pfx + "a", pfx + "b", pfx + "d"})
+	} else {
+		code, ok := wireOpCodes[op]
+		if !ok {
+			return outcomeError, fmt.Errorf("no wire code for op %q", op)
+		}
+		y := pfx + "b"
+		if op == "not" || op == "copy" {
+			y = ""
+		}
+		_, err = t.c.Op(code, t.timeoutMS, pfx+"r", pfx+"a", y)
+	}
+	if err == nil {
+		return outcomeOK, nil
+	}
+	var se *wire.StatusError
+	if errors.As(err, &se) {
+		switch se.Code {
+		case wire.StatusSaturated, wire.StatusDraining:
+			return outcomeRejected, nil
+		case wire.StatusDeadline:
+			return outcomeDeadline, nil
+		default:
+			return outcomeError, nil
+		}
+	}
+	return outcomeError, err // transport-level failure
+}
+
+// putVector stores raw bytes under name as little-endian words.
+func (t *wireTransport) putVector(name string, raw []byte) error {
+	return t.c.Put(name, len(raw)*8, bytesToWords(raw))
+}
+
+// getVector fetches a vector's raw bytes.
+func (t *wireTransport) getVector(name string) ([]byte, error) {
+	bits, _, words, err := t.c.Get(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wordsToBytes(words, (bits+7)/8), nil
+}
+
+// scrapeStats fetches the stats payload over the wire (the same JSON
+// bytes /v1/stats serves).
+func (t *wireTransport) scrapeStats() (*server.StatsPayload, error) {
+	raw, err := t.c.StatsJSON()
+	if err != nil {
+		return nil, err
+	}
+	var sp server.StatsPayload
+	if err := json.Unmarshal(raw, &sp); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// close tears down the worker's connection.
+func (t *wireTransport) close() { _ = t.c.Close() }
+
+// bytesToWords packs raw bytes into little-endian words, zero-padding
+// the final partial word.
+func bytesToWords(raw []byte) []uint64 {
+	words := make([]uint64, (len(raw)+7)/8)
+	var buf [8]byte
+	for i := range words {
+		n := copy(buf[:], raw[i*8:])
+		for j := n; j < 8; j++ {
+			buf[j] = 0
+		}
+		words[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return words
+}
+
+// wordsToBytes unpacks little-endian words into nbytes raw bytes.
+func wordsToBytes(words []uint64, nbytes int) []byte {
+	out := make([]byte, len(words)*8)
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(out[i*8:], w)
+	}
+	return out[:nbytes]
 }
 
 // summarize computes the latency percentile block.

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestClientRNGDeterminism pins the PRNG split that fixes the workload
+// determinism bug: each client's op stream is a pure function of
+// (seed, id), so interleaved backoff-jitter draws — which happen only
+// when the server sheds load — must not perturb which ops get issued.
+// Before the split, one shared *rand.Rand fed both the mix picker and
+// the 503 backoff, so a single rejection desynced the whole workload.
+func TestClientRNGDeterminism(t *testing.T) {
+	mix, err := parseMix("and=3,or=3,xor=2,reduce=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200
+
+	// Reference stream: ops only, no jitter consumed.
+	opRNG, _ := clientRNGs(1, 3)
+	want := make([]string, draws)
+	for i := range want {
+		want[i] = pick(mix, opRNG)
+	}
+
+	// Same client, but with jitter draws interleaved at varying cadence —
+	// as if every few requests hit a 503 and backed off.
+	opRNG2, jitterRNG := clientRNGs(1, 3)
+	for i := 0; i < draws; i++ {
+		if got := pick(mix, opRNG2); got != want[i] {
+			t.Fatalf("op %d: got %q, want %q (jitter draws perturbed the op stream)", i, got, want[i])
+		}
+		for j := 0; j < i%3; j++ {
+			_ = jitterRNG.Intn(1500)
+		}
+	}
+
+	// Distinct clients must not mirror each other's streams.
+	otherRNG, _ := clientRNGs(1, 4)
+	same := 0
+	for i := 0; i < draws; i++ {
+		if pick(mix, otherRNG) == want[i] {
+			same++
+		}
+	}
+	if same == draws {
+		t.Fatalf("client 4 reproduced client 3's entire op stream")
+	}
+
+	// Jitter stream differs from the op stream (distinct sources).
+	opRNG3, jitterRNG3 := clientRNGs(7, 0)
+	if opRNG3.Int63() == jitterRNG3.Int63() {
+		t.Fatalf("op and jitter PRNGs share a source")
+	}
+}
+
+// TestWireOpCodes pins the name→code table against the wire constants
+// and requires a code for every op parseMix can emit.
+func TestWireOpCodes(t *testing.T) {
+	want := map[string]uint8{
+		"not": wire.BitNot, "and": wire.BitAnd, "or": wire.BitOr,
+		"nand": wire.BitNand, "nor": wire.BitNor, "xor": wire.BitXor,
+		"xnor": wire.BitXnor, "copy": wire.BitCopy,
+	}
+	if len(wireOpCodes) != len(want) {
+		t.Fatalf("wireOpCodes has %d entries, want %d", len(wireOpCodes), len(want))
+	}
+	for name, code := range want {
+		if got, ok := wireOpCodes[name]; !ok || got != code {
+			t.Errorf("wireOpCodes[%q] = %d, %v; want %d", name, got, ok, code)
+		}
+	}
+	mix, err := parseMix("and=1,or=1,xor=1,not=1,nand=1,nor=1,xnor=1,copy=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range mix {
+		if _, ok := wireOpCodes[e.name]; !ok {
+			t.Errorf("mix op %q has no wire code", e.name)
+		}
+	}
+}
+
+// TestBytesWordsRoundTrip covers the byte↔word packing used by the wire
+// transport, including non-multiple-of-8 tails.
+func TestBytesWordsRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 511, 512, 513} {
+		raw := make([]byte, n)
+		for i := range raw {
+			raw[i] = byte(i*37 + 11)
+		}
+		words := bytesToWords(raw)
+		if len(words) != (n+7)/8 {
+			t.Fatalf("n=%d: got %d words", n, len(words))
+		}
+		back := wordsToBytes(words, n)
+		if !bytes.Equal(back, raw) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+// runSelfSmoke runs one short self-mode load and returns the decoded
+// report, failing the test on any transport error or verify failure
+// (run itself errors on those).
+func runSelfSmoke(t *testing.T, extra ...string) *Report {
+	t.Helper()
+	args := append([]string{
+		"-clients", "4", "-duration", "300ms", "-bits", "2048",
+		"-shards", "2", "-verify-every", "2",
+	}, extra...)
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput: %s", args, err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no successful requests: %+v", rep)
+	}
+	if rep.VerifyChecks == 0 {
+		t.Fatalf("verification never ran: %+v", rep)
+	}
+	return &rep
+}
+
+// TestRunSelfModeJSON is the HTTP-path smoke: a short self-hosted run
+// completes with verified results.
+func TestRunSelfModeJSON(t *testing.T) {
+	rep := runSelfSmoke(t)
+	if rep.Protocol != "json" {
+		t.Fatalf("protocol = %q, want json", rep.Protocol)
+	}
+}
+
+// TestRunSelfModeWire is the same smoke over the elpwire binary
+// protocol: identical report shape, identical verification, protocol
+// tag flipped.
+func TestRunSelfModeWire(t *testing.T) {
+	rep := runSelfSmoke(t, "-wire")
+	if rep.Protocol != "wire" {
+		t.Fatalf("protocol = %q, want wire", rep.Protocol)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/primitive"
 	"repro/internal/sched"
@@ -305,6 +306,13 @@ type Accelerator struct {
 	batchWaits     *obs.Counter
 	fastHits       *obs.Counter
 	fastFallbacks  *obs.Counter
+
+	// poolFree recycles drained batch worker pools across Batch
+	// lifecycles (bounded by the channel's capacity; see Batch.Close).
+	// Serving traffic runs one Batch per micro-batch flush, and without
+	// recycling every flush would pay pool construction — worker
+	// goroutine spawns plus a channel per worker.
+	poolFree chan *pipeline.Pool
 }
 
 // costKey identifies one memoized cost unit.
@@ -398,6 +406,7 @@ func NewWithConfig(cfg Config) (*Accelerator, error) {
 		execr:     eng,
 		execLocks: make([]sync.Mutex, module.Banks()*module.Bank(0).Subarrays()),
 		costUnits: make(map[costKey]costUnit),
+		poolFree:  make(chan *pipeline.Pool, poolFreeCap),
 	}
 	a.initObs()
 	return a, nil

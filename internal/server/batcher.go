@@ -55,7 +55,10 @@ const (
 )
 
 // pimRequest is one admitted operation waiting for (or riding) a
-// micro-batch flush.
+// micro-batch flush. Requests cycle through pimReqPool so the wire path's
+// steady-state op loop allocates nothing; done is a reusable buffered(1)
+// channel signaled exactly once per use instead of a closed-and-discarded
+// one.
 type pimRequest struct {
 	kind reqKind
 	op   elp2im.Op
@@ -66,16 +69,39 @@ type pimRequest struct {
 	ctx  context.Context
 	done chan struct{}
 
-	// Results, written exactly once before done is closed.
+	// Results, written exactly once before done is signaled.
 	stats   elp2im.Stats
 	err     error
 	flushID int64
 }
 
-// resolve publishes the request's outcome and wakes its handler.
+// pimReqPool recycles pimRequests across the JSON and wire paths. A
+// request abandoned on the deadline path is deliberately NOT recycled
+// (the flusher still holds it and will settle it later); only requests
+// whose outcome was received go back.
+var pimReqPool = sync.Pool{New: func() any {
+	return &pimRequest{done: make(chan struct{}, 1)}
+}}
+
+// getPimRequest fetches a zeroed request from the pool.
+func getPimRequest() *pimRequest { return pimReqPool.Get().(*pimRequest) }
+
+// putPimRequest resets a settled request and recycles it.
+func putPimRequest(r *pimRequest) {
+	r.kind, r.op = 0, 0
+	r.dst, r.x, r.y = "", "", ""
+	r.srcs = r.srcs[:0]
+	r.ctx = nil
+	r.stats, r.err, r.flushID = elp2im.Stats{}, nil, 0
+	pimReqPool.Put(r)
+}
+
+// resolve publishes the request's outcome and wakes its handler. The
+// flusher must not touch r afterwards: the handler may already have
+// recycled it.
 func (r *pimRequest) resolve(st elp2im.Stats, err error) {
 	r.stats, r.err = st, err
-	close(r.done)
+	r.done <- struct{}{}
 }
 
 // Batcher is the dynamic micro-batcher at the heart of elpd: concurrent
@@ -113,7 +139,56 @@ type Batcher struct {
 	drainOnce sync.Once
 	loopDone  chan struct{} // closed when the flusher exits
 
-	flushSeq int64 // flusher-goroutine-local sequence number
+	flushSeq int64        // flusher-goroutine-local sequence number
+	scratch  flushScratch // flusher-goroutine-local working set
+}
+
+// flushScratch is the per-flush working set, reused across flushes:
+// flush runs only on the batcher's flusher goroutine, so one scratch per
+// batcher keeps the steady-state flush path from re-allocating its
+// slices, resolution carriers, and lock-ordering scratch on every
+// micro-batch. Only data that escapes by design — adopted store entries,
+// futures — is freshly allocated.
+type flushScratch struct {
+	live, submitted []*pimRequest
+	bound, subBound []*resolved
+	futures         []*elp2im.Future
+	entries         map[string]*entry
+	lockNames       []string
+	res             []*resolved // grow-only carrier pool
+	resUsed         int
+}
+
+// reset clears the scratch for the next flush. Pointer-holding slices
+// are zeroed before truncation so recycled carriers do not pin dead
+// requests or futures across idle periods.
+func (s *flushScratch) reset() {
+	clear(s.live)
+	clear(s.submitted)
+	clear(s.bound)
+	clear(s.subBound)
+	clear(s.futures)
+	s.live, s.submitted = s.live[:0], s.submitted[:0]
+	s.bound, s.subBound = s.bound[:0], s.subBound[:0]
+	s.futures = s.futures[:0]
+	if s.entries == nil {
+		s.entries = make(map[string]*entry)
+	} else {
+		clear(s.entries)
+	}
+	s.resUsed = 0
+}
+
+// nextResolved hands out a cleared resolution carrier from the scratch's
+// grow-only pool.
+func (s *flushScratch) nextResolved() *resolved {
+	if s.resUsed == len(s.res) {
+		s.res = append(s.res, &resolved{})
+	}
+	res := s.res[s.resUsed]
+	s.resUsed++
+	res.reset()
+	return res
 }
 
 // newBatcher starts a batcher (and its flusher goroutine, unless
@@ -149,20 +224,32 @@ func newBatcher(acc *elp2im.Accelerator, store *Store, window time.Duration, max
 // when admission fails, the context error when the deadline expires
 // first (the request itself is then skipped at flush time), or the
 // operation's own error.
+//
+// Do takes ownership of r, which must come from getPimRequest: when the
+// outcome arrives, r is recycled before Do returns, so the caller must
+// not touch it afterwards. A request abandoned to an expired context
+// stays un-recycled — the flusher still holds it.
 func (b *Batcher) Do(ctx context.Context, r *pimRequest) (elp2im.Stats, int64, error) {
 	if b.degraded {
 		st, err := b.doSync(ctx, r)
+		putPimRequest(r)
 		return st, 0, err
 	}
 	r.ctx = ctx
-	r.done = make(chan struct{})
+	if r.done == nil {
+		// Pool-sourced requests arrive with a reusable channel; literals
+		// (tests, embedders) get one here.
+		r.done = make(chan struct{}, 1)
+	}
 	b.mu.Lock()
 	if b.draining {
 		b.mu.Unlock()
+		putPimRequest(r)
 		return elp2im.Stats{}, 0, ErrDraining
 	}
 	if len(b.queue) >= b.maxQueue {
 		b.mu.Unlock()
+		putPimRequest(r)
 		b.obs.rejected.Inc()
 		return elp2im.Stats{}, 0, ErrSaturated
 	}
@@ -176,11 +263,15 @@ func (b *Batcher) Do(ctx context.Context, r *pimRequest) (elp2im.Stats, int64, e
 
 	select {
 	case <-r.done:
-		return r.stats, r.flushID, r.err
+		st, id, err := r.stats, r.flushID, r.err
+		putPimRequest(r)
+		return st, id, err
 	case <-ctx.Done():
 		// The flusher skips the request once it notices the expired
 		// context; the handler answers 504 now rather than blocking on a
-		// Future that would only resolve at the next flush.
+		// Future that would only resolve at the next flush. r is leaked to
+		// the garbage collector, not the pool: the flusher will still write
+		// its late outcome into it.
 		b.obs.deadlineExpired.Inc()
 		return elp2im.Stats{}, 0, ctx.Err()
 	}
@@ -212,8 +303,9 @@ func (b *Batcher) doSync(ctx context.Context, r *pimRequest) (elp2im.Stats, erro
 		b.obs.deadlineExpired.Inc()
 		return elp2im.Stats{}, err
 	}
-	res, err := b.resolveRequest(r)
-	if err != nil {
+	res := &resolved{}
+	res.reset()
+	if err := b.resolveRequest(r, res); err != nil {
 		return elp2im.Stats{}, err
 	}
 	unlock := lockEntries(res.entries)
@@ -222,6 +314,7 @@ func (b *Batcher) doSync(ctx context.Context, r *pimRequest) (elp2im.Stats, erro
 		return elp2im.Stats{}, err
 	}
 	var st elp2im.Stats
+	var err error
 	switch r.kind {
 	case kindReduce:
 		st, err = b.acc.Reduce(r.op, res.dst, res.srcs...)
@@ -358,15 +451,29 @@ type resolved struct {
 	srcs      []*elp2im.BitVector
 }
 
+// reset clears a recycled carrier for reuse (see flushScratch).
+func (res *resolved) reset() {
+	if res.entries == nil {
+		res.entries = make(map[string]*entry, 4)
+	} else {
+		clear(res.entries)
+	}
+	res.dstEntry = nil
+	res.newDst = nil
+	res.dst, res.x, res.y = nil, nil, nil
+	clear(res.srcs)
+	res.srcs = res.srcs[:0]
+}
+
 // resolveRequest binds a request's vector names to store entries. It
 // never touches vector contents — per the store's locking invariant, vec
 // pointers are only read by bind, after lockEntries pinned every involved
 // entry. A destination that does not exist yet is deliberately NOT
 // created here: bind materializes it detached, and it becomes visible in
 // the store only when the operation succeeds, so a failed request never
-// leaves a spurious all-zero vector behind.
-func (b *Batcher) resolveRequest(r *pimRequest) (*resolved, error) {
-	res := &resolved{entries: make(map[string]*entry, 3+len(r.srcs))}
+// leaves a spurious all-zero vector behind. The carrier res comes cleared
+// from the caller (flush recycles them through its scratch).
+func (b *Batcher) resolveRequest(r *pimRequest, res *resolved) error {
 	need := func(name string) error {
 		e := b.store.lookup(name)
 		if e == nil {
@@ -379,16 +486,16 @@ func (b *Batcher) resolveRequest(r *pimRequest) (*resolved, error) {
 	case kindReduce:
 		for _, name := range r.srcs {
 			if err := need(name); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	default:
 		if err := need(r.x); err != nil {
-			return nil, err
+			return err
 		}
 		if !r.op.Unary() {
 			if err := need(r.y); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
@@ -396,7 +503,7 @@ func (b *Batcher) resolveRequest(r *pimRequest) (*resolved, error) {
 		res.entries[r.dst] = e
 		res.dstEntry = e
 	}
-	return res, nil
+	return nil
 }
 
 // bind reads the operand vectors out of the locked entries and
@@ -408,7 +515,11 @@ func (b *Batcher) resolveRequest(r *pimRequest) (*resolved, error) {
 func (res *resolved) bind(r *pimRequest) error {
 	switch r.kind {
 	case kindReduce:
-		res.srcs = make([]*elp2im.BitVector, len(r.srcs))
+		if cap(res.srcs) < len(r.srcs) {
+			res.srcs = make([]*elp2im.BitVector, len(r.srcs))
+		} else {
+			res.srcs = res.srcs[:len(r.srcs)]
+		}
 		for i, name := range r.srcs {
 			res.srcs[i] = res.entries[name].vec
 			if res.srcs[i].Len() != res.srcs[0].Len() {
@@ -457,70 +568,66 @@ func (b *Batcher) flush(reqs []*pimRequest) {
 	id := b.flushSeq
 	start := b.obs.ctx.SpanStart()
 
-	live := make([]*pimRequest, 0, len(reqs))
-	bound := make([]*resolved, 0, len(reqs))
-	entries := make(map[string]*entry)
+	s := &b.scratch
+	s.reset()
 	for _, r := range reqs {
 		if err := r.ctx.Err(); err != nil {
 			r.resolve(elp2im.Stats{}, err)
 			continue
 		}
-		res, err := b.resolveRequest(r)
-		if err != nil {
+		res := s.nextResolved()
+		if err := b.resolveRequest(r, res); err != nil {
 			r.resolve(elp2im.Stats{}, err)
 			continue
 		}
-		live = append(live, r)
-		bound = append(bound, res)
+		s.live = append(s.live, r)
+		s.bound = append(s.bound, res)
 		for n, e := range res.entries {
-			entries[n] = e
+			s.entries[n] = e
 		}
 	}
-	if len(live) == 0 {
+	if len(s.live) == 0 {
 		b.obs.flushSpan(start, id, 0, nil)
 		return
 	}
 
-	unlock := lockEntries(entries)
+	s.lockNames = lockEntriesOrdered(s.entries, s.lockNames)
 	batch := b.acc.Batch()
-	submitted := make([]*pimRequest, 0, len(live))
-	subBound := make([]*resolved, 0, len(live))
-	futures := make([]*elp2im.Future, 0, len(live))
-	for i, r := range live {
-		if err := bound[i].bind(r); err != nil {
+	for i, r := range s.live {
+		if err := s.bound[i].bind(r); err != nil {
 			r.resolve(elp2im.Stats{}, err)
 			continue
 		}
 		r.flushID = id
 		switch r.kind {
 		case kindReduce:
-			futures = append(futures, batch.SubmitReduce(r.op, bound[i].dst, bound[i].srcs...))
+			s.futures = append(s.futures, batch.SubmitReduce(r.op, s.bound[i].dst, s.bound[i].srcs...))
 		default:
-			futures = append(futures, batch.Submit(r.op, bound[i].dst, bound[i].x, bound[i].y))
+			s.futures = append(s.futures, batch.Submit(r.op, s.bound[i].dst, s.bound[i].x, s.bound[i].y))
 		}
-		submitted = append(submitted, r)
-		subBound = append(subBound, bound[i])
+		s.submitted = append(s.submitted, r)
+		s.subBound = append(s.subBound, s.bound[i])
 	}
 	var firstErr error
-	if len(submitted) > 0 {
+	if len(s.submitted) > 0 {
 		_, firstErr = batch.Wait()
 	}
 	batch.Close()
-	unlock()
-	if len(submitted) == 0 {
+	unlockEntriesOrdered(s.entries, s.lockNames)
+	if len(s.submitted) == 0 {
 		b.obs.flushSpan(start, id, 0, nil)
 		return
 	}
 
-	for i, r := range submitted {
-		st, err := futures[i].Wait()
-		if err == nil && subBound[i].newDst != nil {
-			b.store.adopt(r.dst, subBound[i].newDst)
+	for i, r := range s.submitted {
+		st, err := s.futures[i].Wait()
+		if err == nil && s.subBound[i].newDst != nil {
+			b.store.adopt(r.dst, s.subBound[i].newDst)
 		}
 		r.resolve(st, err)
 	}
 	b.obs.flushes.Inc()
-	b.obs.coalesced.Add(int64(len(submitted)))
-	b.obs.occupancy.Observe(float64(len(submitted)))
-	b.obs.flushSpan(start, id, len(submitted), firstErr)
+	b.obs.coalesced.Add(int64(len(s.submitted)))
+	b.obs.occupancy.Observe(float64(len(s.submitted)))
+	b.obs.flushSpan(start, id, len(s.submitted), firstErr)
 }

@@ -64,12 +64,24 @@ type routeSeries struct {
 // serverMetrics bundles the serving layer's pre-resolved series: the
 // HTTP-route series and panic counter shared by every handler, plus one
 // batcherSeries per micro-batcher (one for a single-module server, one per
-// shard for a sharded one).
+// shard for a sharded one), plus the wire listener's series.
 type serverMetrics struct {
 	ctx    *obs.Context
 	routes map[string]*routeSeries
 	panics *obs.Counter
 	shards []*batcherSeries
+	wire   wireSeries
+}
+
+// wireSeries is the elpwire listener's metric slice:
+//
+//	server.wire.connections  gauge    live wire connections
+//	server.wire.requests     counter  wire requests dispatched
+//	server.wire.errors       counter  wire requests answering non-OK
+type wireSeries struct {
+	connections *obs.Gauge
+	requests    *obs.Counter
+	errors      *obs.Counter
 }
 
 // batcherSeries is one micro-batcher's admission/batching series. With a
@@ -105,6 +117,11 @@ func newServerMetrics(ctx *obs.Context, shards int) *serverMetrics {
 		routes: make(map[string]*routeSeries, len(routeNames)),
 		panics: m.Counter("server.panics"),
 		shards: make([]*batcherSeries, shards),
+		wire: wireSeries{
+			connections: m.Gauge("server.wire.connections"),
+			requests:    m.Counter("server.wire.requests"),
+			errors:      m.Counter("server.wire.errors"),
+		},
 	}
 	for i := range sm.shards {
 		prefix := "server."

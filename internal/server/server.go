@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -111,6 +112,12 @@ type Server struct {
 	batchers []*Batcher
 	obs      *serverMetrics
 	mux      *http.ServeMux
+
+	// Wire-listener connection tracking (see wire.go): live connections
+	// accepted by ServeWire, so CloseWireConns can end them after Drain.
+	wireMu    sync.Mutex
+	wireConns map[net.Conn]struct{}
+	wireWG    sync.WaitGroup
 }
 
 // New returns a server over cfg.Accelerator or cfg.Shard.
@@ -138,12 +145,13 @@ func New(cfg Config) (*Server, error) {
 		obs = newServerMetrics(cfg.Accelerator.Observability(), 1)
 	}
 	s := &Server{
-		cfg:   cfg,
-		acc:   accs[0],
-		shard: cfg.Shard,
-		accs:  accs,
-		store: NewStore(len(accs)),
-		obs:   obs,
+		cfg:       cfg,
+		acc:       accs[0],
+		shard:     cfg.Shard,
+		accs:      accs,
+		store:     NewStore(len(accs)),
+		obs:       obs,
+		wireConns: make(map[net.Conn]struct{}),
 	}
 	s.batchers = make([]*Batcher, len(accs))
 	for i, acc := range accs {
@@ -461,10 +469,13 @@ func (s *Server) handleListVectors(w http.ResponseWriter, r *http.Request) error
 }
 
 // runBatched admits req to its destination's home-shard micro-batcher and
-// reports the flush id it rode back to wrap's span emitter.
+// reports the flush id it rode back to wrap's span emitter. Do owns req
+// from the moment it is called (it recycles it into the request pool), so
+// nothing here may touch req afterwards.
 func (s *Server) runBatched(w http.ResponseWriter, r *http.Request, req *pimRequest) error {
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
+		putPimRequest(req)
 		return err
 	}
 	defer cancel()
@@ -494,7 +505,9 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) error {
 	if !op.Unary() && body.Y == "" {
 		return badRequestf("server: %s needs operand y", body.Op)
 	}
-	return s.runBatched(w, r, &pimRequest{kind: kindOp, op: op, dst: body.Dst, x: body.X, y: body.Y})
+	pr := getPimRequest()
+	pr.kind, pr.op, pr.dst, pr.x, pr.y = kindOp, op, body.Dst, body.X, body.Y
+	return s.runBatched(w, r, pr)
 }
 
 // handleReduce executes dst = srcs[0] op srcs[1] op ... through the
@@ -514,7 +527,10 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) error {
 	if len(body.Srcs) < 2 {
 		return badRequestf("server: reduce needs at least two srcs")
 	}
-	return s.runBatched(w, r, &pimRequest{kind: kindReduce, op: op, dst: body.Dst, srcs: body.Srcs})
+	pr := getPimRequest()
+	pr.kind, pr.op, pr.dst = kindReduce, op, body.Dst
+	pr.srcs = append(pr.srcs[:0], body.Srcs...)
+	return s.runBatched(w, r, pr)
 }
 
 // handleEval evaluates a boolean expression over stored vectors and
@@ -532,19 +548,31 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 	if body.Expr == "" || body.Dst == "" {
 		return badRequestf("server: eval needs expr and dst")
 	}
-	node, err := expr.Parse(body.Expr)
+	st, bits, err := s.evalCore(body.Expr, body.Dst)
 	if err != nil {
-		return badRequestf("server: bad expression: %v", err)
+		return err
+	}
+	return writeJSON(w, OpResponse{Stats: statsJSON(st), Bits: bits})
+}
+
+// evalCore is the protocol-independent eval body shared by the HTTP and
+// wire paths: parse and compile the expression, gate on the destination
+// shard's drain state, read-lock the operands, execute on the shard's
+// accelerator, and store the result under dst.
+func (s *Server) evalCore(exprSrc, dst string) (elp2im.Stats, int, error) {
+	node, err := expr.Parse(exprSrc)
+	if err != nil {
+		return elp2im.Stats{}, 0, badRequestf("server: bad expression: %v", err)
 	}
 	prog, err := expr.Compile(node)
 	if err != nil {
-		return badRequestf("server: bad expression: %v", err)
+		return elp2im.Stats{}, 0, badRequestf("server: bad expression: %v", err)
 	}
 	// Eval routes like every write: the destination's home shard admits it
 	// and executes it on that shard's accelerator.
-	batcher := s.batcherFor(body.Dst)
+	batcher := s.batcherFor(dst)
 	if err := batcher.acquireSync(); err != nil {
-		return err
+		return elp2im.Stats{}, 0, err
 	}
 	defer batcher.releaseSync()
 
@@ -553,7 +581,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 	for _, name := range prog.Vars {
 		e := s.store.lookup(name)
 		if e == nil {
-			return fmt.Errorf("%w: %q", ErrUnknownVector, name)
+			return elp2im.Stats{}, 0, fmt.Errorf("%w: %q", ErrUnknownVector, name)
 		}
 		entries[name] = e
 	}
@@ -565,17 +593,17 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 			bits = e.vec.Len()
 		} else if e.vec.Len() != bits {
 			unlock()
-			return badRequestf("server: expression vectors differ in length (%q has %d bits, want %d)",
+			return elp2im.Stats{}, 0, badRequestf("server: expression vectors differ in length (%q has %d bits, want %d)",
 				name, e.vec.Len(), bits)
 		}
 	}
-	out, st, err := batcher.acc.Eval(body.Expr, vars)
+	out, st, err := batcher.acc.Eval(exprSrc, vars)
 	unlock()
 	if err != nil {
-		return err
+		return elp2im.Stats{}, 0, err
 	}
-	s.store.set(body.Dst, out)
-	return writeJSON(w, OpResponse{Stats: statsJSON(st), Bits: out.Len()})
+	s.store.set(dst, out)
+	return st, out.Len(), nil
 }
 
 // handleStats serves the stable stats payload.

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -49,6 +48,25 @@ func NewStore(shards int) *Store {
 	return &Store{shards: shards, m: make(map[string]*entry)}
 }
 
+// fnv64a constants (hash/fnv's, inlined so the per-request placement hash
+// allocates neither the hash.Hash64 nor the []byte(name) conversion —
+// shardOf sits on the wire path's zero-alloc dispatch loop).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64aString is FNV-1a over a string, bit-identical to hash/fnv over
+// the same bytes (pinned by TestShardOfMatchesFNV).
+func fnv64aString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // shardOf returns the home shard of the named vector: an FNV-1a hash of
 // the name modulo the shard count. Deterministic, uniform for realistic
 // name sets, and independent of insertion order.
@@ -56,9 +74,7 @@ func (s *Store) shardOf(name string) int {
 	if s.shards == 1 {
 		return 0
 	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	return int(h.Sum64() % uint64(s.shards))
+	return int(fnv64aString(name) % uint64(s.shards))
 }
 
 // lookup returns the named entry, or nil when absent.
@@ -164,7 +180,16 @@ func (s *Store) sizeByShard() []int {
 // across every multi-entry locker is what makes concurrent flushes and
 // Eval calls deadlock-free.
 func lockEntries(entries map[string]*entry) (unlock func()) {
-	names := make([]string, 0, len(entries))
+	names := lockEntriesOrdered(entries, nil)
+	return func() { unlockEntriesOrdered(entries, names) }
+}
+
+// lockEntriesOrdered is the allocation-aware core of lockEntries: it
+// write-locks entries in ascending name order, filling (and returning)
+// the caller's name scratch. Pair with unlockEntriesOrdered on the same
+// names. The flush hot path uses it with a reused scratch slice.
+func lockEntriesOrdered(entries map[string]*entry, names []string) []string {
+	names = names[:0]
 	for n := range entries {
 		names = append(names, n)
 	}
@@ -172,10 +197,14 @@ func lockEntries(entries map[string]*entry) (unlock func()) {
 	for _, n := range names {
 		entries[n].mu.Lock()
 	}
-	return func() {
-		for i := len(names) - 1; i >= 0; i-- {
-			entries[names[i]].mu.Unlock()
-		}
+	return names
+}
+
+// unlockEntriesOrdered releases locks taken by lockEntriesOrdered, in
+// reverse order.
+func unlockEntriesOrdered(entries map[string]*entry, names []string) {
+	for i := len(names) - 1; i >= 0; i-- {
+		entries[names[i]].mu.Unlock()
 	}
 }
 

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	elp2im "repro"
+	"repro/internal/wire"
+)
+
+// This file threads elpwire (internal/wire) through the serving layer:
+// ServeWire accepts persistent binary-protocol connections that execute
+// against the same store, per-shard micro-batchers, admission queues and
+// drain semantics as the HTTP/JSON handlers — only the codec differs.
+// The differential tests in wire_server_test.go pin the two paths
+// bit-for-bit equal; the sentinel-error → wire-status mapping below is
+// the binary twin of statusFor, pinned by TestWireErrorStatusContract
+// exactly the way TestErrorStatusContract pins the HTTP one.
+
+// wireRetryAfterMS is the backoff hint carried by saturated/draining
+// responses, mirroring the HTTP path's "Retry-After: 1".
+const wireRetryAfterMS = 1000
+
+// bitOps maps wire bitwise-operation codes onto the facade's ops. The
+// indices are the wire.Bit* constants — a stable protocol contract pinned
+// by TestWireBitOpTable.
+var bitOps = [8]elp2im.Op{
+	wire.BitNot:  elp2im.OpNot,
+	wire.BitAnd:  elp2im.OpAnd,
+	wire.BitOr:   elp2im.OpOr,
+	wire.BitNand: elp2im.OpNand,
+	wire.BitNor:  elp2im.OpNor,
+	wire.BitXor:  elp2im.OpXor,
+	wire.BitXnor: elp2im.OpXnor,
+	wire.BitCopy: elp2im.OpCopy,
+}
+
+// bitOpFor validates and maps a wire op code.
+func bitOpFor(code uint8) (elp2im.Op, bool) {
+	if int(code) >= len(bitOps) {
+		return 0, false
+	}
+	return bitOps[code], true
+}
+
+// wireStatusFor classifies serving-layer errors into wire response
+// statuses plus a retry-after hint — the same equivalence classes as
+// statusFor's HTTP mapping: admission/drain → saturated/draining (503
+// class, with backoff hint), deadline → deadline (504), cancellation →
+// canceled (499), unknown vector → not_found (404), tagged validation
+// and malformed frames → bad_request (400), anything unrecognized →
+// internal (500).
+func wireStatusFor(err error) (uint8, uint32) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		return wire.StatusSaturated, wireRetryAfterMS
+	case errors.Is(err, ErrDraining):
+		return wire.StatusDraining, wireRetryAfterMS
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.StatusDeadline, 0
+	case errors.Is(err, context.Canceled):
+		return wire.StatusCanceled, 0
+	case errors.Is(err, ErrUnknownVector):
+		return wire.StatusNotFound, 0
+	case errors.Is(err, errBadRequest), errors.Is(err, wire.ErrMalformed):
+		return wire.StatusBadRequest, 0
+	default:
+		return wire.StatusInternal, 0
+	}
+}
+
+// wireStats converts the facade's Stats into the wire encoding's shape.
+func wireStats(st elp2im.Stats) wire.Stats {
+	return wire.Stats{
+		LatencyNS:     st.LatencyNS,
+		EnergyNJ:      st.EnergyNJ,
+		AveragePowerW: st.AveragePowerW,
+		RowOps:        uint64(st.RowOps),
+		Commands:      uint64(st.Commands),
+		Wordlines:     uint64(st.Wordlines),
+	}
+}
+
+// ServeWire serves elpwire connections from ln until the listener
+// closes, sharing the store, micro-batchers, admission control and drain
+// state with the HTTP handlers. Accepted connections are tracked so
+// CloseWireConns can end them after a drain. A clean listener close
+// returns nil.
+func (s *Server) ServeWire(ln net.Listener) error {
+	cfg := wire.ServerConfig{
+		Backend:  &wireBackend{s: s},
+		StatusOf: wireStatusFor,
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wireMu.Lock()
+		s.wireConns[conn] = struct{}{}
+		s.wireMu.Unlock()
+		s.obs.wire.connections.Add(1)
+		s.wireWG.Add(1)
+		go func(conn net.Conn) {
+			defer s.wireWG.Done()
+			_ = wire.ServeConn(conn, cfg)
+			_ = conn.Close()
+			s.obs.wire.connections.Add(-1)
+			s.wireMu.Lock()
+			delete(s.wireConns, conn)
+			s.wireMu.Unlock()
+		}(conn)
+	}
+}
+
+// CloseWireConns closes every live wire connection and waits for their
+// serving goroutines to exit. Call it after Drain: admitted requests
+// have settled and written their responses by then, so clients observe
+// draining errors, not truncated streams.
+func (s *Server) CloseWireConns() {
+	s.wireMu.Lock()
+	for c := range s.wireConns {
+		_ = c.Close()
+	}
+	s.wireMu.Unlock()
+	s.wireWG.Wait()
+}
+
+// wireBackend executes decoded wire requests against the server — the
+// binary twin of the HTTP handlers. The op/reduce arm is the
+// steady-state hot path: it allocates nothing of its own (pooled
+// pimRequests, interned names from the connection, the response built
+// into a pooled buffer), so the whole read→decode→dispatch→encode→write
+// loop stays allocation-free when no per-request deadline is requested.
+type wireBackend struct {
+	s *Server
+}
+
+// Handle dispatches one request by opcode.
+func (wb *wireBackend) Handle(ctx context.Context, req *wire.Request, resp *wire.Response) error {
+	s := wb.s
+	s.obs.wire.requests.Inc()
+	var err error
+	switch req.Kind {
+	case wire.KindPing:
+		// Liveness only.
+	case wire.KindPut:
+		err = wb.handlePut(req, resp)
+	case wire.KindGet:
+		err = wb.handleGet(req, resp)
+	case wire.KindDelete:
+		err = wb.handleDelete(req)
+	case wire.KindOp, wire.KindReduce:
+		err = wb.handleOp(ctx, req, resp)
+	case wire.KindEval:
+		err = wb.handleEval(req, resp)
+	case wire.KindStats:
+		err = wb.handleStats(resp)
+	default:
+		err = badRequestf("server: unknown wire opcode 0x%02x", req.Kind)
+	}
+	if err != nil {
+		s.obs.wire.errors.Inc()
+	}
+	return err
+}
+
+// handlePut stores a vector from its raw word payload, mirroring the
+// JSON path's DecodeBits contract: an empty payload stores an all-zero
+// vector, and bits set beyond the declared length are rejected.
+func (wb *wireBackend) handlePut(req *wire.Request, resp *wire.Response) error {
+	vec := elp2im.NewBitVector(req.Bits)
+	if n := req.WordCount(); n > 0 {
+		words := vec.Words()
+		for i := 0; i < n; i++ {
+			words[i] = binary.LittleEndian.Uint64(req.WordData[i*8:])
+		}
+		if rem := req.Bits % 64; rem != 0 {
+			if tail := words[n-1] >> rem; tail != 0 {
+				return badRequestf("server: vector data has bits set beyond length %d", req.Bits)
+			}
+		}
+	}
+	wb.s.store.set(req.Name, vec)
+	resp.AppendU32(uint32(vec.Len()))
+	return nil
+}
+
+// handleGet returns a vector's length, popcount and raw words, read
+// under the entry lock exactly like the JSON GET.
+func (wb *wireBackend) handleGet(req *wire.Request, resp *wire.Response) error {
+	e := wb.s.store.lookup(req.Name)
+	if e == nil {
+		return unknownVector(req.Name)
+	}
+	e.mu.RLock()
+	resp.AppendU32(uint32(e.vec.Len()))
+	resp.AppendU64(uint64(e.vec.Popcount()))
+	resp.AppendWords(e.vec.Words())
+	e.mu.RUnlock()
+	return nil
+}
+
+// handleDelete removes a vector.
+func (wb *wireBackend) handleDelete(req *wire.Request) error {
+	if !wb.s.store.remove(req.Name) {
+		return unknownVector(req.Name)
+	}
+	return nil
+}
+
+// handleOp admits an op or reduce to its destination's home-shard
+// micro-batcher — the wire hot path. A zero TimeoutMS executes under the
+// connection's base context (no timer, no allocation); a nonzero one
+// buys a per-request deadline exactly like the JSON ?timeout_ms.
+func (wb *wireBackend) handleOp(ctx context.Context, req *wire.Request, resp *wire.Response) error {
+	op, ok := bitOpFor(req.Op)
+	if !ok {
+		return badRequestf("server: unknown wire op code %d", req.Op)
+	}
+	pr := getPimRequest()
+	if req.Kind == wire.KindReduce {
+		if op != elp2im.OpAnd && op != elp2im.OpOr {
+			putPimRequest(pr)
+			return badRequestf("server: reduce supports and/or, got %s", op)
+		}
+		pr.kind, pr.op, pr.dst = kindReduce, op, req.Dst
+		pr.srcs = append(pr.srcs[:0], req.Srcs...)
+	} else {
+		if !op.Unary() && req.Y == "" {
+			putPimRequest(pr)
+			return badRequestf("server: %s needs operand y", op)
+		}
+		pr.kind, pr.op, pr.dst, pr.x, pr.y = kindOp, op, req.Dst, req.X, req.Y
+	}
+	cancel := nopCancel
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	st, _, err := wb.s.batcherFor(pr.dst).Do(ctx, pr)
+	cancel()
+	if err != nil {
+		return err
+	}
+	resp.AppendStats(wireStats(st))
+	return nil
+}
+
+// handleEval evaluates an expression through the shared eval core. Like
+// the HTTP handler, eval runs synchronously under the drain gate with no
+// per-request deadline.
+func (wb *wireBackend) handleEval(req *wire.Request, resp *wire.Response) error {
+	st, bits, err := wb.s.evalCore(req.Expr, req.Dst)
+	if err != nil {
+		return err
+	}
+	resp.AppendStats(wireStats(st))
+	resp.AppendU32(uint32(bits))
+	return nil
+}
+
+// handleStats marshals the exact /v1/stats payload, so the two protocols
+// serve byte-identical stats by construction.
+func (wb *wireBackend) handleStats(resp *wire.Response) error {
+	raw, err := json.Marshal(wb.s.Stats())
+	if err != nil {
+		return err
+	}
+	resp.AppendBytes(raw)
+	return nil
+}
+
+// nopCancel is the shared no-op CancelFunc for deadline-free requests.
+var nopCancel context.CancelFunc = func() {}
+
+// unknownVector wraps a missing vector's name in the 404 sentinel.
+func unknownVector(name string) error {
+	return fmt.Errorf("%w: %q", ErrUnknownVector, name)
+}

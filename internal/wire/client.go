@@ -1,0 +1,352 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client is a multiplexing elpwire client: one persistent connection
+// carries many concurrent in-flight requests, matched to their callers by
+// request id, so N goroutines can share a connection and pipeline without
+// head-of-line blocking on the serving side. All methods are safe for
+// concurrent use. The steady-state op path allocates nothing: request
+// encode buffers, response buffers and call slots all cycle through
+// pools.
+type Client struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex // serializes request writes
+
+	mu      sync.Mutex // guards pending, nextID, readErr
+	pending map[uint64]*call
+	nextID  uint64
+	readErr error
+
+	readerDone chan struct{}
+	maxFrame   int
+}
+
+// call is one in-flight request's rendezvous slot.
+type call struct {
+	done    chan struct{} // buffered(1); signaled exactly once
+	status  uint8
+	payload *[]byte // response frame body (id+status+payload); pooled
+}
+
+// callPool recycles rendezvous slots.
+var callPool = sync.Pool{New: func() any {
+	return &call{done: make(chan struct{}, 1)}
+}}
+
+// Dial connects to an elpwire server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection. The client owns the
+// connection and closes it on Close.
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:         nc,
+		br:         bufio.NewReaderSize(nc, 64<<10),
+		pending:    make(map[uint64]*call),
+		readerDone: make(chan struct{}),
+		maxFrame:   DefaultMaxFrame,
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down; every in-flight call fails.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	<-c.readerDone
+	return err
+}
+
+// readLoop dispatches response frames to their pending calls by id.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	var lenWord [frameLenSize]byte
+	for {
+		if _, err := io.ReadFull(c.br, lenWord[:]); err != nil {
+			c.failAll(err)
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(lenWord[:]))
+		if n < headerLen || n > c.maxFrame {
+			c.failAll(fmt.Errorf("%w: response body %d bytes", ErrMalformed, n))
+			return
+		}
+		bp := getBuf(n)
+		if _, err := io.ReadFull(c.br, *bp); err != nil {
+			putBuf(bp)
+			c.failAll(fmt.Errorf("wire: truncated response: %w", err))
+			return
+		}
+		id := binary.LittleEndian.Uint64(*bp)
+		status := (*bp)[8]
+		c.mu.Lock()
+		ca := c.pending[id]
+		if ca != nil {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ca == nil {
+			// A response nothing waits for (caller gave up): drop it.
+			putBuf(bp)
+			continue
+		}
+		ca.status = status
+		ca.payload = bp
+		ca.done <- struct{}{}
+	}
+}
+
+// failAll settles every pending call with err and refuses new ones.
+func (c *Client) failAll(err error) {
+	if errors.Is(err, io.EOF) {
+		err = fmt.Errorf("wire: connection closed: %w", err)
+	}
+	c.mu.Lock()
+	c.readErr = err
+	calls := make([]*call, 0, len(c.pending))
+	for id, ca := range c.pending {
+		delete(c.pending, id)
+		calls = append(calls, ca)
+	}
+	c.mu.Unlock()
+	for _, ca := range calls {
+		ca.status = StatusInternal
+		ca.payload = nil
+		ca.done <- struct{}{}
+	}
+}
+
+// roundTrip registers a call, writes the frame built by build (which
+// receives the id and a pooled buffer to append the full frame to), and
+// waits for the response. On success the returned call holds the
+// response; the caller must finish() it after decoding.
+func (c *Client) roundTrip(build func(id uint64, b []byte) []byte) (*call, error) {
+	ca := callPool.Get().(*call)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		callPool.Put(ca)
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ca
+	c.mu.Unlock()
+
+	bp := getBuf(0)
+	frame := build(id, *bp)
+	c.wmu.Lock()
+	_, err := c.nc.Write(frame)
+	c.wmu.Unlock()
+	*bp = frame[:0]
+	putBuf(bp)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		callPool.Put(ca)
+		return nil, err
+	}
+	<-ca.done
+	if ca.payload == nil {
+		err := c.errNow()
+		callPool.Put(ca)
+		return nil, err
+	}
+	return ca, nil
+}
+
+// errNow returns the connection's terminal error.
+func (c *Client) errNow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return errors.New("wire: connection failed")
+}
+
+// finish recycles a completed call and its payload buffer.
+func (c *Client) finish(ca *call) {
+	if ca.payload != nil {
+		putBuf(ca.payload)
+		ca.payload = nil
+	}
+	ca.status = 0
+	callPool.Put(ca)
+}
+
+// statusErr converts a non-OK response into a *StatusError. It copies the
+// message out of the pooled payload, so the call can be finished by the
+// caller regardless.
+func statusErr(ca *call) error {
+	return DecodeErrorPayload(ca.status, (*ca.payload)[headerLen:])
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendPingRequest(b, id)
+	})
+	if err != nil {
+		return err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return statusErr(ca)
+	}
+	return nil
+}
+
+// Put stores a vector of the given bit length. A nil words slice stores
+// an all-zero vector; otherwise words must hold exactly ceil(bits/64)
+// little-endian words with no bits set beyond the length.
+func (c *Client) Put(name string, bits int, words []uint64) error {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendPutRequest(b, id, name, bits, words)
+	})
+	if err != nil {
+		return err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return statusErr(ca)
+	}
+	return nil
+}
+
+// Get fetches a vector's contents: its bit length, popcount, and words
+// appended to dst (pass nil to allocate).
+func (c *Client) Get(name string, dst []uint64) (bits int, popcount uint64, words []uint64, err error) {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendGetRequest(b, id, name)
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return 0, 0, nil, statusErr(ca)
+	}
+	d := decoder{b: (*ca.payload)[headerLen:]}
+	bits = int(d.u32())
+	popcount = d.u64()
+	n := int(d.u32())
+	raw := d.take(n * 8)
+	d.done()
+	if d.err != nil {
+		return 0, 0, nil, d.err
+	}
+	words = dst[:0]
+	for i := 0; i < n; i++ {
+		words = append(words, binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return bits, popcount, words, nil
+}
+
+// Delete removes a vector.
+func (c *Client) Delete(name string) error {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendDeleteRequest(b, id, name)
+	})
+	if err != nil {
+		return err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return statusErr(ca)
+	}
+	return nil
+}
+
+// Op executes dst = op(x, y) (y empty for the unary BitNot/BitCopy) and
+// returns the operation's modeled cost. timeoutMS of zero defers to the
+// server's default deadline policy.
+func (c *Client) Op(op uint8, timeoutMS uint32, dst, x, y string) (Stats, error) {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendOpRequest(b, id, op, timeoutMS, dst, x, y)
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return Stats{}, statusErr(ca)
+	}
+	return DecodeStats((*ca.payload)[headerLen:])
+}
+
+// Reduce executes dst = srcs[0] op srcs[1] op ... and returns the modeled
+// cost.
+func (c *Client) Reduce(op uint8, timeoutMS uint32, dst string, srcs []string) (Stats, error) {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendReduceRequest(b, id, op, timeoutMS, dst, srcs)
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return Stats{}, statusErr(ca)
+	}
+	return DecodeStats((*ca.payload)[headerLen:])
+}
+
+// Eval evaluates a boolean expression over stored vectors, storing the
+// result under dst; it returns the modeled cost and the result length.
+func (c *Client) Eval(timeoutMS uint32, dst, expr string) (Stats, int, error) {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendEvalRequest(b, id, timeoutMS, dst, expr)
+	})
+	if err != nil {
+		return Stats{}, 0, err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return Stats{}, 0, statusErr(ca)
+	}
+	payload := (*ca.payload)[headerLen:]
+	st, err := DecodeStats(payload)
+	if err != nil {
+		return Stats{}, 0, err
+	}
+	if len(payload) < statsWireLen+4 {
+		return Stats{}, 0, malformedf("eval response is %d bytes", len(payload))
+	}
+	bits := int(binary.LittleEndian.Uint32(payload[statsWireLen:]))
+	return st, bits, nil
+}
+
+// StatsJSON fetches the serving-layer stats payload: the same JSON bytes
+// the HTTP path serves on /v1/stats.
+func (c *Client) StatsJSON() ([]byte, error) {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendStatsRequest(b, id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return nil, statusErr(ca)
+	}
+	return append([]byte(nil), (*ca.payload)[headerLen:]...), nil
+}

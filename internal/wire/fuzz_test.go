@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// fuzzSeeds are the in-code seed corpus: one well-formed frame body per
+// request kind plus a few near-miss mutations. The checked-in corpus
+// under testdata/fuzz mirrors these (same generator, seedFrames).
+func fuzzSeeds(f *testing.F) {
+	for _, body := range seedFrames() {
+		f.Add(body)
+	}
+	// Near misses: truncations and tail garbage of a representative frame.
+	op := AppendOpRequest(nil, 6, BitAnd, 0, "dst", "x", "y")[frameLenSize:]
+	f.Add(op[:headerLen])
+	f.Add(op[:len(op)-1])
+	f.Add(append(append([]byte{}, op...), 0x00))
+	f.Add([]byte{})
+	f.Add([]byte{0xEE})
+}
+
+// FuzzDecodeFrame is the crash-safety target: DecodeRequest must never
+// panic, never over-read, and classify every rejection as ErrMalformed —
+// regardless of input. Accepted requests must survive an encode/decode
+// round trip (the decoder's view is self-consistent).
+func FuzzDecodeFrame(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		var req Request
+		err := DecodeRequest(frame, &req, nil)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("decode error not tagged ErrMalformed: %v", err)
+			}
+			return
+		}
+		re := EncodeRequest(nil, &req)
+		var req2 Request
+		if err := DecodeRequest(re[frameLenSize:], &req2, nil); err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v\nframe: %x\nre-encoded: %x", err, frame, re)
+		}
+		if !reqEqual(&req, &req2) {
+			t.Fatalf("accepted frame unstable under round trip:\n first %+v\nsecond %+v", req, req2)
+		}
+	})
+}
+
+// FuzzRoundTrip is the byte-stability target: any frame the decoder
+// accepts must re-encode to exactly the bytes it was decoded from — the
+// codec admits no non-canonical encodings, so there is exactly one wire
+// image per request and cross-implementation hashing/caching of frames is
+// sound.
+func FuzzRoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		var req Request
+		if err := DecodeRequest(frame, &req, nil); err != nil {
+			return
+		}
+		re := EncodeRequest(nil, &req)
+		if string(re[frameLenSize:]) != string(frame) {
+			t.Fatalf("accepted frame is non-canonical:\n   input %x\nre-encode %x\nrequest %+v", frame, re[frameLenSize:], req)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+// Command gencorpus regenerates the checked-in fuzz seed corpus under
+// internal/wire/testdata/fuzz. Run from the repo root:
+//
+//	go run ./internal/wire/gencorpus
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	frames := map[string][]byte{
+		"ping":   wire.AppendPingRequest(nil, 1),
+		"put":    wire.AppendPutRequest(nil, 2, "v0", 130, []uint64{^uint64(0), ^uint64(0), 3}),
+		"putz":   wire.AppendPutRequest(nil, 3, "zeros", 64, nil),
+		"get":    wire.AppendGetRequest(nil, 4, "v0"),
+		"delete": wire.AppendDeleteRequest(nil, 5, "v0"),
+		"op":     wire.AppendOpRequest(nil, 6, wire.BitAnd, 0, "dst", "x", "y"),
+		"opnot":  wire.AppendOpRequest(nil, 7, wire.BitNot, 250, "dst", "x", ""),
+		"reduce": wire.AppendReduceRequest(nil, 8, wire.BitOr, 0, "dst", []string{"a", "b", "c"}),
+		"eval":   wire.AppendEvalRequest(nil, 9, 0, "dst", "(a & b) | ~c"),
+		"stats":  wire.AppendStatsRequest(nil, 10),
+	}
+	op := frames["op"][4:]
+	extra := map[string][]byte{
+		"trunc-header": op[:9],
+		"trunc-tail":   op[:len(op)-1],
+		"garbage":      {0xEE, 0xFF, 0x00},
+	}
+	for _, target := range []string{"FuzzDecodeFrame", "FuzzRoundTrip"} {
+		dir := filepath.Join("internal", "wire", "testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			panic(err)
+		}
+		write := func(name string, body []byte) {
+			content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(body)) + ")\n"
+			if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(content), 0o644); err != nil {
+				panic(err)
+			}
+		}
+		for name, f := range frames {
+			write(name, f[4:]) // corpus entries are frame bodies (no length word)
+		}
+		for name, f := range extra {
+			write(name, f)
+		}
+	}
+	fmt.Println("corpus written")
+}

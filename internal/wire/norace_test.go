@@ -1,0 +1,6 @@
+//go:build !race
+
+package wire
+
+// raceEnabled is false in plain builds; the zero-allocation gate runs.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports that this build runs under the race detector,
+// whose instrumentation allocates — the zero-allocation gate skips
+// itself there (it runs in the plain test pass).
+const raceEnabled = true

@@ -30,6 +30,14 @@
 # cores than shards and wall-clock throughput cannot (see EXPERIMENTS.md
 # "Reading BENCH_shards.json").
 #
+# Part 4 (BENCH_wire.json) compares the two serving protocols — HTTP/JSON
+# vs elpwire (internal/wire, length-prefixed binary frames over persistent
+# multiplexed connections) — two ways: the in-process round-trip
+# microbenchmarks (BenchmarkWireOp / BenchmarkJSONOp, ns/op and allocs/op)
+# and an elpload sweep running the same mixed workload through each
+# protocol at several shard counts, recording achieved_qps and p99 per
+# point plus the wire/json throughput ratio.
+#
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME        go test -benchtime value (default 200x)
 #   SERVER_CLIENTS   elpload concurrent clients (default 64)
@@ -38,6 +46,13 @@
 #   SHARD_COUNTS     part-3 sweep points (default "1 2 4")
 #   SHARD_CLIENTS    part-3 concurrent clients (default 32)
 #   SHARD_DURATION   part-3 load duration per point (default 2s)
+#   WIRE_SHARDS      part-4 sweep points (default "1 2 4")
+#   WIRE_CLIENTS     part-4 concurrent clients (default 64)
+#   WIRE_DURATION    part-4 load duration per point+protocol (default 2s)
+#   WIRE_BITS        part-4 operand length in bits (default 4096 — small
+#                    operands so serialization/transport cost dominates
+#                    over the accelerator compute both protocols share;
+#                    that is the quantity part 4 measures)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -166,3 +181,78 @@ END {
 '
 echo "wrote $shards_out" >&2
 cat "$shards_out"
+
+# Part 4: JSON vs wire. First the in-process round-trip microbenchmarks
+# (one op through a real listener per iteration), then the elpload sweep:
+# the same mixed workload through each protocol at each shard count.
+wire_out="BENCH_wire.json"
+wire_shards="${WIRE_SHARDS:-1 2 4}"
+wire_clients="${WIRE_CLIENTS:-64}"
+wire_duration="${WIRE_DURATION:-2s}"
+wire_bits="${WIRE_BITS:-4096}"
+echo "bench.sh: protocol microbenchmarks (BenchmarkWireOp vs BenchmarkJSONOp)" >&2
+wire_raw=$(go test -run '^$' -bench 'BenchmarkWireOp$|BenchmarkJSONOp$' \
+	-benchtime "$benchtime" -benchmem ./internal/server)
+printf '%s\n' "$wire_raw" >&2
+micro=$(printf '%s\n' "$wire_raw" | awk '
+/^BenchmarkWireOp(-[0-9]+)?[ \t]/ { wns = $3; wal = $(NF-1) }
+/^BenchmarkJSONOp(-[0-9]+)?[ \t]/ { jns = $3; jal = $(NF-1) }
+END {
+	if (wns == "" || jns == "") { print "bench.sh: missing protocol benchmark output" > "/dev/stderr"; exit 1 }
+	print wns, wal, jns, jal
+}')
+
+wpoints=""
+for n in $wire_shards; do
+	for proto in json wire; do
+		wflag=""
+		if [ "$proto" = "wire" ]; then wflag="-wire"; fi
+		echo "bench.sh: elpload $proto sweep, $n shard(s) (${wire_clients} clients, ${wire_duration})" >&2
+		go run ./cmd/elpload \
+			-shards "$n" \
+			-clients "$wire_clients" \
+			-duration "$wire_duration" \
+			-bits "$wire_bits" \
+			$wflag \
+			>"$tmp_dir/wire_${proto}_$n.json"
+		vals=$(awk -F'[:,]' '
+			/"achieved_qps"/    { a = $2; gsub(/ /, "", a) }
+			/"p99"/ && !p99done { p = $2; gsub(/ /, "", p); p99done = 1 }
+			END { print a, p }' "$tmp_dir/wire_${proto}_$n.json")
+		wpoints="$wpoints$n $proto $vals
+"
+	done
+done
+printf '%s' "$wpoints" | awk -v out="$wire_out" -v micro="$micro" \
+	-v clients="$wire_clients" -v duration="$wire_duration" -v bits="$wire_bits" '
+$2 == "json" { jq[$1] = $3; jp[$1] = $4; if (!($1 in seen)) { order[++np] = $1; seen[$1] = 1 } }
+$2 == "wire" { wq[$1] = $3; wp[$1] = $4; if (!($1 in seen)) { order[++np] = $1; seen[$1] = 1 } }
+END {
+	split(micro, m, " ")
+	if (np < 1 || m[1] == "" || m[3] == "") {
+		print "bench.sh: missing wire-sweep output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n" > out
+	printf "  \"clients\": %s,\n", clients > out
+	printf "  \"duration\": \"%s\",\n", duration > out
+	printf "  \"bits\": %s,\n", bits > out
+	printf "  \"microbench\": {\n" > out
+	printf "    \"wire_op_ns_op\": %s,\n", m[1] > out
+	printf "    \"wire_op_allocs_op\": %s,\n", m[2] > out
+	printf "    \"json_op_ns_op\": %s,\n", m[3] > out
+	printf "    \"json_op_allocs_op\": %s,\n", m[4] > out
+	printf "    \"wire_speedup\": %.2f\n", m[3] / m[1] > out
+	printf "  },\n" > out
+	printf "  \"points\": [\n" > out
+	for (i = 1; i <= np; i++) {
+		n = order[i]
+		printf "    {\"shards\": %s, \"json_qps\": %s, \"json_p99_ms\": %s, \"wire_qps\": %s, \"wire_p99_ms\": %s, \"wire_qps_ratio\": %.2f}%s\n",
+			n, jq[n], jp[n], wq[n], wp[n], wq[n] / jq[n], i < np ? "," : "" > out
+	}
+	printf "  ]\n" > out
+	printf "}\n" > out
+}
+'
+echo "wrote $wire_out" >&2
+cat "$wire_out"

@@ -4,13 +4,20 @@
 #   2. go vet      — whole-module analysis
 #   3. doccheck    — godoc completeness for the packages whose documentation
 #                    the project guarantees (root facade, internal/pipeline,
-#                    internal/obs, internal/server)
-#   4. race tests  — the server/micro-batcher suite, the kernel-derivation
-#                    cache, the facade's fast-path/fallback concurrency
-#                    tests, and the shard router + sharded differential
-#                    suite under the race detector (their whole value is
-#                    their concurrency envelope)
-#   5. shuffle     — the full suite once with -shuffle=on, so hidden
+#                    internal/obs, internal/server, internal/wire)
+#   4. race tests  — the server/micro-batcher suite (including the wire
+#                    listener and the JSON↔wire differential), the wire
+#                    codec/conn suite, the kernel-derivation cache, the
+#                    facade's fast-path/fallback concurrency tests, and the
+#                    shard router + sharded differential suite under the
+#                    race detector (their whole value is their concurrency
+#                    envelope)
+#   5. fuzz smoke  — both internal/wire fuzz targets for a few seconds
+#                    each (go test -fuzz matches one target per run), so
+#                    codec regressions the corpus can reach fail here
+#   6. coverage    — internal/wire and internal/server must each keep
+#                    statement coverage >= 80%
+#   7. shuffle     — the full suite once with -shuffle=on, so hidden
 #                    inter-test ordering dependencies fail here instead of
 #                    flaking later
 set -u
@@ -29,11 +36,43 @@ if ! go vet ./...; then
     fail=1
 fi
 
-if ! go run ./scripts/doccheck . internal/pipeline internal/obs internal/server; then
+if ! go run ./scripts/doccheck . internal/pipeline internal/obs internal/server internal/wire; then
     fail=1
 fi
 
 if ! go test -race -count=1 ./internal/server/...; then
+    fail=1
+fi
+
+if ! go test -race -count=1 ./internal/wire/...; then
+    fail=1
+fi
+
+# Fuzz smoke: -fuzz matches exactly one target per invocation, so the two
+# targets need two runs. A few seconds each catches shallow regressions;
+# the checked-in corpus under internal/wire/testdata seeds both.
+if ! go test -run '^$' -fuzz '^FuzzDecodeFrame$' -fuzztime 5s ./internal/wire; then
+    fail=1
+fi
+
+if ! go test -run '^$' -fuzz '^FuzzRoundTrip$' -fuzztime 5s ./internal/wire; then
+    fail=1
+fi
+
+# Coverage floor: the wire codec and the serving layer carry the
+# protocol-equivalence guarantees, so their suites must keep >= 80%
+# statement coverage.
+cover_out=$(go test -count=1 -cover ./internal/wire ./internal/server) || fail=1
+echo "$cover_out"
+cover_fail=$(echo "$cover_out" | awk '
+    /coverage:/ {
+        for (i = 1; i <= NF; i++)
+            if ($i ~ /%$/) { pct = $i; sub(/%.*/, "", pct)
+                if (pct + 0 < 80.0) print $2, pct "% < 80%" }
+    }')
+if [ -n "$cover_fail" ]; then
+    echo "lint: coverage floor violated:" >&2
+    echo "$cover_fail" >&2
     fail=1
 fi
 

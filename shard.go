@@ -468,6 +468,7 @@ type ShardBatch struct {
 	pools []*pipeline.Pool
 
 	mu     sync.Mutex
+	closed bool
 	leased []*Future // submission order
 }
 
@@ -482,7 +483,7 @@ func (sh *Shard) Batch() *ShardBatch {
 	}
 	pools := make([]*pipeline.Pool, n)
 	for i := range pools {
-		pools[i] = pipeline.NewPoolObs(sh.accs[i].batchWorkers(), sh.accs[i].obsc)
+		pools[i] = sh.accs[i].getPool()
 	}
 	return &ShardBatch{sh: sh, pools: pools}
 }
@@ -518,6 +519,12 @@ func (sb *ShardBatch) lease(f *Future) {
 // order (the order runErr resolves multiple failures in).
 func (sb *ShardBatch) submitScattered(stripes int, mk func(acc *Accelerator, groups []stripeRun) []pipeline.Task,
 	components []costTerm, total Stats) *Future {
+	sb.mu.Lock()
+	closed := sb.closed
+	sb.mu.Unlock()
+	if closed {
+		return sb.failed(pipeline.ErrClosed)
+	}
 	sh := sb.sh
 	lists := sh.stripeLists(stripes)
 	pfs := make([]*pipeline.Future, 0, len(sh.accs))
@@ -621,11 +628,19 @@ func (sb *ShardBatch) Wait() (Stats, error) {
 	return total, firstErr
 }
 
-// Close drains and shuts down every shard pool. Further Submit calls
-// return a failed future. Close does not fold unaccounted statistics into
-// the totals — call Wait first.
+// Close drains every shard pool and recycles each for its accelerator's
+// next batch. Further Submit calls return a failed future. Close does not
+// fold unaccounted statistics into the totals — call Wait first. Close is
+// idempotent.
 func (sb *ShardBatch) Close() {
-	for _, p := range sb.pools {
-		p.Close()
+	sb.mu.Lock()
+	if sb.closed {
+		sb.mu.Unlock()
+		return
+	}
+	sb.closed = true
+	sb.mu.Unlock()
+	for i, p := range sb.pools {
+		sb.sh.accs[i].recyclePool(p)
 	}
 }
