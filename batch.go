@@ -326,6 +326,35 @@ func (b *Batch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Future {
 	return b.enqueue(tasks, components, total)
 }
 
+// SubmitEval enqueues the asynchronous variant of Eval: the expression is
+// compiled and validated now (failures surface on the returned future),
+// the result vector is allocated and returned immediately, and its
+// contents are defined once the future completes. The evaluation's total
+// cost folds into the session totals on Wait without per-op series
+// records, exactly as the synchronous Eval accounts.
+func (b *Batch) SubmitEval(src string, vars map[string]*BitVector) (*BitVector, *Future) {
+	a := b.acc
+	a.batchSubmitted.Inc()
+	ce, err := CompileExpr(src)
+	if err != nil {
+		return nil, b.failed(err)
+	}
+	n, err := a.evalPrep(ce.plan, vars)
+	if err != nil {
+		return nil, b.failed(err)
+	}
+	cols := a.cfg.Module.Columns
+	stripes := (n + cols - 1) / cols
+	total, err := a.evalCost(ce.plan.Prog, stripes)
+	if err != nil {
+		return nil, b.failed(err)
+	}
+	out := NewBitVector(n)
+	r := a.evalResolve(ce.plan, vars, out)
+	tasks := a.evalTasks(r, a.groupStripes(stripes))
+	return out, b.enqueue(tasks, nil, total)
+}
+
 // vecsOf unwraps a BitVector slice to the underlying storage vectors.
 func vecsOf(vs []*BitVector) []*bitvec.Vector {
 	out := make([]*bitvec.Vector, len(vs))
@@ -384,6 +413,14 @@ func (b *Batch) Wait() (Stats, error) {
 			continue
 		}
 		f.accounted = true
+		if len(f.components) == 0 {
+			// Eval submissions carry one aggregate cost with no per-op
+			// terms, matching the synchronous Eval (totals only, no
+			// per-op series records).
+			b.acc.addTotals(f.stats)
+			total.add(f.stats)
+			continue
+		}
 		for _, c := range f.components {
 			b.acc.addTotals(c.st)
 			total.add(c.st)

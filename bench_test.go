@@ -6,6 +6,7 @@ package elp2im
 // `go test -bench=. -benchmem` doubles as the reproduction run.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -553,4 +554,71 @@ func BenchmarkPipelineBatchCached(b *testing.B) {
 	}
 	b.StopTimer()
 	bt.Close()
+}
+
+// evalBenchExpr builds a complete binary gate tree of the given depth
+// over variables a–h. Leaves cycle through the eight variables and the
+// operator cycles &, |, ^ per gate in post order, so sibling subtrees
+// are structurally distinct and CSE cannot collapse the tree.
+func evalBenchExpr(depth int) string {
+	leaf, gate := 0, 0
+	ops := []string{"&", "|", "^"}
+	var build func(d int) string
+	build = func(d int) string {
+		if d == 0 {
+			v := string(rune('a' + leaf%8))
+			leaf++
+			return v
+		}
+		l, r := build(d-1), build(d-1)
+		op := ops[gate%3]
+		gate++
+		return "(" + l + " " + op + " " + r + ")"
+	}
+	return build(depth)
+}
+
+// BenchmarkEvalDAG sweeps expression-DAG depth (a depth-d tree has 2^d-1
+// gates) through the two word-level execution tiers: fused cluster
+// kernels (default) vs node-at-a-time kernels (DisableFusion). The fused
+// tier's win is memory traffic — one blockwise pass per plan cluster
+// instead of one full-vector pass per gate — so the speedup grows with
+// gates-per-cluster. bench.sh part 5 turns this sweep into
+// BENCH_eval.json.
+func BenchmarkEvalDAG(b *testing.B) {
+	tiers := []struct {
+		name   string
+		mutate []func(*Config)
+	}{
+		{"fused", nil},
+		{"nodekernel", []func(*Config){func(c *Config) { c.DisableFusion = true }}},
+	}
+	for _, depth := range []int{1, 2, 3, 4, 5, 6} {
+		src := evalBenchExpr(depth)
+		ce, err := CompileExpr(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const n = 1 << 20
+		rng := rand.New(rand.NewSource(int64(depth)))
+		vars := map[string]*BitVector{}
+		for _, name := range ce.Vars() {
+			vars[name] = RandomBitVector(rng, n)
+		}
+		for _, tier := range tiers {
+			b.Run(fmt.Sprintf("depth%d/%s", depth, tier.name), func(b *testing.B) {
+				acc, err := New(tier.mutate...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(n / 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := acc.EvalExpr(ce, vars); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

@@ -1,0 +1,302 @@
+package elp2im
+
+// Eval differential suite: every expression in the corpus (and every
+// random DAG the fuzzer draws) must produce bit-identical vectors and
+// struct-equal Stats across the three execution tiers — fused cluster
+// kernels, node-at-a-time kernels (DisableFusion), and the
+// command-accurate device model (DisableFastpath) — on every design,
+// through the synchronous, sharded, and batch-submission entry points,
+// all checked against the host parse-tree oracle.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// evalDiffExprs is the expression corpus: bare leaves, single gates, the
+// docs' two-cluster example, shared subexpressions, deep XOR trees with
+// eight variables (multi-cluster), and wide conjunctions whose clusters
+// overlap in sources.
+var evalDiffExprs = []string{
+	"a",
+	"~a",
+	"a & b",
+	"~(a ^ b)",
+	"(dirty & ~referenced) | evicted",
+	"((a | b) & (c | d) & (e | f)) ^ g",
+	"(a & b) | ((a & b) & c)",
+	"(a | b) & (b | c) & (c | a)",
+	"((a ^ b) ^ (c ^ d)) ^ ((e ^ f) ^ (g ^ h))",
+	"(a & b & c & d & e & f) | (c & d & e & f & g & h)",
+	"~(a & (b | ~(c ^ (d & ~e))))",
+}
+
+// evalDiffModule is smallModule with enough rows for the deepest corpus
+// expression's command-accurate fallback (vars + temps + staging row).
+func evalDiffModule(c *Config) {
+	smallModule(c)
+	c.Module.RowsPerSubarray = 32
+}
+
+// evalOracleVars binds every variable of src to a fresh random vector of
+// n bits and returns the bindings plus the oracle result computed
+// bit-by-bit on the parse tree.
+func evalOracleVars(t *testing.T, rng *rand.Rand, src string, n int) (map[string]*BitVector, *BitVector) {
+	t.Helper()
+	node, err := expr.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	vars := map[string]*BitVector{}
+	for _, name := range node.Vars() {
+		vars[name] = RandomBitVector(rng, n)
+	}
+	want := NewBitVector(n)
+	env := map[string]bool{}
+	for i := 0; i < n; i++ {
+		for name, v := range vars {
+			env[name] = v.Bit(i)
+		}
+		want.SetBit(i, node.Eval(env))
+	}
+	return vars, want
+}
+
+// TestDifferentialEval pins the three-tier equivalence: for every design
+// and every corpus expression over word-aligned and ragged lengths, the
+// fused, node-kernel, and command-accurate tiers return bit-identical
+// vectors and struct-equal Stats.
+func TestDifferentialEval(t *testing.T) {
+	designs := []Design{DesignELP2IM, DesignAmbit, DesignDrisaNOR}
+	tiers := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"fused", func(*Config) {}},
+		{"nodekernel", func(c *Config) { c.DisableFusion = true }},
+		{"cmdaccurate", func(c *Config) { c.DisableFastpath = true }},
+	}
+	for _, d := range designs {
+		d := d
+		accs := make([]*Accelerator, len(tiers))
+		for i, tier := range tiers {
+			accs[i] = newAcc(t, evalDiffModule, tier.mutate, func(c *Config) { c.Design = d })
+		}
+		for ei, src := range evalDiffExprs {
+			for _, n := range []int{50, 128, 3*128 + 17, 256} {
+				rng := rand.New(rand.NewSource(int64(100*ei + n)))
+				vars, want := evalOracleVars(t, rng, src, n)
+
+				var refStats Stats
+				for i, tier := range tiers {
+					out, st, err := accs[i].Eval(src, vars)
+					if err != nil {
+						t.Fatalf("%v %s %q n=%d: %v", d, tier.name, src, n, err)
+					}
+					if !out.Equal(want) {
+						t.Fatalf("%v %s %q n=%d: result diverges from oracle", d, tier.name, src, n)
+					}
+					if i == 0 {
+						refStats = st
+					} else if st != refStats {
+						t.Fatalf("%v %s %q n=%d: stats %+v != fused tier %+v",
+							d, tier.name, src, n, st, refStats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialEvalSharded extends the eval differential across the
+// Shard router and the batch submission paths: for shard counts 1 and 4,
+// the scattered synchronous EvalExpr, Batch.SubmitEval, and
+// ShardBatch.SubmitEval must all match the oracle bit for bit, with
+// totals struct-equal to the single-module synchronous baseline.
+func TestDifferentialEvalSharded(t *testing.T) {
+	designs := []Design{DesignELP2IM, DesignAmbit, DesignDrisaNOR}
+	exprs := []string{
+		"(dirty & ~referenced) | evicted",
+		"((a | b) & (c | d) & (e | f)) ^ g",
+		"((a ^ b) ^ (c ^ d)) ^ ((e ^ f) ^ (g ^ h))",
+	}
+	for _, d := range designs {
+		d := d
+		base := newAcc(t, evalDiffModule, func(c *Config) { c.Design = d })
+		for ei, src := range exprs {
+			ce, err := CompileExpr(src)
+			if err != nil {
+				t.Fatalf("compile %q: %v", src, err)
+			}
+			for _, n := range []int{3*128 + 17, 512} {
+				rng := rand.New(rand.NewSource(int64(9000*ei + n)))
+				vars, want := evalOracleVars(t, rng, src, n)
+
+				base.ResetTotals()
+				out, wantStats, err := base.EvalExpr(ce, vars)
+				if err != nil {
+					t.Fatalf("%v EvalExpr %q: %v", d, src, err)
+				}
+				if !out.Equal(want) {
+					t.Fatalf("%v EvalExpr %q n=%d diverges from oracle", d, src, n)
+				}
+
+				// Batch.SubmitEval folds the same aggregate cost on Wait.
+				base.ResetTotals()
+				b := base.Batch()
+				bout, fut := b.SubmitEval(src, vars)
+				bst, err := fut.Wait()
+				if err != nil {
+					t.Fatalf("%v SubmitEval %q: %v", d, src, err)
+				}
+				if _, err := b.Wait(); err != nil {
+					t.Fatalf("%v batch wait: %v", d, err)
+				}
+				b.Close()
+				if !bout.Equal(want) {
+					t.Fatalf("%v SubmitEval %q n=%d diverges from oracle", d, src, n)
+				}
+				if bst != wantStats {
+					t.Fatalf("%v SubmitEval %q: stats %+v != sync %+v", d, src, bst, wantStats)
+				}
+				if got := base.Totals(); got != wantStats {
+					t.Fatalf("%v SubmitEval %q: totals %+v != sync %+v", d, src, got, wantStats)
+				}
+
+				for _, shards := range []int{1, 4} {
+					sh, err := NewShard(shards, evalDiffModule, func(c *Config) { c.Design = d })
+					if err != nil {
+						t.Fatalf("NewShard(%d): %v", shards, err)
+					}
+					sout, sst, err := sh.EvalExpr(ce, vars)
+					if err != nil {
+						t.Fatalf("%v shards=%d EvalExpr %q: %v", d, shards, src, err)
+					}
+					if !sout.Equal(want) {
+						t.Fatalf("%v shards=%d EvalExpr %q n=%d diverges", d, shards, src, n)
+					}
+					if sst != wantStats {
+						t.Fatalf("%v shards=%d EvalExpr %q: stats %+v != single-module %+v",
+							d, shards, src, sst, wantStats)
+					}
+
+					sb := sh.Batch()
+					sbout, sfut := sb.SubmitEval(src, vars)
+					sbst, err := sfut.Wait()
+					if err != nil {
+						t.Fatalf("%v shards=%d SubmitEval %q: %v", d, shards, src, err)
+					}
+					if _, err := sb.Wait(); err != nil {
+						t.Fatalf("%v shards=%d shard batch wait: %v", d, shards, err)
+					}
+					sb.Close()
+					if !sbout.Equal(want) {
+						t.Fatalf("%v shards=%d SubmitEval %q n=%d diverges", d, shards, src, n)
+					}
+					if sbst != wantStats {
+						t.Fatalf("%v shards=%d SubmitEval %q: stats %+v != single-module %+v",
+							d, shards, src, sbst, wantStats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randDAGExpr draws a random expression string of the given depth over
+// variables a–h, fully parenthesized so operator precedence cannot
+// reshape the intended DAG.
+func randDAGExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 || rng.Intn(5) == 0 {
+		return string(rune('a' + rng.Intn(8)))
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return "~" + randDAGExpr(rng, depth-1)
+	case 1:
+		return fmt.Sprintf("(%s & %s)", randDAGExpr(rng, depth-1), randDAGExpr(rng, depth-1))
+	case 2:
+		return fmt.Sprintf("(%s | %s)", randDAGExpr(rng, depth-1), randDAGExpr(rng, depth-1))
+	default:
+		return fmt.Sprintf("(%s ^ %s)", randDAGExpr(rng, depth-1), randDAGExpr(rng, depth-1))
+	}
+}
+
+// fuzzAccs lazily builds the fuzzer's accelerator pair (fused and
+// fusion-disabled) once per process.
+var fuzzAccs struct {
+	once     sync.Once
+	fused    *Accelerator
+	unfused  *Accelerator
+	buildErr error
+}
+
+func fuzzAccPair() (*Accelerator, *Accelerator, error) {
+	fuzzAccs.once.Do(func() {
+		fuzzAccs.fused, fuzzAccs.buildErr = New(evalDiffModule)
+		if fuzzAccs.buildErr != nil {
+			return
+		}
+		fuzzAccs.unfused, fuzzAccs.buildErr = New(evalDiffModule,
+			func(c *Config) { c.DisableFusion = true })
+	})
+	return fuzzAccs.fused, fuzzAccs.unfused, fuzzAccs.buildErr
+}
+
+// FuzzEvalDAG generates random expression DAGs (depth ≤ 6 over eight
+// variables) and checks the fused tier bit-for-bit against both the
+// node-kernel tier and the host parse-tree oracle, with struct-equal
+// Stats.
+func FuzzEvalDAG(f *testing.F) {
+	f.Add(int64(1), byte(3), uint16(200))
+	f.Add(int64(2), byte(6), uint16(401))
+	f.Add(int64(7), byte(1), uint16(64))
+	f.Add(int64(11), byte(5), uint16(300))
+	f.Add(int64(23), byte(4), uint16(128))
+	f.Fuzz(func(t *testing.T, seed int64, depth byte, bits uint16) {
+		fused, unfused, err := fuzzAccPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		src := randDAGExpr(rng, int(depth%7))
+		n := int(bits)%500 + 1
+
+		node, err := expr.Parse(src)
+		if err != nil {
+			t.Fatalf("generated expression %q does not parse: %v", src, err)
+		}
+		vars := map[string]*BitVector{}
+		for _, name := range node.Vars() {
+			vars[name] = RandomBitVector(rng, n)
+		}
+
+		fout, fst, err := fused.Eval(src, vars)
+		if err != nil {
+			t.Fatalf("fused eval %q: %v", src, err)
+		}
+		uout, ust, err := unfused.Eval(src, vars)
+		if err != nil {
+			t.Fatalf("unfused eval %q: %v", src, err)
+		}
+		if !fout.Equal(uout) {
+			t.Fatalf("fused and node-kernel tiers diverge on %q (n=%d)", src, n)
+		}
+		if fst != ust {
+			t.Fatalf("%q: fused stats %+v != node-kernel stats %+v", src, fst, ust)
+		}
+		env := map[string]bool{}
+		for i := 0; i < n; i++ {
+			for name, v := range vars {
+				env[name] = v.Bit(i)
+			}
+			if fout.Bit(i) != node.Eval(env) {
+				t.Fatalf("%q bit %d diverges from oracle (n=%d)", src, i, n)
+			}
+		}
+	})
+}

@@ -7,17 +7,65 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/kernel"
+	"repro/internal/pipeline"
+	"repro/internal/plan"
 )
+
+// ErrBadExpr marks expression compilation failures — malformed source,
+// unsupported shapes — as caller errors. Every error returned by
+// CompileExpr (and by Eval for a bad expression) wraps it, so transports
+// can map it to a client-error status (the HTTP server returns 400, not
+// 500; see internal/server).
+var ErrBadExpr = errors.New("bad expression")
+
+// CompiledExpr is a compiled, reusable expression: the fused plan shared
+// by every eval entry point (Accelerator.EvalExpr, Shard.EvalExpr, the
+// batch submissions). Compile once with CompileExpr, evaluate many times
+// over different bindings. A CompiledExpr is immutable and safe for
+// concurrent use.
+type CompiledExpr struct {
+	plan *plan.Plan
+}
+
+// Vars returns the expression's variable names in first-appearance
+// order. Callers must not modify the returned slice.
+func (ce *CompiledExpr) Vars() []string { return ce.plan.Vars }
+
+// Source returns the original expression text.
+func (ce *CompiledExpr) Source() string { return ce.plan.Source }
+
+// CompileExpr parses and compiles a boolean expression (& | ^ ~ and
+// parentheses over identifiers) into its fused plan: the DAG is
+// optimized (CSE, double-negation removal, NOT-into-gate fusion),
+// partitioned into k-input clusters (k ≤ 6) for the fused kernel tier,
+// and scheduled node-at-a-time for cost accounting and the
+// command-accurate fallback (see internal/plan). Any failure wraps
+// ErrBadExpr.
+func CompileExpr(src string) (*CompiledExpr, error) {
+	node, err := expr.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("elp2im: %w: %v", ErrBadExpr, err)
+	}
+	d, err := expr.BuildDAG(node)
+	if err != nil {
+		return nil, fmt.Errorf("elp2im: %w: %v", ErrBadExpr, err)
+	}
+	p, err := plan.Compile(d)
+	if err != nil {
+		return nil, fmt.Errorf("elp2im: %w: %v", ErrBadExpr, err)
+	}
+	return &CompiledExpr{plan: p}, nil
+}
 
 // Eval evaluates a boolean expression over named bulk bit-vectors entirely
 // in DRAM and returns the result vector plus the modeled cost.
 //
-// The expression language supports & | ^ ~ and parentheses over
-// identifiers; it is compiled once per call (common-subexpression
-// elimination, NAND/NOR/XNOR gate fusion, liveness-based scratch-row
-// reuse) and executed through the design's real command sequences:
+// The expression is compiled once per call — CompileExpr then EvalExpr;
+// callers evaluating one expression repeatedly should compile it once
+// themselves:
 //
 //	res, stats, err := acc.Eval("(dirty & ~referenced) | evicted", map[string]*BitVector{
 //	    "dirty": d, "referenced": r, "evicted": e,
@@ -26,20 +74,35 @@ import (
 // All vectors must share one length. The subarray needs enough data rows
 // for the variables plus the compiled temp count.
 func (a *Accelerator) Eval(src string, vars map[string]*BitVector) (*BitVector, Stats, error) {
-	prog, n, err := a.evalPrep(src, vars)
+	ce, err := CompileExpr(src)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return a.EvalExpr(ce, vars)
+}
+
+// EvalExpr evaluates a compiled expression over named bulk bit-vectors
+// (see Eval). Execution picks the best available tier per call — fused
+// cluster kernels, node-at-a-time kernels, or the command-accurate
+// device model — with bit-identical results and modeled cost on every
+// tier.
+func (a *Accelerator) EvalExpr(ce *CompiledExpr, vars map[string]*BitVector) (*BitVector, Stats, error) {
+	p := ce.plan
+	n, err := a.evalPrep(p, vars)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	cols := a.cfg.Module.Columns
 	stripes := (n + cols - 1) / cols
 	out := NewBitVector(n)
-	if err := a.evalExec(prog, vars, out, stripes, nil); err != nil {
+	if err := a.evalExec(p, vars, out, stripes, nil); err != nil {
 		return nil, Stats{}, err
 	}
 
 	// Cost: per-stripe program cost, bank parallelism applied per op mix.
-	// The program is a fixed op sequence; reuse opCost per instruction.
-	total, err := a.evalCost(prog, stripes)
+	// The node-at-a-time program is the single cost source for every
+	// execution tier, so fused and unfused runs account identically.
+	total, err := a.evalCost(p.Prog, stripes)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -47,42 +110,45 @@ func (a *Accelerator) Eval(src string, vars map[string]*BitVector) (*BitVector, 
 	return out, total, nil
 }
 
-// evalPrep parses and compiles src, validates that every program variable
-// is bound to a vector of one common length, and checks the subarray row
-// budget. It returns the compiled program and the common length. Shared by
-// Eval and Shard.Eval (the shard compiles once and scatters execution).
-func (a *Accelerator) evalPrep(src string, vars map[string]*BitVector) (*expr.Program, int, error) {
-	node, err := expr.Parse(src)
-	if err != nil {
-		return nil, 0, err
-	}
-	prog, err := expr.Compile(node)
-	if err != nil {
-		return nil, 0, err
-	}
-
+// evalPrep validates that every plan variable is bound to a vector of one
+// common length and checks the subarray row budget of the
+// command-accurate fallback. It returns the common length. Shared by
+// every eval entry point (the shard compiles once and scatters
+// execution).
+func (a *Accelerator) evalPrep(p *plan.Plan, vars map[string]*BitVector) (int, error) {
 	n := -1
-	for _, name := range prog.Vars {
+	for _, name := range p.Vars {
 		v, ok := vars[name]
 		if !ok || v == nil {
-			return nil, 0, fmt.Errorf("elp2im: expression variable %q not bound", name)
+			return 0, fmt.Errorf("elp2im: expression variable %q not bound", name)
 		}
 		if n == -1 {
 			n = v.Len()
 		} else if v.Len() != n {
-			return nil, 0, errors.New("elp2im: expression vectors must share one length")
+			return 0, errors.New("elp2im: expression vectors must share one length")
 		}
 	}
 	if n == -1 {
-		return nil, 0, errors.New("elp2im: expression has no variables")
+		return 0, errors.New("elp2im: expression has no variables")
 	}
 
+	prog := p.Prog
 	needRows := len(prog.Vars) + prog.TempSlots
+	// Engines that consume XOR/XNOR's A row (ELP2IM two-buffer) make the
+	// command-accurate path re-stage live operands through one extra row.
+	if oc, ok := a.eng.(engine.OperandConsumer); ok {
+		for _, in := range prog.Instrs {
+			if oc.ConsumesOperandA(in.Op) {
+				needRows++
+				break
+			}
+		}
+	}
 	if needRows > a.cfg.Module.RowsPerSubarray {
-		return nil, 0, fmt.Errorf("elp2im: expression needs %d rows per subarray, module has %d",
+		return 0, fmt.Errorf("elp2im: expression needs %d rows per subarray, module has %d",
 			needRows, a.cfg.Module.RowsPerSubarray)
 	}
-	return prog, n, nil
+	return n, nil
 }
 
 // evalCost sums the program's per-instruction scheduled costs over
@@ -99,42 +165,168 @@ func (a *Accelerator) evalCost(prog *expr.Program, stripes int) (Stats, error) {
 	return total, nil
 }
 
-// evalExec executes the compiled program over the stripes in list (nil
-// means all of [0, stripes)) with no cost accounting — the execution half
-// of Eval, which a Shard scatters across its accelerators.
+// evalRunner is one eval operation's resolved execution strategy. The
+// tier — and with it executor and kernel resolution — is fixed once, at
+// the operation's start (a synchronous call or a batch submission), in
+// descending preference:
 //
-// The fast path compiles the whole program to word-level kernels and
-// evaluates it per stripe directly on the vectors' words, with temp slots
-// as pooled word slabs; any ineligible instruction (or a wrapped executor,
-// or DisableFastpath) routes the entire program through the
-// command-accurate device model, exactly as before.
-func (a *Accelerator) evalExec(prog *expr.Program, vars map[string]*BitVector, out *BitVector, stripes int, list []int) error {
+//  1. fusion tier (fused != nil): one derived k-input kernel per plan
+//     cluster, applied per stripe directly on the vectors' words with
+//     slot slabs for intermediates;
+//  2. node-kernel tier (kerns != nil): one derived kernel per program
+//     instruction, with temp-slot slabs — the pre-fusion fast path;
+//  3. command-accurate tier: the node-at-a-time program executed through
+//     the device model's real command sequences.
+//
+// A runner is safe for concurrent use across stripes: word-level bodies
+// keep per-invocation state only (slabs are pooled), and the command
+// tier's shared structures are read-only after resolution.
+type evalRunner struct {
+	a    *Accelerator
+	p    *plan.Plan
+	vars map[string]*BitVector
+	out  *BitVector
+
+	ex    Executor
+	fused []*kernel.Fused  // fusion tier, one per cluster
+	kerns []*kernel.Kernel // node-kernel tier, one per instruction
+	slabs *sync.Pool       // node-kernel tier's per-stripe temp slabs
+}
+
+// evalResolve picks the operation's execution tier and resolves its
+// kernels, counting one fusion and one fastpath hit/fallback per
+// operation (mirroring opTasks' submission-time resolution contract:
+// SetExecutor takes effect for operations started after the call).
+func (a *Accelerator) evalResolve(p *plan.Plan, vars map[string]*BitVector, out *BitVector) *evalRunner {
 	cols := a.cfg.Module.Columns
 	ex, wrapped := a.executor()
-	kerns := make([]*kernel.Kernel, len(prog.Instrs))
-	fast := !wrapped && !a.cfg.DisableFastpath && cols%64 == 0
-	for i := 0; fast && i < len(prog.Instrs); i++ {
-		if kerns[i] = a.fastKernel(prog.Instrs[i].Op, wrapped); kerns[i] == nil {
-			fast = false
+	r := &evalRunner{a: a, p: p, vars: vars, out: out, ex: ex}
+	wordOK := !wrapped && !a.cfg.DisableFastpath && cols%64 == 0
+	wpr := cols / 64
+
+	if wordOK && !a.cfg.DisableFusion {
+		fused := make([]*kernel.Fused, len(p.Clusters))
+		ok := true
+		for i := range p.Clusters {
+			fk, err := a.fused.Fused(p.Clusters[i].Spec)
+			if err != nil {
+				ok = false
+				break
+			}
+			fused[i] = fk
+		}
+		if ok {
+			a.fusionHits.Inc()
+			r.fused = fused
+			return r
+		}
+	}
+	a.fusionFalls.Inc()
+
+	if wordOK {
+		prog := p.Prog
+		kerns := make([]*kernel.Kernel, len(prog.Instrs))
+		ok := true
+		for i := range prog.Instrs {
+			if kerns[i] = a.fastKernel(prog.Instrs[i].Op, wrapped); kerns[i] == nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			a.fastHits.Inc()
+			r.kerns = kerns
+			r.slabs = slabPool(prog.TempSlots * wpr)
+			return r
+		}
+	}
+	a.fastFallbacks.Inc()
+	return r
+}
+
+// fusedChunkWords is the fused tier's chunk size: 8 KiB per slot/operand
+// view keeps a whole cluster chain's intermediates L1/L2-resident while
+// still amortizing per-Apply setup over a thousand words.
+const fusedChunkWords = 1024
+
+// slabPool returns a pool of word slabs of the given size.
+func slabPool(words int) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		s := make([]uint64, words)
+		return &s
+	}}
+}
+
+// wordBody returns the word-level per-stripe-range body of the resolved
+// tier, or nil when the runner is on the command-accurate tier. The body
+// is safe for concurrent invocation over disjoint ranges.
+func (r *evalRunner) wordBody() func(sLo, sHi int) {
+	a, p := r.a, r.p
+	wpr := a.cfg.Module.Columns / 64
+	ow := r.out.v.Words()
+
+	if r.fused != nil {
+		res := p.Result()
+		last := len(p.Clusters) - 1
+		return func(sLo, sHi int) {
+			// Variables are word-contiguous across stripes, so the range
+			// runs as a flat word span, chunked so that every
+			// inter-cluster intermediate stays cache-resident: within a
+			// chunk the whole cluster chain executes before moving on, and
+			// only variable reads and the final result ever touch main
+			// memory. That traffic reduction — not instruction count,
+			// which matches the node-at-a-time program — is the fused
+			// tier's speedup.
+			lo := sLo * wpr
+			if lo >= len(ow) {
+				return
+			}
+			hi := sHi * wpr
+			if hi > len(ow) {
+				hi = len(ow)
+			}
+			slab := make([]uint64, p.Slots*fusedChunkWords)
+			var srcs [kernel.MaxFusedInputs][]uint64
+			for base := lo; base < hi; base += fusedChunkWords {
+				cm := hi - base
+				if cm > fusedChunkWords {
+					cm = fusedChunkWords
+				}
+				wordsOf := func(ref plan.Ref) []uint64 {
+					if ref.Var {
+						return r.vars[p.Vars[ref.Index]].v.Words()[base : base+cm]
+					}
+					return slab[ref.Index*fusedChunkWords : ref.Index*fusedChunkWords+cm]
+				}
+				for ci := range p.Clusters {
+					c := &p.Clusters[ci]
+					for j, in := range c.Inputs {
+						srcs[j] = wordsOf(in)
+					}
+					// The final cluster lands directly in the output words;
+					// earlier clusters fill their liveness-allocated slot.
+					dst := ow[base : base+cm]
+					if ci != last {
+						dst = wordsOf(plan.Ref{Index: c.Out})
+					}
+					r.fused[ci].Apply(dst, srcs[:len(c.Inputs)])
+				}
+				if len(p.Clusters) == 0 {
+					copy(ow[base:base+cm], wordsOf(res))
+				}
+			}
+			if hi == len(ow) {
+				r.out.v.MaskTail()
+			}
 		}
 	}
 
-	if fast {
-		a.fastHits.Inc()
-		wpr := cols / 64
-		slabs := sync.Pool{New: func() any {
-			s := make([]uint64, prog.TempSlots*wpr)
-			return &s
-		}}
+	if r.kerns != nil {
+		prog := p.Prog
 		res := prog.Result()
-		runs := [][2]int{{0, stripes}}
-		if list != nil {
-			runs = stripeRuns(list)
-		}
-		a.fastForEachRuns(runs, func(sLo, sHi int) {
-			slab := slabs.Get().(*[]uint64)
-			defer slabs.Put(slab)
-			ow := out.v.Words()
+		return func(sLo, sHi int) {
+			slab := r.slabs.Get().(*[]uint64)
+			defer r.slabs.Put(slab)
 			for s := sLo; s < sHi; s++ {
 				lo := s * wpr
 				if lo >= len(ow) {
@@ -144,48 +336,112 @@ func (a *Accelerator) evalExec(prog *expr.Program, vars map[string]*BitVector, o
 				if hi > len(ow) {
 					hi = len(ow)
 				}
-				wordsOf := func(r expr.Ref) []uint64 {
-					if r.Temp {
-						return (*slab)[r.Index*wpr : r.Index*wpr+(hi-lo)]
+				wordsOf := func(ref expr.Ref) []uint64 {
+					if ref.Temp {
+						return (*slab)[ref.Index*wpr : ref.Index*wpr+(hi-lo)]
 					}
-					return vars[prog.Vars[r.Index]].v.Words()[lo:hi]
+					return r.vars[prog.Vars[ref.Index]].v.Words()[lo:hi]
 				}
 				for i, in := range prog.Instrs {
 					var bw []uint64
 					if !in.Op.Unary() {
 						bw = wordsOf(in.B)
 					}
-					kerns[i].Apply(wordsOf(in.Dst), wordsOf(in.A), bw)
+					r.kerns[i].Apply(wordsOf(in.Dst), wordsOf(in.A), bw)
 				}
 				copy(ow[lo:hi], wordsOf(res))
 				if hi == len(ow) {
-					out.v.MaskTail()
+					r.out.v.MaskTail()
 				}
 			}
-		})
-		return nil
+		}
 	}
+	return nil
+}
 
-	a.fastFallbacks.Inc()
+// cmdBody returns the command-accurate per-stripe body: load the
+// variable rows, execute the node-at-a-time program through the device
+// model, store the result row.
+func (r *evalRunner) cmdBody() func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+	a, prog := r.a, r.p.Prog
+	cols := a.cfg.Module.Columns
 	varRows := make([]int, len(prog.Vars))
 	for i := range varRows {
 		varRows[i] = i
 	}
 	scratchBase := len(prog.Vars)
-	body := func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
+	return func(s int, sub *dram.Subarray, buf *bitvec.Vector) error {
 		for i, name := range prog.Vars {
-			loadStripe(buf, vars[name].v, s, cols)
+			loadStripe(buf, r.vars[name].v, s, cols)
 			sub.LoadRow(varRows[i], buf)
 		}
-		resRow, err := prog.Execute(sub, ex, varRows, scratchBase)
+		resRow, err := prog.Execute(sub, r.ex, varRows, scratchBase)
 		if err != nil {
 			return err
 		}
-		storeStripe(out.v, sub.RowData(resRow), s, cols)
+		storeStripe(r.out.v, sub.RowData(resRow), s, cols)
 		return nil
 	}
-	if list != nil {
-		return a.forEachStripeList(list, body)
+}
+
+// exec runs the resolved tier over the stripes in list (nil means all of
+// [0, stripes)).
+func (r *evalRunner) exec(stripes int, list []int) error {
+	if body := r.wordBody(); body != nil {
+		runs := [][2]int{{0, stripes}}
+		if list != nil {
+			runs = stripeRuns(list)
+		}
+		r.a.fastForEachRuns(runs, body)
+		return nil
 	}
-	return a.forEachStripe(stripes, body)
+	body := r.cmdBody()
+	if list != nil {
+		return r.a.forEachStripeList(list, body)
+	}
+	return r.a.forEachStripe(stripes, body)
+}
+
+// evalExec executes the compiled plan over the stripes in list (nil
+// means all of [0, stripes)) with no cost accounting — the execution
+// half of EvalExpr, which a Shard scatters across its accelerators.
+func (a *Accelerator) evalExec(p *plan.Plan, vars map[string]*BitVector, out *BitVector, stripes int, list []int) error {
+	return a.evalResolve(p, vars, out).exec(stripes, list)
+}
+
+// evalTasks builds the per-serialization-group pipeline tasks executing
+// a resolved eval over the grouped stripes — the batch-submission analogue
+// of evalRunner.exec, with the same per-stripe span and locking behavior
+// as opTasks. The runner is resolved by the caller at submission time.
+func (a *Accelerator) evalTasks(r *evalRunner, groups []stripeRun) []pipeline.Task {
+	word := r.wordBody()
+	var cmd func(s int, sub *dram.Subarray, buf *bitvec.Vector) error
+	if word == nil {
+		cmd = r.cmdBody()
+	}
+	tasks := make([]pipeline.Task, 0, len(groups))
+	for _, g := range groups {
+		g := g
+		tasks = append(tasks, pipeline.Task{Group: g.group, Run: func() error {
+			if word != nil {
+				// Pure word-level body: no device row state, so no
+				// per-subarray lock (see opTasks).
+				for _, s := range g.list {
+					start := a.obsc.SpanStart()
+					word(s, s+1)
+					a.stripeSpan(start, s, nil)
+				}
+				return nil
+			}
+			buf := a.getBuf()
+			defer a.putBuf(buf)
+			for _, s := range g.list {
+				if err := a.runStripe(g.group, s, buf, cmd); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	return tasks
 }

@@ -144,6 +144,13 @@ func (e *Engine) Name() string { return "ELP2IM" }
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// ConsumesOperandA implements engine.OperandConsumer: the two-buffer
+// XOR/XNOR sequences (Figure 8 sequences 6/7) compute a partial product
+// in place in operand A's row, destroying it.
+func (e *Engine) ConsumesOperandA(op engine.Op) bool {
+	return e.cfg.ReservedRows >= 2 && (op == engine.OpXOR || op == engine.OpXNOR)
+}
+
 // ReservedRows implements engine.Engine (Figure 13(c)/14(c): 1 row, or 2
 // in the accelerator configuration).
 func (e *Engine) ReservedRows() int { return e.cfg.ReservedRows }

@@ -139,6 +139,16 @@ type Reducer interface {
 	ChainStats(op Op) (Stats, error)
 }
 
+// OperandConsumer is implemented by engines whose command sequence for
+// some operation destroys the A-operand row (ELP2IM's two-buffer
+// XOR/XNOR land an in-place partial product there). Executors that must
+// preserve a still-live operand re-stage it into a scratch row before
+// issuing the consuming operation.
+type OperandConsumer interface {
+	// ConsumesOperandA reports whether executing op destroys row a.
+	ConsumesOperandA(op Op) bool
+}
+
 // Engine is one in-DRAM bitwise design.
 type Engine interface {
 	// Name returns the design name as used in the paper's figures.

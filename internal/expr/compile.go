@@ -77,24 +77,47 @@ func (p *Program) String() string {
 	return b.String()
 }
 
-// value is a DAG node during compilation.
-type value struct {
-	op   engine.Op
-	a, b *value
-	vidx int // NodeVar leaf: variable index
-	leaf bool
-
-	// results of scheduling
-	ref     Ref
-	emitted bool
-	uses    int
-	lastUse int // instruction index of final use (for row reuse)
+// DAGNode is one node of the optimized expression DAG: either a variable
+// leaf (Leaf true, VarIndex into DAG.Vars) or a gate applying Op to its
+// operands (B nil for unary Op). Structural sharing is real sharing —
+// common subexpressions are one node pointed to by every user — so
+// consumers (the scheduler, the plan compiler in internal/plan) can key
+// maps by node identity.
+type DAGNode struct {
+	// Op is the gate of an interior node (undefined for leaves).
+	Op engine.Op
+	// A and B are the operands (B nil for unary gates and leaves).
+	A, B *DAGNode
+	// VarIndex is the leaf's index into DAG.Vars.
+	VarIndex int
+	// Leaf marks a variable leaf.
+	Leaf bool
 }
 
-// Compile lowers an expression to a Program: builds the CSE'd DAG, fuses
-// NOT into following/preceding gates (NAND/NOR/XNOR/NOT collapses), and
-// allocates scratch rows by liveness so temps are reused.
-func Compile(n *Node) (*Program, error) {
+// DAG is the optimized form of one expression: common subexpressions
+// merged (hash-consing over the commutativity-canonicalized structure),
+// double negations removed, and NOT gates fused into the engine-native
+// complement gates (NAND/NOR/XNOR). It is the single source both
+// schedules compile from — the node-at-a-time command schedule
+// (Schedule) and the fused cluster schedule (internal/plan) — which is
+// what keeps their semantics and the cost model's instruction stream in
+// lock step.
+type DAG struct {
+	// Root is the result node.
+	Root *DAGNode
+	// Order lists the interior nodes in post-order (operands before
+	// users) — the emission order of every schedule. Empty when Root is
+	// a bare variable leaf.
+	Order []*DAGNode
+	// Vars are the input variable names, in first-appearance order.
+	Vars []string
+	// Source is the original expression.
+	Source string
+}
+
+// BuildDAG lowers a parse tree to the optimized DAG: CSE via structural
+// hash-consing, double-negation removal, and NOT-into-gate fusion.
+func BuildDAG(n *Node) (*DAG, error) {
 	if n == nil {
 		return nil, errors.New("expr: nil expression")
 	}
@@ -105,24 +128,24 @@ func Compile(n *Node) (*Program, error) {
 	}
 
 	// Build the DAG with structural sharing.
-	memo := map[string]*value{}
-	var build func(*Node) *value
-	build = func(x *Node) *value {
+	memo := map[string]*DAGNode{}
+	var build func(*Node) *DAGNode
+	build = func(x *Node) *DAGNode {
 		k := x.key()
 		if v, ok := memo[k]; ok {
 			return v
 		}
-		var v *value
+		var v *DAGNode
 		switch x.Kind {
 		case NodeVar:
-			v = &value{leaf: true, vidx: vidx[x.Name]}
+			v = &DAGNode{Leaf: true, VarIndex: vidx[x.Name]}
 		case NodeNot:
 			a := build(x.Left)
 			// Double negation: ~~e = e.
-			if !a.leaf && a.op == engine.OpNOT {
-				v = a.a
+			if !a.Leaf && a.Op == engine.OpNOT {
+				v = a.A
 			} else {
-				v = &value{op: engine.OpNOT, a: a}
+				v = &DAGNode{Op: engine.OpNOT, A: a}
 			}
 		default:
 			a, b := build(x.Left), build(x.Right)
@@ -142,93 +165,106 @@ func Compile(n *Node) (*Program, error) {
 	}
 	root := build(n)
 
-	// Count uses for liveness (roots count as one use).
-	var countUses func(*value)
-	seen := map[*value]bool{}
-	var order []*value
-	countUses = func(v *value) {
-		if v.leaf {
+	d := &DAG{Root: root, Vars: vars, Source: n.String()}
+	if root.Leaf {
+		return d, nil
+	}
+	seen := map[*DAGNode]bool{}
+	var walk func(*DAGNode)
+	walk = func(v *DAGNode) {
+		if v.Leaf || seen[v] {
 			return
 		}
-		if !seen[v] {
-			seen[v] = true
-			countUses(v.a)
-			if v.b != nil {
-				countUses(v.b)
-			}
-			order = append(order, v) // post-order: operands first
+		seen[v] = true
+		walk(v.A)
+		if v.B != nil {
+			walk(v.B)
 		}
+		d.Order = append(d.Order, v) // post-order: operands first
 	}
-	countUses(root)
-	for _, v := range order {
-		v.a.uses++
-		if v.b != nil {
-			v.b.uses++
-		}
-	}
-	root.uses++
+	walk(root)
+	return d, nil
+}
 
-	p := &Program{Vars: vars, Source: n.String()}
-
-	if root.leaf {
+// Schedule emits the DAG as a node-at-a-time Program: one engine
+// instruction per interior node in post-order, with scratch rows
+// allocated by liveness so dead temps are reused.
+func (d *DAG) Schedule() *Program {
+	p := &Program{Vars: d.Vars, Source: d.Source}
+	if d.Root.Leaf {
 		// Bare variable: no instructions; Result refers to the variable.
-		return p, nil
+		return p
 	}
+
+	// Count uses for liveness (the root counts as one use).
+	uses := map[*DAGNode]int{}
+	for _, v := range d.Order {
+		if !v.A.Leaf {
+			uses[v.A]++
+		}
+		if v.B != nil && !v.B.Leaf {
+			uses[v.B]++
+		}
+	}
+	uses[d.Root]++
 
 	// Emit in post-order with liveness-based temp-slot reuse.
-	type slot struct{ free bool }
-	var slots []slot
+	var free []bool
 	alloc := func() int {
-		for i := range slots {
-			if slots[i].free {
-				slots[i].free = false
+		for i := range free {
+			if free[i] {
+				free[i] = false
 				return i
 			}
 		}
-		slots = append(slots, slot{})
-		return len(slots) - 1
+		free = append(free, false)
+		return len(free) - 1
 	}
-	release := func(r Ref) {
-		if r.Temp {
-			slots[r.Index].free = true
+	refs := map[*DAGNode]Ref{}
+	refOf := func(v *DAGNode) Ref {
+		if v.Leaf {
+			return varRef(v.VarIndex)
 		}
-	}
-	refOf := func(v *value) Ref {
-		if v.leaf {
-			return varRef(v.vidx)
-		}
-		return v.ref
+		return refs[v]
 	}
 
-	for _, v := range order {
-		a := refOf(v.a)
+	for _, v := range d.Order {
+		a := refOf(v.A)
 		var b Ref
-		if v.b != nil {
-			b = refOf(v.b)
+		if v.B != nil {
+			b = refOf(v.B)
 		}
 		// Allocate the destination BEFORE releasing dying operands: some
 		// engine sequences (ELP2IM's XOR/XNOR) read their operand rows
 		// again after writing an intermediate into the destination, so the
 		// destination must never alias an operand of the same instruction.
 		dst := tempRef(alloc())
-		if !v.a.leaf {
-			v.a.uses--
-			if v.a.uses == 0 {
-				release(a)
+		if !v.A.Leaf {
+			if uses[v.A]--; uses[v.A] == 0 {
+				free[a.Index] = true
 			}
 		}
-		if v.b != nil && !v.b.leaf {
-			v.b.uses--
-			if v.b.uses == 0 {
-				release(b)
+		if v.B != nil && !v.B.Leaf {
+			if uses[v.B]--; uses[v.B] == 0 {
+				free[b.Index] = true
 			}
 		}
-		v.ref = dst
-		v.emitted = true
-		p.Instrs = append(p.Instrs, Instr{Op: v.op, Dst: dst, A: a, B: b})
+		refs[v] = dst
+		p.Instrs = append(p.Instrs, Instr{Op: v.Op, Dst: dst, A: a, B: b})
 	}
-	p.TempSlots = len(slots)
-	return p, nil
+	p.TempSlots = len(free)
+	return p
+}
+
+// Compile lowers an expression to a Program: builds the CSE'd DAG, fuses
+// NOT into following/preceding gates (NAND/NOR/XNOR/NOT collapses), and
+// allocates scratch rows by liveness so temps are reused.
+func Compile(n *Node) (*Program, error) {
+	d, err := BuildDAG(n)
+	if err != nil {
+		return nil, err
+	}
+	return d.Schedule(), nil
 }
 
 // fuse applies gate fusion: a NOT on the output or inputs of a binary
@@ -238,30 +274,30 @@ func Compile(n *Node) (*Program, error) {
 //	AND(¬x, ¬y) = NOR(x, y)      OR(¬x, ¬y) = NAND(x, y)
 //	XOR(¬x, y) = XOR(x, ¬y) = XNOR(x, y)
 //	XOR(¬x, ¬y) = XOR(x, y)
-func fuse(op engine.Op, a, b *value) *value {
-	na := !a.leaf && a.op == engine.OpNOT
-	nb := !b.leaf && b.op == engine.OpNOT
+func fuse(op engine.Op, a, b *DAGNode) *DAGNode {
+	na := !a.Leaf && a.Op == engine.OpNOT
+	nb := !b.Leaf && b.Op == engine.OpNOT
 	switch op {
 	case engine.OpAND:
 		if na && nb {
-			return &value{op: engine.OpNOR, a: a.a, b: b.a}
+			return &DAGNode{Op: engine.OpNOR, A: a.A, B: b.A}
 		}
 	case engine.OpOR:
 		if na && nb {
-			return &value{op: engine.OpNAND, a: a.a, b: b.a}
+			return &DAGNode{Op: engine.OpNAND, A: a.A, B: b.A}
 		}
 	case engine.OpXOR:
 		if na && nb {
-			return &value{op: engine.OpXOR, a: a.a, b: b.a}
+			return &DAGNode{Op: engine.OpXOR, A: a.A, B: b.A}
 		}
 		if na {
-			return &value{op: engine.OpXNOR, a: a.a, b: b}
+			return &DAGNode{Op: engine.OpXNOR, A: a.A, B: b}
 		}
 		if nb {
-			return &value{op: engine.OpXNOR, a: a, b: b.a}
+			return &DAGNode{Op: engine.OpXNOR, A: a, B: b.A}
 		}
 	}
-	return &value{op: op, a: a, b: b}
+	return &DAGNode{Op: op, A: a, B: b}
 }
 
 // CostEstimator prices one three-operand operation (every engine does).
@@ -301,14 +337,49 @@ func (p *Program) Execute(sub *dram.Subarray, ex Executor, varRows []int, scratc
 		}
 		return varRows[r.Index]
 	}
-	for _, in := range p.Instrs {
+	// When the executor consumes operand A's row (engine.OperandConsumer —
+	// ELP2IM's two-buffer XOR/XNOR), a consuming instruction whose A value
+	// is still needed (an input row, preserved by contract, or a live temp)
+	// re-stages A into the row above the temp slots first.
+	oc, _ := ex.(engine.OperandConsumer)
+	staging := scratchBase + p.TempSlots
+	for i, in := range p.Instrs {
+		a := rowOf(in.A)
+		if oc != nil && oc.ConsumesOperandA(in.Op) && p.operandLiveAfter(i, in.A) {
+			if staging >= sub.Rows() {
+				return 0, fmt.Errorf("expr: program needs staging row %d but subarray has %d rows",
+					staging, sub.Rows())
+			}
+			if err := ex.Execute(sub, engine.OpCOPY, staging, a, -1); err != nil {
+				return 0, fmt.Errorf("expr: staging %s: %w", in, err)
+			}
+			a = staging
+		}
 		b := -1
 		if !in.Op.Unary() {
 			b = rowOf(in.B)
 		}
-		if err := ex.Execute(sub, in.Op, rowOf(in.Dst), rowOf(in.A), b); err != nil {
+		if err := ex.Execute(sub, in.Op, rowOf(in.Dst), a, b); err != nil {
 			return 0, fmt.Errorf("expr: %s: %w", in, err)
 		}
 	}
 	return rowOf(p.Result()), nil
+}
+
+// operandLiveAfter reports whether instruction i's operand r is needed
+// after i executes: input rows always are (Execute preserves them); a
+// temp slot is live until read or redefined, whichever comes first.
+func (p *Program) operandLiveAfter(i int, r Ref) bool {
+	if !r.Temp {
+		return true
+	}
+	for _, in := range p.Instrs[i+1:] {
+		if in.A == r || (!in.Op.Unary() && in.B == r) {
+			return true
+		}
+		if in.Dst == r {
+			return false
+		}
+	}
+	return false
 }

@@ -21,9 +21,20 @@
 package expr
 
 import (
+	"errors"
 	"fmt"
 	"unicode"
 )
+
+// ErrParse tags every syntax error returned by Parse, so callers can
+// classify a failure as malformed input (errors.Is(err, expr.ErrParse))
+// without matching message text — the serving layer maps it to HTTP 400.
+var ErrParse = errors.New("parse error")
+
+// parseErrf builds an ErrParse-tagged syntax error.
+func parseErrf(format string, args ...any) error {
+	return fmt.Errorf("expr: %w: %s", ErrParse, fmt.Sprintf(format, args...))
+}
 
 // NodeKind discriminates AST nodes.
 type NodeKind int
@@ -157,7 +168,7 @@ func Parse(src string) (*Node, error) {
 	}
 	p.skipSpace()
 	if p.pos != len(p.src) {
-		return nil, fmt.Errorf("expr: unexpected %q at offset %d", string(p.src[p.pos]), p.pos)
+		return nil, parseErrf("unexpected %q at offset %d", string(p.src[p.pos]), p.pos)
 	}
 	return n, nil
 }
@@ -249,12 +260,12 @@ func (p *parser) parseUnary() (*Node, error) {
 			return nil, err
 		}
 		if p.peek() != ')' {
-			return nil, fmt.Errorf("expr: missing ')' at offset %d", p.pos)
+			return nil, parseErrf("missing ')' at offset %d", p.pos)
 		}
 		p.pos++
 		return n, nil
 	case c == 0:
-		return nil, fmt.Errorf("expr: unexpected end of input")
+		return nil, parseErrf("unexpected end of input")
 	case unicode.IsLetter(c) || c == '_':
 		start := p.pos
 		for p.pos < len(p.src) &&
@@ -263,7 +274,7 @@ func (p *parser) parseUnary() (*Node, error) {
 		}
 		return Var(string(p.src[start:p.pos])), nil
 	default:
-		return nil, fmt.Errorf("expr: unexpected %q at offset %d", string(c), p.pos)
+		return nil, parseErrf("unexpected %q at offset %d", string(c), p.pos)
 	}
 }
 

@@ -1,0 +1,428 @@
+// Package plan compiles optimized expression DAGs (internal/expr) into
+// fused execution plans: the schedule the facade's eval paths share.
+//
+// A plan partitions the DAG into clusters of at most
+// kernel.MaxFusedInputs distinct sources each. Every cluster carries the
+// engine command sequence (kernel.FusedSpec) that computes its whole
+// sub-DAG — common subexpressions inside a cluster are emitted once,
+// dead stores are eliminated, and scratch registers are reused by
+// liveness — so the kernel fast path collapses the cluster into one
+// derived k-input word kernel: a single pass over the operands instead
+// of one per node. Cluster outputs live in liveness-allocated slots, the
+// plan-level analogue of the scratch-row allocator, so intermediates
+// reuse storage instead of materializing named vectors.
+//
+// The plan also retains the node-at-a-time Program compiled from the
+// same DAG. That program is the single source of modeled cost — every
+// execution tier prices the identical instruction stream — and the
+// command-accurate fallback when fusion is unavailable, which is what
+// keeps Stats struct-equal between fused and unfused execution.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/kernel"
+)
+
+// Ref names a cluster operand: an input variable (Var true, Index into
+// Plan.Vars) or the output slot of an earlier cluster.
+type Ref struct {
+	// Var marks a variable operand.
+	Var bool
+	// Index is the variable index or the slot index.
+	Index int
+}
+
+// String renders the reference.
+func (r Ref) String() string {
+	if r.Var {
+		return fmt.Sprintf("v%d", r.Index)
+	}
+	return fmt.Sprintf("s%d", r.Index)
+}
+
+// Cluster is one fused unit of a plan: a sub-DAG over at most
+// kernel.MaxFusedInputs sources, compiled to the engine command sequence
+// that computes it.
+type Cluster struct {
+	// Spec is the cluster's register program for kernel.DeriveFused;
+	// Spec.K == len(Inputs) and input j binds register j.
+	Spec kernel.FusedSpec
+	// Inputs are the cluster operands in register order.
+	Inputs []Ref
+	// Out is the output slot holding the cluster's value.
+	Out int
+	// Table is the software-expected truth table (bit i = cluster value
+	// where input j = (i>>j)&1). Diagnostic metadata only: the executing
+	// kernel derives its own table from the device.
+	Table uint64
+	// Nodes is the number of distinct DAG gates fused into the cluster.
+	Nodes int
+}
+
+// String renders the cluster.
+func (c *Cluster) String() string {
+	refs := make([]string, len(c.Inputs))
+	for i, r := range c.Inputs {
+		refs[i] = r.String()
+	}
+	return fmt.Sprintf("s%d = fuse[%d gates, table %#x](%s)",
+		c.Out, c.Nodes, c.Table, strings.Join(refs, ", "))
+}
+
+// Plan is a compiled expression: fused clusters in dependency order plus
+// the node-at-a-time program over the same DAG. The final cluster
+// computes the expression's value; a plan with no clusters is a bare
+// variable reference.
+type Plan struct {
+	// Vars are the input variable names, in first-appearance order.
+	Vars []string
+	// Clusters is the fused schedule in execution order.
+	Clusters []Cluster
+	// Slots is the number of intermediate slots the schedule needs.
+	Slots int
+	// Prog is the node-at-a-time schedule of the same DAG: the cost
+	// source for every tier and the command-accurate fallback.
+	Prog *expr.Program
+	// Source is the original expression.
+	Source string
+}
+
+// Result returns the reference holding the expression's value: the last
+// cluster's output slot, or variable 0 for a bare-variable plan.
+func (p *Plan) Result() Ref {
+	if len(p.Clusters) == 0 {
+		return Ref{Var: true}
+	}
+	return Ref{Index: p.Clusters[len(p.Clusters)-1].Out}
+}
+
+// String renders the fused schedule.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s  (vars: %s, slots: %d)\n",
+		p.Source, strings.Join(p.Vars, ","), p.Slots)
+	for i := range p.Clusters {
+		fmt.Fprintf(&b, "%s\n", &p.Clusters[i])
+	}
+	return b.String()
+}
+
+// Compile lowers an expression DAG to a fused plan. Clustering is
+// bottom-up: each gate absorbs its operands' sources until a gate's
+// source union would exceed kernel.MaxFusedInputs, at which point the
+// wider operand is materialized as its own cluster (sharing is free
+// inside a cluster — the truth table absorbs it). The DAG root is always
+// materialized. Output slots are allocated by liveness, and a cluster's
+// output slot never aliases one of its inputs (fused kernels re-read
+// their sources throughout the pass).
+func Compile(d *expr.DAG) (*Plan, error) {
+	if d == nil || d.Root == nil {
+		return nil, fmt.Errorf("plan: nil DAG")
+	}
+	p := &Plan{Vars: d.Vars, Prog: d.Schedule(), Source: d.Source}
+	if d.Root.Leaf {
+		return p, nil
+	}
+
+	// Phase 1: source sets and materialization decisions, in post-order.
+	// srcs[v] is the frozen source list of v's (potential) cluster: every
+	// entry is a leaf or a node materialized before v was visited.
+	mat := map[*expr.DAGNode]bool{d.Root: true}
+	srcs := map[*expr.DAGNode][]*expr.DAGNode{}
+	srcOf := func(o *expr.DAGNode) []*expr.DAGNode {
+		if o.Leaf || mat[o] {
+			return []*expr.DAGNode{o}
+		}
+		return srcs[o]
+	}
+	union := func(v *expr.DAGNode) []*expr.DAGNode {
+		var out []*expr.DAGNode
+		seen := map[*expr.DAGNode]bool{}
+		add := func(list []*expr.DAGNode) {
+			for _, s := range list {
+				if !seen[s] {
+					seen[s] = true
+					out = append(out, s)
+				}
+			}
+		}
+		add(srcOf(v.A))
+		if v.B != nil {
+			add(srcOf(v.B))
+		}
+		return out
+	}
+	for _, v := range d.Order {
+		u := union(v)
+		for len(u) > kernel.MaxFusedInputs {
+			// Materialize the non-leaf, non-materialized operand with the
+			// wider source set; at most two rounds before the union is ≤ 2.
+			var pick *expr.DAGNode
+			for _, o := range []*expr.DAGNode{v.A, v.B} {
+				if o == nil || o.Leaf || mat[o] {
+					continue
+				}
+				if pick == nil || len(srcs[o]) > len(srcs[pick]) {
+					pick = o
+				}
+			}
+			if pick == nil {
+				return nil, fmt.Errorf("plan: %d sources with both operands materialized", len(u))
+			}
+			mat[pick] = true
+			u = union(v)
+		}
+		srcs[v] = u
+	}
+
+	// Phase 2: emit one cluster per materialized node, in post-order (so
+	// every input cluster precedes its users).
+	clusterOf := map[*expr.DAGNode]int{}
+	for _, v := range d.Order {
+		if !mat[v] {
+			continue
+		}
+		c, err := buildCluster(v, srcs[v], clusterOf)
+		if err != nil {
+			return nil, err
+		}
+		clusterOf[v] = len(p.Clusters)
+		p.Clusters = append(p.Clusters, c)
+	}
+
+	// Phase 3: liveness slot allocation for cluster outputs. Mirroring the
+	// scratch-row allocator, a cluster's slot is taken while its inputs
+	// are still held, so an output never aliases an input.
+	uses := map[int]int{}
+	for i := range p.Clusters {
+		for _, in := range p.Clusters[i].Inputs {
+			if !in.Var {
+				uses[in.Index]++ // in.Index is a cluster index until renamed
+			}
+		}
+	}
+	uses[len(p.Clusters)-1]++ // the result is read by the caller
+	var free []bool
+	alloc := func() int {
+		for i := range free {
+			if free[i] {
+				free[i] = false
+				return i
+			}
+		}
+		free = append(free, false)
+		return len(free) - 1
+	}
+	slot := make([]int, len(p.Clusters))
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		slot[i] = alloc()
+		for j, in := range c.Inputs {
+			if in.Var {
+				continue
+			}
+			ci := in.Index
+			c.Inputs[j].Index = slot[ci]
+			if uses[ci]--; uses[ci] == 0 {
+				free[slot[ci]] = true
+			}
+		}
+		c.Out = slot[i]
+	}
+	p.Slots = len(free)
+	return p, nil
+}
+
+// buildCluster compiles one materialized node's sub-DAG — bounded by its
+// frozen source list — to a fused spec: intra-cluster CSE (each shared
+// gate is emitted once), dead-store elimination, and liveness-reused
+// scratch registers. Cluster inputs are returned with cluster indices in
+// Ref.Index for non-variable sources; Compile renames them to slots.
+func buildCluster(m *expr.DAGNode, sources []*expr.DAGNode, clusterOf map[*expr.DAGNode]int) (Cluster, error) {
+	k := len(sources)
+	if k > kernel.MaxFusedInputs {
+		return Cluster{}, fmt.Errorf("plan: cluster has %d sources, max %d", k, kernel.MaxFusedInputs)
+	}
+	inputs := make([]Ref, k)
+	srcReg := map[*expr.DAGNode]int{}
+	for j, s := range sources {
+		srcReg[s] = j
+		if s.Leaf {
+			inputs[j] = Ref{Var: true, Index: s.VarIndex}
+		} else {
+			ci, ok := clusterOf[s]
+			if !ok {
+				return Cluster{}, fmt.Errorf("plan: source cluster not yet emitted")
+			}
+			inputs[j] = Ref{Index: ci}
+		}
+	}
+
+	// Count intra-cluster uses for register liveness.
+	uses := map[*expr.DAGNode]int{}
+	var count func(*expr.DAGNode)
+	count = func(v *expr.DAGNode) {
+		for _, o := range []*expr.DAGNode{v.A, v.B} {
+			if o == nil {
+				continue
+			}
+			if _, isSrc := srcReg[o]; isSrc {
+				continue
+			}
+			uses[o]++
+			if uses[o] == 1 {
+				count(o)
+			}
+		}
+	}
+	count(m)
+
+	// Emit post-order with memoization and scratch-register reuse. The
+	// destination register is taken before dying operands are released:
+	// engine sequences may re-read operand rows around an intermediate
+	// write to the destination.
+	var free []bool
+	alloc := func() int {
+		for i := range free {
+			if free[i] {
+				free[i] = false
+				return k + i
+			}
+		}
+		free = append(free, false)
+		return k + len(free) - 1
+	}
+	regOf := map[*expr.DAGNode]int{}
+	var ops []kernel.FusedOp
+	release := func(o *expr.DAGNode) {
+		if _, isSrc := srcReg[o]; isSrc {
+			return
+		}
+		if uses[o]--; uses[o] == 0 {
+			free[regOf[o]-k] = true
+		}
+	}
+	var emit func(*expr.DAGNode) int
+	emit = func(v *expr.DAGNode) int {
+		if j, ok := srcReg[v]; ok {
+			return j
+		}
+		if r, ok := regOf[v]; ok {
+			return r
+		}
+		a := emit(v.A)
+		b := 0
+		if v.B != nil {
+			b = emit(v.B)
+		}
+		dst := alloc()
+		release(v.A)
+		if v.B != nil {
+			release(v.B)
+		}
+		regOf[v] = dst
+		ops = append(ops, kernel.FusedOp{Op: v.Op, Dst: dst, A: a, B: b})
+		return dst
+	}
+	res := emit(m)
+	return Cluster{
+		Spec: kernel.FusedSpec{
+			K:      k,
+			Regs:   k + len(free),
+			Ops:    EliminateDeadStores(ops, res),
+			Result: res,
+		},
+		Inputs: inputs,
+		Table:  clusterTable(m, sources),
+		Nodes:  len(regOf),
+	}, nil
+}
+
+// clusterTable evaluates the cluster's sub-DAG in software over the
+// packed probe patterns, yielding the truth table the device probe is
+// expected to read back.
+func clusterTable(m *expr.DAGNode, sources []*expr.DAGNode) uint64 {
+	val := map[*expr.DAGNode]uint64{}
+	for j, s := range sources {
+		val[s] = kernel.ProbePattern(j)
+	}
+	var ev func(*expr.DAGNode) uint64
+	ev = func(v *expr.DAGNode) uint64 {
+		if x, ok := val[v]; ok {
+			return x
+		}
+		a := ev(v.A)
+		var b uint64
+		if v.B != nil {
+			b = ev(v.B)
+		}
+		var x uint64
+		switch v.Op {
+		case engine.OpNOT:
+			x = ^a
+		case engine.OpCOPY:
+			x = a
+		case engine.OpAND:
+			x = a & b
+		case engine.OpOR:
+			x = a | b
+		case engine.OpXOR:
+			x = a ^ b
+		case engine.OpNAND:
+			x = ^(a & b)
+		case engine.OpNOR:
+			x = ^(a | b)
+		case engine.OpXNOR:
+			x = ^(a ^ b)
+		default:
+			panic(fmt.Sprintf("plan: unknown op %v", v.Op))
+		}
+		val[v] = x
+		return x
+	}
+	t := ev(m)
+	if k := len(sources); k < kernel.MaxFusedInputs {
+		t &= 1<<(1<<uint(k)) - 1
+	}
+	return t
+}
+
+// EliminateDeadStores returns ops with every store no later operation
+// (or the result register) observes removed: a write to a register that
+// is rewritten, or never read again, before reaching the result is dead.
+// The cluster emitter never produces dead stores — every emitted gate
+// feeds the materialized output — so this is the defensive half of the
+// pass, applied to every spec and testable in isolation.
+func EliminateDeadStores(ops []kernel.FusedOp, result int) []kernel.FusedOp {
+	live := map[int]bool{result: true}
+	keep := make([]bool, len(ops))
+	n := 0
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		if !live[op.Dst] {
+			continue
+		}
+		keep[i] = true
+		n++
+		delete(live, op.Dst) // the definition satisfies the demand ...
+		live[op.A] = true    // ... and demands its own operands
+		if !op.Op.Unary() {
+			live[op.B] = true
+		}
+	}
+	if n == len(ops) {
+		return ops
+	}
+	out := make([]kernel.FusedOp, 0, n)
+	for i, op := range ops {
+		if keep[i] {
+			out = append(out, op)
+		}
+	}
+	return out
+}

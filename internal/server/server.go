@@ -31,7 +31,6 @@ import (
 	"time"
 
 	elp2im "repro"
-	"repro/internal/expr"
 )
 
 // Config parameterizes a Server. The zero value of every optional field
@@ -349,7 +348,7 @@ func statusFor(err error) int {
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, ErrUnknownVector):
 		return http.StatusNotFound
-	case errors.Is(err, errBadRequest):
+	case errors.Is(err, errBadRequest), errors.Is(err, elp2im.ErrBadExpr):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
@@ -556,17 +555,15 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 }
 
 // evalCore is the protocol-independent eval body shared by the HTTP and
-// wire paths: parse and compile the expression, gate on the destination
-// shard's drain state, read-lock the operands, execute on the shard's
-// accelerator, and store the result under dst.
+// wire paths: compile the expression once to its fused plan, gate on the
+// destination shard's drain state, read-lock the operands, execute the
+// compiled plan on the shard's accelerator, and store the result under
+// dst. Compilation failures (elp2im.ErrBadExpr) are client errors; both
+// transports report them as 400.
 func (s *Server) evalCore(exprSrc, dst string) (elp2im.Stats, int, error) {
-	node, err := expr.Parse(exprSrc)
+	ce, err := elp2im.CompileExpr(exprSrc)
 	if err != nil {
-		return elp2im.Stats{}, 0, badRequestf("server: bad expression: %v", err)
-	}
-	prog, err := expr.Compile(node)
-	if err != nil {
-		return elp2im.Stats{}, 0, badRequestf("server: bad expression: %v", err)
+		return elp2im.Stats{}, 0, err
 	}
 	// Eval routes like every write: the destination's home shard admits it
 	// and executes it on that shard's accelerator.
@@ -576,9 +573,10 @@ func (s *Server) evalCore(exprSrc, dst string) (elp2im.Stats, int, error) {
 	}
 	defer batcher.releaseSync()
 
-	entries := make(map[string]*entry, len(prog.Vars))
-	vars := make(map[string]*elp2im.BitVector, len(prog.Vars))
-	for _, name := range prog.Vars {
+	names := ce.Vars()
+	entries := make(map[string]*entry, len(names))
+	vars := make(map[string]*elp2im.BitVector, len(names))
+	for _, name := range names {
 		e := s.store.lookup(name)
 		if e == nil {
 			return elp2im.Stats{}, 0, fmt.Errorf("%w: %q", ErrUnknownVector, name)
@@ -597,7 +595,7 @@ func (s *Server) evalCore(exprSrc, dst string) (elp2im.Stats, int, error) {
 				name, e.vec.Len(), bits)
 		}
 	}
-	out, st, err := batcher.acc.Eval(exprSrc, vars)
+	out, st, err := batcher.acc.EvalExpr(ce, vars)
 	unlock()
 	if err != nil {
 		return elp2im.Stats{}, 0, err

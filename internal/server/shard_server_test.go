@@ -48,6 +48,10 @@ func newShardedTestServer(t *testing.T, shards int, mutate func(*Config)) (*Serv
 // without the backoff hint ErrSaturated carried) fails here by name.
 func TestErrorStatusContract(t *testing.T) {
 	s, _ := newTestServer(t, nil)
+	_, badExpr := elp2im.CompileExpr("a & (")
+	if badExpr == nil {
+		t.Fatal("CompileExpr accepted a malformed expression")
+	}
 	cases := []struct {
 		name       string
 		err        error
@@ -64,6 +68,8 @@ func TestErrorStatusContract(t *testing.T) {
 		{"unknown vector", fmt.Errorf("%w: %q", ErrUnknownVector, "nx"), http.StatusNotFound, false},
 		{"bad request", badRequestf("server: bits must be positive"), http.StatusBadRequest, false},
 		{"bad request wrapped", fmt.Errorf("decode: %w", badRequestf("bad body")), http.StatusBadRequest, false},
+		{"bad expression", badExpr, http.StatusBadRequest, false},
+		{"bad expression wrapped", fmt.Errorf("eval: %w", badExpr), http.StatusBadRequest, false},
 		{"unrecognized", errors.New("server: disk on fire"), http.StatusInternalServerError, false},
 	}
 	for _, tc := range cases {

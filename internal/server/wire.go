@@ -67,7 +67,8 @@ func wireStatusFor(err error) (uint8, uint32) {
 		return wire.StatusCanceled, 0
 	case errors.Is(err, ErrUnknownVector):
 		return wire.StatusNotFound, 0
-	case errors.Is(err, errBadRequest), errors.Is(err, wire.ErrMalformed):
+	case errors.Is(err, errBadRequest), errors.Is(err, wire.ErrMalformed),
+		errors.Is(err, elp2im.ErrBadExpr):
 		return wire.StatusBadRequest, 0
 	default:
 		return wire.StatusInternal, 0

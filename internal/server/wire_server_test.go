@@ -356,6 +356,7 @@ func TestWireErrorStatusContract(t *testing.T) {
 		{"unknown vector", fmt.Errorf("%w: %q", ErrUnknownVector, "v"), wire.StatusNotFound, 0},
 		{"bad request", badRequestf("nope"), wire.StatusBadRequest, 0},
 		{"malformed frame", wire.ErrMalformed, wire.StatusBadRequest, 0},
+		{"bad expression", fmt.Errorf("eval: %w", elp2im.ErrBadExpr), wire.StatusBadRequest, 0},
 		{"internal", errors.New("disk on fire"), wire.StatusInternal, 0},
 	}
 	for _, tc := range cases {
@@ -399,6 +400,31 @@ func TestWireDrainingStatus(t *testing.T) {
 	// Reads still work while draining, like the HTTP path.
 	if _, _, _, err := wc.Get("a", nil); err != nil {
 		t.Fatalf("get after drain: %v", err)
+	}
+}
+
+// TestWireEvalBadExpression drives a malformed expression end to end
+// over the wire: compilation fails server-side (elp2im.ErrBadExpr) and
+// the client sees bad_request — the binary twin of /v1/eval's 400 —
+// never internal.
+func TestWireEvalBadExpression(t *testing.T) {
+	acc, err := elp2im.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Accelerator: acc, DisableWindow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Drain)
+	wc := startWire(t, s)
+	if err := wc.Put("wx", 64, []uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = wc.Eval(0, "wr", "wx &")
+	var se *wire.StatusError
+	if !errors.As(err, &se) || se.Code != wire.StatusBadRequest {
+		t.Fatalf("malformed expression over wire: %v, want bad_request", err)
 	}
 }
 

@@ -107,6 +107,8 @@ func (a *Accelerator) initObs() {
 	a.batchWaits = m.Counter("batch.waits")
 	a.fastHits = m.Counter("acc.fastpath.hit")
 	a.fastFallbacks = m.Counter("acc.fastpath.fallback")
+	a.fusionHits = m.Counter("acc.fusion.hit")
+	a.fusionFalls = m.Counter("acc.fusion.fallback")
 	if ie, ok := a.eng.(interface{ Instrument(*obs.Context) }); ok {
 		ie.Instrument(a.obsc)
 	}

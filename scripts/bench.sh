@@ -38,8 +38,18 @@
 # protocol at several shard counts, recording achieved_qps and p99 per
 # point plus the wire/json throughput ratio.
 #
+# Part 5 (BENCH_eval.json) sweeps BenchmarkEvalDAG: one expression DAG
+# per depth (1..6), evaluated over 1 Mbit operands through both
+# word-level tiers — the fused plan (packed multi-gate kernels, default)
+# and node-at-a-time kernels (DisableFusion) — recording ns/op per point
+# and the headline depth-4 fused speedup (see EXPERIMENTS.md "Reading
+# BENCH_eval.json").
+#
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME        go test -benchtime value (default 200x)
+#   EVAL_BENCHTIME   part-5 -benchtime value (default 1000x — eval
+#                    latencies are ~0.1 ms, so long runs stay cheap and
+#                    average out allocator/GC phase noise)
 #   SERVER_CLIENTS   elpload concurrent clients (default 64)
 #   SERVER_DURATION  elpload load duration (default 2s)
 #   SERVER_BITS      elpload operand length in bits (default 65536)
@@ -256,3 +266,44 @@ END {
 '
 echo "wrote $wire_out" >&2
 cat "$wire_out"
+
+# Part 5: fused eval vs node-at-a-time kernels over the DAG depth sweep.
+# Both tiers run the identical plan; the fused tier's advantage is pass
+# packing (up to three gates per generated word loop), so the speedup
+# grows with depth as clusters get more gates to pack.
+eval_out="BENCH_eval.json"
+eval_benchtime="${EVAL_BENCHTIME:-1000x}"
+echo "bench.sh: eval DAG sweep (BenchmarkEvalDAG, ${eval_benchtime})" >&2
+eval_raw=$(go test -run '^$' -bench 'BenchmarkEvalDAG' -benchtime "$eval_benchtime" .)
+printf '%s\n' "$eval_raw" >&2
+printf '%s\n' "$eval_raw" | awk -v out="$eval_out" -v benchtime="$eval_benchtime" '
+/^BenchmarkEvalDAG\// {
+	split($1, parts, "/")
+	depth = substr(parts[2], 6)
+	tier = parts[3]
+	sub(/-[0-9]+$/, "", tier)
+	if (tier == "fused") f[depth] = $3
+	else n[depth] = $3
+	if (!(depth in seen)) { order[++np] = depth; seen[depth] = 1 }
+}
+END {
+	if (np < 1 || f[4] == "" || n[4] == "") {
+		print "bench.sh: missing eval benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n" > out
+	printf "  \"benchtime\": \"%s\",\n", benchtime > out
+	printf "  \"bits\": 1048576,\n" > out
+	printf "  \"points\": [\n" > out
+	for (i = 1; i <= np; i++) {
+		d = order[i]
+		printf "    {\"depth\": %s, \"fused_ns_op\": %s, \"node_ns_op\": %s, \"fused_speedup\": %.2f}%s\n",
+			d, f[d], n[d], n[d] / f[d], i < np ? "," : "" > out
+	}
+	printf "  ],\n" > out
+	printf "  \"depth4_fused_speedup\": %.2f\n", n[4] / f[4] > out
+	printf "}\n" > out
+}
+'
+echo "wrote $eval_out" >&2
+cat "$eval_out"

@@ -4,7 +4,8 @@
 #   2. go vet      — whole-module analysis
 #   3. doccheck    — godoc completeness for the packages whose documentation
 #                    the project guarantees (root facade, internal/pipeline,
-#                    internal/obs, internal/server, internal/wire)
+#                    internal/obs, internal/server, internal/wire,
+#                    internal/plan, internal/kernel)
 #   4. race tests  — the server/micro-batcher suite (including the wire
 #                    listener and the JSON↔wire differential), the wire
 #                    codec/conn suite, the kernel-derivation cache, the
@@ -12,9 +13,10 @@
 #                    shard router + sharded differential suite under the
 #                    race detector (their whole value is their concurrency
 #                    envelope)
-#   5. fuzz smoke  — both internal/wire fuzz targets for a few seconds
-#                    each (go test -fuzz matches one target per run), so
-#                    codec regressions the corpus can reach fail here
+#   5. fuzz smoke  — both internal/wire fuzz targets plus the facade's
+#                    eval-DAG fuzzer for a few seconds each (go test -fuzz
+#                    matches one target per run), so codec regressions and
+#                    fusion-tier divergences the corpus can reach fail here
 #   6. coverage    — internal/wire and internal/server must each keep
 #                    statement coverage >= 80%
 #   7. shuffle     — the full suite once with -shuffle=on, so hidden
@@ -36,7 +38,7 @@ if ! go vet ./...; then
     fail=1
 fi
 
-if ! go run ./scripts/doccheck . internal/pipeline internal/obs internal/server internal/wire; then
+if ! go run ./scripts/doccheck . internal/pipeline internal/obs internal/server internal/wire internal/plan internal/kernel; then
     fail=1
 fi
 
@@ -59,6 +61,12 @@ if ! go test -run '^$' -fuzz '^FuzzRoundTrip$' -fuzztime 5s ./internal/wire; the
     fail=1
 fi
 
+# The eval-DAG fuzzer pins the fused tier against the node-at-a-time tier
+# and the host oracle on random expression DAGs (depth ≤ 6).
+if ! go test -run '^$' -fuzz '^FuzzEvalDAG$' -fuzztime 5s .; then
+    fail=1
+fi
+
 # Coverage floor: the wire codec and the serving layer carry the
 # protocol-equivalence guarantees, so their suites must keep >= 80%
 # statement coverage.
@@ -76,7 +84,7 @@ if [ -n "$cover_fail" ]; then
     fail=1
 fi
 
-if ! go test -race -count=1 ./internal/kernel/...; then
+if ! go test -race -count=1 ./internal/kernel/... ./internal/plan/...; then
     fail=1
 fi
 

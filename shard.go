@@ -274,8 +274,20 @@ func (sh *Shard) Reduce(op Op, dst *BitVector, vs ...*BitVector) (Stats, error) 
 // Eval evaluates a boolean expression over named bulk bit-vectors,
 // compiled once and scattered across the shards (see Accelerator.Eval).
 func (sh *Shard) Eval(src string, vars map[string]*BitVector) (*BitVector, Stats, error) {
+	ce, err := CompileExpr(src)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sh.EvalExpr(ce, vars)
+}
+
+// EvalExpr evaluates a compiled expression scattered across the shards
+// (see Accelerator.EvalExpr). Results and modeled cost are identical to
+// a single module of the same configuration.
+func (sh *Shard) EvalExpr(ce *CompiledExpr, vars map[string]*BitVector) (*BitVector, Stats, error) {
 	ref := sh.ref()
-	prog, n, err := ref.evalPrep(src, vars)
+	p := ce.plan
+	n, err := ref.evalPrep(p, vars)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -283,12 +295,12 @@ func (sh *Shard) Eval(src string, vars map[string]*BitVector) (*BitVector, Stats
 	stripes := (n + cols - 1) / cols
 	out := NewBitVector(n)
 	err = sh.scatter(stripes, func(i int, list []int) error {
-		return sh.accs[i].evalExec(prog, vars, out, stripes, list)
+		return sh.accs[i].evalExec(p, vars, out, stripes, list)
 	})
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	total, err := ref.evalCost(prog, stripes)
+	total, err := ref.evalCost(p.Prog, stripes)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -591,6 +603,35 @@ func (sb *ShardBatch) SubmitReduce(op Op, dst *BitVector, vs ...*BitVector) *Fut
 	}, components, total)
 }
 
+// SubmitEval enqueues the scattered asynchronous variant of Eval (see
+// Batch.SubmitEval): compiled and validated now, the returned vector's
+// contents defined once the future completes, and the aggregate cost
+// folded into the router's totals on Wait without per-op series records.
+// Each shard resolves its own execution tier at submission time.
+func (sb *ShardBatch) SubmitEval(src string, vars map[string]*BitVector) (*BitVector, *Future) {
+	sh := sb.sh
+	sh.batchSubmitted.Inc()
+	ce, err := CompileExpr(src)
+	if err != nil {
+		return nil, sb.failed(err)
+	}
+	ref := sh.ref()
+	n, err := ref.evalPrep(ce.plan, vars)
+	if err != nil {
+		return nil, sb.failed(err)
+	}
+	cols := sh.cfg.Module.Columns
+	stripes := (n + cols - 1) / cols
+	total, err := ref.evalCost(ce.plan.Prog, stripes)
+	if err != nil {
+		return nil, sb.failed(err)
+	}
+	out := NewBitVector(n)
+	return out, sb.submitScattered(stripes, func(acc *Accelerator, groups []stripeRun) []pipeline.Task {
+		return acc.evalTasks(acc.evalResolve(ce.plan, vars, out), groups)
+	}, nil, total)
+}
+
 // Wait drains every shard pool, folds the cost of each successful
 // submission into the router's session totals in submission order, and
 // returns the batch's accumulated stats plus the first error in
@@ -619,6 +660,13 @@ func (sb *ShardBatch) Wait() (Stats, error) {
 			continue
 		}
 		f.accounted = true
+		if len(f.components) == 0 {
+			// Eval submissions: one aggregate cost, no per-op series
+			// records, matching the synchronous path (see Batch.Wait).
+			sb.sh.addTotals(f.stats)
+			total.add(f.stats)
+			continue
+		}
 		for _, c := range f.components {
 			sb.sh.addTotals(c.st)
 			total.add(c.st)
