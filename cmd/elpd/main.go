@@ -1,6 +1,7 @@
 // Command elpd serves the elp2im accelerator over HTTP: a named
-// bit-vector store plus single ops, reductions, and expression
-// evaluation, with every write riding the dynamic micro-batcher in
+// bit-vector store (plain and vertical bit-sliced vectors) plus single
+// ops, reductions, expression evaluation, and vertical k-bit arithmetic,
+// with every bitwise write riding the dynamic micro-batcher in
 // internal/server (coalescing window, bounded admission queue with 503
 // backpressure, per-request deadlines, graceful drain on SIGTERM).
 //
@@ -27,6 +28,10 @@
 //	  -max-batch int        max requests folded into one flush (default 64)
 //	  -max-queue int        admission-queue bound; beyond it requests get 503 (default 1024)
 //	  -timeout duration     default per-request deadline (default 5s)
+//	  -evalcache int        compiled-program LRU entries shared by /v1/eval
+//	                        and /v1/arith (expression sources and arith
+//	                        (op, width) shapes compile once, then hit;
+//	                        default 256)
 //	  -no-pipeline          degraded mode: synchronous ops, no micro-batching
 //	  -debug-addr string    optional observability endpoint (ServeDebug: /metrics,
 //	                        /debug/vars, /debug/pprof) — the server.* series appear
@@ -86,6 +91,7 @@ func run(args []string) error {
 	maxBatch := fs.Int("max-batch", 64, "max requests folded into one flush")
 	maxQueue := fs.Int("max-queue", 1024, "admission-queue bound (503 beyond it)")
 	timeout := fs.Duration("timeout", 5*time.Second, "default per-request deadline")
+	evalCache := fs.Int("evalcache", 0, "compiled-program cache entries for eval/arith (0 = default 256)")
 	noPipeline := fs.Bool("no-pipeline", false, "degraded mode: synchronous ops, no micro-batching")
 	debugAddr := fs.String("debug-addr", "", "optional ServeDebug endpoint (/metrics, /debug/pprof)")
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +117,7 @@ func run(args []string) error {
 		MaxQueue:       *maxQueue,
 		Degraded:       *noPipeline,
 		RequestTimeout: *timeout,
+		EvalCacheSize:  *evalCache,
 	}
 	// serveDebug starts the observability endpoint over whichever backend
 	// owns the metric registries (the shard router's merged view when

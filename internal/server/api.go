@@ -2,6 +2,8 @@ package server
 
 import (
 	"encoding/base64"
+	"encoding/binary"
+	"math/bits"
 	"strings"
 
 	elp2im "repro"
@@ -26,6 +28,15 @@ type VectorPayload struct {
 	Data string `json:"data,omitempty"`
 	// Popcount is the number of set bits (response only).
 	Popcount *int `json:"popcount,omitempty"`
+	// ElemWidth, when nonzero, marks a vertical (bit-sliced) vector of
+	// elem_width-bit integer elements (1..64). A vertical PUT carries
+	// ElemWidth and Elems only (Bits and Data must be absent); a GET of a
+	// vertical vector answers with ElemWidth, Elems, and Bits set to the
+	// total payload (elements × width).
+	ElemWidth int `json:"elem_width,omitempty"`
+	// Elems is a vertical vector's element payload: standard base64 of
+	// 8 bytes per element, little-endian uint64 values, each < 2^elem_width.
+	Elems string `json:"elems,omitempty"`
 }
 
 // VectorInfo is one row of the GET /v1/vectors listing.
@@ -38,6 +49,12 @@ type VectorInfo struct {
 	// server): the shard whose batcher admits, and whose accelerator
 	// executes, operations writing this vector.
 	Shard int `json:"shard"`
+	// Elems is a vertical vector's element count (absent for plain bit
+	// vectors).
+	Elems int `json:"elems,omitempty"`
+	// ElemWidth is a vertical vector's element width in bits (absent for
+	// plain bit vectors).
+	ElemWidth int `json:"elem_width,omitempty"`
 }
 
 // ListResponse is the GET /v1/vectors response.
@@ -84,6 +101,26 @@ type EvalRequest struct {
 	Dst string `json:"dst"`
 }
 
+// ArithRequest is the POST /v1/arith body: dst = op(x, y) over stored
+// vertical vectors, with the result stored under dst as a vertical
+// vector of the operation's output width.
+type ArithRequest struct {
+	// Op is the vertical-arithmetic mnemonic: add, sub, lt, le, eq, lts,
+	// les, popcount, select.
+	Op string `json:"op"`
+	// Dst names the destination; it is created (or replaced) with the
+	// result once the operation succeeds.
+	Dst string `json:"dst"`
+	// X names the first vertical operand.
+	X string `json:"x"`
+	// Y names the second vertical operand (omitted for the unary
+	// popcount).
+	Y string `json:"y,omitempty"`
+	// Mask names a plain bit vector selecting per element (select only):
+	// element i takes x when bit i is set, y otherwise.
+	Mask string `json:"mask,omitempty"`
+}
+
 // StatsJSON is the stable wire form of elp2im.Stats.
 type StatsJSON struct {
 	// LatencyNS is the modeled latency in nanoseconds.
@@ -119,6 +156,10 @@ type OpResponse struct {
 	// Bits is the result vector's length (eval only, where the result
 	// vector is created by the expression).
 	Bits int `json:"bits,omitempty"`
+	// Elems is the result's element count (arith only).
+	Elems int `json:"elems,omitempty"`
+	// ElemWidth is the result's element width in bits (arith only).
+	ElemWidth int `json:"elem_width,omitempty"`
 }
 
 // ServerStats is the serving-layer section of the /v1/stats payload.
@@ -228,13 +269,28 @@ func parseOp(s string) (elp2im.Op, error) {
 // EncodeBits renders a vector's contents in the wire format: base64 of
 // ceil(bits/8) little-endian bytes.
 func EncodeBits(v *elp2im.BitVector) string {
-	n := v.Len()
-	words := v.Words()
+	return encodeWordBits(v.Words(), v.Len())
+}
+
+// encodeWordBits is the word-level core of EncodeBits, so the GET path
+// can encode from a snapshot buffer instead of a live vector.
+func encodeWordBits(words []uint64, n int) string {
 	raw := make([]byte, (n+7)/8)
 	for i := range raw {
 		raw[i] = byte(words[i/8] >> (8 * (i % 8)))
 	}
 	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// popcountWords counts the set bits across a word snapshot. Stored
+// vectors keep their tail bits canonically zero, so this matches
+// BitVector.Popcount over the same contents.
+func popcountWords(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // DecodeBits parses the wire format back into a fresh vector of the given
@@ -261,4 +317,46 @@ func DecodeBits(data string, bits int) (*elp2im.BitVector, error) {
 		words[i/8] |= uint64(b) << (8 * (i % 8))
 	}
 	return v, nil
+}
+
+// EncodeElems renders a vertical vector's element values in the wire
+// format: base64 of 8 little-endian bytes per element.
+func EncodeElems(elems []uint64) string {
+	raw := make([]byte, 8*len(elems))
+	for i, e := range elems {
+		binary.LittleEndian.PutUint64(raw[i*8:], e)
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// DecodeElems parses the element wire format back into values.
+func DecodeElems(data string) ([]uint64, error) {
+	raw, err := base64.StdEncoding.DecodeString(data)
+	if err != nil {
+		return nil, badRequestf("server: bad element data: %v", err)
+	}
+	if len(raw) == 0 || len(raw)%8 != 0 {
+		return nil, badRequestf("server: element data is %d bytes, want a positive multiple of 8", len(raw))
+	}
+	elems := make([]uint64, len(raw)/8)
+	for i := range elems {
+		elems[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	return elems, nil
+}
+
+// buildVertical validates decoded element values against the declared
+// width and transposes them into a fresh vertical vector. Elements with
+// bits set at or above the width are rejected (mirroring DecodeBits'
+// stray-bit strictness), so a GET always returns exactly what was PUT.
+func buildVertical(elems []uint64, width int) (*elp2im.Vertical, error) {
+	if width < 1 || width > 64 {
+		return nil, badRequestf("server: elem_width %d out of range [1, 64]", width)
+	}
+	for i, e := range elems {
+		if width < 64 && e>>uint(width) != 0 {
+			return nil, badRequestf("server: element %d has bits set beyond width %d", i, width)
+		}
+	}
+	return elp2im.VerticalFromElements(elems, width)
 }

@@ -521,7 +521,11 @@ func (res *resolved) bind(r *pimRequest) error {
 			res.srcs = res.srcs[:len(r.srcs)]
 		}
 		for i, name := range r.srcs {
-			res.srcs[i] = res.entries[name].vec
+			v, err := res.vecOf(name)
+			if err != nil {
+				return err
+			}
+			res.srcs[i] = v
 			if res.srcs[i].Len() != res.srcs[0].Len() {
 				return badRequestf("server: reduce operand %q has %d bits, want %d",
 					name, res.srcs[i].Len(), res.srcs[0].Len())
@@ -529,9 +533,15 @@ func (res *resolved) bind(r *pimRequest) error {
 		}
 		return res.bindDst(r.dst, res.srcs[0].Len())
 	default:
-		res.x = res.entries[r.x].vec
+		v, err := res.vecOf(r.x)
+		if err != nil {
+			return err
+		}
+		res.x = v
 		if !r.op.Unary() {
-			res.y = res.entries[r.y].vec
+			if res.y, err = res.vecOf(r.y); err != nil {
+				return err
+			}
 			if res.y.Len() != res.x.Len() {
 				return badRequestf("server: operands %q (%d bits) and %q (%d bits) differ in length",
 					r.x, res.x.Len(), r.y, res.y.Len())
@@ -541,10 +551,24 @@ func (res *resolved) bind(r *pimRequest) error {
 	}
 }
 
+// vecOf returns the locked entry's plain bit vector, rejecting vertical
+// entries — the op/reduce path computes over flat vectors only (vertical
+// ones are /v1/arith operands).
+func (res *resolved) vecOf(name string) (*elp2im.BitVector, error) {
+	e := res.entries[name]
+	if e.vert != nil {
+		return nil, badRequestf("server: %q is a vertical vector; bitwise ops need bit vectors", name)
+	}
+	return e.vec, nil
+}
+
 // bindDst binds the destination vector: the existing entry's (length
 // checked against the operands) or a fresh detached one.
 func (res *resolved) bindDst(name string, bits int) error {
 	if res.dstEntry != nil {
+		if res.dstEntry.vert != nil {
+			return badRequestf("server: destination %q is a vertical vector; bitwise ops need bit vectors", name)
+		}
 		res.dst = res.dstEntry.vec
 		if res.dst.Len() != bits {
 			return badRequestf("server: destination %q has %d bits, want %d", name, res.dst.Len(), bits)

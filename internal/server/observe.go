@@ -16,6 +16,8 @@ import (
 //	server.http.errors.<route>      counter   non-2xx responses
 //	server.http.latency_ns.<route>  histogram wall-clock handler latency
 //	server.panics                   counter   recovered handler panics
+//	server.evalcache.hit            counter   compiled-program cache hits
+//	server.evalcache.miss           counter   compiled-program cache misses
 //
 // plus, per micro-batcher, the admission/batching series. A single-module
 // server has one batcher and keeps the flat legacy names; a sharded server
@@ -51,7 +53,7 @@ import (
 // order.
 var routeNames = []string{
 	"put_vector", "get_vector", "delete_vector", "list_vectors",
-	"op", "reduce", "eval", "stats", "health",
+	"op", "reduce", "eval", "arith", "stats", "health",
 }
 
 // routeSeries is one route's pre-resolved metric series.
@@ -71,6 +73,13 @@ type serverMetrics struct {
 	panics *obs.Counter
 	shards []*batcherSeries
 	wire   wireSeries
+
+	// Compiled-program cache series (see evalcache.go):
+	//
+	//	server.evalcache.hit   counter  compile skipped, cached program reused
+	//	server.evalcache.miss  counter  compile executed and cached
+	evalCacheHits   *obs.Counter
+	evalCacheMisses *obs.Counter
 }
 
 // wireSeries is the elpwire listener's metric slice:
@@ -122,6 +131,8 @@ func newServerMetrics(ctx *obs.Context, shards int) *serverMetrics {
 			requests:    m.Counter("server.wire.requests"),
 			errors:      m.Counter("server.wire.errors"),
 		},
+		evalCacheHits:   m.Counter("server.evalcache.hit"),
+		evalCacheMisses: m.Counter("server.evalcache.miss"),
 	}
 	for i := range sm.shards {
 		prefix := "server."

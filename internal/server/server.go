@@ -72,6 +72,9 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies. Default 16 MiB (a 64-Mbit
 	// vector payload is ~11 MiB of base64).
 	MaxBodyBytes int64
+	// EvalCacheSize bounds the compiled-program LRU shared by /v1/eval
+	// and /v1/arith (entries, not bytes; see evalcache.go). Default 256.
+	EvalCacheSize int
 }
 
 // withDefaults normalizes cfg.
@@ -94,6 +97,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
+	if c.EvalCacheSize <= 0 {
+		c.EvalCacheSize = defaultEvalCacheSize
+	}
 	return c
 }
 
@@ -110,6 +116,7 @@ type Server struct {
 	store    *Store
 	batchers []*Batcher
 	obs      *serverMetrics
+	cache    *evalCache
 	mux      *http.ServeMux
 
 	// Wire-listener connection tracking (see wire.go): live connections
@@ -150,6 +157,7 @@ func New(cfg Config) (*Server, error) {
 		accs:      accs,
 		store:     NewStore(len(accs)),
 		obs:       obs,
+		cache:     newEvalCache(cfg.EvalCacheSize, obs.evalCacheHits, obs.evalCacheMisses),
 		wireConns: make(map[net.Conn]struct{}),
 	}
 	s.batchers = make([]*Batcher, len(accs))
@@ -164,6 +172,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/op", s.wrap("op", s.handleOp))
 	s.mux.HandleFunc("POST /v1/reduce", s.wrap("reduce", s.handleReduce))
 	s.mux.HandleFunc("POST /v1/eval", s.wrap("eval", s.handleEval))
+	s.mux.HandleFunc("POST /v1/arith", s.wrap("arith", s.handleArith))
 	s.mux.HandleFunc("GET /v1/stats", s.wrap("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.wrap("health", s.handleHealth))
 	return s, nil
@@ -348,7 +357,8 @@ func statusFor(err error) int {
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, ErrUnknownVector):
 		return http.StatusNotFound
-	case errors.Is(err, errBadRequest), errors.Is(err, elp2im.ErrBadExpr):
+	case errors.Is(err, errBadRequest), errors.Is(err, elp2im.ErrBadExpr),
+		errors.Is(err, elp2im.ErrBadArith):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
@@ -408,8 +418,10 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
-// handlePutVector stores a vector under the URL name: all-zero of the
-// given length when Data is empty, decoded contents otherwise.
+// handlePutVector stores a vector under the URL name. A plain bit
+// vector is all-zero of the given length when Data is empty, decoded
+// contents otherwise; a nonzero ElemWidth instead stores a vertical
+// (bit-sliced) vector transposed from the Elems payload.
 func (s *Server) handlePutVector(w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("name")
 	if name == "" {
@@ -418,6 +430,24 @@ func (s *Server) handlePutVector(w http.ResponseWriter, r *http.Request) error {
 	var body VectorPayload
 	if err := decodeBody(r, &body); err != nil {
 		return err
+	}
+	if body.ElemWidth != 0 || body.Elems != "" {
+		if body.Bits != 0 || body.Data != "" {
+			return badRequestf("server: a vertical put takes elem_width and elems only")
+		}
+		elems, err := DecodeElems(body.Elems)
+		if err != nil {
+			return err
+		}
+		v, err := buildVertical(elems, body.ElemWidth)
+		if err != nil {
+			return err
+		}
+		s.store.setVert(name, v)
+		return writeJSON(w, VectorInfo{
+			Name: name, Bits: len(elems) * body.ElemWidth,
+			Elems: len(elems), ElemWidth: body.ElemWidth,
+		})
 	}
 	var vec *elp2im.BitVector
 	if body.Data == "" {
@@ -436,7 +466,11 @@ func (s *Server) handlePutVector(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, VectorInfo{Name: name, Bits: vec.Len()})
 }
 
-// handleGetVector returns a vector's contents.
+// handleGetVector returns a vector's contents. Plain vectors answer with
+// the bit payload, vertical ones with their element values and width.
+// Either way the entry is pinned only for a words-snapshot (or the
+// transpose back to elements); the base64 encode and the JSON write
+// happen outside the lock (see wordBufPool).
 func (s *Server) handleGetVector(w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("name")
 	e := s.store.lookup(name)
@@ -444,11 +478,22 @@ func (s *Server) handleGetVector(w http.ResponseWriter, r *http.Request) error {
 		return fmt.Errorf("%w: %q", ErrUnknownVector, name)
 	}
 	e.mu.RLock()
-	vec := e.vec
-	bits := vec.Len()
-	data := EncodeBits(vec)
-	pop := vec.Popcount()
+	if v := e.vert; v != nil {
+		elems := v.Elements()
+		width := v.Width()
+		e.mu.RUnlock()
+		return writeJSON(w, VectorPayload{
+			Name: name, Bits: len(elems) * width,
+			ElemWidth: width, Elems: EncodeElems(elems),
+		})
+	}
+	bits := e.vec.Len()
+	bp := getWordBuf()
+	*bp = append(*bp, e.vec.Words()...)
 	e.mu.RUnlock()
+	data := encodeWordBits(*bp, bits)
+	pop := popcountWords(*bp)
+	putWordBuf(bp)
 	return writeJSON(w, VectorPayload{Name: name, Bits: bits, Data: data, Popcount: &pop})
 }
 
@@ -561,7 +606,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 // dst. Compilation failures (elp2im.ErrBadExpr) are client errors; both
 // transports report them as 400.
 func (s *Server) evalCore(exprSrc, dst string) (elp2im.Stats, int, error) {
-	ce, err := elp2im.CompileExpr(exprSrc)
+	ce, err := s.cachedExpr(exprSrc)
 	if err != nil {
 		return elp2im.Stats{}, 0, err
 	}
@@ -586,6 +631,10 @@ func (s *Server) evalCore(exprSrc, dst string) (elp2im.Stats, int, error) {
 	unlock := rlockEntries(entries)
 	var bits int
 	for name, e := range entries {
+		if e.vert != nil {
+			unlock()
+			return elp2im.Stats{}, 0, badRequestf("server: %q is a vertical vector; eval operands are bit vectors", name)
+		}
 		vars[name] = e.vec
 		if bits == 0 {
 			bits = e.vec.Len()
@@ -602,6 +651,94 @@ func (s *Server) evalCore(exprSrc, dst string) (elp2im.Stats, int, error) {
 	}
 	s.store.set(dst, out)
 	return st, out.Len(), nil
+}
+
+// handleArith executes a vertical arithmetic operation over stored
+// vertical vectors and stores the result under dst.
+func (s *Server) handleArith(w http.ResponseWriter, r *http.Request) error {
+	var body ArithRequest
+	if err := decodeBody(r, &body); err != nil {
+		return err
+	}
+	op, err := elp2im.ParseArithOp(body.Op)
+	if err != nil {
+		return err
+	}
+	st, out, err := s.arithCore(op, body.Dst, body.X, body.Y, body.Mask)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, OpResponse{Stats: statsJSON(st), Elems: out.Len(), ElemWidth: out.Width()})
+}
+
+// arithCore is the protocol-independent arith body shared by the HTTP
+// and wire paths, mirroring evalCore's shape: gate on the destination
+// shard's drain state, read-lock the operands, fetch the compiled
+// µProgram for (op, x's width) through the shared program cache, execute
+// it on the destination's home-shard accelerator, and store the result
+// vertical under dst. Operand-shape mistakes surface as
+// elp2im.ErrBadArith, which both transports report as 400.
+func (s *Server) arithCore(op elp2im.ArithOp, dst, x, y, mask string) (elp2im.Stats, *elp2im.Vertical, error) {
+	if dst == "" || x == "" {
+		return elp2im.Stats{}, nil, badRequestf("server: arith needs dst and x")
+	}
+	batcher := s.batcherFor(dst)
+	if err := batcher.acquireSync(); err != nil {
+		return elp2im.Stats{}, nil, err
+	}
+	defer batcher.releaseSync()
+
+	entries := make(map[string]*entry, 3)
+	for _, name := range []string{x, y, mask} {
+		if name == "" {
+			continue
+		}
+		e := s.store.lookup(name)
+		if e == nil {
+			return elp2im.Stats{}, nil, fmt.Errorf("%w: %q", ErrUnknownVector, name)
+		}
+		entries[name] = e
+	}
+	unlock := rlockEntries(entries)
+	vertOf := func(name string) (*elp2im.Vertical, error) {
+		if v := entries[name].vert; v != nil {
+			return v, nil
+		}
+		return nil, badRequestf("server: %q is not a vertical vector (arith operands are stored with elem_width)", name)
+	}
+	xv, err := vertOf(x)
+	if err != nil {
+		unlock()
+		return elp2im.Stats{}, nil, err
+	}
+	var yv *elp2im.Vertical
+	if y != "" {
+		if yv, err = vertOf(y); err != nil {
+			unlock()
+			return elp2im.Stats{}, nil, err
+		}
+	}
+	var mv *elp2im.BitVector
+	if mask != "" {
+		me := entries[mask]
+		if me.vert != nil {
+			unlock()
+			return elp2im.Stats{}, nil, badRequestf("server: mask %q must be a plain bit vector", mask)
+		}
+		mv = me.vec
+	}
+	ca, err := s.cachedArith(op, xv.Width())
+	if err != nil {
+		unlock()
+		return elp2im.Stats{}, nil, err
+	}
+	out, st, err := batcher.acc.ArithProg(ca, xv, yv, mv)
+	unlock()
+	if err != nil {
+		return elp2im.Stats{}, nil, err
+	}
+	s.store.setVert(dst, out)
+	return st, out, nil
 }
 
 // handleStats serves the stable stats payload.

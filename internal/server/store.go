@@ -32,11 +32,18 @@ type Store struct {
 // vec pointer is only replaced (PUT over an existing name) or read while
 // holding mu of the entry, so a flush that resolved and locked an entry
 // owns the vector it saw until it unlocks.
+//
+// An entry holds either a plain bit vector (vec) or a vertical
+// (bit-sliced integer) vector (vert) — exactly one of the two is non-nil,
+// and a PUT of the other kind over the same name swaps the entry's kind
+// under its lock. Both pointers follow the same locking rule as vec
+// always has: replaced or read only under the entry's mu.
 type entry struct {
 	mu    sync.RWMutex
 	name  string
 	shard int
 	vec   *elp2im.BitVector
+	vert  *elp2im.Vertical
 }
 
 // NewStore returns an empty store placing vectors across the given number
@@ -106,7 +113,23 @@ func (s *Store) getOrCreate(name string, bits int) *entry {
 func (s *Store) set(name string, vec *elp2im.BitVector) {
 	e := s.getOrCreate(name, vec.Len())
 	e.mu.Lock()
-	e.vec = vec
+	e.vec, e.vert = vec, nil
+	e.mu.Unlock()
+}
+
+// setVert stores a vertical vector under name, replacing any previous
+// contents (of either kind) under the entry lock, exactly like set.
+func (s *Store) setVert(name string, v *elp2im.Vertical) {
+	s.mu.Lock()
+	e, ok := s.m[name]
+	if !ok {
+		s.m[name] = &entry{name: name, shard: s.shardOf(name), vert: v}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	e.mu.Lock()
+	e.vec, e.vert = nil, v
 	e.mu.Unlock()
 }
 
@@ -126,7 +149,7 @@ func (s *Store) adopt(name string, e *entry) {
 	}
 	s.mu.Unlock()
 	cur.mu.Lock()
-	cur.vec = e.vec
+	cur.vec, cur.vert = e.vec, nil
 	cur.mu.Unlock()
 }
 
@@ -144,13 +167,23 @@ func (s *Store) remove(name string) bool {
 }
 
 // list returns every stored vector's name and length, sorted by name.
+// Vertical entries additionally report their element count and width;
+// their Bits is the total stored payload (elements × width).
 func (s *Store) list() []VectorInfo {
 	s.mu.RLock()
 	infos := make([]VectorInfo, 0, len(s.m))
 	for _, e := range s.m {
 		e.mu.RLock()
-		infos = append(infos, VectorInfo{Name: e.name, Bits: e.vec.Len(), Shard: e.shard})
+		info := VectorInfo{Name: e.name, Shard: e.shard}
+		if e.vert != nil {
+			info.Bits = e.vert.Len() * e.vert.Width()
+			info.Elems = e.vert.Len()
+			info.ElemWidth = e.vert.Width()
+		} else {
+			info.Bits = e.vec.Len()
+		}
 		e.mu.RUnlock()
+		infos = append(infos, info)
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
@@ -173,6 +206,27 @@ func (s *Store) sizeByShard() []int {
 		counts[e.shard]++
 	}
 	return counts
+}
+
+// wordBufPool recycles GET-snapshot word buffers. The GET paths (JSON
+// and wire) pin an entry only long enough to memcpy its words into one
+// of these buffers, then popcount and encode outside the lock — a flush
+// mutates stored vectors in place under the entry write lock, so
+// encoding directly from the live words outside the lock would race,
+// while encoding under the lock would stall writers for the whole
+// base64/frame build.
+var wordBufPool = sync.Pool{New: func() any {
+	s := make([]uint64, 0, 1024)
+	return &s
+}}
+
+// getWordBuf fetches an empty pooled word buffer.
+func getWordBuf() *[]uint64 { return wordBufPool.Get().(*[]uint64) }
+
+// putWordBuf recycles a snapshot buffer.
+func putWordBuf(bp *[]uint64) {
+	*bp = (*bp)[:0]
+	wordBufPool.Put(bp)
 }
 
 // lockEntries write-locks a set of entries in ascending name order

@@ -48,6 +48,29 @@ func bitOpFor(code uint8) (elp2im.Op, bool) {
 	return bitOps[code], true
 }
 
+// arithOps maps wire vertical-arithmetic opcodes onto the facade's
+// ArithOps. The indices are the wire.Arith* constants — the same stable
+// protocol contract as bitOps, pinned by TestWireArithOpTable.
+var arithOps = [9]elp2im.ArithOp{
+	wire.ArithAdd:      elp2im.ArithAdd,
+	wire.ArithSub:      elp2im.ArithSub,
+	wire.ArithLt:       elp2im.ArithLt,
+	wire.ArithLe:       elp2im.ArithLe,
+	wire.ArithEq:       elp2im.ArithEq,
+	wire.ArithLts:      elp2im.ArithLts,
+	wire.ArithLes:      elp2im.ArithLes,
+	wire.ArithPopcount: elp2im.ArithPopcount,
+	wire.ArithSelect:   elp2im.ArithSelect,
+}
+
+// arithOpFor validates and maps a wire arithmetic op code.
+func arithOpFor(code uint8) (elp2im.ArithOp, bool) {
+	if int(code) >= len(arithOps) {
+		return 0, false
+	}
+	return arithOps[code], true
+}
+
 // wireStatusFor classifies serving-layer errors into wire response
 // statuses plus a retry-after hint — the same equivalence classes as
 // statusFor's HTTP mapping: admission/drain → saturated/draining (503
@@ -68,7 +91,7 @@ func wireStatusFor(err error) (uint8, uint32) {
 	case errors.Is(err, ErrUnknownVector):
 		return wire.StatusNotFound, 0
 	case errors.Is(err, errBadRequest), errors.Is(err, wire.ErrMalformed),
-		errors.Is(err, elp2im.ErrBadExpr):
+		errors.Is(err, elp2im.ErrBadExpr), errors.Is(err, elp2im.ErrBadArith):
 		return wire.StatusBadRequest, 0
 	default:
 		return wire.StatusInternal, 0
@@ -163,6 +186,12 @@ func (wb *wireBackend) Handle(ctx context.Context, req *wire.Request, resp *wire
 		err = wb.handleOp(ctx, req, resp)
 	case wire.KindEval:
 		err = wb.handleEval(req, resp)
+	case wire.KindArith:
+		err = wb.handleArith(req, resp)
+	case wire.KindPutVert:
+		err = wb.handlePutVert(req, resp)
+	case wire.KindGetVert:
+		err = wb.handleGetVert(req, resp)
 	case wire.KindStats:
 		err = wb.handleStats(resp)
 	default:
@@ -195,18 +224,28 @@ func (wb *wireBackend) handlePut(req *wire.Request, resp *wire.Response) error {
 	return nil
 }
 
-// handleGet returns a vector's length, popcount and raw words, read
-// under the entry lock exactly like the JSON GET.
+// handleGet returns a vector's length, popcount and raw words. Like the
+// JSON GET, it pins the entry only long enough to snapshot the words into
+// a pooled buffer; the popcount and frame build run outside the lock.
 func (wb *wireBackend) handleGet(req *wire.Request, resp *wire.Response) error {
 	e := wb.s.store.lookup(req.Name)
 	if e == nil {
 		return unknownVector(req.Name)
 	}
+	bp := getWordBuf()
 	e.mu.RLock()
-	resp.AppendU32(uint32(e.vec.Len()))
-	resp.AppendU64(uint64(e.vec.Popcount()))
-	resp.AppendWords(e.vec.Words())
+	if e.vert != nil {
+		e.mu.RUnlock()
+		putWordBuf(bp)
+		return badRequestf("server: %q is a vertical vector; use get_vert", req.Name)
+	}
+	bits := e.vec.Len()
+	*bp = append(*bp, e.vec.Words()...)
 	e.mu.RUnlock()
+	resp.AppendU32(uint32(bits))
+	resp.AppendU64(uint64(popcountWords(*bp)))
+	resp.AppendWords(*bp)
+	putWordBuf(bp)
 	return nil
 }
 
@@ -265,6 +304,65 @@ func (wb *wireBackend) handleEval(req *wire.Request, resp *wire.Response) error 
 	}
 	resp.AppendStats(wireStats(st))
 	resp.AppendU32(uint32(bits))
+	return nil
+}
+
+// handleArith runs one vertical arithmetic operation through the shared
+// arith core — the binary twin of POST /v1/arith. A nonzero TimeoutMS is
+// accepted for frame symmetry with op/reduce but, like eval, arith runs
+// synchronously under the drain gate without a per-request deadline.
+func (wb *wireBackend) handleArith(req *wire.Request, resp *wire.Response) error {
+	op, ok := arithOpFor(req.Op)
+	if !ok {
+		return badRequestf("server: unknown wire arith code %d", req.Op)
+	}
+	st, out, err := wb.s.arithCore(op, req.Dst, req.X, req.Y, req.Mask)
+	if err != nil {
+		return err
+	}
+	resp.AppendStats(wireStats(st))
+	resp.AppendU8(uint8(out.Width()))
+	resp.AppendU32(uint32(out.Len()))
+	return nil
+}
+
+// handlePutVert stores a vertical (bit-sliced integer) vector from its
+// raw element payload, transposing on ingest exactly like the JSON PUT's
+// vertical path — including its strict rejection of elements with bits
+// set at or above the declared width.
+func (wb *wireBackend) handlePutVert(req *wire.Request, resp *wire.Response) error {
+	n := req.ElemCount()
+	elems := make([]uint64, n)
+	for i := range elems {
+		elems[i] = binary.LittleEndian.Uint64(req.WordData[i*8:])
+	}
+	v, err := buildVertical(elems, req.ElemWidth)
+	if err != nil {
+		return err
+	}
+	wb.s.store.setVert(req.Name, v)
+	resp.AppendU32(uint32(n))
+	return nil
+}
+
+// handleGetVert returns a vertical vector's element width and decoded
+// elements. Elements() already copies out of the slices under the read
+// lock, so no pooled snapshot is needed.
+func (wb *wireBackend) handleGetVert(req *wire.Request, resp *wire.Response) error {
+	e := wb.s.store.lookup(req.Name)
+	if e == nil {
+		return unknownVector(req.Name)
+	}
+	e.mu.RLock()
+	if e.vert == nil {
+		e.mu.RUnlock()
+		return badRequestf("server: %q is a bit vector; use get", req.Name)
+	}
+	width := e.vert.Width()
+	elems := e.vert.Elements()
+	e.mu.RUnlock()
+	resp.AppendU8(uint8(width))
+	resp.AppendWords(elems) // carries the element count
 	return nil
 }
 

@@ -1,0 +1,67 @@
+package vertical
+
+import "math/bits"
+
+// WidthMask returns the low-w-bit mask for element widths 1..64.
+func WidthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// signExtend interprets the low w bits of v as two's complement.
+func signExtend(v uint64, w int) int64 {
+	return int64(v<<uint(64-w)) >> uint(64-w)
+}
+
+// Reference computes op over horizontal host integers — the oracle the
+// in-DRAM vertical path is differentially tested against. Element bits
+// at or above width are ignored on input; outputs carry OutWidth
+// significant bits. For OpSelect, the mask bit for element i is bit i of
+// the packed words m; y and m are ignored when the op does not take
+// them.
+func Reference(op Op, width int, x, y, m []uint64) []uint64 {
+	mask := WidthMask(width)
+	out := make([]uint64, len(x))
+	omask := WidthMask(op.OutWidth(width))
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for i := range x {
+		xv := x[i] & mask
+		var yv uint64
+		if op.Binary() {
+			yv = y[i] & mask
+		}
+		switch op {
+		case OpAdd:
+			out[i] = (xv + yv) & mask
+		case OpSub:
+			out[i] = (xv - yv) & mask
+		case OpLT:
+			out[i] = b2u(xv < yv)
+		case OpLE:
+			out[i] = b2u(xv <= yv)
+		case OpEQ:
+			out[i] = b2u(xv == yv)
+		case OpLTS:
+			out[i] = b2u(signExtend(xv, width) < signExtend(yv, width))
+		case OpLES:
+			out[i] = b2u(signExtend(xv, width) <= signExtend(yv, width))
+		case OpPopcount:
+			out[i] = uint64(bits.OnesCount64(xv))
+		case OpSelect:
+			if m[i/64]>>uint(i%64)&1 != 0 {
+				out[i] = xv
+			} else {
+				out[i] = yv
+			}
+		}
+		out[i] &= omask
+	}
+	return out
+}

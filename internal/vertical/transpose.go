@@ -1,0 +1,95 @@
+package vertical
+
+// Transpose64 transposes a 64×64 bit matrix in place: bit j of word i
+// moves to bit i of word j. The transform is an involution, so the same
+// call converts in both directions. This is the word-blocked core the
+// slice converters run per 64-element block (recursive block swap, six
+// rounds of masked exchanges).
+func Transpose64(m *[64]uint64) {
+	j := 32
+	mask := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := ((m[k] >> uint(j)) ^ m[k+j]) & mask
+			m[k] ^= t << uint(j)
+			m[k+j] ^= t
+		}
+		j >>= 1
+		mask ^= mask << uint(j)
+	}
+}
+
+// SliceWords returns the word length of one bit slice covering n
+// elements: ceil(n/64).
+func SliceWords(n int) int { return (n + 63) / 64 }
+
+// SliceInto transposes the horizontal element array elems into the
+// bit-sliced layout: after the call, bit i of slices[j] equals bit j of
+// elems[i]. The element width is len(slices) (1..64); element bits at or
+// above the width are discarded. Every slice must have at least
+// SliceWords(len(elems)) words; bits beyond len(elems) in the final word
+// are zeroed (ragged tails transpose from zero padding), so slices stay
+// canonical for bit-vector adoption.
+func SliceInto(slices [][]uint64, elems []uint64) {
+	width := len(slices)
+	var m [64]uint64
+	for base := 0; base < len(elems); base += 64 {
+		blk := elems[base:]
+		if len(blk) > 64 {
+			blk = blk[:64]
+		}
+		n := copy(m[:], blk)
+		for i := n; i < 64; i++ {
+			m[i] = 0
+		}
+		Transpose64(&m)
+		w := base / 64
+		for j := 0; j < width; j++ {
+			slices[j][w] = m[j]
+		}
+	}
+}
+
+// UnsliceInto reconstructs the horizontal element array from the
+// bit-sliced layout: elems[i] gets bit j from bit i of slices[j], for
+// j < len(slices); higher element bits are zero. It is the inverse of
+// SliceInto for canonical slices.
+func UnsliceInto(elems []uint64, slices [][]uint64) {
+	width := len(slices)
+	var m [64]uint64
+	for base := 0; base < len(elems); base += 64 {
+		w := base / 64
+		for j := 0; j < width; j++ {
+			m[j] = slices[j][w]
+		}
+		for j := width; j < 64; j++ {
+			m[j] = 0
+		}
+		Transpose64(&m)
+		n := len(elems) - base
+		if n > 64 {
+			n = 64
+		}
+		copy(elems[base:base+n], m[:n])
+	}
+}
+
+// Slice is the allocating form of SliceInto: it returns width freshly
+// allocated bit slices of SliceWords(len(elems)) words each.
+func Slice(elems []uint64, width int) [][]uint64 {
+	words := SliceWords(len(elems))
+	slices := make([][]uint64, width)
+	backing := make([]uint64, width*words)
+	for j := range slices {
+		slices[j] = backing[j*words : (j+1)*words]
+	}
+	SliceInto(slices, elems)
+	return slices
+}
+
+// Unslice is the allocating form of UnsliceInto for n elements.
+func Unslice(slices [][]uint64, n int) []uint64 {
+	elems := make([]uint64, n)
+	UnsliceInto(elems, slices)
+	return elems
+}

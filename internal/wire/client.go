@@ -335,6 +335,78 @@ func (c *Client) Eval(timeoutMS uint32, dst, expr string) (Stats, int, error) {
 	return st, bits, nil
 }
 
+// Arith executes dst = op(x, y) over stored vertical vectors (y empty
+// for the unary ArithPopcount, mask empty for unmasked operations) and
+// returns the modeled cost plus the result's element width and count.
+func (c *Client) Arith(op uint8, timeoutMS uint32, dst, x, y, mask string) (st Stats, elemWidth, elems int, err error) {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendArithRequest(b, id, op, timeoutMS, dst, x, y, mask)
+	})
+	if err != nil {
+		return Stats{}, 0, 0, err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return Stats{}, 0, 0, statusErr(ca)
+	}
+	payload := (*ca.payload)[headerLen:]
+	if st, err = DecodeStats(payload); err != nil {
+		return Stats{}, 0, 0, err
+	}
+	d := decoder{b: payload[statsWireLen:]}
+	elemWidth = int(d.u8())
+	elems = int(d.u32())
+	d.done()
+	if d.err != nil {
+		return Stats{}, 0, 0, d.err
+	}
+	return st, elemWidth, elems, nil
+}
+
+// PutVert stores a vertical (bit-sliced) vector of width-bit elements.
+// Every element value must be < 2^width.
+func (c *Client) PutVert(name string, width int, elems []uint64) error {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendPutVertRequest(b, id, name, width, elems)
+	})
+	if err != nil {
+		return err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return statusErr(ca)
+	}
+	return nil
+}
+
+// GetVert fetches a vertical vector's element width and values, the
+// values appended to dst (pass nil to allocate).
+func (c *Client) GetVert(name string, dst []uint64) (width int, elems []uint64, err error) {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendGetVertRequest(b, id, name)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return 0, nil, statusErr(ca)
+	}
+	d := decoder{b: (*ca.payload)[headerLen:]}
+	width = int(d.u8())
+	n := int(d.u32())
+	raw := d.take(n * 8)
+	d.done()
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	elems = dst[:0]
+	for i := 0; i < n; i++ {
+		elems = append(elems, binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return width, elems, nil
+}
+
 // StatsJSON fetches the serving-layer stats payload: the same JSON bytes
 // the HTTP path serves on /v1/stats.
 func (c *Client) StatsJSON() ([]byte, error) {

@@ -168,6 +168,39 @@ func AppendEvalRequest(b []byte, id uint64, timeoutMS uint32, dst, expr string) 
 	return FinishFrame(b, start)
 }
 
+// AppendArithRequest appends a complete KindArith request frame. y is
+// empty for unary operations, mask for unmasked ones.
+func AppendArithRequest(b []byte, id uint64, op uint8, timeoutMS uint32, dst, x, y, mask string) []byte {
+	start := len(b)
+	b = BeginFrame(b, id, KindArith)
+	b = append(b, op)
+	b = appendU32(b, timeoutMS)
+	b = appendStr16(b, dst)
+	b = appendStr16(b, x)
+	b = appendStr16(b, y)
+	b = appendStr16(b, mask)
+	return FinishFrame(b, start)
+}
+
+// AppendPutVertRequest appends a complete KindPutVert request frame
+// storing width-bit elements.
+func AppendPutVertRequest(b []byte, id uint64, name string, width int, elems []uint64) []byte {
+	start := len(b)
+	b = BeginFrame(b, id, KindPutVert)
+	b = appendStr16(b, name)
+	b = append(b, byte(width))
+	b = AppendWords(b, elems)
+	return FinishFrame(b, start)
+}
+
+// AppendGetVertRequest appends a complete KindGetVert request frame.
+func AppendGetVertRequest(b []byte, id uint64, name string) []byte {
+	start := len(b)
+	b = BeginFrame(b, id, KindGetVert)
+	b = appendStr16(b, name)
+	return FinishFrame(b, start)
+}
+
 // AppendStatsRequest appends a complete KindStats request frame.
 func AppendStatsRequest(b []byte, id uint64) []byte {
 	start := len(b)
@@ -326,13 +359,54 @@ func DecodeRequest(frame []byte, req *Request, intern internFunc) error {
 			req.Bits = int(bits)
 			req.WordData = data
 		}
-	case KindGet, KindDelete:
+	case KindGet, KindDelete, KindGetVert:
 		name, ok := d.str16Bytes()
 		if ok && len(name) == 0 {
 			d.fail("vector name must not be empty")
 		}
 		if d.err == nil {
 			req.Name = intern(name)
+		}
+	case KindPutVert:
+		name, _ := d.str16Bytes()
+		width := d.u8()
+		elems := d.u32()
+		if d.err == nil && (width == 0 || width > 64) {
+			d.fail("put_vert element width %d out of range [1, 64]", width)
+		}
+		if d.err == nil && elems == 0 {
+			d.fail("put_vert needs at least one element")
+		}
+		data := d.take(int(elems) * 8)
+		if d.err == nil {
+			if len(name) == 0 {
+				d.fail("put_vert name must not be empty")
+			} else {
+				req.Name = intern(name)
+				req.ElemWidth = int(width)
+				req.WordData = data
+			}
+		}
+	case KindArith:
+		req.Op = d.u8()
+		req.TimeoutMS = d.u32()
+		dst, _ := d.str16Bytes()
+		x, _ := d.str16Bytes()
+		y, _ := d.str16Bytes()
+		mask, _ := d.str16Bytes()
+		if d.err == nil {
+			if len(dst) == 0 || len(x) == 0 {
+				d.fail("arith needs dst and x")
+			} else {
+				req.Dst = intern(dst)
+				req.X = intern(x)
+				if len(y) > 0 {
+					req.Y = intern(y)
+				}
+				if len(mask) > 0 {
+					req.Mask = intern(mask)
+				}
+			}
 		}
 	case KindOp:
 		req.Op = d.u8()
@@ -417,6 +491,18 @@ func EncodeRequest(b []byte, req *Request) []byte {
 		return AppendGetRequest(b, req.ID, req.Name)
 	case KindDelete:
 		return AppendDeleteRequest(b, req.ID, req.Name)
+	case KindGetVert:
+		return AppendGetVertRequest(b, req.ID, req.Name)
+	case KindPutVert:
+		start := len(b)
+		b = BeginFrame(b, req.ID, KindPutVert)
+		b = appendStr16(b, req.Name)
+		b = append(b, byte(req.ElemWidth))
+		b = appendU32(b, uint32(len(req.WordData)/8))
+		b = append(b, req.WordData...)
+		return FinishFrame(b, start)
+	case KindArith:
+		return AppendArithRequest(b, req.ID, req.Op, req.TimeoutMS, req.Dst, req.X, req.Y, req.Mask)
 	case KindOp:
 		return AppendOpRequest(b, req.ID, req.Op, req.TimeoutMS, req.Dst, req.X, req.Y)
 	case KindReduce:

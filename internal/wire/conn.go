@@ -87,6 +87,9 @@ type Response struct {
 	b []byte
 }
 
+// AppendU8 appends one byte to the payload.
+func (r *Response) AppendU8(v uint8) { r.b = append(r.b, v) }
+
 // AppendU32 appends a little-endian uint32 to the payload.
 func (r *Response) AppendU32(v uint32) { r.b = appendU32(r.b, v) }
 

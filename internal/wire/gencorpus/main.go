@@ -25,6 +25,10 @@ func main() {
 		"reduce": wire.AppendReduceRequest(nil, 8, wire.BitOr, 0, "dst", []string{"a", "b", "c"}),
 		"eval":   wire.AppendEvalRequest(nil, 9, 0, "dst", "(a & b) | ~c"),
 		"stats":  wire.AppendStatsRequest(nil, 10),
+		"arith":  wire.AppendArithRequest(nil, 11, wire.ArithAdd, 0, "z", "a", "b", ""),
+		"arithm": wire.AppendArithRequest(nil, 12, wire.ArithSelect, 100, "z", "a", "b", "m"),
+		"pvert":  wire.AppendPutVertRequest(nil, 13, "v", 8, []uint64{5, 250, 77}),
+		"gvert":  wire.AppendGetVertRequest(nil, 14, "v"),
 	}
 	op := frames["op"][4:]
 	extra := map[string][]byte{

@@ -1,7 +1,7 @@
 // Package wire is elpwire: the length-prefixed binary serving protocol
-// for elpd's hot endpoints (op/reduce/eval plus vector PUT/GET), carrying
-// bit payloads as raw little-endian 64-bit words instead of JSON-encoded
-// base64 text. It exists because BENCH_shards.json showed the modeled PIM
+// for elpd's hot endpoints (op/reduce/eval/arith plus plain and vertical
+// vector PUT/GET), carrying bit payloads as raw little-endian 64-bit
+// words instead of JSON-encoded base64 text. It exists because BENCH_shards.json showed the modeled PIM
 // hardware scaling 3.98× at 4 shards while achieved wall-clock QPS stayed
 // flat: the HTTP/1+JSON path (text codecs, per-request allocations, one
 // request in flight per connection) had become the bottleneck, not the
@@ -69,6 +69,19 @@ const (
 	// response: the UTF-8 JSON encoding of the HTTP /v1/stats payload,
 	// byte-for-byte the same marshaling — so the two paths cannot drift.
 	KindStats uint8 = 0x08
+	// KindArith executes a vertical arithmetic operation dst = op(x, y)
+	// over stored vertical (bit-sliced) vectors: op u8 (an Arith* code),
+	// timeout_ms u32, dst str16, x str16, y str16 (empty for the unary
+	// popcount), mask str16 (empty for unmasked operations). OK response:
+	// Stats, elem_width u8, elems u32.
+	KindArith uint8 = 0x09
+	// KindPutVert stores a vertical vector: name str16, elem_width u8
+	// (1..64), elems u32 (≥ 1), elems raw LE uint64 element values, each
+	// < 2^elem_width. OK response: elems u32.
+	KindPutVert uint8 = 0x0A
+	// KindGetVert fetches a vertical vector's elements: name str16. OK
+	// response: elem_width u8, elems u32, elems raw LE uint64 values.
+	KindGetVert uint8 = 0x0B
 )
 
 // Response status codes (the kind byte of a response frame). StatusOK
@@ -119,6 +132,31 @@ const (
 	BitXnor uint8 = 6
 	// BitCopy is the unary row copy.
 	BitCopy uint8 = 7
+)
+
+// Vertical-arithmetic operation codes carried in the op byte of KindArith
+// requests. Like the Bit* codes, the values are a stable protocol
+// contract, pinned to the facade's ArithOp set by a test in
+// internal/server.
+const (
+	// ArithAdd is z = (x + y) mod 2^w.
+	ArithAdd uint8 = 0
+	// ArithSub is z = (x - y) mod 2^w.
+	ArithSub uint8 = 1
+	// ArithLt is the unsigned compare z = (x < y).
+	ArithLt uint8 = 2
+	// ArithLe is the unsigned compare z = (x <= y).
+	ArithLe uint8 = 3
+	// ArithEq is the equality compare z = (x == y).
+	ArithEq uint8 = 4
+	// ArithLts is the signed compare z = (x < y).
+	ArithLts uint8 = 5
+	// ArithLes is the signed compare z = (x <= y).
+	ArithLes uint8 = 6
+	// ArithPopcount counts each element's set bits (unary).
+	ArithPopcount uint8 = 7
+	// ArithSelect is the masked blend z = m ? x : y.
+	ArithSelect uint8 = 8
 )
 
 // Frame-geometry constants.
@@ -199,16 +237,21 @@ type Request struct {
 	Dst string
 	// X is the first operand (KindOp).
 	X string
-	// Y is the second operand (KindOp, empty for unary ops).
+	// Y is the second operand (KindOp/KindArith, empty for unary ops).
 	Y string
+	// Mask is the mask vector name (KindArith, empty for unmasked ops).
+	Mask string
 	// Srcs are the reduction operands (KindReduce).
 	Srcs []string
 	// Expr is the expression source (KindEval).
 	Expr string
 	// Bits is the declared vector length (KindPut).
 	Bits int
-	// WordData is the raw little-endian word payload of a KindPut, 8 bytes
-	// per word (ceil(Bits/64) words), or empty for an all-zero vector. It
+	// ElemWidth is the declared element width in bits (KindPutVert).
+	ElemWidth int
+	// WordData is the raw little-endian word payload of a KindPut (8 bytes
+	// per word, ceil(Bits/64) words, or empty for an all-zero vector) or
+	// the element payload of a KindPutVert (8 bytes per element). It
 	// aliases the frame buffer; copy before retaining.
 	WordData []byte
 }
@@ -216,11 +259,15 @@ type Request struct {
 // reset clears a Request for reuse, keeping the Srcs backing array.
 func (r *Request) reset() {
 	r.ID, r.Kind, r.Op, r.TimeoutMS = 0, 0, 0, 0
-	r.Name, r.Dst, r.X, r.Y, r.Expr = "", "", "", "", ""
+	r.Name, r.Dst, r.X, r.Y, r.Mask, r.Expr = "", "", "", "", "", ""
 	r.Srcs = r.Srcs[:0]
-	r.Bits = 0
+	r.Bits, r.ElemWidth = 0, 0
 	r.WordData = nil
 }
+
+// ElemCount returns the number of element values in a KindPutVert's
+// WordData.
+func (r *Request) ElemCount() int { return len(r.WordData) / 8 }
 
 // WordCount returns the number of 64-bit words in WordData.
 func (r *Request) WordCount() int { return len(r.WordData) / 8 }

@@ -49,6 +49,10 @@ func seedFrames() map[string][]byte {
 		"reduce": AppendReduceRequest(nil, 8, BitOr, 0, "dst", []string{"a", "b", "c"}),
 		"eval":   AppendEvalRequest(nil, 9, 0, "dst", "(a & b) | ~c"),
 		"stats":  AppendStatsRequest(nil, 10),
+		"arith":  AppendArithRequest(nil, 11, ArithAdd, 0, "z", "a", "b", ""),
+		"arithm": AppendArithRequest(nil, 12, ArithSelect, 100, "z", "a", "b", "m"),
+		"pvert":  AppendPutVertRequest(nil, 13, "v", 8, []uint64{5, 250, 77}),
+		"gvert":  AppendGetVertRequest(nil, 14, "v"),
 	}
 	for k, f := range frames {
 		frames[k] = f[frameLenSize:] // DecodeRequest takes the body only
@@ -195,6 +199,23 @@ func (e *echoBackend) Handle(_ context.Context, req *Request, resp *Response) er
 		resp.AppendU32(128)
 		resp.AppendU64(2)
 		resp.AppendWords([]uint64{1, 2})
+	case KindArith:
+		if req.Dst == "missing" {
+			return errStubNotFound
+		}
+		resp.AppendStats(e.stats)
+		resp.AppendU8(8)
+		resp.AppendU32(4)
+	case KindPutVert:
+		resp.AppendU32(uint32(req.ElemCount()))
+	case KindGetVert:
+		if req.Name == "missing" {
+			return errStubNotFound
+		}
+		resp.AppendU8(8)
+		resp.AppendWords([]uint64{5, 250})
+	case KindStats:
+		resp.AppendBytes([]byte(`{"stub":true}`))
 	}
 	return nil
 }
@@ -258,6 +279,33 @@ func TestClientServerLoopback(t *testing.T) {
 	}
 	if _, _, err := c.Eval(0, "dst", "a & b"); err != nil {
 		t.Fatalf("eval: %v", err)
+	}
+	if err := c.Delete("v"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := c.PutVert("vert", 8, []uint64{5, 250, 17, 3}); err != nil {
+		t.Fatalf("put_vert: %v", err)
+	}
+	width, elems, err := c.GetVert("vert", nil)
+	if err != nil {
+		t.Fatalf("get_vert: %v", err)
+	}
+	if width != 8 || len(elems) != 2 || elems[0] != 5 || elems[1] != 250 {
+		t.Fatalf("get_vert returned width=%d elems=%v", width, elems)
+	}
+	st, elemWidth, elemCount, err := c.Arith(ArithAdd, 0, "dst", "x", "y", "")
+	if err != nil {
+		t.Fatalf("arith: %v", err)
+	}
+	if st.LatencyNS != 10 || elemWidth != 8 || elemCount != 4 {
+		t.Fatalf("arith returned %+v width=%d elems=%d", st, elemWidth, elemCount)
+	}
+	payload, err := c.StatsJSON()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if string(payload) != `{"stub":true}` {
+		t.Fatalf("stats payload %q", payload)
 	}
 }
 

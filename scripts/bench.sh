@@ -45,11 +45,19 @@
 # and the headline depth-4 fused speedup (see EXPERIMENTS.md "Reading
 # BENCH_eval.json").
 #
+# Part 6 (BENCH_vertical.json) sweeps BenchmarkVerticalArith: one
+# vertical k-bit add over 1M elements per width (4/8/16/32), through
+# both execution tiers (fused vs node-at-a-time), plus the transpose
+# engine's slice/unslice ns/elem — the bit-serial arithmetic cost curve
+# (see EXPERIMENTS.md "Reading BENCH_vertical.json").
+#
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME        go test -benchtime value (default 200x)
 #   EVAL_BENCHTIME   part-5 -benchtime value (default 1000x — eval
 #                    latencies are ~0.1 ms, so long runs stay cheap and
 #                    average out allocator/GC phase noise)
+#   VERT_BENCHTIME   part-6 -benchtime value (default 100x — 1M-element
+#                    operands make single runs ~1-5 ms)
 #   SERVER_CLIENTS   elpload concurrent clients (default 64)
 #   SERVER_DURATION  elpload load duration (default 2s)
 #   SERVER_BITS      elpload operand length in bits (default 65536)
@@ -307,3 +315,55 @@ END {
 '
 echo "wrote $eval_out" >&2
 cat "$eval_out"
+
+# Part 6: the vertical (bit-serial) arithmetic cost curve. One k-bit add
+# per width through both execution tiers — the µProgram's step count
+# grows linearly with width, so ns/elem traces the bit-serial latency
+# model — plus the transpose engine's ingest/readback throughput.
+vert_out="BENCH_vertical.json"
+vert_benchtime="${VERT_BENCHTIME:-100x}"
+echo "bench.sh: vertical arith sweep (BenchmarkVerticalArith, ${vert_benchtime})" >&2
+vert_raw=$(go test -run '^$' -bench 'BenchmarkVertical(Arith|Transpose)' -benchtime "$vert_benchtime" .)
+printf '%s\n' "$vert_raw" >&2
+printf '%s\n' "$vert_raw" | awk -v out="$vert_out" -v benchtime="$vert_benchtime" '
+/^BenchmarkVerticalTranspose\/slice/   { tslice = nsElem($0) }
+/^BenchmarkVerticalTranspose\/unslice/ { tunslice = nsElem($0) }
+/^BenchmarkVerticalArith\// {
+	split($1, parts, "/")
+	w = substr(parts[3], 2)
+	tier = parts[4]
+	sub(/-[0-9]+$/, "", tier)
+	if (tier == "fused") { f[w] = $3; fel[w] = nsElem($0) }
+	else { n[w] = $3; nel[w] = nsElem($0) }
+	for (i = 1; i <= NF; i++) if ($(i+1) == "steps") steps[w] = $i
+	for (i = 1; i <= NF; i++) if ($(i+1) == "modeled_ns") modeled[w] = $i
+	if (!(w in seen)) { order[++np] = w; seen[w] = 1 }
+}
+function nsElem(line,   a, i, k) {
+	k = split(line, a, " ")
+	for (i = 1; i < k; i++)
+		if (a[i+1] == "ns/elem") return a[i]
+	return ""
+}
+END {
+	if (np < 1 || f[8] == "" || n[8] == "") {
+		print "bench.sh: missing vertical benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n" > out
+	printf "  \"benchtime\": \"%s\",\n", benchtime > out
+	printf "  \"elems\": 1048576,\n" > out
+	printf "  \"transpose\": {\"slice_ns_elem\": %s, \"unslice_ns_elem\": %s},\n", tslice, tunslice > out
+	printf "  \"points\": [\n" > out
+	for (i = 1; i <= np; i++) {
+		w = order[i]
+		printf "    {\"width\": %s, \"steps\": %s, \"modeled_ns\": %s, \"fused_ns_op\": %s, \"node_ns_op\": %s, \"fused_ns_elem\": %s, \"node_ns_elem\": %s, \"fused_speedup\": %.2f}%s\n",
+			w, steps[w], modeled[w], f[w], n[w], fel[w], nel[w], n[w] / f[w], i < np ? "," : "" > out
+	}
+	printf "  ],\n" > out
+	printf "  \"width32_fused_speedup\": %.2f\n", n[32] / f[32] > out
+	printf "}\n" > out
+}
+'
+echo "wrote $vert_out" >&2
+cat "$vert_out"

@@ -5,7 +5,7 @@
 #   3. doccheck    — godoc completeness for the packages whose documentation
 #                    the project guarantees (root facade, internal/pipeline,
 #                    internal/obs, internal/server, internal/wire,
-#                    internal/plan, internal/kernel)
+#                    internal/plan, internal/kernel, internal/vertical)
 #   4. race tests  — the server/micro-batcher suite (including the wire
 #                    listener and the JSON↔wire differential), the wire
 #                    codec/conn suite, the kernel-derivation cache, the
@@ -14,9 +14,10 @@
 #                    race detector (their whole value is their concurrency
 #                    envelope)
 #   5. fuzz smoke  — both internal/wire fuzz targets plus the facade's
-#                    eval-DAG fuzzer for a few seconds each (go test -fuzz
-#                    matches one target per run), so codec regressions and
-#                    fusion-tier divergences the corpus can reach fail here
+#                    eval-DAG and vertical-arith fuzzers for a few seconds
+#                    each (go test -fuzz matches one target per run), so
+#                    codec regressions and tier/oracle divergences the
+#                    corpus can reach fail here
 #   6. coverage    — internal/wire and internal/server must each keep
 #                    statement coverage >= 80%
 #   7. shuffle     — the full suite once with -shuffle=on, so hidden
@@ -38,7 +39,7 @@ if ! go vet ./...; then
     fail=1
 fi
 
-if ! go run ./scripts/doccheck . internal/pipeline internal/obs internal/server internal/wire internal/plan internal/kernel; then
+if ! go run ./scripts/doccheck . internal/pipeline internal/obs internal/server internal/wire internal/plan internal/kernel internal/vertical; then
     fail=1
 fi
 
@@ -64,6 +65,12 @@ fi
 # The eval-DAG fuzzer pins the fused tier against the node-at-a-time tier
 # and the host oracle on random expression DAGs (depth ≤ 6).
 if ! go test -run '^$' -fuzz '^FuzzEvalDAG$' -fuzztime 5s .; then
+    fail=1
+fi
+
+# The vertical-arith fuzzer pins every µProgram (op × width) against the
+# host-integer oracle on random element vectors.
+if ! go test -run '^$' -fuzz '^FuzzVerticalArith$' -fuzztime 5s .; then
     fail=1
 fi
 
@@ -93,6 +100,13 @@ if ! go test -race -count=1 -run 'Fastpath|FaultWrapper' .; then
 fi
 
 if ! go test -race -count=1 -run 'Shard|Differential' .; then
+    fail=1
+fi
+
+# The vertical arithmetic suite under the race detector: ArithProg's
+# sharded scatter and the batch submission path run steps concurrently
+# over disjoint stripe subsets.
+if ! go test -race -count=1 -run 'Arith|Vertical' .; then
     fail=1
 fi
 

@@ -1,0 +1,476 @@
+package elp2im
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/pipeline"
+	"repro/internal/vertical"
+)
+
+// ErrBadArith marks vertical-arithmetic validation failures — unknown
+// operations, widths outside 1..64, or operand shape mismatches. Callers
+// (the server) translate it to a client error.
+var ErrBadArith = errors.New("bad arith operation")
+
+// ArithOp enumerates the vertical (bit-serial) arithmetic operations the
+// accelerator executes over transposed k-bit integers.
+type ArithOp int
+
+// The vertical arithmetic operation set, mirroring internal/vertical.
+const (
+	// ArithAdd computes z = (x + y) mod 2^w.
+	ArithAdd ArithOp = iota
+	// ArithSub computes z = (x - y) mod 2^w.
+	ArithSub
+	// ArithLt computes z = (x < y), unsigned, into a 1-bit result.
+	ArithLt
+	// ArithLe computes z = (x <= y), unsigned, into a 1-bit result.
+	ArithLe
+	// ArithEq computes z = (x == y) into a 1-bit result.
+	ArithEq
+	// ArithLts computes z = (x < y) over w-bit two's complement.
+	ArithLts
+	// ArithLes computes z = (x <= y) over w-bit two's complement.
+	ArithLes
+	// ArithPopcount counts each element's set bits into a
+	// bits.Len(w)-bit counter.
+	ArithPopcount
+	// ArithSelect computes z = m ? x : y per element, with element i's
+	// mask in bit i of the mask vector.
+	ArithSelect
+)
+
+// internalV maps the facade op to the µProgram builder's op (the enums
+// share ordering, pinned by test).
+func (op ArithOp) internalV() vertical.Op { return vertical.Op(op) }
+
+// String returns the canonical lowercase mnemonic.
+func (op ArithOp) String() string { return op.internalV().String() }
+
+// ParseArithOp maps a lowercase mnemonic ("add", "lt", "popcount", ...)
+// to its ArithOp.
+func ParseArithOp(s string) (ArithOp, error) {
+	v, ok := vertical.ParseOp(s)
+	if !ok {
+		return 0, fmt.Errorf("elp2im: %w: unknown arith op %q", ErrBadArith, s)
+	}
+	return ArithOp(v), nil
+}
+
+// Binary reports whether the operation takes a second vertical operand.
+func (op ArithOp) Binary() bool { return op.internalV().Binary() }
+
+// Masked reports whether the operation takes a mask vector.
+func (op ArithOp) Masked() bool { return op.internalV().Masked() }
+
+// OutWidth returns the element width of the operation's result for
+// w-bit operands.
+func (op ArithOp) OutWidth(w int) int { return op.internalV().OutWidth(w) }
+
+// Vertical is a set of k-bit integer elements in the vertical
+// (bit-sliced, transposed) layout: bit j of element i lives at bit i of
+// slice j, each slice an ordinary BitVector striped across the module
+// like any other — so every slice of every element advances one bit
+// position per bulk row operation.
+type Vertical struct {
+	width  int
+	slices []*BitVector
+}
+
+// NewVertical returns an all-zero vertical vector of n elements of the
+// given bit width (1..64).
+func NewVertical(n, width int) (*Vertical, error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("elp2im: %w: element width %d out of range [1,64]", ErrBadArith, width)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("elp2im: %w: vertical vector needs at least one element", ErrBadArith)
+	}
+	v := &Vertical{width: width, slices: make([]*BitVector, width)}
+	for j := range v.slices {
+		v.slices[j] = NewBitVector(n)
+	}
+	return v, nil
+}
+
+// VerticalFromElements transposes a horizontal element array into the
+// vertical layout. Element bits at or above width are discarded.
+func VerticalFromElements(elems []uint64, width int) (*Vertical, error) {
+	v, err := NewVertical(len(elems), width)
+	if err != nil {
+		return nil, err
+	}
+	vertical.SliceInto(v.words(), elems)
+	return v, nil
+}
+
+// Width returns the element width in bits.
+func (v *Vertical) Width() int { return v.width }
+
+// Len returns the number of elements.
+func (v *Vertical) Len() int { return v.slices[0].Len() }
+
+// Slice returns bit slice j (shared storage, not a copy).
+func (v *Vertical) Slice(j int) *BitVector { return v.slices[j] }
+
+// Elements transposes back to a horizontal element array.
+func (v *Vertical) Elements() []uint64 {
+	return vertical.Unslice(v.words(), v.Len())
+}
+
+// Element reconstructs element i.
+func (v *Vertical) Element(i int) uint64 {
+	var e uint64
+	for j, s := range v.slices {
+		if s.Bit(i) {
+			e |= 1 << uint(j)
+		}
+	}
+	return e
+}
+
+// words exposes the slices' word storage for the transpose engine.
+func (v *Vertical) words() [][]uint64 {
+	w := make([][]uint64, len(v.slices))
+	for j, s := range v.slices {
+		w[j] = s.Words()
+	}
+	return w
+}
+
+// CompiledArith is a vertical operation lowered to its µProgram: one
+// compiled plan per step, reusable across calls and operand lengths
+// (compile once per op × width, execute many).
+type CompiledArith struct {
+	prog *vertical.Program
+}
+
+// CompileArith synthesizes and compiles the µProgram computing op over
+// width-bit elements. Failures wrap ErrBadArith.
+func CompileArith(op ArithOp, width int) (*CompiledArith, error) {
+	if op < 0 || int(op) >= vertical.NumOps {
+		return nil, fmt.Errorf("elp2im: %w: unknown arith op %d", ErrBadArith, int(op))
+	}
+	p, err := vertical.Build(op.internalV(), width)
+	if err != nil {
+		return nil, fmt.Errorf("elp2im: %w: %v", ErrBadArith, err)
+	}
+	return &CompiledArith{prog: p}, nil
+}
+
+// Op returns the compiled operation.
+func (ca *CompiledArith) Op() ArithOp { return ArithOp(ca.prog.Op) }
+
+// Width returns the operand element width.
+func (ca *CompiledArith) Width() int { return ca.prog.Width }
+
+// OutWidth returns the result element width.
+func (ca *CompiledArith) OutWidth() int { return ca.prog.OutWidth }
+
+// Steps returns the µProgram's step count.
+func (ca *CompiledArith) Steps() int { return ca.prog.Len() }
+
+// binds validates the operands against the compiled program and builds
+// the slice-name bindings: operand slices under their contract names,
+// plus a freshly allocated result vertical (z slices) and scratch
+// vectors (the result is never an operand, so steps cannot alias their
+// own inputs on any tier). It returns the bindings, the result, and the
+// element count.
+func (ca *CompiledArith) binds(x, y *Vertical, m *BitVector) (map[string]*BitVector, *Vertical, int, error) {
+	p := ca.prog
+	if x == nil {
+		return nil, nil, 0, fmt.Errorf("elp2im: %w: operand x is required", ErrBadArith)
+	}
+	if x.width != p.Width {
+		return nil, nil, 0, fmt.Errorf("elp2im: %w: operand x has width %d, program wants %d",
+			ErrBadArith, x.width, p.Width)
+	}
+	n := x.Len()
+	if p.Op.Binary() {
+		if y == nil {
+			return nil, nil, 0, fmt.Errorf("elp2im: %w: %s needs operand y", ErrBadArith, p.Op)
+		}
+		if y.width != p.Width {
+			return nil, nil, 0, fmt.Errorf("elp2im: %w: operand y has width %d, program wants %d",
+				ErrBadArith, y.width, p.Width)
+		}
+		if y.Len() != n {
+			return nil, nil, 0, fmt.Errorf("elp2im: %w: operands have %d and %d elements",
+				ErrBadArith, n, y.Len())
+		}
+	} else if y != nil {
+		return nil, nil, 0, fmt.Errorf("elp2im: %w: %s takes no operand y", ErrBadArith, p.Op)
+	}
+	if p.Op.Masked() {
+		if m == nil {
+			return nil, nil, 0, fmt.Errorf("elp2im: %w: %s needs a mask", ErrBadArith, p.Op)
+		}
+		if m.Len() != n {
+			return nil, nil, 0, fmt.Errorf("elp2im: %w: mask has %d bits, want %d elements",
+				ErrBadArith, m.Len(), n)
+		}
+	} else if m != nil {
+		return nil, nil, 0, fmt.Errorf("elp2im: %w: %s takes no mask", ErrBadArith, p.Op)
+	}
+	out := &Vertical{width: p.OutWidth, slices: make([]*BitVector, p.OutWidth)}
+	binds := make(map[string]*BitVector, 2*p.Width+p.OutWidth+len(p.Temps)+1)
+	for j, s := range x.slices {
+		binds[vertical.XVar(j)] = s
+	}
+	if p.Op.Binary() {
+		for j, s := range y.slices {
+			binds[vertical.YVar(j)] = s
+		}
+	}
+	if p.Op.Masked() {
+		binds[vertical.MaskVar] = m
+	}
+	for j := range out.slices {
+		out.slices[j] = NewBitVector(n)
+		binds[vertical.ZVar(j)] = out.slices[j]
+	}
+	for _, t := range p.Temps {
+		binds[t] = NewBitVector(n)
+	}
+	return binds, out, n, nil
+}
+
+// arithPrep runs each step's eval validation (binding completeness and
+// the command-accurate row budget) against the shared bindings.
+func (a *Accelerator) arithPrep(p *vertical.Program, binds map[string]*BitVector) error {
+	for i := range p.Steps {
+		if _, err := a.evalPrep(p.Steps[i].Plan, binds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// arithCost sums the per-step program costs — the same node-at-a-time
+// pricing every eval tier shares, so vertical arithmetic accounts
+// identically on fused, node-kernel, and command-accurate execution.
+func (a *Accelerator) arithCost(p *vertical.Program, stripes int) (Stats, error) {
+	var total Stats
+	for i := range p.Steps {
+		st, err := a.evalCost(p.Steps[i].Plan.Prog, stripes)
+		if err != nil {
+			return Stats{}, err
+		}
+		total.add(st)
+	}
+	return total, nil
+}
+
+// arithExec executes the µProgram's steps in order over the stripes in
+// list (nil means all) — the execution half of ArithProg, which a Shard
+// scatters. Step data flow is stripe-local, so disjoint stripe subsets
+// may run concurrently as long as each observes the steps in order.
+func (a *Accelerator) arithExec(p *vertical.Program, binds map[string]*BitVector, stripes int, list []int) error {
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if err := a.evalExec(st.Plan, binds, binds[st.Dst], stripes, list); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Arith executes a vertical arithmetic operation entirely in DRAM: the
+// operation is synthesized for x's width, every µProgram step runs as a
+// bulk bitwise operation over all elements at once, and the result comes
+// back as a fresh vertical vector plus the modeled cost. Callers looping
+// one operation should CompileArith once and use ArithProg.
+func (a *Accelerator) Arith(op ArithOp, x, y *Vertical, m *BitVector) (*Vertical, Stats, error) {
+	if x == nil {
+		return nil, Stats{}, fmt.Errorf("elp2im: %w: operand x is required", ErrBadArith)
+	}
+	ca, err := CompileArith(op, x.Width())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return a.ArithProg(ca, x, y, m)
+}
+
+// ArithProg executes a compiled vertical operation (see Arith).
+// Execution picks the best tier per step — fused cluster kernels,
+// node-at-a-time kernels, or the command-accurate device model — with
+// bit-identical results and modeled cost on every tier.
+func (a *Accelerator) ArithProg(ca *CompiledArith, x, y *Vertical, m *BitVector) (*Vertical, Stats, error) {
+	binds, out, n, err := ca.binds(x, y, m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if err := a.arithPrep(ca.prog, binds); err != nil {
+		return nil, Stats{}, err
+	}
+	cols := a.cfg.Module.Columns
+	stripes := (n + cols - 1) / cols
+	if err := a.arithExec(ca.prog, binds, stripes, nil); err != nil {
+		return nil, Stats{}, err
+	}
+	total, err := a.arithCost(ca.prog, stripes)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	a.addTotals(total)
+	return out, total, nil
+}
+
+// Arith executes a vertical arithmetic operation scattered across the
+// shards (see Accelerator.Arith). Results and modeled cost are identical
+// to a single module of the same configuration.
+func (sh *Shard) Arith(op ArithOp, x, y *Vertical, m *BitVector) (*Vertical, Stats, error) {
+	if x == nil {
+		return nil, Stats{}, fmt.Errorf("elp2im: %w: operand x is required", ErrBadArith)
+	}
+	ca, err := CompileArith(op, x.Width())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sh.ArithProg(ca, x, y, m)
+}
+
+// ArithProg executes a compiled vertical operation scattered across the
+// shards. Every shard runs the full step sequence over its own stripe
+// subset — step data flow is stripe-local, so shard-parallel execution
+// needs no cross-shard barriers.
+func (sh *Shard) ArithProg(ca *CompiledArith, x, y *Vertical, m *BitVector) (*Vertical, Stats, error) {
+	ref := sh.ref()
+	binds, out, n, err := ca.binds(x, y, m)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if err := ref.arithPrep(ca.prog, binds); err != nil {
+		return nil, Stats{}, err
+	}
+	cols := sh.cfg.Module.Columns
+	stripes := (n + cols - 1) / cols
+	err = sh.scatter(stripes, func(i int, list []int) error {
+		return sh.accs[i].arithExec(ca.prog, binds, stripes, list)
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	total, err := ref.arithCost(ca.prog, stripes)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	sh.addTotals(total)
+	return out, total, nil
+}
+
+// arithTasks builds the per-serialization-group pipeline tasks executing
+// a resolved µProgram over the grouped stripes: each group's task runs
+// the steps in order across its stripes (step-major), which preserves
+// each stripe's step ordering while groups proceed concurrently on
+// disjoint words. The runners are resolved by the caller at submission
+// time, one per step.
+func (a *Accelerator) arithTasks(runners []*evalRunner, groups []stripeRun) []pipeline.Task {
+	type stepBody struct {
+		word func(sLo, sHi int)
+		cmd  func(s int, sub *dram.Subarray, buf *bitvec.Vector) error
+	}
+	bodies := make([]stepBody, len(runners))
+	needBuf := false
+	for i, r := range runners {
+		bodies[i].word = r.wordBody()
+		if bodies[i].word == nil {
+			bodies[i].cmd = r.cmdBody()
+			needBuf = true
+		}
+	}
+	tasks := make([]pipeline.Task, 0, len(groups))
+	for _, g := range groups {
+		g := g
+		tasks = append(tasks, pipeline.Task{Group: g.group, Run: func() error {
+			var buf *bitvec.Vector
+			if needBuf {
+				buf = a.getBuf()
+				defer a.putBuf(buf)
+			}
+			for _, sb := range bodies {
+				if sb.word != nil {
+					// Pure word-level step: no device row state, so no
+					// per-subarray lock (see opTasks).
+					for _, s := range g.list {
+						start := a.obsc.SpanStart()
+						sb.word(s, s+1)
+						a.stripeSpan(start, s, nil)
+					}
+					continue
+				}
+				for _, s := range g.list {
+					if err := a.runStripe(g.group, s, buf, sb.cmd); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}})
+	}
+	return tasks
+}
+
+// SubmitArith enqueues the asynchronous variant of ArithProg: validated
+// now (failures surface on the returned future), the result vertical
+// allocated and returned immediately, its contents defined once the
+// future completes. The aggregate cost folds into the session totals on
+// Wait without per-op series records, exactly as the synchronous path
+// accounts.
+func (b *Batch) SubmitArith(ca *CompiledArith, x, y *Vertical, m *BitVector) (*Vertical, *Future) {
+	a := b.acc
+	a.batchSubmitted.Inc()
+	binds, out, n, err := ca.binds(x, y, m)
+	if err != nil {
+		return nil, b.failed(err)
+	}
+	if err := a.arithPrep(ca.prog, binds); err != nil {
+		return nil, b.failed(err)
+	}
+	cols := a.cfg.Module.Columns
+	stripes := (n + cols - 1) / cols
+	total, err := a.arithCost(ca.prog, stripes)
+	if err != nil {
+		return nil, b.failed(err)
+	}
+	runners := make([]*evalRunner, len(ca.prog.Steps))
+	for i := range ca.prog.Steps {
+		st := &ca.prog.Steps[i]
+		runners[i] = a.evalResolve(st.Plan, binds, binds[st.Dst])
+	}
+	tasks := a.arithTasks(runners, a.groupStripes(stripes))
+	return out, b.enqueue(tasks, nil, total)
+}
+
+// SubmitArith enqueues the scattered asynchronous variant of ArithProg
+// (see Batch.SubmitArith). Each shard resolves its own per-step
+// execution tiers at submission time.
+func (sb *ShardBatch) SubmitArith(ca *CompiledArith, x, y *Vertical, m *BitVector) (*Vertical, *Future) {
+	sh := sb.sh
+	sh.batchSubmitted.Inc()
+	ref := sh.ref()
+	binds, out, n, err := ca.binds(x, y, m)
+	if err != nil {
+		return nil, sb.failed(err)
+	}
+	if err := ref.arithPrep(ca.prog, binds); err != nil {
+		return nil, sb.failed(err)
+	}
+	cols := sh.cfg.Module.Columns
+	stripes := (n + cols - 1) / cols
+	total, err := ref.arithCost(ca.prog, stripes)
+	if err != nil {
+		return nil, sb.failed(err)
+	}
+	return out, sb.submitScattered(stripes, func(acc *Accelerator, groups []stripeRun) []pipeline.Task {
+		runners := make([]*evalRunner, len(ca.prog.Steps))
+		for i := range ca.prog.Steps {
+			st := &ca.prog.Steps[i]
+			runners[i] = acc.evalResolve(st.Plan, binds, binds[st.Dst])
+		}
+		return acc.arithTasks(runners, groups)
+	}, nil, total)
+}

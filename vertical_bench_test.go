@@ -1,0 +1,102 @@
+package elp2im
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vertical"
+)
+
+// benchElems is the element count for the vertical sweeps: 1M elements
+// keep every slice at 1 Mbit — the same bulk regime as the eval DAG
+// sweep, where the per-step word loops dominate over program dispatch.
+const benchElems = 1 << 20
+
+// benchVertical builds a random vertical operand of the given width.
+func benchVertical(b *testing.B, rng *rand.Rand, width int) *Vertical {
+	b.Helper()
+	elems := make([]uint64, benchElems)
+	mask := vertical.WidthMask(width)
+	for i := range elems {
+		elems[i] = rng.Uint64() & mask
+	}
+	v, err := VerticalFromElements(elems, width)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+// BenchmarkVerticalTranspose measures the transpose engine alone: the
+// horizontal→vertical re-slicing on ingest (SliceInto) and the
+// vertical→horizontal recovery on readback (Unslice), reported as
+// ns/elem at width 32.
+func BenchmarkVerticalTranspose(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const width = 32
+	elems := make([]uint64, benchElems)
+	for i := range elems {
+		elems[i] = rng.Uint64() & vertical.WidthMask(width)
+	}
+	b.Run("slice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := VerticalFromElements(elems, width); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/benchElems, "ns/elem")
+	})
+	v, err := VerticalFromElements(elems, width)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unslice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = v.Elements()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/benchElems, "ns/elem")
+	})
+}
+
+// BenchmarkVerticalArith sweeps one vertical add over the element width
+// (the µProgram's step count grows with width) through both word-level
+// execution tiers — the fused plan (default) and node-at-a-time kernels
+// (DisableFusion) — with bit-identical results by construction
+// (TestArithMatchesReference). bench.sh's Part 6 turns the sweep into
+// BENCH_vertical.json.
+func BenchmarkVerticalArith(b *testing.B) {
+	for _, width := range []int{4, 8, 16, 32} {
+		rng := rand.New(rand.NewSource(int64(width)))
+		for _, tier := range []struct {
+			name    string
+			disable bool
+		}{{"fused", false}, {"node", true}} {
+			b.Run(fmt.Sprintf("add/w%d/%s", width, tier.name), func(b *testing.B) {
+				acc, err := New(func(c *Config) { c.DisableFusion = tier.disable })
+				if err != nil {
+					b.Fatal(err)
+				}
+				ca, err := CompileArith(ArithAdd, width)
+				if err != nil {
+					b.Fatal(err)
+				}
+				x := benchVertical(b, rng, width)
+				y := benchVertical(b, rng, width)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var st Stats
+				for i := 0; i < b.N; i++ {
+					if _, st, err = acc.ArithProg(ca, x, y, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/benchElems, "ns/elem")
+				b.ReportMetric(st.LatencyNS, "modeled_ns")
+				b.ReportMetric(float64(ca.Steps()), "steps")
+			})
+		}
+	}
+}
