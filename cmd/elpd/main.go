@@ -33,6 +33,9 @@
 //	                        (op, width) shapes compile once, then hit;
 //	                        default 256)
 //	  -no-pipeline          degraded mode: synchronous ops, no micro-batching
+//	  -wire-nocoalesce      revert the elpwire listener to one write syscall per
+//	                        response instead of writev-batched flushes (the
+//	                        response coalescer in internal/wire; benchmarking knob)
 //	  -debug-addr string    optional observability endpoint (ServeDebug: /metrics,
 //	                        /debug/vars, /debug/pprof) — the server.* series appear
 //	                        there next to acc.* and pipeline.*
@@ -93,6 +96,7 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Second, "default per-request deadline")
 	evalCache := fs.Int("evalcache", 0, "compiled-program cache entries for eval/arith (0 = default 256)")
 	noPipeline := fs.Bool("no-pipeline", false, "degraded mode: synchronous ops, no micro-batching")
+	wireNoCoalesce := fs.Bool("wire-nocoalesce", false, "one write syscall per wire response instead of writev-batched flushes")
 	debugAddr := fs.String("debug-addr", "", "optional ServeDebug endpoint (/metrics, /debug/pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,13 +115,14 @@ func run(args []string) error {
 		c.DisableFusion = *disableFusion
 	}
 	cfg := server.Config{
-		Window:         *window,
-		DisableWindow:  *window == 0,
-		MaxBatch:       *maxBatch,
-		MaxQueue:       *maxQueue,
-		Degraded:       *noPipeline,
-		RequestTimeout: *timeout,
-		EvalCacheSize:  *evalCache,
+		Window:                *window,
+		DisableWindow:         *window == 0,
+		MaxBatch:              *maxBatch,
+		MaxQueue:              *maxQueue,
+		Degraded:              *noPipeline,
+		RequestTimeout:        *timeout,
+		EvalCacheSize:         *evalCache,
+		WireDisableCoalescing: *wireNoCoalesce,
 	}
 	// serveDebug starts the observability endpoint over whichever backend
 	// owns the metric registries (the shard router's merged view when

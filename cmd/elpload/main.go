@@ -53,6 +53,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -76,6 +77,7 @@ type options struct {
 	addr        string
 	wireMode    bool
 	clients     int
+	wireConns   int
 	duration    time.Duration
 	qps         float64
 	bits        int
@@ -85,6 +87,20 @@ type options struct {
 	seed        int64
 	window      time.Duration
 	shards      int
+}
+
+// wirePoolSize is the effective shared-connection count for wire mode:
+// -conns when set, else one connection per 16 clients (the server's
+// per-connection worker width), capped at the client count.
+func (o options) wirePoolSize() int {
+	n := o.wireConns
+	if n <= 0 {
+		n = (o.clients + 15) / 16
+	}
+	if n > o.clients {
+		n = o.clients
+	}
+	return n
 }
 
 // mixEntry is one weighted workload component.
@@ -150,6 +166,9 @@ type Report struct {
 	Protocol string `json:"protocol"`
 	// Clients is the concurrent client count.
 	Clients int `json:"clients"`
+	// Conns is the shared multiplexed-connection pool size (wire mode
+	// only; 0 for HTTP, where each request rides the pooled http.Client).
+	Conns int `json:"conns,omitempty"`
 	// DurationS is the configured load duration in seconds.
 	DurationS float64 `json:"duration_s"`
 	// TargetQPS is the offered open-loop rate (0 for closed loop).
@@ -187,6 +206,29 @@ type Report struct {
 	// Server is the target's /v1/stats scrape after the run (null when
 	// unreachable).
 	Server *server.StatsPayload `json:"server,omitempty"`
+	// Host records the load generator's execution context, so achieved
+	// (wall-clock) throughput numbers stay interpretable across machines
+	// — e.g. flat QPS-vs-shards curves on a single-core runner.
+	Host HostInfo `json:"host"`
+}
+
+// HostInfo is the runner's execution context, embedded in every report.
+type HostInfo struct {
+	// GoVersion is the toolchain that built the binary (runtime.Version).
+	GoVersion string `json:"go_version"`
+	// NumCPU is the machine's logical CPU count.
+	NumCPU int `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's parallelism bound during the run.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// hostInfo snapshots the running process's execution context.
+func hostInfo() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 }
 
 // LatencySummary is the latency percentile block, in milliseconds.
@@ -216,6 +258,7 @@ func run(args []string, out io.Writer) error {
 	addr := fs.String("addr", "", "target elpd address (empty: in-process server)")
 	wireMode := fs.Bool("wire", false, "speak the elpwire binary protocol instead of HTTP/JSON")
 	clients := fs.Int("clients", 64, "concurrent clients")
+	conns := fs.Int("conns", 0, "wire mode: multiplexed connections shared by all clients (0 = ceil(clients/16), the server's per-connection worker width; ignored for HTTP)")
 	duration := fs.Duration("duration", 2*time.Second, "load duration")
 	qps := fs.Float64("qps", 0, "total offered open-loop rate (0 = closed loop)")
 	bits := fs.Int("bits", 65536, "vector length per operand")
@@ -233,8 +276,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	opt := options{
-		addr: *addr, wireMode: *wireMode, clients: *clients, duration: *duration,
-		qps: *qps, bits: *bits, mix: mix, timeout: *timeout, verifyEvery: *verifyEvery,
+		addr: *addr, wireMode: *wireMode, clients: *clients, wireConns: *conns,
+		duration: *duration,
+		qps:      *qps, bits: *bits, mix: mix, timeout: *timeout, verifyEvery: *verifyEvery,
 		seed: *seed, window: *window, shards: *shards,
 	}
 	if opt.clients < 1 || opt.bits < 8 || opt.bits%8 != 0 {
@@ -397,6 +441,10 @@ func drive(opt options, target, mode string) (*Report, error) {
 		Mode: mode, Protocol: protocol, Clients: opt.clients,
 		DurationS: opt.duration.Seconds(),
 		TargetQPS: opt.qps, Bits: opt.bits, Shed: shed,
+		Host: hostInfo(),
+	}
+	if opt.wireMode {
+		report.Conns = opt.wirePoolSize()
 	}
 	var all []float64
 	for _, cs := range stats {
@@ -583,10 +631,32 @@ type transport interface {
 // against the target address (host:port for wire, HTTP base otherwise).
 func newTransportFactory(opt options, target string) func() (transport, error) {
 	if opt.wireMode {
+		// Workers share a bounded pool of multiplexed connections instead
+		// of dialing one each: with many in-flight requests per connection
+		// the server's response coalescer (and the client's request
+		// writer) batch frames into shared writev syscalls. The default
+		// pool size matches the server's per-connection worker width, so
+		// pipelining depth is preserved. Sharing a *wire.Client across
+		// transports is safe (it is concurrency-safe and Close is
+		// idempotent).
+		n := opt.wirePoolSize()
+		var mu sync.Mutex
+		var pool []*wire.Client
+		next := 0
 		return func() (transport, error) {
-			c, err := wire.Dial(target)
-			if err != nil {
-				return nil, err
+			mu.Lock()
+			defer mu.Unlock()
+			var c *wire.Client
+			if len(pool) < n {
+				nc, err := wire.Dial(target)
+				if err != nil {
+					return nil, err
+				}
+				pool = append(pool, nc)
+				c = nc
+			} else {
+				c = pool[next%len(pool)]
+				next++
 			}
 			return &wireTransport{c: c, timeoutMS: uint32(opt.timeout.Milliseconds())}, nil
 		}
@@ -706,8 +776,10 @@ var wireOpCodes = map[string]uint8{
 	"xnor": wire.BitXnor, "copy": wire.BitCopy,
 }
 
-// wireTransport is the elpwire path: one persistent multiplexed
-// connection per worker.
+// wireTransport is the elpwire path: workers share persistent
+// multiplexed connections from the -conns pool (see
+// newTransportFactory), so concurrent requests pipeline and their
+// frames coalesce into shared writev flushes on both sides.
 type wireTransport struct {
 	c         *wire.Client
 	timeoutMS uint32

@@ -180,6 +180,14 @@ type ServerStats struct {
 	MeanBatchOccupancy float64 `json:"mean_batch_occupancy"`
 	// Panics counts handler panics converted to 500s.
 	Panics int64 `json:"panics"`
+	// WireFlushes counts response write-path flushes on the elpwire
+	// listener — one writev syscall each; see WireFramesPerFlush.
+	WireFlushes int64 `json:"wire_flushes"`
+	// WireFramesPerFlush is the mean number of response frames coalesced
+	// into one wire flush. 1.0 means every response paid its own
+	// syscall (idle connections); values above 1 mean loaded connections
+	// are amortizing writes.
+	WireFramesPerFlush float64 `json:"wire_frames_per_flush"`
 	// Vectors is the number of stored vectors.
 	Vectors int `json:"vectors"`
 	// Draining reports whether the server is shutting down.

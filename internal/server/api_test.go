@@ -73,7 +73,8 @@ func TestStatsPayloadRoundTrip(t *testing.T) {
 	assertKeys(t, "server", server, []string{
 		"queue_depth", "queue_max", "rejected", "deadline_expired",
 		"batches_flushed", "requests_coalesced", "mean_batch_occupancy",
-		"panics", "vectors", "draining", "degraded", "shards",
+		"panics", "wire_flushes", "wire_frames_per_flush",
+		"vectors", "draining", "degraded", "shards",
 	})
 	// per_shard is omitempty and this is a single-module server, so it must
 	// be absent here; the sharded key set is pinned by

@@ -84,13 +84,25 @@ type serverMetrics struct {
 
 // wireSeries is the elpwire listener's metric slice:
 //
-//	server.wire.connections  gauge    live wire connections
-//	server.wire.requests     counter  wire requests dispatched
-//	server.wire.errors       counter  wire requests answering non-OK
+//	server.wire.connections       gauge      live wire connections
+//	server.wire.requests          counter    wire requests dispatched
+//	server.wire.errors            counter    wire requests answering non-OK
+//	server.wire.flushes           counter    response write-path flushes (one writev each)
+//	server.wire.frames_per_flush  histogram  response frames coalesced per flush
 type wireSeries struct {
-	connections *obs.Gauge
-	requests    *obs.Counter
-	errors      *obs.Counter
+	connections    *obs.Gauge
+	requests       *obs.Counter
+	errors         *obs.Counter
+	flushes        *obs.Counter
+	framesPerFlush *obs.Histogram
+}
+
+// onFlush observes one response flush carrying n frames. It is handed to
+// wire.ServerConfig.OnFlush, so it runs on every connection's flusher
+// goroutine: counter and histogram writes only.
+func (w *wireSeries) onFlush(n int) {
+	w.flushes.Inc()
+	w.framesPerFlush.Observe(float64(n))
 }
 
 // batcherSeries is one micro-batcher's admission/batching series. With a
@@ -127,9 +139,11 @@ func newServerMetrics(ctx *obs.Context, shards int) *serverMetrics {
 		panics: m.Counter("server.panics"),
 		shards: make([]*batcherSeries, shards),
 		wire: wireSeries{
-			connections: m.Gauge("server.wire.connections"),
-			requests:    m.Counter("server.wire.requests"),
-			errors:      m.Counter("server.wire.errors"),
+			connections:    m.Gauge("server.wire.connections"),
+			requests:       m.Counter("server.wire.requests"),
+			errors:         m.Counter("server.wire.errors"),
+			flushes:        m.Counter("server.wire.flushes"),
+			framesPerFlush: m.Histogram("server.wire.frames_per_flush", occupancyBuckets()),
 		},
 		evalCacheHits:   m.Counter("server.evalcache.hit"),
 		evalCacheMisses: m.Counter("server.evalcache.miss"),

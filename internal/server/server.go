@@ -75,6 +75,10 @@ type Config struct {
 	// EvalCacheSize bounds the compiled-program LRU shared by /v1/eval
 	// and /v1/arith (entries, not bytes; see evalcache.go). Default 256.
 	EvalCacheSize int
+	// WireDisableCoalescing reverts the elpwire listener to one write
+	// syscall per response instead of writev-batched flushes — a
+	// benchmarking escape hatch surfaced as elpd -wire-nocoalesce.
+	WireDisableCoalescing bool
 }
 
 // withDefaults normalizes cfg.
@@ -266,6 +270,10 @@ func (s *Server) Stats() StatsPayload {
 		agg.MeanBatchOccupancy = float64(agg.RequestsCoalesced) / float64(agg.BatchesFlushed)
 	}
 	agg.Panics = s.obs.panics.Value()
+	agg.WireFlushes = s.obs.wire.flushes.Value()
+	if n := s.obs.wire.framesPerFlush.Count(); n > 0 {
+		agg.WireFramesPerFlush = s.obs.wire.framesPerFlush.Sum() / float64(n)
+	}
 	agg.Vectors = s.store.size()
 	agg.Degraded = s.batchers[0].Degraded()
 	agg.Shards = len(s.batchers)

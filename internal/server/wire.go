@@ -117,8 +117,10 @@ func wireStats(st elp2im.Stats) wire.Stats {
 // returns nil.
 func (s *Server) ServeWire(ln net.Listener) error {
 	cfg := wire.ServerConfig{
-		Backend:  &wireBackend{s: s},
-		StatusOf: wireStatusFor,
+		Backend:           &wireBackend{s: s},
+		StatusOf:          wireStatusFor,
+		OnFlush:           s.obs.wire.onFlush,
+		DisableCoalescing: s.cfg.WireDisableCoalescing,
 	}
 	for {
 		conn, err := ln.Accept()
@@ -145,14 +147,23 @@ func (s *Server) ServeWire(ln net.Listener) error {
 	}
 }
 
-// CloseWireConns closes every live wire connection and waits for their
-// serving goroutines to exit. Call it after Drain: admitted requests
-// have settled and written their responses by then, so clients observe
-// draining errors, not truncated streams.
+// CloseWireConns ends every live wire connection and waits for their
+// serving goroutines to exit. Call it after the listener is closed and
+// Drain has settled admitted work. Responses for that work can still be
+// sitting in per-connection flush queues, so rather than closing sockets
+// under the flusher (truncating frames mid-write) this nudges each
+// connection's read loop with an already-expired read deadline: the
+// serving loop unwinds, drains its workers and flusher — delivering
+// every queued response un-truncated — and closes the socket itself. A
+// bounded write deadline guards against peers that stopped reading;
+// their connections end with a write error instead of wedging shutdown.
 func (s *Server) CloseWireConns() {
+	expired := time.Unix(1, 0)
+	writeBudget := time.Now().Add(5 * time.Second)
 	s.wireMu.Lock()
 	for c := range s.wireConns {
-		_ = c.Close()
+		_ = c.SetReadDeadline(expired)
+		_ = c.SetWriteDeadline(writeBudget)
 	}
 	s.wireMu.Unlock()
 	s.wireWG.Wait()

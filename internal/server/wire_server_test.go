@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	elp2im "repro"
 	"repro/internal/wire"
@@ -331,7 +332,38 @@ func TestWireStatsMatchesJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(raw) != string(want) {
+	// The wire flush counters tick with every response write — including
+	// the stats response itself — so they legitimately differ between the
+	// two snapshots. Pin their presence but compare everything else
+	// byte-for-byte (maps marshal with sorted keys on both sides).
+	normalize := func(p []byte) string {
+		t.Helper()
+		var tree map[string]json.RawMessage
+		if err := json.Unmarshal(p, &tree); err != nil {
+			t.Fatalf("unmarshal payload: %v", err)
+		}
+		var srv map[string]json.RawMessage
+		if err := json.Unmarshal(tree["server"], &srv); err != nil {
+			t.Fatalf("unmarshal server section: %v", err)
+		}
+		for _, k := range []string{"wire_flushes", "wire_frames_per_flush"} {
+			if _, ok := srv[k]; !ok {
+				t.Fatalf("server section is missing %q", k)
+			}
+			srv[k] = json.RawMessage("0")
+		}
+		sb, err := json.Marshal(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree["server"] = sb
+		out, err := json.Marshal(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	if normalize(raw) != normalize(want) {
 		t.Fatalf("wire stats bytes diverge from /v1/stats marshaling:\nwire %s\njson %s", raw, want)
 	}
 }
@@ -400,6 +432,82 @@ func TestWireDrainingStatus(t *testing.T) {
 	// Reads still work while draining, like the HTTP path.
 	if _, _, _, err := wc.Get("a", nil); err != nil {
 		t.Fatalf("get after drain: %v", err)
+	}
+}
+
+// TestWireDrainDeliversPendingResponses pins the graceful-shutdown
+// contract with the response coalescer in play: every request admitted
+// before Drain must settle with a real answer (OK or an in-band wire
+// status), never a truncated stream, even when CloseWireConns runs while
+// responses are still queued in per-connection flush queues. The
+// batching window makes the admitted ops complete in a burst, so their
+// responses coalesce right as shutdown begins.
+func TestWireDrainDeliversPendingResponses(t *testing.T) {
+	acc, err := elp2im.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Accelerator: acc, Window: 2 * time.Millisecond, MaxBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		if err := s.ServeWire(ln); err != nil {
+			t.Errorf("ServeWire: %v", err)
+		}
+	}()
+	wc, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	if err := wc.Put("a", 64, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Put("b", 64, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+
+	const ops = 48
+	results := make(chan error, ops)
+	for i := 0; i < ops; i++ {
+		go func(i int) {
+			_, err := wc.Op(wire.BitAnd, 0, fmt.Sprintf("d%d", i), "a", "b")
+			results <- err
+		}(i)
+	}
+	// Wait until every op has been dispatched into the backend (the two
+	// puts also count), so all of them are admitted before shutdown.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.obs.wire.requests.Value() < ops+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests dispatched", s.obs.wire.requests.Value(), ops+2)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Shutdown sequence, exactly as elpd runs it: drain, stop accepting,
+	// then end the surviving connections.
+	s.Drain()
+	_ = ln.Close()
+	<-served
+	s.CloseWireConns()
+
+	for i := 0; i < ops; i++ {
+		err := <-results
+		if err == nil {
+			continue
+		}
+		var se *wire.StatusError
+		if !errors.As(err, &se) {
+			t.Fatalf("admitted op settled with transport error %v (%T), want OK or in-band status", err, err)
+		}
 	}
 }
 

@@ -7,21 +7,38 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Client is a multiplexing elpwire client: one persistent connection
 // carries many concurrent in-flight requests, matched to their callers by
 // request id, so N goroutines can share a connection and pipeline without
-// head-of-line blocking on the serving side. All methods are safe for
-// concurrent use. The steady-state op path allocates nothing: request
-// encode buffers, response buffers and call slots all cycle through
-// pools.
+// head-of-line blocking on the serving side. Request frames from
+// concurrent callers are coalesced: callers enqueue encoded frames and a
+// dedicated writer goroutine drains the whole queue in one writev per
+// wakeup, so under load many requests share a syscall while a lone
+// request still flushes immediately. All methods are safe for concurrent
+// use. The steady-state op path allocates nothing: request encode
+// buffers, response buffers and call slots all cycle through pools.
 type Client struct {
 	nc net.Conn
 	br *bufio.Reader
 
-	wmu sync.Mutex // serializes request writes
+	// Request coalescer, mirroring the server's response flusher: outq
+	// and werr are guarded by wmu; the writer goroutine drains outq in
+	// one writev per wakeup and parks on wcond while it is empty.
+	wmu        sync.Mutex
+	wcond      *sync.Cond
+	outq       []*[]byte
+	werr       error
+	closing    bool
+	iov        net.Buffers // writer-only writev scratch
+	writerDone chan struct{}
+
+	flushes atomic.Uint64 // write-path flushes (≈ syscalls)
+	frames  atomic.Uint64 // request frames written
 
 	mu      sync.Mutex // guards pending, nextID, readErr
 	pending map[uint64]*call
@@ -60,17 +77,114 @@ func NewClient(nc net.Conn) *Client {
 		nc:         nc,
 		br:         bufio.NewReaderSize(nc, 64<<10),
 		pending:    make(map[uint64]*call),
+		writerDone: make(chan struct{}),
 		readerDone: make(chan struct{}),
 		maxFrame:   DefaultMaxFrame,
 	}
+	c.wcond = sync.NewCond(&c.wmu)
+	go c.writeLoop()
 	go c.readLoop()
 	return c
 }
 
 // Close tears the connection down; every in-flight call fails.
 func (c *Client) Close() error {
+	c.wmu.Lock()
+	c.closing = true
+	c.wmu.Unlock()
+	c.wcond.Signal()
 	err := c.nc.Close()
+	<-c.writerDone
 	<-c.readerDone
+	return err
+}
+
+// WriteStats reports the client's write-path batching counters: flushes
+// is the number of write wakeups (each one syscall on a vectored
+// connection) and frames the number of request frames they carried.
+// frames/flushes > 1 means concurrent callers shared syscalls.
+func (c *Client) WriteStats() (flushes, frames uint64) {
+	return c.flushes.Load(), c.frames.Load()
+}
+
+// enqueue hands one encoded request frame to the writer goroutine,
+// taking ownership of the pooled buffer. It fails fast — recycling the
+// frame — once the writer has hit an error or the client is closing.
+func (c *Client) enqueue(bp *[]byte) error {
+	c.wmu.Lock()
+	if c.werr != nil || c.closing {
+		err := c.werr
+		c.wmu.Unlock()
+		putBuf(bp)
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return err
+	}
+	c.outq = append(c.outq, bp)
+	c.wmu.Unlock()
+	c.wcond.Signal()
+	return nil
+}
+
+// writeLoop is the connection's single writer: per wakeup it swaps the
+// whole outbound queue and writes it in one writev (flush-on-empty, as
+// on the server's response side). On a write error it records werr,
+// closes the connection — the read loop then fails every pending call —
+// and keeps draining the queue so enqueued buffers are recycled.
+func (c *Client) writeLoop() {
+	defer close(c.writerDone)
+	var queue []*[]byte
+	for {
+		c.wmu.Lock()
+		for len(c.outq) == 0 && !c.closing {
+			c.wcond.Wait()
+		}
+		if len(c.outq) == 0 {
+			c.wmu.Unlock()
+			return
+		}
+		c.wmu.Unlock()
+		// Yield once before draining so callers woken alongside us get to
+		// append their frames to this batch; see serverConn.flusher.
+		runtime.Gosched()
+		c.wmu.Lock()
+		queue, c.outq = c.outq, queue[:0]
+		failed := c.werr != nil
+		c.wmu.Unlock()
+		if !failed {
+			if err := c.writeBatch(queue); err != nil {
+				c.wmu.Lock()
+				if c.werr == nil {
+					c.werr = err
+				}
+				c.wmu.Unlock()
+				_ = c.nc.Close()
+			} else {
+				c.flushes.Add(1)
+				c.frames.Add(uint64(len(queue)))
+			}
+		}
+		for i, bp := range queue {
+			putBuf(bp)
+			queue[i] = nil
+		}
+	}
+}
+
+// writeBatch writes every frame in queue with one syscall where the
+// connection supports vectored I/O; see serverConn.writeBatch.
+func (c *Client) writeBatch(queue []*[]byte) error {
+	if len(queue) == 1 {
+		_, err := c.nc.Write(*queue[0])
+		return err
+	}
+	c.iov = c.iov[:0]
+	for _, bp := range queue {
+		c.iov = append(c.iov, *bp)
+	}
+	v := c.iov
+	_, err := v.WriteTo(c.nc)
 	return err
 }
 
@@ -133,10 +247,11 @@ func (c *Client) failAll(err error) {
 	}
 }
 
-// roundTrip registers a call, writes the frame built by build (which
-// receives the id and a pooled buffer to append the full frame to), and
-// waits for the response. On success the returned call holds the
-// response; the caller must finish() it after decoding.
+// roundTrip registers a call, enqueues the frame built by build (which
+// receives the id and a pooled buffer to append the full frame to) for
+// the writer goroutine, and waits for the response. On success the
+// returned call holds the response; the caller must finish() it after
+// decoding.
 func (c *Client) roundTrip(build func(id uint64, b []byte) []byte) (*call, error) {
 	ca := callPool.Get().(*call)
 	c.mu.Lock()
@@ -152,13 +267,8 @@ func (c *Client) roundTrip(build func(id uint64, b []byte) []byte) (*call, error
 	c.mu.Unlock()
 
 	bp := getBuf(0)
-	frame := build(id, *bp)
-	c.wmu.Lock()
-	_, err := c.nc.Write(frame)
-	c.wmu.Unlock()
-	*bp = frame[:0]
-	putBuf(bp)
-	if err != nil {
+	*bp = build(id, *bp)
+	if err := c.enqueue(bp); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()

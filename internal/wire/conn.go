@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 )
 
@@ -58,6 +59,17 @@ type ServerConfig struct {
 	// repeated vector names allocation-free; beyond it, new names fall
 	// back to plain copies. Default 4096.
 	MaxInterned int
+	// OnFlush, when set, observes every write-path flush with the number
+	// of response frames it carried. Under load the flusher coalesces
+	// many frames into one writev, so frames-per-flush > 1 measures how
+	// well syscalls are being amortized. Called from the flusher
+	// goroutine after each successful flush; it must be fast and must not
+	// block.
+	OnFlush func(frames int)
+	// DisableCoalescing reverts to one mutex-guarded Write per response
+	// (the pre-coalescer behavior, kept as a benchmarking escape hatch).
+	// OnFlush still fires with frames=1 per write.
+	DisableCoalescing bool
 }
 
 // withDefaults normalizes cfg.
@@ -148,9 +160,23 @@ type serverConn struct {
 	nc   net.Conn
 	br   *bufio.Reader
 	cfg  ServerConfig
-	wmu  sync.Mutex // serializes response writes
+	wmu  sync.Mutex // serializes direct writes (DisableCoalescing only)
 	work chan *connReq
 	wg   sync.WaitGroup
+
+	// Response coalescer. Workers enqueue completed frames under fmu;
+	// the flusher goroutine drains the whole queue per wakeup and writes
+	// it in one writev. fmu also guards werr (the connection's first
+	// write error — once set, frames are dropped instead of queued into a
+	// dead socket) and closing (set at teardown to let the flusher park
+	// out after its final drain).
+	fmu         sync.Mutex
+	fcond       *sync.Cond
+	pending     []*[]byte
+	werr        error
+	closing     bool
+	iov         net.Buffers   // flusher-only writev scratch, reused across flushes
+	flusherDone chan struct{} // nil when DisableCoalescing
 
 	// names interns decoded strings so the steady-state loop does not
 	// allocate per request. Reader-goroutine-only; bounded by MaxInterned.
@@ -158,16 +184,24 @@ type serverConn struct {
 }
 
 // ServeConn serves one elpwire connection until the peer closes it, a
-// read fails, or a protocol-level framing violation (oversize or
-// undersize frame) makes the stream untrustworthy. It returns nil on a
-// clean peer close (EOF between frames). Responses are written as
-// requests complete — out of order when the Workers pool executes several
-// concurrently — matched to requests by their echoed id.
+// read fails, a write fails, or a protocol-level framing violation
+// (oversize or undersize frame) makes the stream untrustworthy. It
+// returns nil on a clean peer close (EOF between frames) with every
+// queued response flushed. Responses are written as requests complete —
+// out of order when the Workers pool executes several concurrently —
+// matched to requests by their echoed id.
 func ServeConn(nc net.Conn, cfg ServerConfig) error {
 	cfg = cfg.withDefaults()
 	if cfg.Backend == nil {
 		return errors.New("wire: ServerConfig.Backend is required")
 	}
+	return newServerConn(nc, cfg).serve()
+}
+
+// newServerConn builds one connection's serving state and starts its
+// worker pool and (unless coalescing is disabled) flusher goroutine.
+// cfg must already be normalized and carry a Backend.
+func newServerConn(nc net.Conn, cfg ServerConfig) *serverConn {
 	c := &serverConn{
 		nc:    nc,
 		br:    bufio.NewReaderSize(nc, 64<<10),
@@ -175,13 +209,40 @@ func ServeConn(nc net.Conn, cfg ServerConfig) error {
 		work:  make(chan *connReq, cfg.Workers),
 		names: make(map[string]string),
 	}
+	c.fcond = sync.NewCond(&c.fmu)
+	if !cfg.DisableCoalescing {
+		c.flusherDone = make(chan struct{})
+		go c.flusher()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		c.wg.Add(1)
 		go c.worker()
 	}
+	return c
+}
+
+// serve runs the read loop, then unwinds: workers drain the in-flight
+// requests, the flusher writes out every response they queued, and only
+// then does the connection report its terminal error. A write error
+// takes precedence over the read-side error it usually causes (closing
+// the socket under the reader).
+func (c *serverConn) serve() error {
 	err := c.readLoop()
 	close(c.work)
 	c.wg.Wait()
+	if c.flusherDone != nil {
+		c.fmu.Lock()
+		c.closing = true
+		c.fmu.Unlock()
+		c.fcond.Signal()
+		<-c.flusherDone
+	}
+	c.fmu.Lock()
+	werr := c.werr
+	c.fmu.Unlock()
+	if werr != nil {
+		return werr
+	}
 	return err
 }
 
@@ -253,7 +314,8 @@ func (c *serverConn) release(cr *connReq) {
 	connReqPool.Put(cr)
 }
 
-// handle runs one request through the backend and writes its response.
+// handle runs one request through the backend and hands its response to
+// the write path.
 func (c *serverConn) handle(cr *connReq) {
 	rp := getBuf(0)
 	cr.resp.b = BeginFrame(*rp, cr.req.ID, StatusOK)
@@ -264,13 +326,9 @@ func (c *serverConn) handle(cr *connReq) {
 		cr.resp.b = AppendErrorPayload(cr.resp.b, retry, err.Error())
 	}
 	cr.resp.b = FinishFrame(cr.resp.b, 0)
-	c.wmu.Lock()
-	_, werr := c.nc.Write(cr.resp.b)
-	c.wmu.Unlock()
-	*rp = cr.resp.b[:0]
-	putBuf(rp)
+	*rp = cr.resp.b // the frame may have outgrown the pooled buffer
 	cr.resp.b = nil
-	_ = werr // a failed write surfaces as the reader's next error
+	c.send(rp)
 }
 
 // writeError answers a request that failed before reaching the backend.
@@ -280,9 +338,130 @@ func (c *serverConn) writeError(id uint64, err error) {
 	b := BeginFrame(*rp, id, code)
 	b = AppendErrorPayload(b, retry, err.Error())
 	b = FinishFrame(b, 0)
-	c.wmu.Lock()
-	_, _ = c.nc.Write(b)
-	c.wmu.Unlock()
-	*rp = b[:0]
-	putBuf(rp)
+	*rp = b
+	c.send(rp)
+}
+
+// send hands one completed response frame to the write path, taking
+// ownership of the pooled buffer. With coalescing it appends to the
+// pending queue and wakes the flusher; with DisableCoalescing it writes
+// directly under the write lock. Either way, once the connection's
+// writer has failed the frame is dropped on the spot — workers stop
+// paying syscalls (or queue growth) for a dead peer.
+func (c *serverConn) send(rp *[]byte) {
+	if c.flusherDone == nil {
+		c.fmu.Lock()
+		failed := c.werr != nil
+		c.fmu.Unlock()
+		if !failed {
+			c.wmu.Lock()
+			_, err := c.nc.Write(*rp)
+			c.wmu.Unlock()
+			if err != nil {
+				c.fail(err)
+			} else if c.cfg.OnFlush != nil {
+				c.cfg.OnFlush(1)
+			}
+		}
+		putBuf(rp)
+		return
+	}
+	c.fmu.Lock()
+	if c.werr != nil {
+		c.fmu.Unlock()
+		putBuf(rp)
+		return
+	}
+	c.pending = append(c.pending, rp)
+	c.fmu.Unlock()
+	c.fcond.Signal()
+}
+
+// fail records the connection's first write error and closes the socket,
+// which unblocks the read loop so the whole connection unwinds promptly.
+func (c *serverConn) fail(err error) {
+	c.fmu.Lock()
+	first := c.werr == nil
+	if first {
+		c.werr = err
+	}
+	c.fmu.Unlock()
+	if first {
+		_ = c.nc.Close()
+	}
+}
+
+// pendingLen reports the number of queued-but-unflushed response frames.
+func (c *serverConn) pendingLen() int {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return len(c.pending)
+}
+
+// flusher is the connection's single writer: it parks while the pending
+// queue is empty, and on each wakeup swaps the whole queue out and
+// writes it as one writev ("flush-on-empty"). An idle connection
+// therefore flushes every response immediately — single-request latency
+// is one wakeup away from the old direct write — while under load
+// responses that complete during an in-flight writev pile up and ride
+// the next one, amortizing syscalls automatically. Runs until serve
+// sets closing and the queue is empty, so teardown drains every
+// admitted response before the connection reports its terminal state.
+func (c *serverConn) flusher() {
+	defer close(c.flusherDone)
+	var queue []*[]byte
+	for {
+		c.fmu.Lock()
+		for len(c.pending) == 0 && !c.closing {
+			c.fcond.Wait()
+		}
+		if len(c.pending) == 0 {
+			c.fmu.Unlock()
+			return
+		}
+		c.fmu.Unlock()
+		// Signal parks the flusher in the scheduler's run-next slot, so
+		// without this yield it would wake after the first enqueue and
+		// write a 1-frame batch while the sibling workers woken by the
+		// same micro-batch are still queued behind it. One Gosched lets
+		// them append their frames first (the loopy-writer trick), at the
+		// cost of a sub-microsecond yield on the idle path.
+		runtime.Gosched()
+		c.fmu.Lock()
+		queue, c.pending = c.pending, queue[:0]
+		failed := c.werr != nil
+		c.fmu.Unlock()
+		if !failed {
+			if err := c.writeBatch(queue); err != nil {
+				c.fail(err)
+			} else if c.cfg.OnFlush != nil {
+				c.cfg.OnFlush(len(queue))
+			}
+		}
+		for i, bp := range queue {
+			putBuf(bp)
+			queue[i] = nil
+		}
+	}
+}
+
+// writeBatch writes every frame in queue with one syscall: a plain
+// Write for a single frame, a net.Buffers writev otherwise (net.Buffers
+// falls back to sequential writes on connections without vectored I/O,
+// such as net.Pipe). The iovec scratch is reused across flushes so the
+// steady-state path does not allocate.
+func (c *serverConn) writeBatch(queue []*[]byte) error {
+	if len(queue) == 1 {
+		_, err := c.nc.Write(*queue[0])
+		return err
+	}
+	c.iov = c.iov[:0]
+	for _, bp := range queue {
+		c.iov = append(c.iov, *bp)
+	}
+	// WriteTo consumes and mutates the slice it is called on, so hand it
+	// a view; the backing array is re-filled from scratch next flush.
+	v := c.iov
+	_, err := v.WriteTo(c.nc)
+	return err
 }

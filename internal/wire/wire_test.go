@@ -410,15 +410,14 @@ func TestUndersizeFrameClosesConn(t *testing.T) {
 // the same connection, which stays usable.
 func TestMalformedFrameAnsweredInBand(t *testing.T) {
 	c := startStub(t, ServerConfig{})
-	// Reach into the connection to write a raw frame with an unknown kind,
-	// then a valid ping: the ping must still succeed.
+	// Reach into the connection to enqueue a raw frame with an unknown
+	// kind, then a valid ping: the ping must still succeed.
 	body := appendHeader(nil, 999, 0xEE)
 	frame := appendU32(nil, uint32(len(body)))
 	frame = append(frame, body...)
-	c.wmu.Lock()
-	_, err := c.nc.Write(frame)
-	c.wmu.Unlock()
-	if err != nil {
+	bp := getBuf(0)
+	*bp = append(*bp, frame...)
+	if err := c.enqueue(bp); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Ping(); err != nil {

@@ -36,7 +36,12 @@
 # microbenchmarks (BenchmarkWireOp / BenchmarkJSONOp, ns/op and allocs/op)
 # and an elpload sweep running the same mixed workload through each
 # protocol at several shard counts, recording achieved_qps and p99 per
-# point plus the wire/json throughput ratio.
+# point plus the wire/json throughput ratio and the response coalescer's
+# flush stats (wire_flushes, wire_frames_per_flush — frames-per-flush
+# above 1 means loaded connections amortize write syscalls via writev).
+#
+# Every emitted file carries a "host" block (go version, CPU count,
+# GOMAXPROCS) so wall-clock numbers are interpretable across machines.
 #
 # Part 5 (BENCH_eval.json) sweeps BenchmarkEvalDAG: one expression DAG
 # per depth (1..6), evaluated over 1 Mbit operands through both
@@ -77,6 +82,15 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_pipeline.json}"
 benchtime="${BENCHTIME:-200x}"
 
+# Host context, embedded in every emitted BENCH_*.json so wall-clock
+# numbers stay interpretable across machines (e.g. a flat QPS-vs-shards
+# curve on a 1-core runner). elpload embeds the same block itself
+# (Report.Host); these values cover the awk-assembled files.
+host_go=$(go env GOVERSION)
+host_ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
+host_maxprocs="${GOMAXPROCS:-$host_ncpu}"
+host_json="\"host\": {\"go_version\": \"${host_go}\", \"num_cpu\": ${host_ncpu}, \"gomaxprocs\": ${host_maxprocs}}"
+
 prev=""
 if [ -f "$out" ]; then
 	prev=$(cat "$out")
@@ -90,7 +104,7 @@ printf '%s\n' "$raw" >&2
 # Benchmark names print with a -GOMAXPROCS suffix on multi-core machines
 # (e.g. ...BulkAND-8) and bare otherwise, so the AND / ANDFallback pair
 # must be anchored through the end of the name to avoid a prefix collision.
-printf '%s\n' "$raw" | awk -v out="$out" '
+printf '%s\n' "$raw" | awk -v out="$out" -v host="$host_json" '
 /^BenchmarkPipelinePerCallUncached/                  { uncached = $3 }
 /^BenchmarkPipelinePerCallCached/                    { cached = $3 }
 /^BenchmarkPipelineBatchCached/                      { batched = $3 }
@@ -102,6 +116,7 @@ END {
 		exit 1
 	}
 	printf "{\n" > out
+	printf "  %s,\n", host > out
 	printf "  \"benchtime\": \"%s\",\n", ENVIRON["BENCHTIME"] != "" ? ENVIRON["BENCHTIME"] : "200x" > out
 	printf "  \"single_call_uncached_ns_op\": %s,\n", uncached > out
 	printf "  \"single_call_cached_ns_op\": %s,\n", cached > out
@@ -175,7 +190,7 @@ for n in $shard_counts; do
 	points="$points$n $vals
 "
 done
-printf '%s' "$points" | awk -v out="$shards_out" \
+printf '%s' "$points" | awk -v out="$shards_out" -v host="$host_json" \
 	-v clients="$shard_clients" -v duration="$shard_duration" '
 { n[NR] = $1; a[NR] = $2; p[NR] = $3; m[NR] = $4 }
 END {
@@ -184,6 +199,7 @@ END {
 		exit 1
 	}
 	printf "{\n" > out
+	printf "  %s,\n", host > out
 	printf "  \"workload\": \"bulk_and\",\n" > out
 	printf "  \"clients\": %s,\n", clients > out
 	printf "  \"duration\": \"%s\",\n", duration > out
@@ -234,17 +250,24 @@ for n in $wire_shards; do
 			$wflag \
 			>"$tmp_dir/wire_${proto}_$n.json"
 		vals=$(awk -F'[:,]' '
-			/"achieved_qps"/    { a = $2; gsub(/ /, "", a) }
-			/"p99"/ && !p99done { p = $2; gsub(/ /, "", p); p99done = 1 }
-			END { print a, p }' "$tmp_dir/wire_${proto}_$n.json")
+			/"achieved_qps"/          { a = $2; gsub(/ /, "", a) }
+			/"p99"/ && !p99done       { p = $2; gsub(/ /, "", p); p99done = 1 }
+			/"wire_flushes"/          { fl = $2; gsub(/ /, "", fl) }
+			/"wire_frames_per_flush"/ { ff = $2; gsub(/ /, "", ff) }
+			END {
+				if (fl == "") fl = 0
+				if (ff == "") ff = 0
+				print a, p, fl, ff
+			}' "$tmp_dir/wire_${proto}_$n.json")
 		wpoints="$wpoints$n $proto $vals
 "
 	done
 done
-printf '%s' "$wpoints" | awk -v out="$wire_out" -v micro="$micro" \
+printf '%s' "$wpoints" | awk -v out="$wire_out" -v micro="$micro" -v host="$host_json" \
 	-v clients="$wire_clients" -v duration="$wire_duration" -v bits="$wire_bits" '
 $2 == "json" { jq[$1] = $3; jp[$1] = $4; if (!($1 in seen)) { order[++np] = $1; seen[$1] = 1 } }
-$2 == "wire" { wq[$1] = $3; wp[$1] = $4; if (!($1 in seen)) { order[++np] = $1; seen[$1] = 1 } }
+$2 == "wire" { wq[$1] = $3; wp[$1] = $4; wfl[$1] = $5; wff[$1] = $6
+               if (!($1 in seen)) { order[++np] = $1; seen[$1] = 1 } }
 END {
 	split(micro, m, " ")
 	if (np < 1 || m[1] == "" || m[3] == "") {
@@ -252,6 +275,7 @@ END {
 		exit 1
 	}
 	printf "{\n" > out
+	printf "  %s,\n", host > out
 	printf "  \"clients\": %s,\n", clients > out
 	printf "  \"duration\": \"%s\",\n", duration > out
 	printf "  \"bits\": %s,\n", bits > out
@@ -265,8 +289,8 @@ END {
 	printf "  \"points\": [\n" > out
 	for (i = 1; i <= np; i++) {
 		n = order[i]
-		printf "    {\"shards\": %s, \"json_qps\": %s, \"json_p99_ms\": %s, \"wire_qps\": %s, \"wire_p99_ms\": %s, \"wire_qps_ratio\": %.2f}%s\n",
-			n, jq[n], jp[n], wq[n], wp[n], wq[n] / jq[n], i < np ? "," : "" > out
+		printf "    {\"shards\": %s, \"json_qps\": %s, \"json_p99_ms\": %s, \"wire_qps\": %s, \"wire_p99_ms\": %s, \"wire_qps_ratio\": %.2f, \"wire_flushes\": %s, \"wire_frames_per_flush\": %s}%s\n",
+			n, jq[n], jp[n], wq[n], wp[n], wq[n] / jq[n], wfl[n], wff[n], i < np ? "," : "" > out
 	}
 	printf "  ]\n" > out
 	printf "}\n" > out
@@ -284,7 +308,7 @@ eval_benchtime="${EVAL_BENCHTIME:-1000x}"
 echo "bench.sh: eval DAG sweep (BenchmarkEvalDAG, ${eval_benchtime})" >&2
 eval_raw=$(go test -run '^$' -bench 'BenchmarkEvalDAG' -benchtime "$eval_benchtime" .)
 printf '%s\n' "$eval_raw" >&2
-printf '%s\n' "$eval_raw" | awk -v out="$eval_out" -v benchtime="$eval_benchtime" '
+printf '%s\n' "$eval_raw" | awk -v out="$eval_out" -v host="$host_json" -v benchtime="$eval_benchtime" '
 /^BenchmarkEvalDAG\// {
 	split($1, parts, "/")
 	depth = substr(parts[2], 6)
@@ -300,6 +324,7 @@ END {
 		exit 1
 	}
 	printf "{\n" > out
+	printf "  %s,\n", host > out
 	printf "  \"benchtime\": \"%s\",\n", benchtime > out
 	printf "  \"bits\": 1048576,\n" > out
 	printf "  \"points\": [\n" > out
@@ -325,7 +350,7 @@ vert_benchtime="${VERT_BENCHTIME:-100x}"
 echo "bench.sh: vertical arith sweep (BenchmarkVerticalArith, ${vert_benchtime})" >&2
 vert_raw=$(go test -run '^$' -bench 'BenchmarkVertical(Arith|Transpose)' -benchtime "$vert_benchtime" .)
 printf '%s\n' "$vert_raw" >&2
-printf '%s\n' "$vert_raw" | awk -v out="$vert_out" -v benchtime="$vert_benchtime" '
+printf '%s\n' "$vert_raw" | awk -v out="$vert_out" -v host="$host_json" -v benchtime="$vert_benchtime" '
 /^BenchmarkVerticalTranspose\/slice/   { tslice = nsElem($0) }
 /^BenchmarkVerticalTranspose\/unslice/ { tunslice = nsElem($0) }
 /^BenchmarkVerticalArith\// {
@@ -351,6 +376,7 @@ END {
 		exit 1
 	}
 	printf "{\n" > out
+	printf "  %s,\n", host > out
 	printf "  \"benchtime\": \"%s\",\n", benchtime > out
 	printf "  \"elems\": 1048576,\n" > out
 	printf "  \"transpose\": {\"slice_ns_elem\": %s, \"unslice_ns_elem\": %s},\n", tslice, tunslice > out

@@ -8,11 +8,13 @@
 #                    internal/plan, internal/kernel, internal/vertical)
 #   4. race tests  — the server/micro-batcher suite (including the wire
 #                    listener and the JSON↔wire differential), the wire
-#                    codec/conn suite, the kernel-derivation cache, the
-#                    facade's fast-path/fallback concurrency tests, and the
-#                    shard router + sharded differential suite under the
-#                    race detector (their whole value is their concurrency
-#                    envelope)
+#                    codec/conn suite plus a dedicated multi-iteration run
+#                    over the write-path coalescer (flusher, write-error
+#                    latch, drain-time flushing), the kernel-derivation
+#                    cache, the facade's fast-path/fallback concurrency
+#                    tests, and the shard router + sharded differential
+#                    suite under the race detector (their whole value is
+#                    their concurrency envelope)
 #   5. fuzz smoke  — both internal/wire fuzz targets plus the facade's
 #                    eval-DAG and vertical-arith fuzzers for a few seconds
 #                    each (go test -fuzz matches one target per run), so
@@ -48,6 +50,14 @@ if ! go test -race -count=1 ./internal/server/...; then
 fi
 
 if ! go test -race -count=1 ./internal/wire/...; then
+    fail=1
+fi
+
+# The write-path coalescers are pure concurrency machinery (cond-parked
+# flusher goroutines, double-buffered frame queues, write-error
+# latching, drain-time flushing), so their suites get extra iterations
+# under the race detector beyond the package-wide pass above.
+if ! go test -race -count=3 -run 'Flush|Coalescing|WriteError|DrainDelivers|ServeConnDrains' ./internal/wire ./internal/server; then
     fail=1
 fi
 
