@@ -1,9 +1,12 @@
 // Command elpd serves the elp2im accelerator over HTTP: a named
 // bit-vector store (plain and vertical bit-sliced vectors) plus single
-// ops, reductions, expression evaluation, and vertical k-bit arithmetic,
-// with every bitwise write riding the dynamic micro-batcher in
-// internal/server (coalescing window, bounded admission queue with 503
-// backpressure, per-request deadlines, graceful drain on SIGTERM).
+// ops, reductions, expression evaluation, vertical k-bit arithmetic, and
+// bitmap-index queries (POST /v1/query: boolean predicates over the
+// "<namespace>/<index>" vectors, answering counts, match bitvectors or
+// paginated set-bit positions), with every bitwise write riding the
+// dynamic micro-batcher in internal/server (coalescing window, bounded
+// admission queue with 503 backpressure, per-request deadlines, graceful
+// drain on SIGTERM).
 //
 // Usage:
 //
@@ -28,9 +31,9 @@
 //	  -max-batch int        max requests folded into one flush (default 64)
 //	  -max-queue int        admission-queue bound; beyond it requests get 503 (default 1024)
 //	  -timeout duration     default per-request deadline (default 5s)
-//	  -evalcache int        compiled-program LRU entries shared by /v1/eval
-//	                        and /v1/arith (expression sources and arith
-//	                        (op, width) shapes compile once, then hit;
+//	  -evalcache int        compiled-program LRU entries shared by /v1/eval,
+//	                        /v1/query and /v1/arith (expression sources and
+//	                        arith (op, width) shapes compile once, then hit;
 //	                        default 256)
 //	  -no-pipeline          degraded mode: synchronous ops, no micro-batching
 //	  -wire-nocoalesce      revert the elpwire listener to one write syscall per

@@ -16,6 +16,15 @@
 //	                     listener, and self mode spawns a wire listener. The
 //	                     report keeps the same shape, so bench.sh compares the
 //	                     two protocols point for point.
+//	  -query             drive the bitmap-index query workload instead of the
+//	                     op mix: each client owns a namespace of 8 indices and
+//	                     issues boolean-predicate queries (POST /v1/query or
+//	                     KindQuery) with Zipfian index popularity and a mixed
+//	                     count/positions/bits result-mode draw, verifying
+//	                     responses bit-for-bit against a host-side oracle
+//	  -disable-fusion    self mode: spawn the server with expression-DAG
+//	                     fusion off (node-at-a-time kernels), the knob
+//	                     scripts/bench.sh flips for BENCH_query.json
 //	  -clients int       concurrent clients (default 64)
 //	  -duration duration load duration (default 2s)
 //	  -qps float         total offered open-loop rate; 0 = closed loop
@@ -49,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	mathbits "math/bits"
 	"math/rand"
 	"net"
 	"net/http"
@@ -74,19 +84,21 @@ func main() {
 
 // options are the parsed flags.
 type options struct {
-	addr        string
-	wireMode    bool
-	clients     int
-	wireConns   int
-	duration    time.Duration
-	qps         float64
-	bits        int
-	mix         []mixEntry
-	timeout     time.Duration
-	verifyEvery int
-	seed        int64
-	window      time.Duration
-	shards      int
+	addr          string
+	wireMode      bool
+	queryMode     bool
+	disableFusion bool
+	clients       int
+	wireConns     int
+	duration      time.Duration
+	qps           float64
+	bits          int
+	mix           []mixEntry
+	timeout       time.Duration
+	verifyEvery   int
+	seed          int64
+	window        time.Duration
+	shards        int
 }
 
 // wirePoolSize is the effective shared-connection count for wire mode:
@@ -164,6 +176,9 @@ type Report struct {
 	Mode string `json:"mode"`
 	// Protocol is "json" (HTTP) or "wire" (elpwire).
 	Protocol string `json:"protocol"`
+	// Workload is "ops" (the bitwise op mix) or "query" (bitmap-index
+	// predicates through /v1/query).
+	Workload string `json:"workload"`
 	// Clients is the concurrent client count.
 	Clients int `json:"clients"`
 	// Conns is the shared multiplexed-connection pool size (wire mode
@@ -257,6 +272,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elpload", flag.ContinueOnError)
 	addr := fs.String("addr", "", "target elpd address (empty: in-process server)")
 	wireMode := fs.Bool("wire", false, "speak the elpwire binary protocol instead of HTTP/JSON")
+	queryMode := fs.Bool("query", false, "drive the bitmap-index query workload instead of the op mix")
+	disableFusion := fs.Bool("disable-fusion", false, "self mode: spawn the server with expression-DAG fusion disabled")
 	clients := fs.Int("clients", 64, "concurrent clients")
 	conns := fs.Int("conns", 0, "wire mode: multiplexed connections shared by all clients (0 = ceil(clients/16), the server's per-connection worker width; ignored for HTTP)")
 	duration := fs.Duration("duration", 2*time.Second, "load duration")
@@ -276,7 +293,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	opt := options{
-		addr: *addr, wireMode: *wireMode, clients: *clients, wireConns: *conns,
+		addr: *addr, wireMode: *wireMode, queryMode: *queryMode, disableFusion: *disableFusion,
+		clients: *clients, wireConns: *conns,
 		duration: *duration,
 		qps:      *qps, bits: *bits, mix: mix, timeout: *timeout, verifyEvery: *verifyEvery,
 		seed: *seed, window: *window, shards: *shards,
@@ -344,14 +362,17 @@ func spawnServer(opt options) (*server.Server, net.Listener, error) {
 		DisableWindow:  opt.window == 0,
 		RequestTimeout: opt.timeout,
 	}
+	mutate := func(c *elp2im.Config) {
+		c.DisableFusion = opt.disableFusion
+	}
 	if opt.shards > 1 {
-		sh, err := elp2im.NewShard(opt.shards)
+		sh, err := elp2im.NewShard(opt.shards, mutate)
 		if err != nil {
 			return nil, nil, err
 		}
 		cfg.Shard = sh
 	} else {
-		acc, err := elp2im.New()
+		acc, err := elp2im.New(mutate)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -428,7 +449,11 @@ func drive(opt options, target, mode string) (*Report, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			stats[i].firstErr = runClient(opt, transports[i], i, deadline, tokens, stats[i])
+			if opt.queryMode {
+				stats[i].firstErr = runQueryClient(opt, transports[i], i, deadline, tokens, stats[i])
+			} else {
+				stats[i].firstErr = runClient(opt, transports[i], i, deadline, tokens, stats[i])
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -437,8 +462,12 @@ func drive(opt options, target, mode string) (*Report, error) {
 		dispatchWG.Wait()
 	}
 
+	workload := "ops"
+	if opt.queryMode {
+		workload = "query"
+	}
 	report := &Report{
-		Mode: mode, Protocol: protocol, Clients: opt.clients,
+		Mode: mode, Protocol: protocol, Workload: workload, Clients: opt.clients,
 		DurationS: opt.duration.Seconds(),
 		TargetQPS: opt.qps, Bits: opt.bits, Shed: shed,
 		Host: hostInfo(),
@@ -477,11 +506,18 @@ func drive(opt options, target, mode string) (*Report, error) {
 func modeledQPS(ok int64, sp *server.StatsPayload) float64 {
 	makespanNS := sp.Totals.LatencyNS
 	if len(sp.Server.PerShard) > 0 {
-		makespanNS = 0
+		perShardMax := 0.0
 		for _, ss := range sp.Server.PerShard {
-			if ss.ModeledBusyNS > makespanNS {
-				makespanNS = ss.ModeledBusyNS
+			if ss.ModeledBusyNS > perShardMax {
+				perShardMax = ss.ModeledBusyNS
 			}
+		}
+		// Scatter-gather work (the query workload) runs every request
+		// across all shards at once and accounts its modeled cost
+		// centrally, leaving per-shard busy time at zero; the aggregate
+		// total is the makespan then.
+		if perShardMax > 0 {
+			makespanNS = perShardMax
 		}
 	}
 	if makespanNS <= 0 {
@@ -575,6 +611,156 @@ func runClient(opt options, tr transport, id int, deadline time.Time, tokens <-c
 	}
 }
 
+// queryIndexCount is the per-namespace index count of the query workload.
+const queryIndexCount = 8
+
+// queryTemplates are the predicate shapes the query workload draws from,
+// each paired with its host-side byte oracle over the three drawn
+// indices (repeats are legal predicates and the oracle handles them
+// naturally).
+var queryTemplates = []struct {
+	render func(a, b, c string) string
+	host   func(a, b, c byte) byte
+}{
+	{func(a, b, _ string) string { return fmt.Sprintf("%s & %s", a, b) },
+		func(a, b, _ byte) byte { return a & b }},
+	{func(a, b, c string) string { return fmt.Sprintf("(%s & %s) | ~%s", a, b, c) },
+		func(a, b, c byte) byte { return (a & b) | ^c }},
+	{func(a, b, c string) string { return fmt.Sprintf("%s ^ %s ^ %s", a, b, c) },
+		func(a, b, c byte) byte { return a ^ b ^ c }},
+	{func(a, b, c string) string { return fmt.Sprintf("(%s | %s) & ~%s", a, b, c) },
+		func(a, b, c byte) byte { return (a | b) & ^c }},
+}
+
+// runQueryClient is one query-workload worker: it owns the namespace
+// c<id> holding queryIndexCount random indices mirrored host-side, and
+// issues boolean-predicate queries whose indices are drawn with Zipfian
+// popularity (hot indices recur, exercising the eval cache the way a
+// real analytics tenant would) and whose result mode mixes count,
+// positions and bits. Every Nth response is verified bit-for-bit against
+// the host oracle: cardinality for count mode, the match vector for bits
+// mode, and the exact page plus resume cursor for positions mode.
+func runQueryClient(opt options, tr transport, id int, deadline time.Time, tokens <-chan time.Time, cs *clientStats) error {
+	opRNG, jitterRNG := clientRNGs(opt.seed, id)
+	ns := fmt.Sprintf("c%d", id)
+	nbytes := opt.bits / 8
+	names := make([]string, queryIndexCount)
+	mirror := make(map[string][]byte, queryIndexCount)
+	for i := range names {
+		names[i] = fmt.Sprintf("i%d", i)
+		raw := make([]byte, nbytes)
+		opRNG.Read(raw)
+		mirror[names[i]] = raw
+		if err := tr.putVector(ns+"/"+names[i], raw); err != nil {
+			return fmt.Errorf("client %d: setup PUT %s: %w", id, names[i], err)
+		}
+	}
+	zipf := rand.NewZipf(opRNG, 1.3, 1, queryIndexCount-1)
+
+	sinceVerify := 0
+	for {
+		start := time.Now()
+		if !start.Before(deadline) {
+			return nil
+		}
+		if tokens != nil {
+			select {
+			case t := <-tokens:
+				start = t
+			case <-time.After(time.Until(deadline)):
+				return nil
+			}
+		}
+		a, b, c := names[zipf.Uint64()], names[zipf.Uint64()], names[zipf.Uint64()]
+		tmpl := queryTemplates[opRNG.Intn(len(queryTemplates))]
+		call := queryCall{namespace: ns, predicate: tmpl.render(a, b, c)}
+		// Mode mix: count 2/5, positions 2/5, bits 1/5.
+		switch opRNG.Intn(5) {
+		case 0, 1:
+			call.mode = wire.QueryCount
+		case 2, 3:
+			call.mode = wire.QueryPositions
+			call.limit = 1024
+			call.cursor = uint64(opRNG.Intn(opt.bits))
+		default:
+			call.mode = wire.QueryBits
+		}
+		reply, oc, err := tr.issueQuery(call)
+		cs.requests++
+		if err != nil {
+			cs.errors++
+			continue
+		}
+		switch oc {
+		case outcomeOK:
+			cs.ok++
+			cs.latenciesMS = append(cs.latenciesMS, float64(time.Since(start).Microseconds())/1000)
+		case outcomeRejected:
+			cs.rejected++
+			time.Sleep(time.Duration(500+jitterRNG.Intn(1500)) * time.Microsecond)
+			continue
+		case outcomeDeadline:
+			cs.deadline++
+			continue
+		default:
+			cs.errors++
+			continue
+		}
+
+		sinceVerify++
+		if opt.verifyEvery > 0 && sinceVerify >= opt.verifyEvery {
+			sinceVerify = 0
+			cs.checks++
+			if !verifyQuery(call, reply, tmpl.host, mirror[a], mirror[b], mirror[c], opt.bits) {
+				cs.failures++
+			}
+		}
+	}
+}
+
+// verifyQuery checks one query reply bit-for-bit against the host
+// oracle's evaluation of the same predicate over the mirrored indices.
+func verifyQuery(call queryCall, reply *queryReply, host func(a, b, c byte) byte, a, b, c []byte, bits int) bool {
+	if reply.bits != bits {
+		return false
+	}
+	want := make([]byte, len(a))
+	count := uint64(0)
+	for i := range want {
+		want[i] = host(a[i], b[i], c[i])
+		count += uint64(mathbits.OnesCount8(want[i]))
+	}
+	if reply.count != count {
+		return false
+	}
+	switch call.mode {
+	case wire.QueryBits:
+		return bytes.Equal(reply.data, want)
+	case wire.QueryPositions:
+		var positions []uint64
+		next := uint64(0)
+		for i := int(call.cursor); i < bits; i++ {
+			if want[i/8]&(1<<(i%8)) == 0 {
+				continue
+			}
+			if len(positions) == int(call.limit) {
+				next = positions[len(positions)-1] + 1
+				break
+			}
+			positions = append(positions, uint64(i))
+		}
+		if len(reply.positions) != len(positions) || reply.next != next {
+			return false
+		}
+		for i := range positions {
+			if reply.positions[i] != positions[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // expected computes the local mirror of dst after op.
 func expected(op string, mirror map[string][]byte) []byte {
 	a, b, d := mirror["a"], mirror["b"], mirror["d"]
@@ -623,9 +809,33 @@ type transport interface {
 	putVector(name string, raw []byte) error
 	getVector(name string) ([]byte, error)
 	issueOp(pfx, op string) (outcome, error)
+	issueQuery(q queryCall) (*queryReply, outcome, error)
 	scrapeStats() (*server.StatsPayload, error)
 	close()
 }
+
+// queryCall is one bitmap-index query, protocol-independent (mode is the
+// wire code; the JSON transport maps it to the mode string).
+type queryCall struct {
+	namespace string
+	predicate string
+	mode      uint8
+	cursor    uint64
+	limit     uint32
+}
+
+// queryReply is the protocol-independent query response: the universe
+// width and cardinality, plus the mode-specific payload.
+type queryReply struct {
+	bits      int
+	count     uint64
+	data      []byte   // bits mode: the match vector's raw bytes
+	positions []uint64 // positions mode: the page
+	next      uint64   // positions mode: the resume cursor (0 = exhausted)
+}
+
+// queryModeNames maps the wire mode codes onto the JSON mode strings.
+var queryModeNames = [...]string{wire.QueryCount: "count", wire.QueryBits: "bits", wire.QueryPositions: "positions"}
 
 // newTransportFactory returns a constructor for per-worker transports
 // against the target address (host:port for wire, HTTP base otherwise).
@@ -710,6 +920,53 @@ func (t *jsonTransport) issueOp(pfx, op string) (outcome, error) {
 	default:
 		return outcomeError, nil
 	}
+}
+
+// issueQuery posts one /v1/query request and classifies the HTTP status.
+func (t *jsonTransport) issueQuery(q queryCall) (*queryReply, outcome, error) {
+	body := server.QueryRequest{
+		Namespace: q.namespace, Predicate: q.predicate,
+		Mode: queryModeNames[q.mode], Cursor: int(q.cursor), Limit: int(q.limit),
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, outcomeError, err
+	}
+	url := fmt.Sprintf("%s/v1/query?timeout_ms=%d", t.base, t.timeout.Milliseconds())
+	resp, err := t.client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, outcomeError, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusServiceUnavailable:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, outcomeRejected, nil
+	case http.StatusGatewayTimeout:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, outcomeDeadline, nil
+	default:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, outcomeError, nil
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, outcomeError, err
+	}
+	reply := &queryReply{bits: qr.Bits, count: uint64(qr.Count), next: uint64(qr.NextCursor)}
+	if q.mode == wire.QueryBits {
+		if reply.data, err = base64.StdEncoding.DecodeString(qr.Data); err != nil {
+			return nil, outcomeError, err
+		}
+	}
+	if q.mode == wire.QueryPositions {
+		reply.positions = make([]uint64, len(qr.Positions))
+		for i, p := range qr.Positions {
+			reply.positions[i] = uint64(p)
+		}
+	}
+	return reply, outcomeOK, nil
 }
 
 // putVector stores raw bytes under name.
@@ -816,6 +1073,30 @@ func (t *wireTransport) issueOp(pfx, op string) (outcome, error) {
 		}
 	}
 	return outcomeError, err // transport-level failure
+}
+
+// issueQuery executes one KindQuery request and classifies the status.
+func (t *wireTransport) issueQuery(q queryCall) (*queryReply, outcome, error) {
+	qr, err := t.c.Query(t.timeoutMS, q.namespace, q.predicate, q.mode, q.cursor, q.limit)
+	if err != nil {
+		var se *wire.StatusError
+		if errors.As(err, &se) {
+			switch se.Code {
+			case wire.StatusSaturated, wire.StatusDraining:
+				return nil, outcomeRejected, nil
+			case wire.StatusDeadline:
+				return nil, outcomeDeadline, nil
+			default:
+				return nil, outcomeError, nil
+			}
+		}
+		return nil, outcomeError, err
+	}
+	reply := &queryReply{bits: qr.Bits, count: qr.Count, positions: qr.Positions, next: qr.NextCursor}
+	if q.mode == wire.QueryBits {
+		reply.data = wordsToBytes(qr.Words, (qr.Bits+7)/8)
+	}
+	return reply, outcomeOK, nil
 }
 
 // putVector stores raw bytes under name as little-endian words.

@@ -2,6 +2,13 @@
 // it): track user activity over w weeks with one bitmap per week, then
 // answer "how many users were active every week?" and "how many male
 // users were active every week?" with in-DRAM AND reductions.
+//
+// This is the embedded, single-process form. The same workload is served:
+// elpd stores bitmap indices as "<namespace>/<index>" vectors and answers
+// boolean predicates over them via POST /v1/query (or wire KindQuery),
+// compiled through the plan IR — see docs/CLI.md "Bitmap-index queries",
+// docs/ARCHITECTURE.md "Life of a query", and `elpload -query` for the
+// load-tested service path.
 package main
 
 import (

@@ -151,6 +151,36 @@ func (a *Accelerator) evalPrep(p *plan.Plan, vars map[string]*BitVector) (int, e
 	return n, nil
 }
 
+// ExprRowDemand reports the subarray row demand of a compiled
+// expression's command-accurate fallback against this accelerator's
+// module: need is the variable count plus the compiled temp slots (plus
+// one when the engine consumes operand rows), have is the module's rows
+// per subarray. Serving layers use it to refuse over-deep predicates
+// with a client error instead of a mid-execution fault.
+func (a *Accelerator) ExprRowDemand(ce *CompiledExpr) (need, have int) {
+	prog := ce.plan.Prog
+	need = len(prog.Vars) + prog.TempSlots
+	if oc, ok := a.eng.(engine.OperandConsumer); ok {
+		for _, in := range prog.Instrs {
+			if oc.ConsumesOperandA(in.Op) {
+				need++
+				break
+			}
+		}
+	}
+	return need, a.cfg.Module.RowsPerSubarray
+}
+
+// FusionCounters reports the accelerator's eval-tier resolution counts:
+// hits is the number of eval operations that ran on the fused-kernel
+// tier, fallbacks the number that fell back to node-at-a-time kernels or
+// the command-accurate model. The pair is the serving layer's visibility
+// into whether predicates compiled through the plan IR actually execute
+// fused.
+func (a *Accelerator) FusionCounters() (hits, fallbacks int64) {
+	return a.fusionHits.Value(), a.fusionFalls.Value()
+}
+
 // evalCost sums the program's per-instruction scheduled costs over
 // `stripes` row operations.
 func (a *Accelerator) evalCost(prog *expr.Program, stripes int) (Stats, error) {

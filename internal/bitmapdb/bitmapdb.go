@@ -4,7 +4,7 @@
 // boolean expressions over the names, compiled by internal/expr and
 // executed in-array through any engine.
 //
-//	db, _ := bitmapdb.New(module, engine, 16<<20)
+//	db, _ := bitmapdb.New(module, engine, 16<<20, 10)
 //	db.Set("active_w1", weekOne)
 //	db.Set("male", genders)
 //	matches, stats, _ := db.Query("active_w1 & active_w2 & male")
@@ -79,7 +79,16 @@ func (db *DB) Names() []string {
 	return out
 }
 
-// Set creates or replaces a named bitmap with host data.
+// writeVector is the allocator write call, indirect so tests can fail it
+// mid-stripe and pin Set's adopt-on-success contract.
+var writeVector = func(a *layout.Allocator, v *layout.Vector, data *bitvec.Vector) error {
+	return a.Write(v, data)
+}
+
+// Set creates or replaces a named bitmap with host data. A fresh
+// allocation is adopted into the store only after its write succeeds: on
+// a write failure the rows are freed and the name stays absent, so a
+// failed Set never leaves a half-written bitmap queryable.
 func (db *DB) Set(name string, data *bitvec.Vector) error {
 	if name == "" {
 		return errors.New("bitmapdb: empty name")
@@ -88,16 +97,22 @@ func (db *DB) Set(name string, data *bitvec.Vector) error {
 		return fmt.Errorf("bitmapdb: bitmap %q has %d bits, universe is %d",
 			name, data.Len(), db.universe)
 	}
-	v, ok := db.bitmaps[name]
-	if !ok {
-		var err error
-		v, err = db.alloc.Alloc(name, db.universe)
-		if err != nil {
-			return err
-		}
-		db.bitmaps[name] = v
+	if v, ok := db.bitmaps[name]; ok {
+		return writeVector(db.alloc, v, data)
 	}
-	return db.alloc.Write(v, data)
+	v, err := db.alloc.Alloc(name, db.universe)
+	if err != nil {
+		return err
+	}
+	if err := writeVector(db.alloc, v, data); err != nil {
+		// Not yet adopted: free the rows so the failed write costs nothing.
+		if ferr := db.alloc.Free(v); ferr != nil {
+			return errors.Join(err, ferr)
+		}
+		return err
+	}
+	db.bitmaps[name] = v
+	return nil
 }
 
 // Get reads a named bitmap back to the host.

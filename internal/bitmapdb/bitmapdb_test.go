@@ -1,6 +1,7 @@
 package bitmapdb
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/drisa"
 	"repro/internal/elpim"
 	"repro/internal/engine"
+	"repro/internal/layout"
 )
 
 const universe = 1000
@@ -227,5 +229,57 @@ func TestQueryTempBudget(t *testing.T) {
 	// even a simple AND chain may exceed a 1-temp store; a single op fits.
 	if _, _, err := db.Query("a & b"); err != nil {
 		t.Errorf("single-op query rejected: %v", err)
+	}
+}
+
+func TestSetWriteFailureLeavesNoGhost(t *testing.T) {
+	// A fresh allocation must only be adopted into the store after its
+	// write succeeds: a write failing mid-stripe must leave the name
+	// absent and the rows freed, not a half-written queryable bitmap.
+	db := newDB(t, elpim.MustNew(elpim.DefaultConfig()))
+	rng := rand.New(rand.NewSource(11))
+	data := bitvec.Random(rng, universe)
+	free := db.alloc.FreeRows()
+
+	orig := writeVector
+	writeVector = func(a *layout.Allocator, v *layout.Vector, d *bitvec.Vector) error {
+		// Write the first stripe for real, then fail: the vector is
+		// half-written when Set sees the error.
+		partial := bitvec.New(d.Len())
+		cols := a.Module().Config().Columns
+		for i := 0; i < cols && i < d.Len(); i++ {
+			partial.SetBit(i, d.Bit(i))
+		}
+		if err := orig(a, v, partial); err != nil {
+			return err
+		}
+		return errors.New("injected mid-stripe write failure")
+	}
+	t.Cleanup(func() { writeVector = orig })
+
+	if err := db.Set("users", data); err == nil {
+		t.Fatal("failed write reported success")
+	}
+	if _, err := db.Get("users"); err == nil {
+		t.Error("half-written bitmap is queryable after failed Set")
+	}
+	if _, _, err := db.Query("users"); err == nil {
+		t.Error("half-written bitmap is visible to Query after failed Set")
+	}
+	if got := db.alloc.FreeRows(); got != free {
+		t.Errorf("failed Set leaked rows: FreeRows = %d, want %d", got, free)
+	}
+
+	// With the failure cleared the same Set must succeed cleanly.
+	writeVector = orig
+	if err := db.Set("users", data); err != nil {
+		t.Fatalf("Set after recovered failure: %v", err)
+	}
+	back, err := db.Get("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(data) {
+		t.Error("round trip mismatch after recovered failure")
 	}
 }

@@ -1,0 +1,47 @@
+package bitmapdb_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitmapdb"
+	"repro/internal/bitvec"
+	"repro/internal/dram"
+	"repro/internal/elpim"
+)
+
+// Example mirrors the package-doc snippet: store named bitmaps in the
+// modeled module and evaluate a boolean query over them in-array.
+func Example() {
+	module := dram.NewModule(dram.Config{
+		Banks: 2, SubarraysPerBank: 2,
+		RowsPerSubarray: 32, Columns: 128, DualContactRows: 2,
+	})
+	eng := elpim.MustNew(elpim.DefaultConfig())
+	db, err := bitmapdb.New(module, eng, 256, 10)
+	if err != nil {
+		panic(err)
+	}
+
+	activeW1 := bitvec.New(256)
+	activeW2 := bitvec.New(256)
+	male := bitvec.New(256)
+	for _, i := range []int{3, 40, 99, 200} {
+		activeW1.SetBit(i, true)
+	}
+	for _, i := range []int{40, 99, 130} {
+		activeW2.SetBit(i, true)
+	}
+	for _, i := range []int{40, 130, 200} {
+		male.SetBit(i, true)
+	}
+	db.Set("active_w1", activeW1)
+	db.Set("active_w2", activeW2)
+	db.Set("male", male)
+
+	matches, _, err := db.Query("active_w1 & active_w2 & male")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("matches:", matches.Popcount())
+	// Output: matches: 1
+}

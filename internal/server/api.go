@@ -121,6 +121,48 @@ type ArithRequest struct {
 	Mask string `json:"mask,omitempty"`
 }
 
+// QueryRequest is the POST /v1/query body: evaluate a boolean predicate
+// over the bitmap indices of a namespace. Indices are stored as vectors
+// named "<namespace>/<index>" (PUT /v1/vectors/{namespace}/{index}), and
+// the predicate references them by bare index name.
+type QueryRequest struct {
+	// Namespace scopes the predicate's index names.
+	Namespace string `json:"namespace"`
+	// Predicate is the boolean expression source (& | ^ ~ and
+	// parentheses over index names in the namespace).
+	Predicate string `json:"predicate"`
+	// Mode selects the result shape: "count" (the default), "bits", or
+	// "positions".
+	Mode string `json:"mode,omitempty"`
+	// Cursor is the bit position pagination resumes from (positions mode;
+	// pass the previous response's next_cursor).
+	Cursor int `json:"cursor,omitempty"`
+	// Limit bounds the positions page size (positions mode; zero selects
+	// the server default of 4096, capped at 65536).
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryResponse is the POST /v1/query response. Bits and Count are
+// always present; Data and Positions/NextCursor appear per mode.
+type QueryResponse struct {
+	// Stats is the predicate evaluation's modeled cost.
+	Stats StatsJSON `json:"stats"`
+	// Bits is the namespace's universe width.
+	Bits int `json:"bits"`
+	// Count is the match cardinality.
+	Count int `json:"count"`
+	// Data is the match bitvector (bits mode only), encoded exactly like
+	// VectorPayload.Data.
+	Data string `json:"data,omitempty"`
+	// Positions are the page's set-bit positions in ascending order
+	// (positions mode; absent when the page holds no matches).
+	Positions []int `json:"positions,omitempty"`
+	// NextCursor resumes pagination (positions mode): pass it as the next
+	// request's cursor. Zero (absent) means the page reached the last
+	// match.
+	NextCursor int `json:"next_cursor,omitempty"`
+}
+
 // StatsJSON is the stable wire form of elp2im.Stats.
 type StatsJSON struct {
 	// LatencyNS is the modeled latency in nanoseconds.
@@ -188,6 +230,14 @@ type ServerStats struct {
 	// syscall (idle connections); values above 1 mean loaded connections
 	// are amortizing writes.
 	WireFramesPerFlush float64 `json:"wire_frames_per_flush"`
+	// FusionHits counts eval/query plans that executed on the fused-kernel
+	// tier, summed across shard accelerators.
+	FusionHits int64 `json:"fusion_hits"`
+	// FusionFallbacks counts eval/query plans that fell back to
+	// node-at-a-time kernels or the command-accurate model. A nonzero
+	// rate under -disable-fusion is expected; otherwise it means
+	// predicates are not inheriting the fused tier.
+	FusionFallbacks int64 `json:"fusion_fallbacks"`
 	// Vectors is the number of stored vectors.
 	Vectors int `json:"vectors"`
 	// Draining reports whether the server is shutting down.

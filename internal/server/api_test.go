@@ -74,6 +74,7 @@ func TestStatsPayloadRoundTrip(t *testing.T) {
 		"queue_depth", "queue_max", "rejected", "deadline_expired",
 		"batches_flushed", "requests_coalesced", "mean_batch_occupancy",
 		"panics", "wire_flushes", "wire_frames_per_flush",
+		"fusion_hits", "fusion_fallbacks",
 		"vectors", "draining", "degraded", "shards",
 	})
 	// per_shard is omitempty and this is a single-module server, so it must

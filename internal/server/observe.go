@@ -53,7 +53,7 @@ import (
 // order.
 var routeNames = []string{
 	"put_vector", "get_vector", "delete_vector", "list_vectors",
-	"op", "reduce", "eval", "arith", "stats", "health",
+	"op", "reduce", "eval", "arith", "query", "stats", "health",
 }
 
 // routeSeries is one route's pre-resolved metric series.

@@ -169,14 +169,18 @@ func New(cfg Config) (*Server, error) {
 		s.batchers[i] = newBatcher(acc, s.store, cfg.Window, cfg.MaxBatch, cfg.MaxQueue, cfg.Degraded, obs.shards[i])
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("PUT /v1/vectors/{name}", s.wrap("put_vector", s.handlePutVector))
-	s.mux.HandleFunc("GET /v1/vectors/{name}", s.wrap("get_vector", s.handleGetVector))
-	s.mux.HandleFunc("DELETE /v1/vectors/{name}", s.wrap("delete_vector", s.handleDeleteVector))
+	// Vector routes take rest-of-path names ({name...}) so namespaced
+	// bitmap indices ("<namespace>/<index>") are addressable over HTTP;
+	// the exact-match list route still wins over the wildcard.
+	s.mux.HandleFunc("PUT /v1/vectors/{name...}", s.wrap("put_vector", s.handlePutVector))
+	s.mux.HandleFunc("GET /v1/vectors/{name...}", s.wrap("get_vector", s.handleGetVector))
+	s.mux.HandleFunc("DELETE /v1/vectors/{name...}", s.wrap("delete_vector", s.handleDeleteVector))
 	s.mux.HandleFunc("GET /v1/vectors", s.wrap("list_vectors", s.handleListVectors))
 	s.mux.HandleFunc("POST /v1/op", s.wrap("op", s.handleOp))
 	s.mux.HandleFunc("POST /v1/reduce", s.wrap("reduce", s.handleReduce))
 	s.mux.HandleFunc("POST /v1/eval", s.wrap("eval", s.handleEval))
 	s.mux.HandleFunc("POST /v1/arith", s.wrap("arith", s.handleArith))
+	s.mux.HandleFunc("POST /v1/query", s.wrap("query", s.handleQuery))
 	s.mux.HandleFunc("GET /v1/stats", s.wrap("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.wrap("health", s.handleHealth))
 	return s, nil
@@ -268,6 +272,11 @@ func (s *Server) Stats() StatsPayload {
 	}
 	if agg.BatchesFlushed > 0 {
 		agg.MeanBatchOccupancy = float64(agg.RequestsCoalesced) / float64(agg.BatchesFlushed)
+	}
+	for _, acc := range s.accs {
+		hits, falls := acc.FusionCounters()
+		agg.FusionHits += hits
+		agg.FusionFallbacks += falls
 	}
 	agg.Panics = s.obs.panics.Value()
 	agg.WireFlushes = s.obs.wire.flushes.Value()

@@ -70,7 +70,25 @@ func TestErrorStatusContract(t *testing.T) {
 		{"bad request wrapped", fmt.Errorf("decode: %w", badRequestf("bad body")), http.StatusBadRequest, false},
 		{"bad expression", badExpr, http.StatusBadRequest, false},
 		{"bad expression wrapped", fmt.Errorf("eval: %w", badExpr), http.StatusBadRequest, false},
+		{"query unknown namespace", fmt.Errorf("%w %q", errUnknownNamespace, "tenants"), http.StatusBadRequest, false},
+		{"query unknown index", fmt.Errorf("%w %q in namespace %q", errUnknownIndex, "nx", "t"), http.StatusBadRequest, false},
+		{"query temp budget", fmt.Errorf("%w: predicate needs 40 rows", errQueryBudget), http.StatusBadRequest, false},
+		{"query bad cursor", fmt.Errorf("%w: cursor 9 beyond universe 8", errBadCursor), http.StatusBadRequest, false},
 		{"unrecognized", errors.New("server: disk on fire"), http.StatusInternalServerError, false},
+	}
+	// Every query sentinel must have a row above: a new sentinel cannot
+	// land without extending the contract table.
+	for _, sentinel := range queryStatusSentinels {
+		found := false
+		for _, tc := range cases {
+			if errors.Is(tc.err, sentinel) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query sentinel %v has no contract row", sentinel)
+		}
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

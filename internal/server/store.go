@@ -153,6 +153,20 @@ func (s *Store) adopt(name string, e *entry) {
 	cur.mu.Unlock()
 }
 
+// hasPrefix reports whether any stored name starts with prefix — the
+// query path's namespace-existence probe, distinguishing an unknown
+// namespace from an unknown index inside a live one.
+func (s *Store) hasPrefix(prefix string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name := range s.m {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
 // remove deletes the named vector and reports whether it existed. An
 // in-flight operation that already resolved the entry keeps the orphaned
 // vector alive until it completes; its result is simply discarded.

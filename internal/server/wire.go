@@ -199,6 +199,8 @@ func (wb *wireBackend) Handle(ctx context.Context, req *wire.Request, resp *wire
 		err = wb.handleEval(req, resp)
 	case wire.KindArith:
 		err = wb.handleArith(req, resp)
+	case wire.KindQuery:
+		err = wb.handleQuery(req, resp)
 	case wire.KindPutVert:
 		err = wb.handlePutVert(req, resp)
 	case wire.KindGetVert:

@@ -389,6 +389,10 @@ func TestWireErrorStatusContract(t *testing.T) {
 		{"bad request", badRequestf("nope"), wire.StatusBadRequest, 0},
 		{"malformed frame", wire.ErrMalformed, wire.StatusBadRequest, 0},
 		{"bad expression", fmt.Errorf("eval: %w", elp2im.ErrBadExpr), wire.StatusBadRequest, 0},
+		{"query unknown namespace", fmt.Errorf("%w %q", errUnknownNamespace, "t"), wire.StatusBadRequest, 0},
+		{"query unknown index", fmt.Errorf("%w %q in namespace %q", errUnknownIndex, "nx", "t"), wire.StatusBadRequest, 0},
+		{"query temp budget", fmt.Errorf("%w: too deep", errQueryBudget), wire.StatusBadRequest, 0},
+		{"query bad cursor", fmt.Errorf("%w: cursor 9", errBadCursor), wire.StatusBadRequest, 0},
 		{"internal", errors.New("disk on fire"), wire.StatusInternal, 0},
 	}
 	for _, tc := range cases {

@@ -517,6 +517,77 @@ func (c *Client) GetVert(name string, dst []uint64) (width int, elems []uint64, 
 	return width, elems, nil
 }
 
+// QueryResult is a decoded KindQuery response. Bits and Count are always
+// set; Words carries the match bitvector in QueryBits mode; Positions and
+// NextCursor carry the page in QueryPositions mode (NextCursor zero means
+// the page exhausted the matches).
+type QueryResult struct {
+	// Stats is the predicate evaluation's modeled cost.
+	Stats Stats
+	// Bits is the universe width of the queried namespace.
+	Bits int
+	// Count is the match cardinality.
+	Count uint64
+	// Words is the match bitvector (QueryBits mode only).
+	Words []uint64
+	// Positions are the page's set-bit positions (QueryPositions mode).
+	Positions []uint64
+	// NextCursor resumes pagination (QueryPositions mode); zero when the
+	// page reached the last match.
+	NextCursor uint64
+}
+
+// Query evaluates a boolean predicate over the bitmap indices of a
+// namespace. mode selects the result shape (a Query* code); cursor and
+// limit page the positions mode (a zero limit asks for the server's
+// default page size).
+func (c *Client) Query(timeoutMS uint32, namespace, predicate string, mode uint8, cursor uint64, limit uint32) (QueryResult, error) {
+	ca, err := c.roundTrip(func(id uint64, b []byte) []byte {
+		return AppendQueryRequest(b, id, timeoutMS, namespace, predicate, mode, cursor, limit)
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer c.finish(ca)
+	if ca.status != StatusOK {
+		return QueryResult{}, statusErr(ca)
+	}
+	payload := (*ca.payload)[headerLen:]
+	var qr QueryResult
+	if qr.Stats, err = DecodeStats(payload); err != nil {
+		return QueryResult{}, err
+	}
+	d := decoder{b: payload[statsWireLen:]}
+	qr.Bits = int(d.u32())
+	qr.Count = d.u64()
+	switch mode {
+	case QueryBits:
+		n := int(d.u32())
+		raw := d.take(n * 8)
+		if d.err == nil {
+			qr.Words = make([]uint64, n)
+			for i := range qr.Words {
+				qr.Words[i] = binary.LittleEndian.Uint64(raw[i*8:])
+			}
+		}
+	case QueryPositions:
+		qr.NextCursor = d.u64()
+		n := int(d.u32())
+		raw := d.take(n * 8)
+		if d.err == nil {
+			qr.Positions = make([]uint64, n)
+			for i := range qr.Positions {
+				qr.Positions[i] = binary.LittleEndian.Uint64(raw[i*8:])
+			}
+		}
+	}
+	d.done()
+	if d.err != nil {
+		return QueryResult{}, d.err
+	}
+	return qr, nil
+}
+
 // StatsJSON fetches the serving-layer stats payload: the same JSON bytes
 // the HTTP path serves on /v1/stats.
 func (c *Client) StatsJSON() ([]byte, error) {

@@ -201,6 +201,21 @@ func AppendGetVertRequest(b []byte, id uint64, name string) []byte {
 	return FinishFrame(b, start)
 }
 
+// AppendQueryRequest appends a complete KindQuery request frame. cursor
+// and limit only matter in QueryPositions mode (a zero limit asks for the
+// server's default page size).
+func AppendQueryRequest(b []byte, id uint64, timeoutMS uint32, namespace, predicate string, mode uint8, cursor uint64, limit uint32) []byte {
+	start := len(b)
+	b = BeginFrame(b, id, KindQuery)
+	b = appendU32(b, timeoutMS)
+	b = appendStr16(b, namespace)
+	b = appendStr16(b, predicate)
+	b = append(b, mode)
+	b = appendU64(b, cursor)
+	b = appendU32(b, limit)
+	return FinishFrame(b, start)
+}
+
 // AppendStatsRequest appends a complete KindStats request frame.
 func AppendStatsRequest(b []byte, id uint64) []byte {
 	start := len(b)
@@ -460,6 +475,27 @@ func DecodeRequest(frame []byte, req *Request, intern internFunc) error {
 				req.Expr = intern(expr)
 			}
 		}
+	case KindQuery:
+		req.TimeoutMS = d.u32()
+		ns, _ := d.str16Bytes()
+		pred, _ := d.str16Bytes()
+		mode := d.u8()
+		cursor := d.u64()
+		limit := d.u32()
+		if d.err == nil && mode > QueryPositions {
+			d.fail("unknown query mode %d", mode)
+		}
+		if d.err == nil {
+			if len(ns) == 0 || len(pred) == 0 {
+				d.fail("query needs namespace and predicate")
+			} else {
+				req.Name = intern(ns)
+				req.Expr = intern(pred)
+				req.Mode = mode
+				req.Cursor = cursor
+				req.Limit = limit
+			}
+		}
 	default:
 		d.fail("unknown request kind 0x%02x", req.Kind)
 	}
@@ -509,6 +545,8 @@ func EncodeRequest(b []byte, req *Request) []byte {
 		return AppendReduceRequest(b, req.ID, req.Op, req.TimeoutMS, req.Dst, req.Srcs)
 	case KindEval:
 		return AppendEvalRequest(b, req.ID, req.TimeoutMS, req.Dst, req.Expr)
+	case KindQuery:
+		return AppendQueryRequest(b, req.ID, req.TimeoutMS, req.Name, req.Expr, req.Mode, req.Cursor, req.Limit)
 	default:
 		start := len(b)
 		b = BeginFrame(b, req.ID, req.Kind)

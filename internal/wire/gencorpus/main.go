@@ -29,6 +29,8 @@ func main() {
 		"arithm": wire.AppendArithRequest(nil, 12, wire.ArithSelect, 100, "z", "a", "b", "m"),
 		"pvert":  wire.AppendPutVertRequest(nil, 13, "v", 8, []uint64{5, 250, 77}),
 		"gvert":  wire.AppendGetVertRequest(nil, 14, "v"),
+		"query":  wire.AppendQueryRequest(nil, 15, 0, "ns", "(a & b) | ~c", wire.QueryCount, 0, 0),
+		"queryp": wire.AppendQueryRequest(nil, 16, 250, "ns", "a ^ b", wire.QueryPositions, 4096, 128),
 	}
 	op := frames["op"][4:]
 	extra := map[string][]byte{

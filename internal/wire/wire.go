@@ -82,6 +82,28 @@ const (
 	// KindGetVert fetches a vertical vector's elements: name str16. OK
 	// response: elem_width u8, elems u32, elems raw LE uint64 values.
 	KindGetVert uint8 = 0x0B
+	// KindQuery evaluates a boolean predicate over the bitmap indices of a
+	// namespace: timeout_ms u32, namespace str16, predicate str16, mode u8
+	// (a Query* code), cursor u64, limit u32 (positions mode only; zero
+	// asks for the server default page size). OK response: Stats, bits u32
+	// (the universe width), count u64 (the match cardinality), then per
+	// mode — QueryCount: nothing further; QueryBits: the match bitvector
+	// as words; QueryPositions: next_cursor u64 (zero when the page
+	// exhausted the matches) followed by the page of set-bit positions as
+	// words.
+	KindQuery uint8 = 0x0C
+)
+
+// Query result modes carried in the mode byte of KindQuery requests. Like
+// the Bit* codes, the values are a stable protocol contract, pinned to the
+// JSON path's mode strings by a test in internal/server.
+const (
+	// QueryCount returns only the match cardinality.
+	QueryCount uint8 = 0
+	// QueryBits returns the whole match bitvector.
+	QueryBits uint8 = 1
+	// QueryPositions returns a cursor/limit page of set-bit positions.
+	QueryPositions uint8 = 2
 )
 
 // Response status codes (the kind byte of a response frame). StatusOK
@@ -231,7 +253,8 @@ type Request struct {
 	// TimeoutMS is the per-request deadline in milliseconds; zero defers
 	// to the server's configured default.
 	TimeoutMS uint32
-	// Name is the vector name (KindPut/KindGet/KindDelete).
+	// Name is the vector name (KindPut/KindGet/KindDelete) or the
+	// namespace (KindQuery).
 	Name string
 	// Dst is the destination vector name (KindOp/KindReduce/KindEval).
 	Dst string
@@ -243,12 +266,21 @@ type Request struct {
 	Mask string
 	// Srcs are the reduction operands (KindReduce).
 	Srcs []string
-	// Expr is the expression source (KindEval).
+	// Expr is the expression source (KindEval) or the predicate source
+	// (KindQuery).
 	Expr string
 	// Bits is the declared vector length (KindPut).
 	Bits int
 	// ElemWidth is the declared element width in bits (KindPutVert).
 	ElemWidth int
+	// Mode is the result mode (KindQuery, a Query* code).
+	Mode uint8
+	// Cursor is the resume position for paginated results (KindQuery,
+	// positions mode).
+	Cursor uint64
+	// Limit is the page-size bound for paginated results (KindQuery,
+	// positions mode; zero defers to the server default).
+	Limit uint32
 	// WordData is the raw little-endian word payload of a KindPut (8 bytes
 	// per word, ceil(Bits/64) words, or empty for an all-zero vector) or
 	// the element payload of a KindPutVert (8 bytes per element). It
@@ -262,6 +294,7 @@ func (r *Request) reset() {
 	r.Name, r.Dst, r.X, r.Y, r.Mask, r.Expr = "", "", "", "", "", ""
 	r.Srcs = r.Srcs[:0]
 	r.Bits, r.ElemWidth = 0, 0
+	r.Mode, r.Cursor, r.Limit = 0, 0, 0
 	r.WordData = nil
 }
 

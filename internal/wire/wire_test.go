@@ -23,6 +23,9 @@ func reqEqual(a, b *Request) bool {
 	if a.Bits != b.Bits || string(a.WordData) != string(b.WordData) {
 		return false
 	}
+	if a.Mode != b.Mode || a.Cursor != b.Cursor || a.Limit != b.Limit {
+		return false
+	}
 	if len(a.Srcs) != len(b.Srcs) {
 		return false
 	}
@@ -53,6 +56,8 @@ func seedFrames() map[string][]byte {
 		"arithm": AppendArithRequest(nil, 12, ArithSelect, 100, "z", "a", "b", "m"),
 		"pvert":  AppendPutVertRequest(nil, 13, "v", 8, []uint64{5, 250, 77}),
 		"gvert":  AppendGetVertRequest(nil, 14, "v"),
+		"query":  AppendQueryRequest(nil, 15, 0, "ns", "(a & b) | ~c", QueryCount, 0, 0),
+		"queryp": AppendQueryRequest(nil, 16, 250, "ns", "a ^ b", QueryPositions, 4096, 128),
 	}
 	for k, f := range frames {
 		frames[k] = f[frameLenSize:] // DecodeRequest takes the body only
@@ -121,6 +126,9 @@ func TestDecodeRequestMalformed(t *testing.T) {
 		"reduce one src":   AppendReduceRequest(nil, 1, BitAnd, 0, "dst", []string{"a"})[frameLenSize:],
 		"reduce empty src": AppendReduceRequest(nil, 1, BitAnd, 0, "dst", []string{"a", ""})[frameLenSize:],
 		"eval empty expr":  AppendEvalRequest(nil, 1, 0, "dst", "")[frameLenSize:],
+		"query empty ns":   AppendQueryRequest(nil, 1, 0, "", "a & b", QueryCount, 0, 0)[frameLenSize:],
+		"query empty pred": AppendQueryRequest(nil, 1, 0, "ns", "", QueryCount, 0, 0)[frameLenSize:],
+		"query bad mode":   AppendQueryRequest(nil, 1, 0, "ns", "a", QueryPositions+1, 0, 0)[frameLenSize:],
 	}
 	// Word-count mismatch: name "v", bits 64, but 5 words declared.
 	bad := appendHeader(nil, 1, KindPut)
@@ -484,6 +492,7 @@ func TestRequestReset(t *testing.T) {
 		ID: 1, Kind: KindReduce, Op: BitOr, TimeoutMS: 5,
 		Name: "n", Dst: "d", X: "x", Y: "y",
 		Srcs: []string{"a", "b"}, Expr: "e", Bits: 64, WordData: []byte{1},
+		Mode: QueryPositions, Cursor: 7, Limit: 9,
 	}
 	req.reset()
 	empty := Request{Srcs: req.Srcs} // reset keeps the backing array

@@ -56,6 +56,14 @@
 # engine's slice/unslice ns/elem — the bit-serial arithmetic cost curve
 # (see EXPERIMENTS.md "Reading BENCH_vertical.json").
 #
+# Part 7 (BENCH_query.json) drives elpload's bitmap-index query workload
+# (-query: boolean predicates over per-client namespaces through
+# POST /v1/query, Zipfian index popularity, mixed count/positions/bits
+# result modes, every response verified against a host oracle) across
+# shards {1, 4} × fusion {on, off}, recording achieved_qps, p99,
+# modeled_qps, and the server's fusion_hits / fusion_fallbacks counters
+# per point (see EXPERIMENTS.md "Reading BENCH_query.json").
+#
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME        go test -benchtime value (default 200x)
 #   EVAL_BENCHTIME   part-5 -benchtime value (default 1000x — eval
@@ -76,6 +84,10 @@
 #                    operands so serialization/transport cost dominates
 #                    over the accelerator compute both protocols share;
 #                    that is the quantity part 4 measures)
+#   QUERY_SHARDS     part-7 sweep points (default "1 4")
+#   QUERY_CLIENTS    part-7 concurrent clients (default 32)
+#   QUERY_DURATION   part-7 load duration per point (default 2s)
+#   QUERY_BITS       part-7 index universe in bits (default 65536)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -393,3 +405,74 @@ END {
 '
 echo "wrote $vert_out" >&2
 cat "$vert_out"
+
+# Part 7: the bitmap-index query workload. Each point self-spawns a
+# server with -shards n (and -disable-fusion for the "off" leg) and runs
+# elpload -query: boolean predicates through the plan IR with host-oracle
+# verification. fusion_hits / fusion_fallbacks come from the final
+# /v1/stats scrape embedded in the report, pinning which tier actually
+# served the point.
+query_out="BENCH_query.json"
+query_shards="${QUERY_SHARDS:-1 4}"
+query_clients="${QUERY_CLIENTS:-32}"
+query_duration="${QUERY_DURATION:-2s}"
+query_bits="${QUERY_BITS:-65536}"
+qpoints=""
+for n in $query_shards; do
+	for fusion in on off; do
+		fflag=""
+		if [ "$fusion" = "off" ]; then fflag="-disable-fusion"; fi
+		echo "bench.sh: elpload query sweep, $n shard(s), fusion $fusion (${query_clients} clients, ${query_duration})" >&2
+		go run ./cmd/elpload \
+			-query \
+			-shards "$n" \
+			-clients "$query_clients" \
+			-duration "$query_duration" \
+			-bits "$query_bits" \
+			$fflag \
+			>"$tmp_dir/query_${fusion}_$n.json"
+		vals=$(awk -F'[:,]' '
+			/"achieved_qps"/       { a = $2; gsub(/ /, "", a) }
+			/"modeled_qps"/        { m = $2; gsub(/ /, "", m) }
+			/"p99"/ && !p99done    { p = $2; gsub(/ /, "", p); p99done = 1 }
+			/"fusion_hits"/        { fh = $2; gsub(/ /, "", fh) }
+			/"fusion_fallbacks"/   { ff = $2; gsub(/ /, "", ff) }
+			/"verify_checks"/      { vc = $2; gsub(/ /, "", vc) }
+			END { print a, p, m, fh, ff, vc }' "$tmp_dir/query_${fusion}_$n.json")
+		qpoints="$qpoints$n $fusion $vals
+"
+	done
+done
+printf '%s' "$qpoints" | awk -v out="$query_out" -v host="$host_json" \
+	-v clients="$query_clients" -v duration="$query_duration" -v bits="$query_bits" '
+$2 == "on"  { oq[$1] = $3; op[$1] = $4; om[$1] = $5; oh[$1] = $6; ov[$1] = $8
+              if (!($1 in seen)) { order[++np] = $1; seen[$1] = 1 } }
+$2 == "off" { fq[$1] = $3; fp[$1] = $4; fm[$1] = $5; ff[$1] = $7
+              if (!($1 in seen)) { order[++np] = $1; seen[$1] = 1 } }
+END {
+	first = order[1]
+	if (np < 1 || om[first] == "" || fm[first] == "" || fm[first] + 0 <= 0) {
+		print "bench.sh: missing query-sweep output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n" > out
+	printf "  %s,\n", host > out
+	printf "  \"workload\": \"query\",\n" > out
+	printf "  \"clients\": %s,\n", clients > out
+	printf "  \"duration\": \"%s\",\n", duration > out
+	printf "  \"bits\": %s,\n", bits > out
+	printf "  \"points\": [\n" > out
+	for (i = 1; i <= np; i++) {
+		n = order[i]
+		printf "    {\"shards\": %s, \"fused_qps\": %s, \"fused_p99_ms\": %s, \"fused_modeled_qps\": %s, \"fusion_hits\": %s, \"nofusion_qps\": %s, \"nofusion_p99_ms\": %s, \"nofusion_modeled_qps\": %s, \"fusion_fallbacks\": %s, \"verify_checks\": %s}%s\n",
+			n, oq[n], op[n], om[n], oh[n], fq[n], fp[n], fm[n], ff[n], ov[n], i < np ? "," : "" > out
+	}
+	printf "  ],\n" > out
+	# Modeled costs are bit-identical across the two tiers by design, so
+	# the headline is the wall-clock throughput ratio (host-side fused win).
+	printf "  \"fused_qps_ratio_shards%s\": %.2f\n", first, oq[first] / fq[first] > out
+	printf "}\n" > out
+}
+'
+echo "wrote $query_out" >&2
+cat "$query_out"

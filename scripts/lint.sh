@@ -7,7 +7,8 @@
 #                    internal/obs, internal/server, internal/wire,
 #                    internal/plan, internal/kernel, internal/vertical)
 #   4. race tests  — the server/micro-batcher suite (including the wire
-#                    listener and the JSON↔wire differential), the wire
+#                    listener, the JSON↔wire differential and the
+#                    /v1/query differential/pagination suite), the wire
 #                    codec/conn suite plus a dedicated multi-iteration run
 #                    over the write-path coalescer (flusher, write-error
 #                    latch, drain-time flushing), the kernel-derivation
@@ -15,11 +16,12 @@
 #                    tests, and the shard router + sharded differential
 #                    suite under the race detector (their whole value is
 #                    their concurrency envelope)
-#   5. fuzz smoke  — both internal/wire fuzz targets plus the facade's
-#                    eval-DAG and vertical-arith fuzzers for a few seconds
-#                    each (go test -fuzz matches one target per run), so
-#                    codec regressions and tier/oracle divergences the
-#                    corpus can reach fail here
+#   5. fuzz smoke  — both internal/wire fuzz targets, the facade's
+#                    eval-DAG and vertical-arith fuzzers, and the serving
+#                    layer's /v1/query fuzzer for a few seconds each
+#                    (go test -fuzz matches one target per run), so codec
+#                    regressions and tier/oracle divergences the corpus
+#                    can reach fail here
 #   6. coverage    — internal/wire and internal/server must each keep
 #                    statement coverage >= 80%
 #   7. shuffle     — the full suite once with -shuffle=on, so hidden
@@ -81,6 +83,14 @@ fi
 # The vertical-arith fuzzer pins every µProgram (op × width) against the
 # host-integer oracle on random element vectors.
 if ! go test -run '^$' -fuzz '^FuzzVerticalArith$' -fuzztime 5s .; then
+    fail=1
+fi
+
+# The query fuzzer drives arbitrary predicates, modes, cursors and limits
+# through POST /v1/query on a live store and checks the structural
+# response invariants (400-not-500 on rejects, ordered in-universe
+# positions consistent with the bits-mode vector).
+if ! go test -run '^$' -fuzz '^FuzzQuery$' -fuzztime 5s ./internal/server; then
     fail=1
 fi
 
